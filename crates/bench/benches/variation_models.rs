@@ -1,0 +1,71 @@
+//! Criterion bench: geometric variation models — the per-sample cost of
+//! transferring interface offsets onto the mesh with the traditional vs the
+//! continuous-surface (CSV) model, plus the mesh-validity check used by the
+//! Fig. 1 reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vaem_mesh::quality::assess;
+use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+use vaem_numeric::dense::Cholesky;
+use vaem_variation::{
+    apply_roughness, covariance_matrix, standard_normal_vector, CorrelationKernel,
+    FacetPerturbation, GeometricModel,
+};
+
+fn bench_variation(c: &mut Criterion) {
+    let structure = build_metalplug_structure(&MetalPlugConfig::default());
+    let facet = structure.facet("plug1_interface").unwrap();
+    let positions: Vec<[f64; 3]> = facet
+        .nodes
+        .iter()
+        .map(|&n| structure.mesh.position(n))
+        .collect();
+    let cov = covariance_matrix(&positions, 0.5, CorrelationKernel::Exponential { length: 0.7 });
+    let chol = Cholesky::new_regularized(&cov).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let offsets = chol.correlate(&standard_normal_vector(&mut rng, facet.nodes.len()));
+
+    let mut group = c.benchmark_group("variation_models");
+    group.sample_size(20);
+
+    group.bench_function("traditional_apply", |b| {
+        b.iter(|| {
+            let mut mesh = structure.mesh.clone();
+            apply_roughness(
+                &mut mesh,
+                GeometricModel::Traditional,
+                &[FacetPerturbation::new(facet, offsets.clone())],
+            );
+            mesh.node_count()
+        });
+    });
+
+    group.bench_function("continuous_surface_apply", |b| {
+        b.iter(|| {
+            let mut mesh = structure.mesh.clone();
+            apply_roughness(
+                &mut mesh,
+                GeometricModel::ContinuousSurface,
+                &[FacetPerturbation::new(facet, offsets.clone())],
+            );
+            mesh.node_count()
+        });
+    });
+
+    group.bench_function("mesh_validity_check", |b| {
+        let mut mesh = structure.mesh.clone();
+        apply_roughness(
+            &mut mesh,
+            GeometricModel::ContinuousSurface,
+            &[FacetPerturbation::new(facet, offsets.clone())],
+        );
+        b.iter(|| assess(&mesh, 1e-9).crossing_count);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_variation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates **Table I** of the paper: current through the
+//! metal–semiconductor interface of the metal-plug structure under surface
+//! roughness (σ_G) and random doping fluctuation (σ_M), comparing the
+//! variational solver + Monte Carlo against the variational solver + SSCM.
+//!
+//! Run with `VAEM_FULL=1` for the paper-scale setup.
+
+use vaem::experiments::metalplug::{MetalPlugExperiment, TableOneRow};
+use vaem_bench::{format_seconds, full_scale, mc_runs_override};
+
+fn main() {
+    let base = if full_scale() {
+        MetalPlugExperiment::paper()
+    } else {
+        MetalPlugExperiment::quick()
+    };
+    let base = match mc_runs_override() {
+        Some(n) => base.with_mc_runs(n),
+        None => base,
+    };
+
+    println!("== Table I: interface current J through the metal-semiconductor interface [uA] ==");
+    println!(
+        "   (mode: {}, MC runs: {})",
+        if full_scale() { "paper-scale" } else { "quick" },
+        base.mc_runs
+    );
+    println!();
+
+    let mut nominal_printed = false;
+    for row in TableOneRow::ALL {
+        let experiment = base.clone().with_row(row);
+        match experiment.run() {
+            Ok(result) => {
+                if !nominal_printed {
+                    println!(
+                        "deterministic (nominal) value: {:.6} uA",
+                        result.quantities[0].nominal
+                    );
+                    println!();
+                    nominal_printed = true;
+                }
+                println!("--- variation: {} ---", row.label());
+                println!("{}", result.table().render());
+                println!(
+                    "SSCM solves: {}  (reduced dims: {})  wall clock: SSCM {} vs MC {}",
+                    result.collocation_runs,
+                    result
+                        .reductions
+                        .iter()
+                        .map(|g| format!("{}->{}", g.full_dim, g.reduced_dim))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    format_seconds(result.sscm_seconds),
+                    format_seconds(result.mc_seconds)
+                );
+                println!();
+            }
+            Err(e) => {
+                eprintln!("row '{}' failed: {e}", row.label());
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table II** of the paper: self- and coupling capacitances of
+//! TSV1 in the two-TSV structure under lateral-wall roughness and substrate
+//! RDF, comparing Monte Carlo against SSCM.
+//!
+//! Run with `VAEM_FULL=1` for the paper-scale setup.
+
+use vaem::experiments::tsv::TsvExperiment;
+use vaem_bench::{format_seconds, full_scale, mc_runs_override};
+
+fn main() {
+    let experiment = if full_scale() {
+        TsvExperiment::paper()
+    } else {
+        TsvExperiment::quick()
+    };
+    let experiment = match mc_runs_override() {
+        Some(n) => experiment.with_mc_runs(n),
+        None => experiment,
+    };
+
+    println!("== Table II: variational capacitance extraction of the TSV structure [fF] ==");
+    println!(
+        "   (mode: {}, MC runs: {})",
+        if full_scale() { "paper-scale" } else { "quick" },
+        experiment.mc_runs
+    );
+    println!();
+
+    match experiment.run() {
+        Ok(result) => {
+            println!("{}", result.table().render());
+            println!(
+                "SSCM solves: {}  total reduced variables: {}  wall clock: SSCM {} vs MC {}",
+                result.collocation_runs,
+                result.total_reduced_dim(),
+                format_seconds(result.sscm_seconds),
+                format_seconds(result.mc_seconds)
+            );
+            println!();
+            println!("variable reduction per group:");
+            for g in &result.reductions {
+                println!("  {:<18} {:>4} -> {:>3}", g.name, g.full_dim, g.reduced_dim);
+            }
+        }
+        Err(e) => {
+            eprintln!("table II failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

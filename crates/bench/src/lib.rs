@@ -1,0 +1,41 @@
+//! Shared helpers for the table/figure regeneration binaries and the
+//! Criterion benchmarks.
+//!
+//! Every binary honours two environment variables:
+//!
+//! * `VAEM_FULL=1` — run at paper scale (fine meshes, 10 000-run Monte
+//!   Carlo). Without it the binaries use the scaled-down "quick" settings so
+//!   that the whole harness completes in minutes.
+//! * `VAEM_MC_RUNS=<n>` — override the Monte-Carlo sample count.
+
+/// Returns `true` when the harness should run at paper scale.
+pub fn full_scale() -> bool {
+    std::env::var("VAEM_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Monte-Carlo run count override, if any.
+pub fn mc_runs_override() -> Option<usize> {
+    std::env::var("VAEM_MC_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// Formats a number of seconds compactly.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds < 60.0 {
+        format!("{seconds:.2} s")
+    } else {
+        format!("{:.1} min", seconds / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_seconds(12.3456), "12.35 s");
+        assert_eq!(format_seconds(120.0), "2.0 min");
+    }
+}

@@ -1,0 +1,664 @@
+//! The variational analysis workflow (nominal solve → weights → reduction →
+//! SSCM + Monte Carlo).
+
+use crate::config::{AnalysisConfig, QuantitySet, ReductionMethod};
+use crate::report::ComparisonTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::time::Instant;
+use vaem_fvm::{postprocess, CoupledSolver, DcSolution, FvmError};
+use vaem_mesh::{NodeId, Structure};
+use vaem_numeric::dense::DMatrix;
+use vaem_numeric::stats::RunningStats;
+use vaem_numeric::NumericError;
+use vaem_physics::DopingProfile;
+use vaem_stochastic::{SparseCollocation, SummaryStats};
+use vaem_variation::{
+    apply_roughness, covariance_matrix, standard_normal_vector, CorrelationKernel,
+    FacetPerturbation, FullRankGaussian, Pfa, VariableReduction, Wpfa,
+};
+
+/// Errors of the analysis workflow.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// The deterministic coupled solver failed.
+    Solver(FvmError),
+    /// A dense numerical kernel (reduction, chaos fit) failed.
+    Numeric(NumericError),
+    /// The configuration references missing facets/terminals or is empty.
+    Configuration(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Solver(e) => write!(f, "deterministic solver failed: {e}"),
+            AnalysisError::Numeric(e) => write!(f, "numerical kernel failed: {e}"),
+            AnalysisError::Configuration(d) => write!(f, "configuration error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<FvmError> for AnalysisError {
+    fn from(e: FvmError) -> Self {
+        AnalysisError::Solver(e)
+    }
+}
+
+impl From<NumericError> for AnalysisError {
+    fn from(e: NumericError) -> Self {
+        AnalysisError::Numeric(e)
+    }
+}
+
+/// Statistics of one output quantity: SSCM vs Monte-Carlo, as in the paper's
+/// tables.
+#[derive(Debug, Clone)]
+pub struct QuantityResult {
+    /// Output label (e.g. `"J(plug1) [uA]"`, `"C_tsv1,tsv2 [fF]"`).
+    pub label: String,
+    /// Deterministic (nominal-geometry, nominal-doping) value.
+    pub nominal: f64,
+    /// SSCM estimate.
+    pub sscm: SummaryStats,
+    /// Monte-Carlo reference.
+    pub monte_carlo: SummaryStats,
+}
+
+impl QuantityResult {
+    /// Relative error of the SSCM mean against the MC mean.
+    pub fn mean_error(&self) -> f64 {
+        vaem_numeric::stats::relative_error(self.sscm.mean, self.monte_carlo.mean, 1e-30)
+    }
+
+    /// Relative error of the SSCM standard deviation against the MC one.
+    pub fn std_error(&self) -> f64 {
+        vaem_numeric::stats::relative_error(self.sscm.std, self.monte_carlo.std, 1e-30)
+    }
+}
+
+/// Variable-reduction summary for one variation group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupReduction {
+    /// Group name (facet group or `"doping"`).
+    pub name: String,
+    /// Number of correlated variables before reduction.
+    pub full_dim: usize,
+    /// Number of independent factors after reduction.
+    pub reduced_dim: usize,
+}
+
+/// Full result of a variational analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// Per-quantity statistics.
+    pub quantities: Vec<QuantityResult>,
+    /// Variable-reduction summary per group.
+    pub reductions: Vec<GroupReduction>,
+    /// Number of deterministic solves used by the SSCM stage.
+    pub collocation_runs: usize,
+    /// Number of Monte-Carlo samples.
+    pub mc_runs: usize,
+    /// Wall-clock seconds of the SSCM stage (including the nominal solve).
+    pub sscm_seconds: f64,
+    /// Wall-clock seconds of the Monte-Carlo stage.
+    pub mc_seconds: f64,
+}
+
+impl AnalysisResult {
+    /// Speed-up of SSCM over Monte Carlo (wall-clock).
+    pub fn speedup(&self) -> f64 {
+        if self.sscm_seconds > 0.0 {
+            self.mc_seconds / self.sscm_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Renders the result as a paper-style comparison table.
+    pub fn table(&self) -> ComparisonTable {
+        ComparisonTable::from_result(self)
+    }
+
+    /// Total number of reduced random variables.
+    pub fn total_reduced_dim(&self) -> usize {
+        self.reductions.iter().map(|g| g.reduced_dim).sum()
+    }
+}
+
+/// One group of correlated variation variables.
+struct VariationGroup {
+    name: String,
+    kind: GroupKind,
+    covariance: DMatrix<f64>,
+}
+
+enum GroupKind {
+    /// Geometry group: perturbs the listed facets; `slices[i]` is the range of
+    /// the group's variable vector belonging to facet `facet_names[i]`.
+    Geometry {
+        facet_names: Vec<String>,
+        slices: Vec<(usize, usize)>,
+        nodes: Vec<NodeId>,
+    },
+    /// Doping group over the listed semiconductor nodes.
+    Doping { nodes: Vec<NodeId> },
+}
+
+impl VariationGroup {
+    fn dim(&self) -> usize {
+        match &self.kind {
+            GroupKind::Geometry { nodes, .. } => nodes.len(),
+            GroupKind::Doping { nodes } => nodes.len(),
+        }
+    }
+
+    fn nodes(&self) -> &[NodeId] {
+        match &self.kind {
+            GroupKind::Geometry { nodes, .. } => nodes,
+            GroupKind::Doping { nodes } => nodes,
+        }
+    }
+}
+
+/// The paper's workflow bound to one structure and configuration.
+pub struct VariationalAnalysis {
+    structure: Structure,
+    config: AnalysisConfig,
+}
+
+impl VariationalAnalysis {
+    /// Creates an analysis for a structure.
+    pub fn new(structure: Structure, config: AnalysisConfig) -> Self {
+        Self { structure, config }
+    }
+
+    /// The analysed structure.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// The analysis configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Nominal doping profile (uniform donor concentration over the
+    /// semiconductor region).
+    pub fn nominal_doping(&self) -> DopingProfile {
+        let semis = self.structure.semiconductor_nodes();
+        DopingProfile::uniform_donor(
+            self.structure.mesh.node_count(),
+            &semis,
+            self.config.nominal_donor,
+        )
+    }
+
+    /// Evaluates the deterministic model for one realisation of the
+    /// variations.
+    ///
+    /// `facet_offsets` maps facet names to per-node normal offsets;
+    /// `doping_deltas` holds relative donor perturbations per node.
+    ///
+    /// # Errors
+    /// Propagates deterministic-solver failures.
+    pub fn evaluate_sample(
+        &self,
+        facet_offsets: &[(String, Vec<f64>)],
+        doping_deltas: &[(NodeId, f64)],
+    ) -> Result<Vec<f64>, AnalysisError> {
+        // Perturbed geometry.
+        let mut structure = self.structure.clone();
+        if !facet_offsets.is_empty() {
+            let model = self
+                .config
+                .variations
+                .roughness
+                .as_ref()
+                .map(|r| r.model)
+                .unwrap_or_default();
+            let perturbations: Vec<FacetPerturbation<'_>> = facet_offsets
+                .iter()
+                .map(|(name, offsets)| {
+                    let facet = self.structure.facet(name).ok_or_else(|| {
+                        AnalysisError::Configuration(format!("unknown facet '{name}'"))
+                    })?;
+                    Ok(FacetPerturbation::new(facet, offsets.clone()))
+                })
+                .collect::<Result<_, AnalysisError>>()?;
+            apply_roughness(&mut structure.mesh, model, &perturbations);
+        }
+
+        // Perturbed doping.
+        let doping = self.nominal_doping().perturbed(doping_deltas);
+
+        let solver = CoupledSolver::new(&structure, &doping, self.config.solver.clone())?;
+        let dc = solver.solve_dc()?;
+        self.extract_outputs(&solver, &dc)
+    }
+
+    fn extract_outputs(
+        &self,
+        solver: &CoupledSolver<'_>,
+        dc: &DcSolution,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        match &self.config.quantities {
+            QuantitySet::InterfaceCurrent { terminal } => {
+                let ac = solver.solve_ac(dc, terminal, self.config.frequency)?;
+                let current = postprocess::interface_current(solver, &ac, terminal)?;
+                Ok(vec![current.abs() * 1.0e6])
+            }
+            QuantitySet::CapacitanceColumn { driven, terminals } => {
+                let column =
+                    postprocess::capacitance_column(solver, dc, driven, self.config.frequency)?;
+                terminals
+                    .iter()
+                    .map(|t| {
+                        column.get(t).copied().map(|c| c * 1.0e15).ok_or_else(|| {
+                            AnalysisError::Configuration(format!("unknown terminal '{t}'"))
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Builds the variation groups from the configuration.
+    fn build_groups(&self) -> Result<Vec<VariationGroup>, AnalysisError> {
+        let mesh = &self.structure.mesh;
+        let mut groups = Vec::new();
+
+        if let Some(rough) = &self.config.variations.roughness {
+            let facet_names: Vec<String> = if rough.facets.is_empty() {
+                self.structure
+                    .rough_facets
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect()
+            } else {
+                rough.facets.clone()
+            };
+            if facet_names.is_empty() {
+                return Err(AnalysisError::Configuration(
+                    "roughness requested but the structure has no rough facets".to_string(),
+                ));
+            }
+            // Partition facets into merged groups + singletons.
+            let mut assigned: Vec<Vec<String>> = Vec::new();
+            for merged in &rough.merged_groups {
+                let members: Vec<String> = merged
+                    .iter()
+                    .filter(|m| facet_names.contains(m))
+                    .cloned()
+                    .collect();
+                if !members.is_empty() {
+                    assigned.push(members);
+                }
+            }
+            for name in &facet_names {
+                if !assigned.iter().any(|g| g.contains(name)) {
+                    assigned.push(vec![name.clone()]);
+                }
+            }
+            for members in assigned {
+                let mut nodes: Vec<NodeId> = Vec::new();
+                let mut slices = Vec::new();
+                for name in &members {
+                    let facet = self.structure.facet(name).ok_or_else(|| {
+                        AnalysisError::Configuration(format!("unknown facet '{name}'"))
+                    })?;
+                    let start = nodes.len();
+                    nodes.extend_from_slice(&facet.nodes);
+                    slices.push((start, nodes.len()));
+                }
+                let positions: Vec<[f64; 3]> = nodes.iter().map(|&n| mesh.position(n)).collect();
+                let covariance = covariance_matrix(
+                    &positions,
+                    rough.sigma,
+                    CorrelationKernel::Exponential {
+                        length: rough.correlation_length,
+                    },
+                );
+                groups.push(VariationGroup {
+                    name: members.join("+"),
+                    kind: GroupKind::Geometry {
+                        facet_names: members,
+                        slices,
+                        nodes,
+                    },
+                    covariance,
+                });
+            }
+        }
+
+        if let Some(doping) = &self.config.variations.doping {
+            let semis = self.structure.semiconductor_nodes();
+            if semis.is_empty() {
+                return Err(AnalysisError::Configuration(
+                    "doping variation requested but the structure has no semiconductor".to_string(),
+                ));
+            }
+            let z_top = semis
+                .iter()
+                .map(|&n| mesh.position(n)[2])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let mut candidates: Vec<NodeId> = semis
+                .into_iter()
+                .filter(|&n| mesh.position(n)[2] >= z_top - doping.region_depth)
+                .collect();
+            if candidates.len() > doping.max_nodes && doping.max_nodes > 0 {
+                let stride = candidates.len().div_ceil(doping.max_nodes);
+                candidates = candidates.into_iter().step_by(stride).collect();
+            }
+            let positions: Vec<[f64; 3]> =
+                candidates.iter().map(|&n| mesh.position(n)).collect();
+            let covariance = covariance_matrix(
+                &positions,
+                doping.relative_sigma,
+                CorrelationKernel::Exponential {
+                    length: doping.correlation_length,
+                },
+            );
+            groups.push(VariationGroup {
+                name: "doping".to_string(),
+                kind: GroupKind::Doping { nodes: candidates },
+                covariance,
+            });
+        }
+
+        if groups.is_empty() {
+            return Err(AnalysisError::Configuration(
+                "no variation source is enabled".to_string(),
+            ));
+        }
+        Ok(groups)
+    }
+
+    /// Influence weights of every node, from the nominal solution
+    /// (w_i = |J⁰_i|·nodeVol_i, the paper's eq. 9).
+    fn nominal_weights(
+        &self,
+        solver: &CoupledSolver<'_>,
+        dc: &DcSolution,
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let driven = match &self.config.quantities {
+            QuantitySet::InterfaceCurrent { terminal } => terminal.clone(),
+            QuantitySet::CapacitanceColumn { driven, .. } => driven.clone(),
+        };
+        let ac = solver.solve_ac(dc, &driven, self.config.frequency)?;
+        let mesh = &self.structure.mesh;
+        let mut weights = vec![0.0_f64; mesh.node_count()];
+        let mut area_acc = vec![0.0_f64; mesh.node_count()];
+        for lid in mesh.link_ids() {
+            let link = mesh.link(lid);
+            let current =
+                (ac.admittance_at(lid) * (ac.potential_at(link.from) - ac.potential_at(link.to)))
+                    .abs();
+            let area = mesh.dual_area(lid);
+            for node in [link.from, link.to] {
+                weights[node.index()] += current;
+                area_acc[node.index()] += area;
+            }
+        }
+        for node in mesh.node_ids() {
+            let i = node.index();
+            let density = if area_acc[i] > 0.0 {
+                weights[i] / area_acc[i]
+            } else {
+                0.0
+            };
+            weights[i] = density * mesh.node_volume(node);
+        }
+        Ok(weights)
+    }
+
+    /// Builds the per-group reduction with the configured method.
+    fn build_reduction(
+        &self,
+        group: &VariationGroup,
+        node_weights: &[f64],
+    ) -> Result<Box<dyn VariableReduction>, AnalysisError> {
+        let weights: Vec<f64> = group
+            .nodes()
+            .iter()
+            .map(|&n| node_weights[n.index()])
+            .collect();
+        let max_w = weights.iter().cloned().fold(0.0_f64, f64::max);
+        let reduction: Box<dyn VariableReduction> = match self.config.reduction {
+            ReductionMethod::Wpfa if max_w > 0.0 => {
+                let wpfa = Wpfa::new(&group.covariance, &weights, self.config.energy_fraction)?;
+                if self.config.max_reduced_per_group > 0
+                    && wpfa.reduced_dim() > self.config.max_reduced_per_group
+                {
+                    Box::new(Wpfa::with_rank(
+                        &group.covariance,
+                        &weights,
+                        self.config.max_reduced_per_group,
+                    )?)
+                } else {
+                    Box::new(wpfa)
+                }
+            }
+            _ => {
+                let pfa = Pfa::new(&group.covariance, self.config.energy_fraction)?;
+                if self.config.max_reduced_per_group > 0
+                    && pfa.reduced_dim() > self.config.max_reduced_per_group
+                {
+                    Box::new(Pfa::with_rank(
+                        &group.covariance,
+                        self.config.max_reduced_per_group,
+                    )?)
+                } else {
+                    Box::new(pfa)
+                }
+            }
+        };
+        Ok(reduction)
+    }
+
+    /// Converts a full variation vector of one group into the sample inputs.
+    fn group_sample(
+        &self,
+        group: &VariationGroup,
+        xi: &[f64],
+        facet_offsets: &mut Vec<(String, Vec<f64>)>,
+        doping_deltas: &mut Vec<(NodeId, f64)>,
+    ) {
+        match &group.kind {
+            GroupKind::Geometry {
+                facet_names,
+                slices,
+                ..
+            } => {
+                for (name, &(lo, hi)) in facet_names.iter().zip(slices.iter()) {
+                    facet_offsets.push((name.clone(), xi[lo..hi].to_vec()));
+                }
+            }
+            GroupKind::Doping { nodes } => {
+                for (&node, &delta) in nodes.iter().zip(xi.iter()) {
+                    doping_deltas.push((node, delta));
+                }
+            }
+        }
+    }
+
+    /// Runs the complete workflow: nominal solve, wPFA/PFA reduction, SSCM
+    /// and the Monte-Carlo reference.
+    ///
+    /// # Errors
+    /// Propagates solver, reduction and fitting failures.
+    pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
+        let groups = self.build_groups()?;
+
+        // --- Nominal solve (also provides the wPFA weights). ---
+        let sscm_start = Instant::now();
+        let nominal_doping = self.nominal_doping();
+        let nominal_solver =
+            CoupledSolver::new(&self.structure, &nominal_doping, self.config.solver.clone())?;
+        let nominal_dc = nominal_solver.solve_dc()?;
+        let nominal_outputs = self.extract_outputs(&nominal_solver, &nominal_dc)?;
+        let node_weights = self.nominal_weights(&nominal_solver, &nominal_dc)?;
+
+        // --- Variable reduction. ---
+        let mut reductions: Vec<Box<dyn VariableReduction>> = Vec::new();
+        let mut reduction_summary = Vec::new();
+        for group in &groups {
+            let reduction = self.build_reduction(group, &node_weights)?;
+            reduction_summary.push(GroupReduction {
+                name: group.name.clone(),
+                full_dim: group.dim(),
+                reduced_dim: reduction.reduced_dim(),
+            });
+            reductions.push(reduction);
+        }
+        let total_dim: usize = reductions.iter().map(|r| r.reduced_dim()).sum();
+
+        // --- SSCM stage. ---
+        let sscm = SparseCollocation::new(total_dim);
+        let mut outputs: Vec<Vec<f64>> = Vec::with_capacity(sscm.run_count());
+        for point in sscm.points() {
+            let mut facet_offsets = Vec::new();
+            let mut doping_deltas = Vec::new();
+            let mut offset = 0;
+            for (group, reduction) in groups.iter().zip(reductions.iter()) {
+                let d = reduction.reduced_dim();
+                let zeta = &point[offset..offset + d];
+                let xi = reduction.expand(zeta);
+                self.group_sample(group, &xi, &mut facet_offsets, &mut doping_deltas);
+                offset += d;
+            }
+            outputs.push(self.evaluate_sample(&facet_offsets, &doping_deltas)?);
+        }
+        let pces = sscm.fit(&outputs)?;
+        let sscm_seconds = sscm_start.elapsed().as_secs_f64();
+
+        // --- Monte-Carlo reference (full-rank sampling of every group). ---
+        let mc_start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let full_rank: Vec<FullRankGaussian> = groups
+            .iter()
+            .map(|g| FullRankGaussian::new(&g.covariance))
+            .collect::<Result<_, _>>()?;
+        let n_outputs = self.config.quantities.len();
+        let mut mc_stats = vec![RunningStats::new(); n_outputs];
+        for _ in 0..self.config.mc_runs {
+            let mut facet_offsets = Vec::new();
+            let mut doping_deltas = Vec::new();
+            for (group, sampler) in groups.iter().zip(full_rank.iter()) {
+                let z = standard_normal_vector(&mut rng, sampler.reduced_dim());
+                let xi = sampler.expand(&z);
+                self.group_sample(group, &xi, &mut facet_offsets, &mut doping_deltas);
+            }
+            let sample = self.evaluate_sample(&facet_offsets, &doping_deltas)?;
+            for (acc, v) in mc_stats.iter_mut().zip(sample.iter()) {
+                acc.push(*v);
+            }
+        }
+        let mc_seconds = mc_start.elapsed().as_secs_f64();
+
+        // --- Assemble the result. ---
+        let labels = self.config.quantities.labels();
+        let quantities = labels
+            .into_iter()
+            .enumerate()
+            .map(|(q, label)| QuantityResult {
+                label,
+                nominal: nominal_outputs[q],
+                sscm: SummaryStats::new(pces[q].mean(), pces[q].std()),
+                monte_carlo: SummaryStats::new(mc_stats[q].mean(), mc_stats[q].sample_std()),
+            })
+            .collect();
+
+        Ok(AnalysisResult {
+            quantities,
+            reductions: reduction_summary,
+            collocation_runs: sscm.run_count(),
+            mc_runs: self.config.mc_runs,
+            sscm_seconds,
+            mc_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DopingVariationConfig, RoughnessConfig, VariationSpec};
+    use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+
+    /// A deliberately tiny configuration so the full workflow runs in a test.
+    fn tiny_analysis(roughness: bool, doping: bool) -> VariationalAnalysis {
+        let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+        let mut config = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
+            terminal: "plug1".to_string(),
+        });
+        config.mc_runs = 8;
+        config.energy_fraction = 0.85;
+        config.max_reduced_per_group = 2;
+        config.variations = VariationSpec {
+            roughness: roughness.then(|| RoughnessConfig {
+                sigma: 0.3,
+                ..RoughnessConfig::paper_default()
+            }),
+            doping: doping.then(|| DopingVariationConfig {
+                max_nodes: 12,
+                ..DopingVariationConfig::paper_default()
+            }),
+        };
+        VariationalAnalysis::new(structure, config)
+    }
+
+    #[test]
+    fn nominal_sample_matches_unperturbed_evaluation() {
+        let analysis = tiny_analysis(true, true);
+        let a = analysis.evaluate_sample(&[], &[]).unwrap();
+        let b = analysis.evaluate_sample(&[], &[]).unwrap();
+        assert_eq!(a.len(), 1);
+        assert!(a[0] > 0.0);
+        assert!((a[0] - b[0]).abs() < 1e-12, "evaluation must be deterministic");
+    }
+
+    #[test]
+    fn doping_perturbation_changes_the_interface_current() {
+        let analysis = tiny_analysis(false, true);
+        let base = analysis.evaluate_sample(&[], &[]).unwrap()[0];
+        let semis = analysis.structure().semiconductor_nodes();
+        let deltas: Vec<(NodeId, f64)> = semis.iter().map(|&n| (n, 0.3)).collect();
+        let up = analysis.evaluate_sample(&[], &deltas).unwrap()[0];
+        assert!(
+            (up - base).abs() / base > 1e-3,
+            "30% doping change should move the current: {base} -> {up}"
+        );
+    }
+
+    #[test]
+    fn no_variation_is_a_configuration_error() {
+        let analysis = tiny_analysis(false, false);
+        match analysis.run() {
+            Err(AnalysisError::Configuration(msg)) => {
+                assert!(msg.contains("no variation"));
+            }
+            other => panic!("expected configuration error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_workflow_runs_and_sscm_tracks_mc_on_tiny_problem() {
+        let analysis = tiny_analysis(false, true);
+        let result = analysis.run().unwrap();
+        assert_eq!(result.quantities.len(), 1);
+        let q = &result.quantities[0];
+        assert!(q.nominal > 0.0);
+        assert!(q.sscm.mean > 0.0);
+        assert!(q.monte_carlo.mean > 0.0);
+        // With only 8 MC samples the agreement is loose; just require the
+        // same order of magnitude.
+        assert!(q.mean_error() < 0.5, "mean error {}", q.mean_error());
+        assert!(result.collocation_runs >= result.total_reduced_dim());
+        assert!(!result.reductions.is_empty());
+        assert!(result.reductions.iter().all(|g| g.reduced_dim <= g.full_dim));
+    }
+}

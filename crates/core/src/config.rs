@@ -1,0 +1,227 @@
+//! Configuration types of the variational analysis.
+
+use vaem_fvm::SolverOptions;
+use vaem_variation::GeometricModel;
+
+/// Surface-roughness variation settings (the σ_G / η of the paper).
+#[derive(Debug, Clone)]
+pub struct RoughnessConfig {
+    /// Standard deviation of the interface-node offsets (µm);
+    /// the paper uses 0.5 µm.
+    pub sigma: f64,
+    /// Correlation length η of the roughness (µm); the paper uses 0.7 µm.
+    pub correlation_length: f64,
+    /// Geometric transfer model (traditional vs. the paper's CSV model).
+    pub model: GeometricModel,
+    /// Names of the rough facets to perturb; empty means "all facets of the
+    /// structure".
+    pub facets: Vec<String>,
+    /// Groups of facet names that share one correlated variable set (the
+    /// paper merges coplanar TSV walls into one 128-node group). Facets not
+    /// mentioned in any group form their own group.
+    pub merged_groups: Vec<Vec<String>>,
+}
+
+impl RoughnessConfig {
+    /// Paper-style defaults: σ_G = 0.5 µm, η = 0.7 µm, continuous model,
+    /// all facets, no merging.
+    pub fn paper_default() -> Self {
+        Self {
+            sigma: 0.5,
+            correlation_length: 0.7,
+            model: GeometricModel::ContinuousSurface,
+            facets: Vec::new(),
+            merged_groups: Vec::new(),
+        }
+    }
+}
+
+/// Random-doping-fluctuation settings (the σ_M / η of the paper).
+#[derive(Debug, Clone)]
+pub struct DopingVariationConfig {
+    /// Relative standard deviation of the donor concentration (0.10 in the
+    /// paper).
+    pub relative_sigma: f64,
+    /// Correlation length η (µm); 0.5 µm in the paper.
+    pub correlation_length: f64,
+    /// Depth (µm) below the top of the semiconductor region within which
+    /// nodes carry an RDF variable (the region that actually matters for the
+    /// interface current).
+    pub region_depth: f64,
+    /// Upper bound on the number of RDF variables; nodes are subsampled
+    /// uniformly when the region contains more.
+    pub max_nodes: usize,
+}
+
+impl DopingVariationConfig {
+    /// Paper-style defaults: 10 % relative sigma, η = 0.5 µm.
+    pub fn paper_default() -> Self {
+        Self {
+            relative_sigma: 0.10,
+            correlation_length: 0.5,
+            region_depth: 2.5,
+            max_nodes: 128,
+        }
+    }
+}
+
+/// Which variation classes are active (the three rows of Table I).
+#[derive(Debug, Clone, Default)]
+pub struct VariationSpec {
+    /// Surface-roughness settings; `None` disables geometric variation.
+    pub roughness: Option<RoughnessConfig>,
+    /// RDF settings; `None` disables doping variation.
+    pub doping: Option<DopingVariationConfig>,
+}
+
+/// Variable-reduction scheme used before the collocation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReductionMethod {
+    /// The paper's weighted principal factor analysis.
+    #[default]
+    Wpfa,
+    /// Classical principal factor analysis (ablation baseline).
+    Pfa,
+}
+
+/// Output quantities extracted from every deterministic solve.
+#[derive(Debug, Clone)]
+pub enum QuantitySet {
+    /// Magnitude of the current through the metal–semiconductor interface of
+    /// a terminal, in µA (Table I).
+    InterfaceCurrent {
+        /// Driven terminal (1 V excitation) whose interface current is
+        /// reported.
+        terminal: String,
+    },
+    /// One column of the Maxwell capacitance matrix in fF (Table II).
+    CapacitanceColumn {
+        /// Driven terminal.
+        driven: String,
+        /// Terminals whose capacitance to the driven terminal is reported,
+        /// in output order.
+        terminals: Vec<String>,
+    },
+}
+
+impl QuantitySet {
+    /// Labels of the outputs, in the order they are produced.
+    pub fn labels(&self) -> Vec<String> {
+        match self {
+            QuantitySet::InterfaceCurrent { terminal } => {
+                vec![format!("J({terminal}) [uA]")]
+            }
+            QuantitySet::CapacitanceColumn { driven, terminals } => terminals
+                .iter()
+                .map(|t| {
+                    if t == driven {
+                        format!("C_{driven} [fF]")
+                    } else {
+                        format!("C_{driven},{t} [fF]")
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of scalar outputs.
+    pub fn len(&self) -> usize {
+        match self {
+            QuantitySet::InterfaceCurrent { .. } => 1,
+            QuantitySet::CapacitanceColumn { terminals, .. } => terminals.len(),
+        }
+    }
+
+    /// Returns `true` if the set produces no outputs (empty terminal list).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Full configuration of a variational analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Analysis frequency (Hz).
+    pub frequency: f64,
+    /// Nominal (unperturbed) donor concentration of the semiconductor
+    /// region (µm⁻³).
+    pub nominal_donor: f64,
+    /// Active variation classes.
+    pub variations: VariationSpec,
+    /// Variable-reduction method.
+    pub reduction: ReductionMethod,
+    /// Energy fraction retained by the reduction (controls the reduced
+    /// dimension, hence the collocation cost).
+    pub energy_fraction: f64,
+    /// Hard cap on the reduced dimension per variation group (0 = no cap).
+    pub max_reduced_per_group: usize,
+    /// Monte-Carlo sample count for the reference statistics.
+    pub mc_runs: usize,
+    /// RNG seed of the Monte-Carlo reference.
+    pub seed: u64,
+    /// Output quantities.
+    pub quantities: QuantitySet,
+    /// Deterministic-solver options.
+    pub solver: SolverOptions,
+}
+
+impl AnalysisConfig {
+    /// Baseline configuration used by the experiments; callers override the
+    /// fields they care about.
+    pub fn new(quantities: QuantitySet) -> Self {
+        Self {
+            frequency: 1.0e9,
+            nominal_donor: 1.0e5,
+            variations: VariationSpec::default(),
+            reduction: ReductionMethod::Wpfa,
+            energy_fraction: 0.95,
+            max_reduced_per_group: 12,
+            mc_runs: 200,
+            seed: 0x5eed,
+            quantities,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_iv() {
+        let r = RoughnessConfig::paper_default();
+        assert_eq!(r.sigma, 0.5);
+        assert_eq!(r.correlation_length, 0.7);
+        let d = DopingVariationConfig::paper_default();
+        assert_eq!(d.relative_sigma, 0.10);
+        assert_eq!(d.correlation_length, 0.5);
+    }
+
+    #[test]
+    fn quantity_labels_and_counts() {
+        let q = QuantitySet::InterfaceCurrent {
+            terminal: "plug1".into(),
+        };
+        assert_eq!(q.len(), 1);
+        assert!(q.labels()[0].contains("plug1"));
+        let c = QuantitySet::CapacitanceColumn {
+            driven: "tsv1".into(),
+            terminals: vec!["tsv1".into(), "tsv2".into(), "w1".into()],
+        };
+        assert_eq!(c.len(), 3);
+        assert!(c.labels()[1].contains("tsv1,tsv2"));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn analysis_config_defaults_are_sane() {
+        let cfg = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
+            terminal: "plug1".into(),
+        });
+        assert!(cfg.frequency > 0.0);
+        assert!(cfg.energy_fraction > 0.5 && cfg.energy_fraction <= 1.0);
+        assert!(cfg.mc_runs > 0);
+        assert_eq!(cfg.reduction, ReductionMethod::Wpfa);
+    }
+}

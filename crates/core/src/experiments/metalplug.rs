@@ -1,0 +1,211 @@
+//! Example A (paper Section IV.A, Table I): interface current of the
+//! metal-plug-on-silicon structure under surface roughness and random doping
+//! fluctuation at 1 GHz.
+
+use crate::analysis::{AnalysisResult, VariationalAnalysis};
+use crate::config::{
+    AnalysisConfig, DopingVariationConfig, QuantitySet, RoughnessConfig, VariationSpec,
+};
+use crate::report::ComparisonTable;
+use crate::AnalysisError;
+use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+
+/// Which variation sources are active — the three rows of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableOneRow {
+    /// σ_G ≠ 0, σ_M = 0 (geometry only).
+    GeometryOnly,
+    /// σ_G = 0, σ_M ≠ 0 (doping only).
+    DopingOnly,
+    /// σ_G ≠ 0, σ_M ≠ 0 (both).
+    Both,
+}
+
+impl TableOneRow {
+    /// All three rows in paper order.
+    pub const ALL: [TableOneRow; 3] = [
+        TableOneRow::GeometryOnly,
+        TableOneRow::DopingOnly,
+        TableOneRow::Both,
+    ];
+
+    /// The row label used by the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TableOneRow::GeometryOnly => "sigma_G != 0, sigma_M = 0",
+            TableOneRow::DopingOnly => "sigma_G = 0, sigma_M != 0",
+            TableOneRow::Both => "sigma_G != 0, sigma_M != 0",
+        }
+    }
+}
+
+/// The Example-A experiment: structure, variation setup and cost controls.
+#[derive(Debug, Clone)]
+pub struct MetalPlugExperiment {
+    /// Geometric configuration of the structure.
+    pub geometry: MetalPlugConfig,
+    /// Which variation sources are enabled.
+    pub row: TableOneRow,
+    /// Monte-Carlo sample count (the paper uses 10 000).
+    pub mc_runs: usize,
+    /// Energy fraction retained by the wPFA reduction.
+    pub energy_fraction: f64,
+    /// Cap on retained factors per variation group (bounds the collocation
+    /// cost; 0 disables the cap).
+    pub max_reduced_per_group: usize,
+    /// RNG seed for the Monte-Carlo reference.
+    pub seed: u64,
+}
+
+impl MetalPlugExperiment {
+    /// Paper-scale configuration (fine mesh, large MC reference). Expect a
+    /// long runtime; used by the benchmark harness in "full" mode.
+    pub fn paper() -> Self {
+        Self {
+            geometry: MetalPlugConfig::default(),
+            row: TableOneRow::Both,
+            mc_runs: 10_000,
+            energy_fraction: 0.99,
+            max_reduced_per_group: 12,
+            seed: 2012,
+        }
+    }
+
+    /// A scaled-down configuration that runs in seconds: coarse mesh, small
+    /// Monte-Carlo reference and tight reduction. Statistics are noisier but
+    /// the qualitative comparisons (SSCM ≈ MC, geometry dominating doping)
+    /// still hold.
+    pub fn quick() -> Self {
+        Self {
+            geometry: MetalPlugConfig::coarse(),
+            row: TableOneRow::Both,
+            mc_runs: 60,
+            energy_fraction: 0.90,
+            max_reduced_per_group: 3,
+            seed: 2012,
+        }
+    }
+
+    /// Selects which Table-I row (variation combination) to run.
+    pub fn with_row(mut self, row: TableOneRow) -> Self {
+        self.row = row;
+        self
+    }
+
+    /// Overrides the Monte-Carlo sample count.
+    pub fn with_mc_runs(mut self, runs: usize) -> Self {
+        self.mc_runs = runs;
+        self
+    }
+
+    /// Builds the [`VariationalAnalysis`] for this experiment.
+    pub fn analysis(&self) -> VariationalAnalysis {
+        let structure = build_metalplug_structure(&self.geometry);
+        let mut config = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
+            terminal: "plug1".to_string(),
+        });
+        config.frequency = 1.0e9;
+        config.nominal_donor = 1.0e5; // 1e17 cm^-3
+        config.mc_runs = self.mc_runs;
+        config.energy_fraction = self.energy_fraction;
+        config.max_reduced_per_group = self.max_reduced_per_group;
+        config.seed = self.seed;
+        let roughness = RoughnessConfig {
+            sigma: 0.5,
+            correlation_length: 0.7,
+            ..RoughnessConfig::paper_default()
+        };
+        let doping = DopingVariationConfig {
+            relative_sigma: 0.10,
+            correlation_length: 0.5,
+            region_depth: 2.5,
+            max_nodes: 72,
+        };
+        config.variations = match self.row {
+            TableOneRow::GeometryOnly => VariationSpec {
+                roughness: Some(roughness),
+                doping: None,
+            },
+            TableOneRow::DopingOnly => VariationSpec {
+                roughness: None,
+                doping: Some(doping),
+            },
+            TableOneRow::Both => VariationSpec {
+                roughness: Some(roughness),
+                doping: Some(doping),
+            },
+        };
+        VariationalAnalysis::new(structure, config)
+    }
+
+    /// Runs the experiment and returns the analysis result.
+    ///
+    /// # Errors
+    /// Propagates analysis failures.
+    pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
+        self.analysis().run()
+    }
+
+    /// Runs the experiment and renders the paper-style table.
+    ///
+    /// # Errors
+    /// Propagates analysis failures.
+    pub fn run_table(&self) -> Result<ComparisonTable, AnalysisError> {
+        Ok(self.run()?.table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QuantitySet;
+
+    #[test]
+    fn rows_enable_the_right_variation_sources() {
+        let base = MetalPlugExperiment::quick();
+        let g = base.clone().with_row(TableOneRow::GeometryOnly).analysis();
+        assert!(g.config().variations.roughness.is_some());
+        assert!(g.config().variations.doping.is_none());
+        let d = base.clone().with_row(TableOneRow::DopingOnly).analysis();
+        assert!(d.config().variations.roughness.is_none());
+        assert!(d.config().variations.doping.is_some());
+        let b = base.with_row(TableOneRow::Both).analysis();
+        assert!(b.config().variations.roughness.is_some());
+        assert!(b.config().variations.doping.is_some());
+    }
+
+    #[test]
+    fn paper_parameters_match_section_iv_a() {
+        let exp = MetalPlugExperiment::paper();
+        let analysis = exp.analysis();
+        let cfg = analysis.config();
+        assert_eq!(cfg.frequency, 1.0e9);
+        let rough = cfg.variations.roughness.as_ref().unwrap();
+        assert_eq!(rough.sigma, 0.5);
+        assert_eq!(rough.correlation_length, 0.7);
+        let doping = cfg.variations.doping.as_ref().unwrap();
+        assert_eq!(doping.relative_sigma, 0.10);
+        assert_eq!(doping.correlation_length, 0.5);
+        assert_eq!(exp.mc_runs, 10_000);
+        match &cfg.quantities {
+            QuantitySet::InterfaceCurrent { terminal } => assert_eq!(terminal, "plug1"),
+            other => panic!("unexpected quantity set {other:?}"),
+        }
+        // The two rough interfaces together expose the paper's 32 perturbed nodes.
+        let total_nodes: usize = analysis
+            .structure()
+            .rough_facets
+            .iter()
+            .map(|f| f.nodes.len())
+            .sum();
+        assert_eq!(total_nodes, 32);
+    }
+
+    #[test]
+    fn row_labels_are_distinct() {
+        let labels: Vec<&str> = TableOneRow::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
+    }
+}

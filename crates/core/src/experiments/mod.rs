@@ -1,0 +1,9 @@
+//! Pre-configured experiments reproducing the paper's evaluation section.
+//!
+//! * [`metalplug`] — Example A / Table I: interface current of the metal-plug
+//!   structure under surface roughness and RDF.
+//! * [`tsv`] — Example B / Table II: TSV capacitances under lateral-wall
+//!   roughness and substrate RDF.
+
+pub mod metalplug;
+pub mod tsv;

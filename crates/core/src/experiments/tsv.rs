@@ -1,0 +1,170 @@
+//! Example B (paper Section IV.B, Table II): capacitances of the two-TSV
+//! structure under lateral-wall roughness and substrate RDF.
+
+use crate::analysis::{AnalysisResult, VariationalAnalysis};
+use crate::config::{
+    AnalysisConfig, DopingVariationConfig, QuantitySet, RoughnessConfig, VariationSpec,
+};
+use crate::report::ComparisonTable;
+use crate::AnalysisError;
+use vaem_mesh::structures::tsv::{build_tsv_structure, TsvConfig};
+
+/// The Example-B experiment: TSV structure, variation setup and cost controls.
+#[derive(Debug, Clone)]
+pub struct TsvExperiment {
+    /// Geometric configuration of the TSV structure.
+    pub geometry: TsvConfig,
+    /// Monte-Carlo sample count (the paper uses 10 000).
+    pub mc_runs: usize,
+    /// Energy fraction retained by the wPFA reduction.
+    pub energy_fraction: f64,
+    /// Cap on retained factors per variation group.
+    pub max_reduced_per_group: usize,
+    /// RNG seed for the Monte-Carlo reference.
+    pub seed: u64,
+    /// Analysis frequency (Hz) used for the capacitance extraction.
+    pub frequency: f64,
+}
+
+impl TsvExperiment {
+    /// Paper-scale configuration (fine mesh, 10 000-run MC). Long runtime;
+    /// used by the benchmark harness in "full" mode.
+    pub fn paper() -> Self {
+        Self {
+            geometry: TsvConfig::default(),
+            mc_runs: 10_000,
+            energy_fraction: 0.99,
+            max_reduced_per_group: 6,
+            seed: 2012,
+            frequency: 1.0e9,
+        }
+    }
+
+    /// A scaled-down configuration that runs in minutes on a laptop.
+    pub fn quick() -> Self {
+        Self {
+            geometry: TsvConfig::coarse(),
+            mc_runs: 40,
+            energy_fraction: 0.90,
+            max_reduced_per_group: 2,
+            seed: 2012,
+            frequency: 1.0e9,
+        }
+    }
+
+    /// Overrides the Monte-Carlo sample count.
+    pub fn with_mc_runs(mut self, runs: usize) -> Self {
+        self.mc_runs = runs;
+        self
+    }
+
+    /// Builds the [`VariationalAnalysis`] for this experiment.
+    pub fn analysis(&self) -> VariationalAnalysis {
+        let structure = build_tsv_structure(&self.geometry);
+        let terminals = vec![
+            "tsv1".to_string(),
+            "tsv2".to_string(),
+            "w1".to_string(),
+            "w2".to_string(),
+            "w3".to_string(),
+            "w4".to_string(),
+        ];
+        let mut config = AnalysisConfig::new(QuantitySet::CapacitanceColumn {
+            driven: "tsv1".to_string(),
+            terminals,
+        });
+        config.frequency = self.frequency;
+        config.nominal_donor = 1.0e5;
+        config.mc_runs = self.mc_runs;
+        config.energy_fraction = self.energy_fraction;
+        config.max_reduced_per_group = self.max_reduced_per_group;
+        config.seed = self.seed;
+        // Roughness on the eight TSV lateral walls; the paper merges coplanar
+        // facets of the two TSVs into common correlated groups.
+        let roughness = RoughnessConfig {
+            sigma: 0.5,
+            correlation_length: 0.7,
+            merged_groups: vec![
+                vec!["tsv1+y".to_string(), "tsv2+y".to_string()],
+                vec!["tsv1-y".to_string(), "tsv2-y".to_string()],
+            ],
+            ..RoughnessConfig::paper_default()
+        };
+        let doping = DopingVariationConfig {
+            relative_sigma: 0.10,
+            correlation_length: 0.5,
+            region_depth: 5.0,
+            max_nodes: 128,
+        };
+        config.variations = VariationSpec {
+            roughness: Some(roughness),
+            doping: Some(doping),
+        };
+        VariationalAnalysis::new(structure, config)
+    }
+
+    /// Runs the experiment and returns the analysis result.
+    ///
+    /// # Errors
+    /// Propagates analysis failures.
+    pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
+        self.analysis().run()
+    }
+
+    /// Runs the experiment and renders the paper-style table.
+    ///
+    /// # Errors
+    /// Propagates analysis failures.
+    pub fn run_table(&self) -> Result<ComparisonTable, AnalysisError> {
+        Ok(self.run()?.table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QuantitySet;
+
+    #[test]
+    fn paper_parameters_match_section_iv_b() {
+        let exp = TsvExperiment::paper();
+        let analysis = exp.analysis();
+        let cfg = analysis.config();
+        match &cfg.quantities {
+            QuantitySet::CapacitanceColumn { driven, terminals } => {
+                assert_eq!(driven, "tsv1");
+                assert_eq!(terminals.len(), 6);
+            }
+            other => panic!("unexpected quantity set {other:?}"),
+        }
+        let rough = cfg.variations.roughness.as_ref().unwrap();
+        assert_eq!(rough.merged_groups.len(), 2);
+        assert!(cfg.variations.doping.is_some());
+        // Eight lateral walls are declared on the structure.
+        assert_eq!(analysis.structure().rough_facets.len(), 8);
+    }
+
+    #[test]
+    fn quick_configuration_is_cheaper_than_paper() {
+        let quick = TsvExperiment::quick();
+        let paper = TsvExperiment::paper();
+        assert!(quick.mc_runs < paper.mc_runs);
+        assert!(quick.max_reduced_per_group < paper.max_reduced_per_group);
+        let s_quick = quick.analysis();
+        let s_paper = paper.analysis();
+        assert!(
+            s_quick.structure().mesh.node_count() < s_paper.structure().mesh.node_count(),
+            "quick mesh should be coarser"
+        );
+    }
+
+    #[test]
+    fn capacitance_labels_cover_all_terminals() {
+        let exp = TsvExperiment::quick();
+        let labels = exp.analysis().config().quantities.labels();
+        assert_eq!(labels.len(), 6);
+        assert!(labels[0].contains("C_tsv1"));
+        assert!(labels[1].contains("tsv2"));
+        assert!(labels[5].contains("w4"));
+    }
+}

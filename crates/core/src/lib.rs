@@ -1,0 +1,58 @@
+//! Variation-aware EM–semiconductor coupled solver for TSV structures in
+//! 3D ICs — a from-scratch Rust reproduction of the DATE 2012 paper
+//! *"Efficient Variation-Aware EM-Semiconductor Coupled Solver for the TSV
+//! Structures in 3D IC"* (Xu, Yu, Chen, Jiang, Wong).
+//!
+//! The crate ties the substrate crates together into the paper's workflow:
+//!
+//! 1. **Describe** a hybrid metal/insulator/semiconductor structure
+//!    ([`vaem_mesh`]) and its process variations: surface roughness on
+//!    material interfaces and random doping fluctuation
+//!    ([`VariationSpec`]).
+//! 2. **Solve the nominal structure** with the coupled FVM solver
+//!    ([`vaem_fvm`]) to obtain the output quantities and the influence
+//!    weights of every variation variable.
+//! 3. **Reduce** the correlated variables with PFA or the paper's weighted
+//!    PFA ([`vaem_variation`]).
+//! 4. **Propagate** the reduced variables with the sparse-grid spectral
+//!    stochastic collocation method and compare against Monte Carlo
+//!    ([`vaem_stochastic`]).
+//!
+//! The two pre-configured experiments of the paper's evaluation section live
+//! in [`experiments`]: the metal-plug interface-current study (Table I) and
+//! the TSV capacitance study (Table II).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vaem::experiments::metalplug::MetalPlugExperiment;
+//!
+//! // Build a scaled-down Table-I style analysis and run SSCM vs MC.
+//! let experiment = MetalPlugExperiment::quick();
+//! let result = experiment.run().expect("analysis runs");
+//! println!("{}", result.table().render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod config;
+pub mod experiments;
+pub mod report;
+
+pub use analysis::{AnalysisError, AnalysisResult, QuantityResult, VariationalAnalysis};
+pub use config::{
+    AnalysisConfig, DopingVariationConfig, QuantitySet, ReductionMethod, RoughnessConfig,
+    VariationSpec,
+};
+pub use report::ComparisonTable;
+
+// Re-export the substrate crates for downstream users of the façade crate.
+pub use vaem_fvm as fvm;
+pub use vaem_mesh as mesh;
+pub use vaem_numeric as numeric;
+pub use vaem_physics as physics;
+pub use vaem_sparse as sparse;
+pub use vaem_stochastic as stochastic;
+pub use vaem_variation as variation;

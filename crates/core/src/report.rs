@@ -1,0 +1,172 @@
+//! Paper-style text tables comparing SSCM against Monte Carlo.
+
+use crate::analysis::AnalysisResult;
+use std::fmt;
+
+/// A rendered comparison table in the style of the paper's Table I / II:
+/// one row per output quantity and statistical indicator, with the
+/// Monte-Carlo reference, the SSCM estimate and the relative error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    footer: Vec<String>,
+}
+
+impl ComparisonTable {
+    /// Builds the table from an analysis result.
+    pub fn from_result(result: &AnalysisResult) -> Self {
+        let header = vec![
+            "quantity".to_string(),
+            "indicator".to_string(),
+            "MC".to_string(),
+            "SSCM".to_string(),
+            "rel. error".to_string(),
+        ];
+        let mut rows = Vec::new();
+        for q in &result.quantities {
+            rows.push(vec![
+                q.label.clone(),
+                "mean".to_string(),
+                format_value(q.monte_carlo.mean),
+                format_value(q.sscm.mean),
+                format!("{:.3}%", 100.0 * q.mean_error()),
+            ]);
+            rows.push(vec![
+                String::new(),
+                "std".to_string(),
+                format_value(q.monte_carlo.std),
+                format_value(q.sscm.std),
+                format!("{:.3}%", 100.0 * q.std_error()),
+            ]);
+        }
+        let reductions = result
+            .reductions
+            .iter()
+            .map(|g| format!("{}: {}->{}", g.name, g.full_dim, g.reduced_dim))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let footer = vec![
+            format!("variable reduction: {reductions}"),
+            format!(
+                "solver runs: SSCM {} vs MC {}   wall clock: SSCM {:.2} s vs MC {:.2} s (speed-up {:.1}x)",
+                result.collocation_runs,
+                result.mc_runs,
+                result.sscm_seconds,
+                result.mc_seconds,
+                result.speedup()
+            ),
+        ];
+        Self {
+            header,
+            rows,
+            footer,
+        }
+    }
+
+    /// Table rows (excluding header/footer), mainly for tests.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for line in &self.footer {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ComparisonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e-3 && v.abs() < 1e4 {
+        format!("{v:.6}")
+    } else {
+        format!("{v:.4e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{GroupReduction, QuantityResult};
+    use vaem_stochastic::SummaryStats;
+
+    fn fake_result() -> AnalysisResult {
+        AnalysisResult {
+            quantities: vec![QuantityResult {
+                label: "J(plug1) [uA]".to_string(),
+                nominal: 0.0078,
+                sscm: SummaryStats::new(0.0089, 7.9078e-4),
+                monte_carlo: SummaryStats::new(0.0089, 7.9023e-4),
+            }],
+            reductions: vec![GroupReduction {
+                name: "plug1_interface".to_string(),
+                full_dim: 16,
+                reduced_dim: 6,
+            }],
+            collocation_runs: 85,
+            mc_runs: 1000,
+            sscm_seconds: 1.5,
+            mc_seconds: 15.0,
+        }
+    }
+
+    #[test]
+    fn table_contains_mean_and_std_rows() {
+        let table = ComparisonTable::from_result(&fake_result());
+        assert_eq!(table.rows().len(), 2);
+        let text = table.render();
+        assert!(text.contains("J(plug1)"));
+        assert!(text.contains("mean"));
+        assert!(text.contains("std"));
+        assert!(text.contains("speed-up 10.0x"));
+        assert!(text.contains("16->6"));
+    }
+
+    #[test]
+    fn relative_errors_are_small_for_matching_stats() {
+        let table = ComparisonTable::from_result(&fake_result());
+        let text = table.render();
+        // Mean is identical, std differs by <0.1%.
+        assert!(text.contains("0.000%"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let table = ComparisonTable::from_result(&fake_result());
+        assert_eq!(format!("{table}"), table.render());
+    }
+}

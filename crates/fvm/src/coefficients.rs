@@ -1,0 +1,100 @@
+//! Link coefficient helpers shared by the DC and AC assemblies.
+
+use vaem_mesh::Material;
+use vaem_numeric::Complex64;
+use vaem_physics::MaterialTable;
+
+/// Permittivity (F/µm) used for a link in the Gauss-law / Poisson assembly.
+///
+/// Bulk links take the harmonic mean of the endpoint permittivities (series
+/// composition of the two half-cells); links touching a metal node use the
+/// permittivity of the non-metal side, because the metal surface acts as the
+/// boundary of the dielectric problem.
+pub(crate) fn link_permittivity(a: Material, b: Material, table: &MaterialTable) -> f64 {
+    let eps = |m: Material| table.properties(m).permittivity();
+    match (a.is_metal(), b.is_metal()) {
+        (true, true) => eps(Material::Insulator), // degenerate; not used by Poisson rows
+        (true, false) => eps(b),
+        (false, true) => eps(a),
+        (false, false) => {
+            let (ea, eb) = (eps(a), eps(b));
+            2.0 * ea * eb / (ea + eb)
+        }
+    }
+}
+
+/// Complex admittivity `σ + jωε` (S/µm) of a node for the electro-quasi-static
+/// AC assembly. `sigma_semi` is the local small-signal carrier conductivity
+/// obtained from the DC operating point (zero for non-semiconductor nodes).
+pub(crate) fn node_admittivity(
+    material: Material,
+    sigma_semi: f64,
+    omega: f64,
+    table: &MaterialTable,
+) -> Complex64 {
+    let props = table.properties(material);
+    let sigma = match material {
+        Material::Metal => props.conductivity,
+        Material::Insulator => props.conductivity,
+        Material::Semiconductor => props.conductivity + sigma_semi,
+    };
+    Complex64::new(sigma, omega * props.permittivity())
+}
+
+/// Series (harmonic-mean) composition of two node admittivities for a link.
+pub(crate) fn link_admittivity(ya: Complex64, yb: Complex64) -> Complex64 {
+    let sum = ya + yb;
+    if sum.abs() < 1e-300 {
+        Complex64::ZERO
+    } else {
+        Complex64::from_real(2.0) * ya * yb / sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaem_physics::constants;
+
+    #[test]
+    fn bulk_link_permittivity_is_harmonic_mean() {
+        let t = MaterialTable::default();
+        let e = link_permittivity(Material::Insulator, Material::Semiconductor, &t);
+        let ei = constants::VACUUM_PERMITTIVITY * constants::OXIDE_REL_PERMITTIVITY;
+        let es = constants::VACUUM_PERMITTIVITY * constants::SILICON_REL_PERMITTIVITY;
+        assert!((e - 2.0 * ei * es / (ei + es)).abs() < 1e-30);
+        // Same-material link reduces to the material permittivity.
+        let same = link_permittivity(Material::Semiconductor, Material::Semiconductor, &t);
+        assert!((same - es).abs() < 1e-30);
+    }
+
+    #[test]
+    fn metal_interface_uses_dielectric_side() {
+        let t = MaterialTable::default();
+        let e = link_permittivity(Material::Metal, Material::Semiconductor, &t);
+        let es = constants::VACUUM_PERMITTIVITY * constants::SILICON_REL_PERMITTIVITY;
+        assert!((e - es).abs() < 1e-30);
+    }
+
+    #[test]
+    fn admittivity_combines_conduction_and_displacement() {
+        let t = MaterialTable::default();
+        let omega = 2.0 * std::f64::consts::PI * 1.0e9;
+        let metal = node_admittivity(Material::Metal, 0.0, omega, &t);
+        assert!(metal.re > 1.0);
+        let ins = node_admittivity(Material::Insulator, 0.0, omega, &t);
+        assert_eq!(ins.re, 0.0);
+        assert!(ins.im > 0.0);
+        let semi = node_admittivity(Material::Semiconductor, 1e-3, omega, &t);
+        assert!((semi.re - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn series_composition_is_dominated_by_the_weaker_side() {
+        let strong = Complex64::new(58.0, 0.0);
+        let weak = Complex64::new(0.0, 1e-7);
+        let y = link_admittivity(strong, weak);
+        assert!(y.abs() < 3.0e-7);
+        assert_eq!(link_admittivity(Complex64::ZERO, Complex64::ZERO), Complex64::ZERO);
+    }
+}

@@ -1,0 +1,46 @@
+//! DC (equilibrium / bias point) solution container.
+
+use vaem_mesh::NodeId;
+
+/// Result of the nonlinear Poisson (Newton–Raphson) DC solve.
+///
+/// Potentials are stored for every node; carrier densities are zero outside
+/// the semiconductor region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    /// Electrostatic potential (V) per node.
+    pub potential: Vec<f64>,
+    /// Electron density (µm⁻³) per node.
+    pub electron_density: Vec<f64>,
+    /// Hole density (µm⁻³) per node.
+    pub hole_density: Vec<f64>,
+    /// Newton iterations used.
+    pub newton_iterations: usize,
+    /// Final Newton update infinity-norm (V).
+    pub final_update_norm: f64,
+}
+
+impl DcSolution {
+    /// Potential at a node (V).
+    #[inline]
+    pub fn potential_at(&self, node: NodeId) -> f64 {
+        self.potential[node.index()]
+    }
+
+    /// Electron density at a node (µm⁻³).
+    #[inline]
+    pub fn electron_at(&self, node: NodeId) -> f64 {
+        self.electron_density[node.index()]
+    }
+
+    /// Hole density at a node (µm⁻³).
+    #[inline]
+    pub fn hole_at(&self, node: NodeId) -> f64 {
+        self.hole_density[node.index()]
+    }
+
+    /// Number of mesh nodes covered by the solution.
+    pub fn node_count(&self) -> usize {
+        self.potential.len()
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type of the coupled solver.
+
+use std::fmt;
+use vaem_sparse::SparseError;
+
+/// Errors produced by the coupled FVM solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FvmError {
+    /// A linear solve inside the DC or AC stage failed.
+    Linear(SparseError),
+    /// The Newton iteration of the DC stage did not converge.
+    NewtonDidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final update norm (V).
+        update_norm: f64,
+    },
+    /// The structure/configuration is inconsistent (unknown terminal, missing
+    /// contact, empty mesh, ...).
+    Configuration {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FvmError::Linear(e) => write!(f, "linear solver failure: {e}"),
+            FvmError::NewtonDidNotConverge {
+                iterations,
+                update_norm,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} steps (last update {update_norm:.3e} V)"
+            ),
+            FvmError::Configuration { detail } => write!(f, "configuration error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FvmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FvmError::Linear(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for FvmError {
+    fn from(e: SparseError) -> Self {
+        FvmError::Linear(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FvmError::from(SparseError::ZeroPivot { index: 3 });
+        assert!(e.to_string().contains("zero pivot"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = FvmError::Configuration {
+            detail: "unknown terminal".to_string(),
+        };
+        assert!(c.to_string().contains("unknown terminal"));
+    }
+}

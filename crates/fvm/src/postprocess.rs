@@ -1,0 +1,267 @@
+//! Post-processing of coupled-solver solutions: terminal currents,
+//! metal–semiconductor interface currents (Table I), capacitance matrix
+//! entries (Table II) and potential maps on cross sections (Fig. 2b).
+
+use crate::{AcSolution, CoupledSolver, DcSolution, FvmError};
+use std::collections::BTreeMap;
+use vaem_mesh::{Axis, NodeId};
+use vaem_numeric::Complex64;
+
+/// Complex terminal current (A) flowing out of the named terminal — summed
+/// over all links crossing the surface of the conductor electrically tied to
+/// the terminal (the whole plug/TSV body, not just the contact face, so that
+/// the measurement never multiplies solver noise by the metal conductivity).
+///
+/// With a 1 V excitation this is the terminal's row of the admittance matrix;
+/// its imaginary part divided by ω is the Maxwell capacitance entry.
+///
+/// # Errors
+/// Returns [`FvmError::Configuration`] for an unknown terminal name.
+pub fn terminal_current(
+    solver: &CoupledSolver<'_>,
+    ac: &AcSolution,
+    terminal: &str,
+) -> Result<Complex64, FvmError> {
+    let k = solver
+        .terminals()
+        .index_of(terminal)
+        .ok_or_else(|| FvmError::Configuration {
+            detail: format!("unknown terminal '{terminal}'"),
+        })?;
+    let mesh = &solver.structure().mesh;
+    let mut current = Complex64::ZERO;
+    for lid in mesh.link_ids() {
+        let link = mesh.link(lid);
+        let from_t = solver.terminals().terminal(link.from);
+        let to_t = solver.terminals().terminal(link.to);
+        let y = ac.admittance_at(lid);
+        match (from_t, to_t) {
+            (Some(a), Some(b)) if a == b => {}
+            (Some(a), _) if a == k => {
+                current += y * (ac.potential_at(link.from) - ac.potential_at(link.to));
+            }
+            (_, Some(b)) if b == k => {
+                current += y * (ac.potential_at(link.to) - ac.potential_at(link.from));
+            }
+            _ => {}
+        }
+    }
+    Ok(current)
+}
+
+/// Complex current (A) crossing the metal–semiconductor interface of the
+/// named terminal: the sum of link currents from metal nodes electrically
+/// belonging to the terminal into semiconductor nodes.
+///
+/// This is the quantity reported (as a magnitude, in µA) in the paper's
+/// Table I.
+///
+/// # Errors
+/// Returns [`FvmError::Configuration`] for an unknown terminal name.
+pub fn interface_current(
+    solver: &CoupledSolver<'_>,
+    ac: &AcSolution,
+    terminal: &str,
+) -> Result<Complex64, FvmError> {
+    let k = solver
+        .terminals()
+        .index_of(terminal)
+        .ok_or_else(|| FvmError::Configuration {
+            detail: format!("unknown terminal '{terminal}'"),
+        })?;
+    let structure = solver.structure();
+    let mesh = &structure.mesh;
+    let mut current = Complex64::ZERO;
+    for lid in mesh.link_ids() {
+        let link = mesh.link(lid);
+        let mat_from = structure.materials.material(link.from);
+        let mat_to = structure.materials.material(link.to);
+        let y = ac.admittance_at(lid);
+        let from_terminal = solver.terminals().terminal(link.from);
+        let to_terminal = solver.terminals().terminal(link.to);
+        if mat_from.is_metal() && from_terminal == Some(k) && mat_to.is_semiconductor() {
+            current += y * (ac.potential_at(link.from) - ac.potential_at(link.to));
+        } else if mat_to.is_metal() && to_terminal == Some(k) && mat_from.is_semiconductor() {
+            current += y * (ac.potential_at(link.to) - ac.potential_at(link.from));
+        }
+    }
+    Ok(current)
+}
+
+/// One column of the Maxwell capacitance matrix: drives `driven` with 1 V at
+/// `frequency` and returns `C_{t,driven} = Im(I_t)/ω` (F) for every terminal
+/// `t`, keyed by terminal name.
+///
+/// Diagonal entries are positive, couplings negative — matching the sign
+/// convention of the paper's Table II.
+///
+/// # Errors
+/// Propagates AC-solve and terminal-lookup failures.
+pub fn capacitance_column(
+    solver: &CoupledSolver<'_>,
+    dc: &DcSolution,
+    driven: &str,
+    frequency: f64,
+) -> Result<BTreeMap<String, f64>, FvmError> {
+    let ac = solver.solve_ac(dc, driven, frequency)?;
+    let mut out = BTreeMap::new();
+    for k in 0..solver.terminals().terminal_count() {
+        let name = solver.terminals().name(k).to_string();
+        let current = terminal_current(solver, &ac, &name)?;
+        out.insert(name, current.im / ac.omega);
+    }
+    Ok(out)
+}
+
+/// Potential samples `(position, Re(V))` of all nodes lying on the plane
+/// `axis = coordinate` (within `tolerance`), used to regenerate the
+/// Fig. 2(b) potential map on the metal–semiconductor interface.
+pub fn potential_slice(
+    solver: &CoupledSolver<'_>,
+    potential: &[Complex64],
+    axis: Axis,
+    coordinate: f64,
+    tolerance: f64,
+) -> Vec<([f64; 3], f64)> {
+    let mesh = &solver.structure().mesh;
+    let mut out = Vec::new();
+    for node in mesh.node_ids() {
+        let p = mesh.position(node);
+        if (p[axis.as_usize()] - coordinate).abs() <= tolerance {
+            out.push((p, potential[node.index()].re));
+        }
+    }
+    out
+}
+
+/// DC potential samples on a plane (same convention as [`potential_slice`]).
+pub fn dc_potential_slice(
+    solver: &CoupledSolver<'_>,
+    dc: &DcSolution,
+    axis: Axis,
+    coordinate: f64,
+    tolerance: f64,
+) -> Vec<([f64; 3], f64)> {
+    let mesh = &solver.structure().mesh;
+    let mut out = Vec::new();
+    for node in mesh.node_ids() {
+        let p = mesh.position(node);
+        if (p[axis.as_usize()] - coordinate).abs() <= tolerance {
+            out.push((p, dc.potential_at(node)));
+        }
+    }
+    out
+}
+
+/// Sum of all terminal currents (A); should be close to zero by charge
+/// conservation and is used as a sanity diagnostic.
+pub fn current_balance(solver: &CoupledSolver<'_>, ac: &AcSolution) -> Result<Complex64, FvmError> {
+    let mut total = Complex64::ZERO;
+    for k in 0..solver.terminals().terminal_count() {
+        let name = solver.terminals().name(k).to_string();
+        total += terminal_current(solver, ac, &name)?;
+    }
+    Ok(total)
+}
+
+/// Convenience: positions of the nodes of a facet together with the real part
+/// of the potential, for plotting roughness/field correlations.
+pub fn facet_potentials(
+    solver: &CoupledSolver<'_>,
+    ac: &AcSolution,
+    facet_nodes: &[NodeId],
+) -> Vec<([f64; 3], f64)> {
+    let mesh = &solver.structure().mesh;
+    facet_nodes
+        .iter()
+        .map(|&n| (mesh.position(n), ac.potential_at(n).re))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoupledSolver, SolverOptions};
+    use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+    use vaem_physics::DopingProfile;
+
+    fn coarse_setup() -> (vaem_mesh::Structure, DopingProfile) {
+        let s = build_metalplug_structure(&MetalPlugConfig::coarse());
+        let semis = s.semiconductor_nodes();
+        let doping = DopingProfile::uniform_donor(s.mesh.node_count(), &semis, 1.0e5);
+        (s, doping)
+    }
+
+    #[test]
+    fn interface_current_flows_between_the_plugs() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let ac = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+        let i1 = interface_current(&solver, &ac, "plug1").unwrap();
+        let i2 = interface_current(&solver, &ac, "plug2").unwrap();
+        assert!(i1.abs() > 0.0);
+        assert!(i2.abs() > 0.0);
+        // The driven plug sources current into the silicon; the grounded plug
+        // and the ground plane sink it, so the two interface currents have
+        // opposing orientation (negative real-part product).
+        assert!(
+            (i1 + i2).abs() <= i1.abs() + i2.abs(),
+            "triangle inequality sanity"
+        );
+    }
+
+    #[test]
+    fn terminal_currents_balance_to_near_zero() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let ac = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+        let total = current_balance(&solver, &ac).unwrap();
+        let i1 = terminal_current(&solver, &ac, "plug1").unwrap();
+        assert!(
+            total.abs() < 0.05 * i1.abs().max(1e-30),
+            "imbalance {} vs terminal current {}",
+            total.abs(),
+            i1.abs()
+        );
+    }
+
+    #[test]
+    fn capacitance_column_has_positive_diagonal_and_negative_couplings() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let col = capacitance_column(&solver, &dc, "plug1", 1.0e6).unwrap();
+        let c_self = col["plug1"];
+        assert!(c_self > 0.0, "self capacitance {c_self}");
+        assert!(col["plug2"] < 0.0, "coupling {}", col["plug2"]);
+        assert!(c_self.abs() >= col["plug2"].abs());
+    }
+
+    #[test]
+    fn potential_slice_returns_interface_plane_nodes() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let ac = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+        let slice = potential_slice(&solver, &ac.potential, Axis::Z, 10.0, 1e-6);
+        assert!(!slice.is_empty());
+        for (p, _) in &slice {
+            assert!((p[2] - 10.0).abs() < 1e-6);
+        }
+        let dc_slice = dc_potential_slice(&solver, &dc, Axis::Z, 10.0, 1e-6);
+        assert_eq!(dc_slice.len(), slice.len());
+    }
+
+    #[test]
+    fn facet_potentials_follow_facet_nodes() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let ac = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+        let facet = s.facet("plug1_interface").unwrap();
+        let vals = facet_potentials(&solver, &ac, &facet.nodes);
+        assert_eq!(vals.len(), facet.nodes.len());
+    }
+}

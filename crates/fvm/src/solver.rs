@@ -1,0 +1,624 @@
+//! The high-level coupled solver.
+
+use crate::coefficients::{link_admittivity, link_permittivity, node_admittivity};
+use crate::terminals::{label_terminals, TerminalMap};
+use crate::{AcSolution, DcSolution, FvmError};
+use std::collections::{BTreeMap, HashMap};
+use vaem_mesh::{Axis, LinkId, Material, NodeId, Structure};
+use vaem_numeric::Complex64;
+use vaem_physics::{constants, DopingProfile, MaterialTable, SiliconParams};
+use vaem_sparse::{LinearSolver, SolverKind, TripletMatrix};
+
+/// Electromagnetic modelling depth of the AC stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmMode {
+    /// Electro-quasi-static: complex potential equation with the full
+    /// admittivity `σ + jωε` (metal conduction, dielectric displacement,
+    /// semiconductor small-signal conduction). This is the default for the
+    /// statistical sweeps.
+    #[default]
+    ElectroQuasiStatic,
+    /// Additionally computes the magnetic vector potential on the links from
+    /// the conduction/displacement current distribution (one-way coupled
+    /// approximation of the paper's eq. 3).
+    FullWave,
+}
+
+/// Configuration of the coupled solver.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Bulk material properties.
+    pub materials: MaterialTable,
+    /// Silicon carrier-statistics parameters.
+    pub silicon: SiliconParams,
+    /// Electromagnetic modelling depth.
+    pub em_mode: EmMode,
+    /// Linear solver strategy for both stages.
+    pub linear_solver: SolverKind,
+    /// Maximum Newton iterations of the DC stage.
+    pub newton_max_iterations: usize,
+    /// Newton convergence tolerance on the potential update (V).
+    pub newton_tolerance: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            materials: MaterialTable::default(),
+            silicon: SiliconParams::default(),
+            em_mode: EmMode::ElectroQuasiStatic,
+            linear_solver: SolverKind::Auto,
+            newton_max_iterations: 60,
+            newton_tolerance: 1e-9,
+        }
+    }
+}
+
+/// The coupled EM–semiconductor FVM solver bound to one (possibly perturbed)
+/// structure and doping profile.
+///
+/// See the crate-level documentation for the two-stage workflow
+/// (DC operating point, then frequency-domain solve).
+#[derive(Debug, Clone)]
+pub struct CoupledSolver<'a> {
+    structure: &'a Structure,
+    doping: &'a DopingProfile,
+    options: SolverOptions,
+    terminals: TerminalMap,
+    /// Links incident to each node.
+    node_links: Vec<Vec<LinkId>>,
+    /// Geometric factor `dual_area / length` per link (µm).
+    link_factor: Vec<f64>,
+    /// Contact index of each node (Dirichlet in the AC stage), if any.
+    contact_of: Vec<Option<usize>>,
+}
+
+impl<'a> CoupledSolver<'a> {
+    /// Binds the solver to a structure and doping profile.
+    ///
+    /// # Errors
+    /// Returns [`FvmError::Configuration`] when the doping profile does not
+    /// cover the mesh or the structure has no contacts.
+    pub fn new(
+        structure: &'a Structure,
+        doping: &'a DopingProfile,
+        options: SolverOptions,
+    ) -> Result<Self, FvmError> {
+        let mesh = &structure.mesh;
+        if doping.len() != mesh.node_count() {
+            return Err(FvmError::Configuration {
+                detail: format!(
+                    "doping profile covers {} nodes but the mesh has {}",
+                    doping.len(),
+                    mesh.node_count()
+                ),
+            });
+        }
+        if structure.contacts.is_empty() {
+            return Err(FvmError::Configuration {
+                detail: "structure has no contacts".to_string(),
+            });
+        }
+        let terminals = label_terminals(structure);
+        let mut node_links: Vec<Vec<LinkId>> = vec![Vec::new(); mesh.node_count()];
+        let mut link_factor = vec![0.0; mesh.link_count()];
+        for lid in mesh.link_ids() {
+            let link = mesh.link(lid);
+            node_links[link.from.index()].push(lid);
+            node_links[link.to.index()].push(lid);
+            let length = mesh.link_length(lid);
+            link_factor[lid.index()] = if length > 1e-12 {
+                mesh.dual_area(lid) / length
+            } else {
+                0.0
+            };
+        }
+        let mut contact_of = vec![None; mesh.node_count()];
+        for (k, contact) in structure.contacts.iter().enumerate() {
+            for &n in &contact.nodes {
+                contact_of[n.index()] = Some(k);
+            }
+        }
+        Ok(Self {
+            structure,
+            doping,
+            options,
+            terminals,
+            node_links,
+            link_factor,
+            contact_of,
+        })
+    }
+
+    /// The structure the solver is bound to.
+    pub fn structure(&self) -> &Structure {
+        self.structure
+    }
+
+    /// Solver options.
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
+    }
+
+    /// Terminal (conductor) labelling used by the solver.
+    pub fn terminals(&self) -> &TerminalMap {
+        &self.terminals
+    }
+
+    fn material(&self, node: NodeId) -> Material {
+        self.structure.materials.material(node)
+    }
+
+    /// Solves the equilibrium (all terminals grounded) operating point.
+    ///
+    /// # Errors
+    /// See [`CoupledSolver::solve_dc_with_biases`].
+    pub fn solve_dc(&self) -> Result<DcSolution, FvmError> {
+        self.solve_dc_with_biases(&BTreeMap::new())
+    }
+
+    /// Solves the DC operating point with the given terminal biases (V);
+    /// terminals not listed are grounded.
+    ///
+    /// # Errors
+    /// * [`FvmError::Linear`] when the inner linear solve fails.
+    /// * [`FvmError::NewtonDidNotConverge`] when the Newton iteration stalls.
+    pub fn solve_dc_with_biases(
+        &self,
+        biases: &BTreeMap<String, f64>,
+    ) -> Result<DcSolution, FvmError> {
+        let mesh = &self.structure.mesh;
+        let n_nodes = mesh.node_count();
+        let si = &self.options.silicon;
+        let vt = si.thermal_voltage;
+        let q = constants::ELEMENTARY_CHARGE;
+
+        let bias_of = |contact: usize| -> f64 {
+            let name = self.terminals.name(contact);
+            biases.get(name).copied().unwrap_or(0.0)
+        };
+
+        // Dirichlet values: every metal node pinned at its terminal bias;
+        // non-metal contact nodes pinned at bias (+ built-in potential on
+        // semiconductor ohmic contacts).
+        let mut dirichlet: Vec<Option<f64>> = vec![None; n_nodes];
+        for node in mesh.node_ids() {
+            let mat = self.material(node);
+            if mat.is_metal() {
+                if let Some(t) = self.terminals.terminal(node) {
+                    dirichlet[node.index()] = Some(bias_of(t));
+                }
+            } else if let Some(c) = self.contact_of[node.index()] {
+                let mut v = bias_of(c);
+                if mat.is_semiconductor() {
+                    v += si.built_in_potential(self.doping.donor(node), self.doping.acceptor(node));
+                }
+                dirichlet[node.index()] = Some(v);
+            }
+        }
+
+        // Unknown numbering.
+        let mut unknown_index: Vec<Option<usize>> = vec![None; n_nodes];
+        let mut unknowns: Vec<NodeId> = Vec::new();
+        for node in mesh.node_ids() {
+            if dirichlet[node.index()].is_none() {
+                unknown_index[node.index()] = Some(unknowns.len());
+                unknowns.push(node);
+            }
+        }
+
+        // Initial guess: built-in potential in the semiconductor, Dirichlet
+        // elsewhere prescribed, zero in the dielectric.
+        let mut potential: Vec<f64> = (0..n_nodes)
+            .map(|i| {
+                let node = NodeId(i);
+                if let Some(v) = dirichlet[i] {
+                    v
+                } else if self.material(node).is_semiconductor() {
+                    si.built_in_potential(self.doping.donor(node), self.doping.acceptor(node))
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        let clamp_exp = |x: f64| x.clamp(-60.0, 60.0);
+        let linear = LinearSolver::new(self.options.linear_solver);
+
+        let mut iterations = 0usize;
+        let mut update_norm = f64::INFINITY;
+        while iterations < self.options.newton_max_iterations {
+            iterations += 1;
+            let n_unknown = unknowns.len();
+            let mut residual = vec![0.0_f64; n_unknown];
+            let mut jac = TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7);
+
+            for (ui, &node) in unknowns.iter().enumerate() {
+                let vi = potential[node.index()];
+                let mat_i = self.material(node);
+                let mut diag = 0.0;
+                for &lid in &self.node_links[node.index()] {
+                    let link = mesh.link(lid);
+                    let other = if link.from == node { link.to } else { link.from };
+                    let eps = link_permittivity(mat_i, self.material(other), &self.options.materials);
+                    let c = eps * self.link_factor[lid.index()];
+                    residual[ui] += c * (potential[other.index()] - vi);
+                    diag -= c;
+                    if let Some(uj) = unknown_index[other.index()] {
+                        jac.push(ui, uj, c);
+                    }
+                }
+                if mat_i.is_semiconductor() {
+                    let n = si.intrinsic_density * clamp_exp(vi / vt).exp();
+                    let p = si.intrinsic_density * clamp_exp(-vi / vt).exp();
+                    let vol = mesh.node_volume(node);
+                    residual[ui] += q * vol * (p - n + self.doping.net(node));
+                    diag -= q * vol * (n + p) / vt;
+                }
+                jac.push(ui, ui, diag);
+            }
+
+            // Solve J·δ = -F.
+            let rhs: Vec<f64> = residual.iter().map(|r| -r).collect();
+            let (mut delta, _report) = linear.solve(&jac.to_csr(), &rhs)?;
+
+            // Damp large Newton steps (potential updates beyond 1 V are
+            // truncated, preserving direction).
+            let max_step = delta.iter().fold(0.0_f64, |m, d| m.max(d.abs()));
+            if max_step > 1.0 {
+                let scale = 1.0 / max_step;
+                for d in &mut delta {
+                    *d *= scale;
+                }
+            }
+            for (ui, &node) in unknowns.iter().enumerate() {
+                potential[node.index()] += delta[ui];
+            }
+            update_norm = delta.iter().fold(0.0_f64, |m, d| m.max(d.abs()));
+            if !update_norm.is_finite() {
+                return Err(FvmError::NewtonDidNotConverge {
+                    iterations,
+                    update_norm,
+                });
+            }
+            if update_norm < self.options.newton_tolerance {
+                break;
+            }
+        }
+        if update_norm >= self.options.newton_tolerance && update_norm > 1e-6 {
+            return Err(FvmError::NewtonDidNotConverge {
+                iterations,
+                update_norm,
+            });
+        }
+
+        // Carrier densities from the converged potential.
+        let mut electron_density = vec![0.0; n_nodes];
+        let mut hole_density = vec![0.0; n_nodes];
+        for node in mesh.node_ids() {
+            if self.material(node).is_semiconductor() {
+                let v = potential[node.index()];
+                electron_density[node.index()] = si.intrinsic_density * clamp_exp(v / vt).exp();
+                hole_density[node.index()] = si.intrinsic_density * clamp_exp(-v / vt).exp();
+            }
+        }
+
+        Ok(DcSolution {
+            potential,
+            electron_density,
+            hole_density,
+            newton_iterations: iterations,
+            final_update_norm: update_norm,
+        })
+    }
+
+    /// Solves the frequency-domain problem with 1 V applied to
+    /// `driven_terminal` and 0 V on every other contact.
+    ///
+    /// # Errors
+    /// * [`FvmError::Configuration`] for an unknown terminal name.
+    /// * [`FvmError::Linear`] when the linear solve fails.
+    pub fn solve_ac(
+        &self,
+        dc: &DcSolution,
+        driven_terminal: &str,
+        frequency: f64,
+    ) -> Result<AcSolution, FvmError> {
+        let mut excitations = BTreeMap::new();
+        excitations.insert(driven_terminal.to_string(), Complex64::ONE);
+        self.solve_ac_with_excitations(dc, &excitations, frequency, driven_terminal)
+    }
+
+    /// Solves the frequency-domain problem with explicit complex excitations
+    /// per contact name (unlisted contacts are grounded).
+    ///
+    /// # Errors
+    /// Same conditions as [`CoupledSolver::solve_ac`].
+    pub fn solve_ac_with_excitations(
+        &self,
+        dc: &DcSolution,
+        excitations: &BTreeMap<String, Complex64>,
+        frequency: f64,
+        driven_label: &str,
+    ) -> Result<AcSolution, FvmError> {
+        for name in excitations.keys() {
+            if self.terminals.index_of(name).is_none() {
+                return Err(FvmError::Configuration {
+                    detail: format!("unknown terminal '{name}'"),
+                });
+            }
+        }
+        let mesh = &self.structure.mesh;
+        let n_nodes = mesh.node_count();
+        let omega = 2.0 * std::f64::consts::PI * frequency;
+        let si = &self.options.silicon;
+
+        // Per-node admittivity.
+        let node_y: Vec<Complex64> = (0..n_nodes)
+            .map(|i| {
+                let node = NodeId(i);
+                let sigma_semi = if self.material(node).is_semiconductor() {
+                    si.bulk_conductivity(dc.electron_at(node), dc.hole_at(node))
+                } else {
+                    0.0
+                };
+                node_admittivity(self.material(node), sigma_semi, omega, &self.options.materials)
+            })
+            .collect();
+
+        // Per-link admittance y·g.
+        let link_admittance: Vec<Complex64> = mesh
+            .link_ids()
+            .map(|lid| {
+                let link = mesh.link(lid);
+                let y = link_admittivity(node_y[link.from.index()], node_y[link.to.index()]);
+                y.scale(self.link_factor[lid.index()])
+            })
+            .collect();
+
+        // Dirichlet: contact nodes at their excitation.
+        let excitation_of = |contact: usize| -> Complex64 {
+            excitations
+                .get(self.terminals.name(contact))
+                .copied()
+                .unwrap_or(Complex64::ZERO)
+        };
+        let dirichlet: Vec<Option<Complex64>> = (0..n_nodes)
+            .map(|i| self.contact_of[i].map(excitation_of))
+            .collect();
+
+        let mut unknown_index: Vec<Option<usize>> = vec![None; n_nodes];
+        let mut unknowns: Vec<NodeId> = Vec::new();
+        for node in mesh.node_ids() {
+            if dirichlet[node.index()].is_none() {
+                unknown_index[node.index()] = Some(unknowns.len());
+                unknowns.push(node);
+            }
+        }
+
+        let n_unknown = unknowns.len();
+        let mut matrix = TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7);
+        let mut rhs = vec![Complex64::ZERO; n_unknown];
+        for (ui, &node) in unknowns.iter().enumerate() {
+            let mut diag = Complex64::ZERO;
+            for &lid in &self.node_links[node.index()] {
+                let link = mesh.link(lid);
+                let other = if link.from == node { link.to } else { link.from };
+                let ya = link_admittance[lid.index()];
+                diag -= ya;
+                match unknown_index[other.index()] {
+                    Some(uj) => matrix.push(ui, uj, ya),
+                    None => {
+                        let vd = dirichlet[other.index()].expect("non-unknown node is Dirichlet");
+                        rhs[ui] -= ya * vd;
+                    }
+                }
+            }
+            matrix.push(ui, ui, diag);
+        }
+
+        let linear = LinearSolver::new(self.options.linear_solver);
+        let (solution, report) = linear.solve(&matrix.to_csr(), &rhs)?;
+
+        let mut potential = vec![Complex64::ZERO; n_nodes];
+        for node in mesh.node_ids() {
+            potential[node.index()] = match dirichlet[node.index()] {
+                Some(v) => v,
+                None => solution[unknown_index[node.index()].expect("unknown node indexed")],
+            };
+        }
+
+        let vector_potential = match self.options.em_mode {
+            EmMode::ElectroQuasiStatic => None,
+            EmMode::FullWave => Some(self.solve_vector_potential(
+                mesh,
+                &potential,
+                &link_admittance,
+                omega,
+            )?),
+        };
+
+        Ok(AcSolution {
+            potential,
+            link_admittance,
+            vector_potential,
+            omega,
+            driven_terminal: driven_label.to_string(),
+            solver_strategy: report.strategy,
+            linear_residual: report.residual_norm,
+        })
+    }
+
+    /// One-way coupled vector-potential solve (simplified eq. 3): each
+    /// Cartesian component of `A` satisfies a Poisson-type equation on the
+    /// link graph with the link currents as sources,
+    /// `Σ (A_m − A_l)/µ_r + K·I_l = 0`, with `A = 0` on boundary links.
+    fn solve_vector_potential(
+        &self,
+        mesh: &vaem_mesh::CartesianMesh,
+        potential: &[Complex64],
+        link_admittance: &[Complex64],
+        omega: f64,
+    ) -> Result<Vec<Complex64>, FvmError> {
+        // Lookup from (axis, from-node) to link id for neighbour search.
+        let mut by_from: HashMap<(usize, usize), usize> = HashMap::new();
+        for lid in mesh.link_ids() {
+            let link = mesh.link(lid);
+            by_from.insert((link.axis.as_usize(), link.from.index()), lid.index());
+        }
+        let n_links = mesh.link_count();
+        let mut matrix = TripletMatrix::with_capacity(n_links, n_links, n_links * 7);
+        let mut rhs = vec![Complex64::ZERO; n_links];
+        // Scaling constant K of the paper's eq. (3): µ0 here (SI, µm units).
+        let k_scale = constants::VACUUM_PERMEABILITY;
+
+        for lid in mesh.link_ids() {
+            let l = lid.index();
+            let link = mesh.link(lid);
+            let from_idx = mesh.grid_index(link.from);
+            // Boundary links (touching the domain boundary) are pinned to 0.
+            if mesh.is_boundary(link.from) || mesh.is_boundary(link.to) {
+                matrix.push(l, l, Complex64::ONE);
+                continue;
+            }
+            let mut diag = Complex64::ZERO;
+            for axis in Axis::ALL {
+                for forward in [false, true] {
+                    let neighbour_from = mesh.neighbor(link.from, axis, forward);
+                    if let Some(nf) = neighbour_from {
+                        if let Some(&m) = by_from.get(&(link.axis.as_usize(), nf.index())) {
+                            matrix.push(l, m, Complex64::ONE);
+                            diag -= Complex64::ONE;
+                        }
+                    }
+                }
+            }
+            let _ = from_idx;
+            matrix.push(l, l, diag);
+            // Source: link current (conduction + displacement) times K.
+            let current =
+                link_admittance[l] * (potential[link.from.index()] - potential[link.to.index()]);
+            rhs[l] = -(current.scale(k_scale));
+            let _ = omega;
+        }
+
+        let linear = LinearSolver::new(self.options.linear_solver);
+        let (a, _report) = linear.solve(&matrix.to_csr(), &rhs)?;
+        Ok(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaem_mesh::{BoxRegion, StructureBuilder};
+
+    /// Parallel-plate capacitor: two metal plates separated by dielectric.
+    fn parallel_plate(spacing: f64) -> Structure {
+        StructureBuilder::new(Material::Insulator)
+            .with_max_spacing(spacing)
+            .add_box(BoxRegion::new([0.0, 0.0, 0.0], [4.0, 4.0, 1.0], Material::Metal))
+            .add_box(BoxRegion::new([0.0, 0.0, 3.0], [4.0, 4.0, 4.0], Material::Metal))
+            .add_contact_box("bottom", [0.0, 0.0, 0.0], [4.0, 4.0, 0.0])
+            .add_contact_box("top", [0.0, 0.0, 4.0], [4.0, 4.0, 4.0])
+            .build()
+    }
+
+    #[test]
+    fn dc_equilibrium_converges_on_a_doped_block() {
+        use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+        let s = build_metalplug_structure(&MetalPlugConfig::coarse());
+        let semis = s.semiconductor_nodes();
+        let doping = DopingProfile::uniform_donor(s.mesh.node_count(), &semis, 1.0e5);
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        assert!(dc.newton_iterations < 40);
+        // Bulk silicon sits near the built-in potential.
+        let vbi = SiliconParams::default().built_in_potential(1.0e5, 0.0);
+        let bulk = semis
+            .iter()
+            .map(|&n| dc.potential_at(n))
+            .sum::<f64>()
+            / semis.len() as f64;
+        assert!((bulk - vbi).abs() < 0.15, "bulk {bulk} vs vbi {vbi}");
+        // Carrier densities follow the doping in the bulk.
+        let n_mean: f64 =
+            semis.iter().map(|&n| dc.electron_at(n)).sum::<f64>() / semis.len() as f64;
+        assert!(n_mean > 1.0e4, "mean electron density {n_mean}");
+    }
+
+    #[test]
+    fn ac_parallel_plate_capacitance_matches_analytic_estimate() {
+        let s = parallel_plate(0.5);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let freq = 1.0e6;
+        let ac = solver.solve_ac(&dc, "top", freq).unwrap();
+        let i_top = crate::postprocess::terminal_current(&solver, &ac, "top").unwrap();
+        let c_self = i_top.im / ac.omega;
+        // Ideal C = eps0*eps_ox*A/d with A = 16 µm², d = 2 µm (fringing adds a bit).
+        let ideal = constants::VACUUM_PERMITTIVITY * constants::OXIDE_REL_PERMITTIVITY * 16.0 / 2.0;
+        assert!(
+            c_self > 0.8 * ideal && c_self < 2.5 * ideal,
+            "C = {c_self}, ideal = {ideal}"
+        );
+        // Coupling to the other plate is negative and of similar magnitude.
+        let i_bottom = crate::postprocess::terminal_current(&solver, &ac, "bottom").unwrap();
+        let c_mutual = i_bottom.im / ac.omega;
+        assert!(c_mutual < 0.0);
+        assert!(c_mutual.abs() > 0.5 * c_self);
+    }
+
+    #[test]
+    fn unknown_terminal_is_a_configuration_error() {
+        let s = parallel_plate(1.0);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        assert!(matches!(
+            solver.solve_ac(&dc, "does-not-exist", 1e9),
+            Err(FvmError::Configuration { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_doping_length_is_rejected() {
+        let s = parallel_plate(1.0);
+        let doping = DopingProfile::undoped(3);
+        assert!(matches!(
+            CoupledSolver::new(&s, &doping, SolverOptions::default()),
+            Err(FvmError::Configuration { .. })
+        ));
+    }
+
+    #[test]
+    fn full_wave_mode_produces_vector_potential() {
+        let s = parallel_plate(1.0);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let options = SolverOptions {
+            em_mode: EmMode::FullWave,
+            ..SolverOptions::default()
+        };
+        let solver = CoupledSolver::new(&s, &doping, options).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let ac = solver.solve_ac(&dc, "top", 1.0e9).unwrap();
+        let a = ac.vector_potential.as_ref().expect("full wave stores A");
+        assert_eq!(a.len(), s.mesh.link_count());
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dc_bias_shifts_metal_potentials() {
+        let s = parallel_plate(1.0);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let mut biases = BTreeMap::new();
+        biases.insert("top".to_string(), 0.5);
+        let dc = solver.solve_dc_with_biases(&biases).unwrap();
+        let top_nodes = solver.terminals().nodes_of(solver.terminals().index_of("top").unwrap());
+        for n in top_nodes {
+            assert!((dc.potential_at(n) - 0.5).abs() < 1e-12);
+        }
+    }
+}

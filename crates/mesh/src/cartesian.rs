@@ -1,0 +1,406 @@
+//! Logically structured Cartesian mesh with per-node coordinates.
+
+use crate::{Axis, GridIndex, LinkId, NodeId};
+
+/// A link (edge) between two adjacent nodes of the structured grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Lower-index endpoint.
+    pub from: NodeId,
+    /// Upper-index endpoint.
+    pub to: NodeId,
+    /// Axis along which the link runs.
+    pub axis: Axis,
+}
+
+/// A logically structured, geometrically perturbable Cartesian mesh.
+///
+/// The connectivity is that of an `nx × ny × nz` tensor grid, but every node
+/// carries its own coordinates so that interface perturbations (surface
+/// roughness) can displace nodes individually — exactly the situation of the
+/// paper's Section III.A where "the original standard cubes become irregular".
+///
+/// Finite-volume geometric quantities (link length, dual face area, dual
+/// volume) are always computed from the *current* node coordinates.
+///
+/// # Example
+/// ```
+/// use vaem_mesh::CartesianMesh;
+/// let mesh = CartesianMesh::from_grid_lines(
+///     vec![0.0, 1.0, 2.0],
+///     vec![0.0, 1.0],
+///     vec![0.0, 1.0],
+/// );
+/// assert_eq!(mesh.node_count(), 12);
+/// assert_eq!(mesh.link_count(), 8 + 6 + 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CartesianMesh {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Per-node coordinates (perturbable).
+    coords: Vec<[f64; 3]>,
+    /// Links, ordered: all x-links, then y-links, then z-links.
+    links: Vec<Link>,
+    /// Number of x-links and y-links (for id arithmetic).
+    x_link_count: usize,
+    y_link_count: usize,
+}
+
+impl CartesianMesh {
+    /// Builds the mesh from tensor-product grid lines.
+    ///
+    /// # Panics
+    /// Panics if any direction has fewer than two grid lines or the lines are
+    /// not strictly increasing.
+    pub fn from_grid_lines(xs: Vec<f64>, ys: Vec<f64>, zs: Vec<f64>) -> Self {
+        for (name, v) in [("x", &xs), ("y", &ys), ("z", &zs)] {
+            assert!(v.len() >= 2, "need at least two {name} grid lines");
+            assert!(
+                v.windows(2).all(|w| w[1] > w[0]),
+                "{name} grid lines must be strictly increasing"
+            );
+        }
+        let (nx, ny, nz) = (xs.len(), ys.len(), zs.len());
+        let mut coords = Vec::with_capacity(nx * ny * nz);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    coords.push([xs[i], ys[j], zs[k]]);
+                }
+            }
+        }
+        let node = |i: usize, j: usize, k: usize| NodeId(i + nx * (j + ny * k));
+        let mut links = Vec::new();
+        // x-links
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx - 1 {
+                    links.push(Link {
+                        from: node(i, j, k),
+                        to: node(i + 1, j, k),
+                        axis: Axis::X,
+                    });
+                }
+            }
+        }
+        let x_link_count = links.len();
+        // y-links
+        for k in 0..nz {
+            for j in 0..ny - 1 {
+                for i in 0..nx {
+                    links.push(Link {
+                        from: node(i, j, k),
+                        to: node(i, j + 1, k),
+                        axis: Axis::Y,
+                    });
+                }
+            }
+        }
+        let y_link_count = links.len() - x_link_count;
+        // z-links
+        for k in 0..nz - 1 {
+            for j in 0..ny {
+                for i in 0..nx {
+                    links.push(Link {
+                        from: node(i, j, k),
+                        to: node(i, j, k + 1),
+                        axis: Axis::Z,
+                    });
+                }
+            }
+        }
+
+        Self {
+            nx,
+            ny,
+            nz,
+            coords,
+            links,
+            x_link_count,
+            y_link_count,
+        }
+    }
+
+    /// Grid dimensions `(nx, ny, nz)` in node counts.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Total number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of links along each axis `(x, y, z)`.
+    pub fn link_counts_by_axis(&self) -> (usize, usize, usize) {
+        (
+            self.x_link_count,
+            self.y_link_count,
+            self.links.len() - self.x_link_count - self.y_link_count,
+        )
+    }
+
+    /// Node id at a grid index.
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    #[inline]
+    pub fn node_at(&self, idx: GridIndex) -> NodeId {
+        assert!(idx.i < self.nx && idx.j < self.ny && idx.k < self.nz);
+        NodeId(idx.i + self.nx * (idx.j + self.ny * idx.k))
+    }
+
+    /// Grid index of a node id.
+    #[inline]
+    pub fn grid_index(&self, node: NodeId) -> GridIndex {
+        let id = node.index();
+        let i = id % self.nx;
+        let j = (id / self.nx) % self.ny;
+        let k = id / (self.nx * self.ny);
+        GridIndex::new(i, j, k)
+    }
+
+    /// Current coordinates of a node.
+    #[inline]
+    pub fn position(&self, node: NodeId) -> [f64; 3] {
+        self.coords[node.index()]
+    }
+
+    /// Sets the coordinates of a node (used by the variation models).
+    #[inline]
+    pub fn set_position(&mut self, node: NodeId, position: [f64; 3]) {
+        self.coords[node.index()] = position;
+    }
+
+    /// Displaces a node along one axis by `delta`.
+    #[inline]
+    pub fn displace(&mut self, node: NodeId, axis: Axis, delta: f64) {
+        self.coords[node.index()][axis.as_usize()] += delta;
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Link by id.
+    #[inline]
+    pub fn link(&self, link: LinkId) -> Link {
+        self.links[link.index()]
+    }
+
+    /// Neighbour of `node` in direction `axis`, `forward` (increasing index)
+    /// or backward; `None` at the domain boundary.
+    pub fn neighbor(&self, node: NodeId, axis: Axis, forward: bool) -> Option<NodeId> {
+        let g = self.grid_index(node);
+        let (i, j, k) = (g.i as isize, g.j as isize, g.k as isize);
+        let delta: isize = if forward { 1 } else { -1 };
+        let (ni, nj, nk) = match axis {
+            Axis::X => (i + delta, j, k),
+            Axis::Y => (i, j + delta, k),
+            Axis::Z => (i, j, k + delta),
+        };
+        if ni < 0
+            || nj < 0
+            || nk < 0
+            || ni >= self.nx as isize
+            || nj >= self.ny as isize
+            || nk >= self.nz as isize
+        {
+            None
+        } else {
+            Some(self.node_at(GridIndex::new(ni as usize, nj as usize, nk as usize)))
+        }
+    }
+
+    /// Returns `true` when the node lies on the outer boundary of the domain.
+    pub fn is_boundary(&self, node: NodeId) -> bool {
+        let g = self.grid_index(node);
+        g.i == 0
+            || g.j == 0
+            || g.k == 0
+            || g.i == self.nx - 1
+            || g.j == self.ny - 1
+            || g.k == self.nz - 1
+    }
+
+    /// Euclidean length of a link computed from the current coordinates.
+    pub fn link_length(&self, link: LinkId) -> f64 {
+        let l = self.link(link);
+        let a = self.position(l.from);
+        let b = self.position(l.to);
+        let mut s = 0.0;
+        for d in 0..3 {
+            s += (a[d] - b[d]) * (a[d] - b[d]);
+        }
+        s.sqrt()
+    }
+
+    /// Length of the dual (control-volume) cell of a node along one axis:
+    /// half the distance between its two axis neighbours, one-sided at the
+    /// domain boundary.
+    pub fn dual_length(&self, node: NodeId, axis: Axis) -> f64 {
+        let here = self.position(node)[axis.as_usize()];
+        let fwd = self
+            .neighbor(node, axis, true)
+            .map(|n| self.position(n)[axis.as_usize()])
+            .unwrap_or(here);
+        let bwd = self
+            .neighbor(node, axis, false)
+            .map(|n| self.position(n)[axis.as_usize()])
+            .unwrap_or(here);
+        (0.5 * (fwd - bwd)).max(0.0)
+    }
+
+    /// Dual (control-volume) face area associated with a link: the product of
+    /// the endpoint-averaged dual lengths in the two perpendicular
+    /// directions.
+    pub fn dual_area(&self, link: LinkId) -> f64 {
+        let l = self.link(link);
+        let [p, q] = l.axis.perpendicular();
+        let area_of =
+            |node: NodeId| self.dual_length(node, p) * self.dual_length(node, q);
+        0.5 * (area_of(l.from) + area_of(l.to))
+    }
+
+    /// Dual (node) volume: product of the dual lengths along the three axes.
+    pub fn node_volume(&self, node: NodeId) -> f64 {
+        Axis::ALL
+            .into_iter()
+            .map(|axis| self.dual_length(node, axis))
+            .product()
+    }
+
+    /// Bounding box `(min, max)` of the current node coordinates.
+    pub fn bounding_box(&self) -> ([f64; 3], [f64; 3]) {
+        let mut min = [f64::INFINITY; 3];
+        let mut max = [f64::NEG_INFINITY; 3];
+        for c in &self.coords {
+            for d in 0..3 {
+                min[d] = min[d].min(c[d]);
+                max[d] = max[d].max(c[d]);
+            }
+        }
+        (min, max)
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Iterator over all link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.link_count()).map(LinkId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_mesh(n: usize) -> CartesianMesh {
+        let lines: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        CartesianMesh::from_grid_lines(lines.clone(), lines.clone(), lines)
+    }
+
+    #[test]
+    fn counts_match_tensor_grid() {
+        let m = unit_mesh(4);
+        assert_eq!(m.node_count(), 64);
+        // links per axis: 3*4*4 = 48 each
+        assert_eq!(m.link_count(), 3 * 48);
+        let (lx, ly, lz) = m.link_counts_by_axis();
+        assert_eq!((lx, ly, lz), (48, 48, 48));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let m = unit_mesh(5);
+        for id in 0..m.node_count() {
+            let node = NodeId(id);
+            let g = m.grid_index(node);
+            assert_eq!(m.node_at(g), node);
+        }
+    }
+
+    #[test]
+    fn neighbors_and_boundary() {
+        let m = unit_mesh(3);
+        let center = m.node_at(GridIndex::new(1, 1, 1));
+        assert!(!m.is_boundary(center));
+        assert!(m.is_boundary(m.node_at(GridIndex::new(0, 1, 1))));
+        assert_eq!(
+            m.neighbor(center, Axis::X, true),
+            Some(m.node_at(GridIndex::new(2, 1, 1)))
+        );
+        assert_eq!(m.neighbor(m.node_at(GridIndex::new(2, 1, 1)), Axis::X, true), None);
+    }
+
+    #[test]
+    fn geometric_quantities_on_uniform_grid() {
+        let m = unit_mesh(4);
+        let inner = m.node_at(GridIndex::new(1, 1, 1));
+        assert!((m.node_volume(inner) - 1.0).abs() < 1e-12);
+        // A corner node has half-size spacings in every direction.
+        let corner = m.node_at(GridIndex::new(0, 0, 0));
+        assert!((m.node_volume(corner) - 0.125).abs() < 1e-12);
+        // Every link has unit length; interior link dual area is 1.
+        for l in m.link_ids() {
+            assert!((m.link_length(l) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn volumes_sum_to_domain_volume() {
+        let m = unit_mesh(5); // domain 4x4x4 = 64
+        let total: f64 = m.node_ids().map(|n| m.node_volume(n)).sum();
+        assert!((total - 64.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn displacement_changes_geometry() {
+        let mut m = unit_mesh(3);
+        let node = m.node_at(GridIndex::new(1, 1, 1));
+        let before = m.node_volume(node);
+        m.displace(node, Axis::X, 0.3);
+        let after_pos = m.position(node);
+        assert!((after_pos[0] - 1.3).abs() < 1e-12);
+        // Volume of the displaced node itself is unchanged to first order
+        // (spacing between neighbours is unchanged), but link lengths change.
+        let link_left = m
+            .link_ids()
+            .find(|&l| {
+                let link = m.link(l);
+                link.axis == Axis::X && link.to == node
+            })
+            .unwrap();
+        assert!((m.link_length(link_left) - 1.3).abs() < 1e-12);
+        let _ = before;
+    }
+
+    #[test]
+    fn bounding_box_covers_grid() {
+        let m = CartesianMesh::from_grid_lines(
+            vec![0.0, 2.0, 5.0],
+            vec![-1.0, 1.0],
+            vec![0.0, 10.0],
+        );
+        let (lo, hi) = m.bounding_box();
+        assert_eq!(lo, [0.0, -1.0, 0.0]);
+        assert_eq!(hi, [5.0, 1.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_grid_lines_panic() {
+        let _ = CartesianMesh::from_grid_lines(vec![0.0, 1.0, 0.5], vec![0.0, 1.0], vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,437 @@
+//! Box-based structure description and the resulting [`Structure`].
+
+use crate::{Axis, CartesianMesh, Material, MaterialMap, NodeId};
+use std::collections::BTreeSet;
+
+/// An axis-aligned box assigning a material to every node it contains.
+///
+/// Boxes are applied in insertion order, later boxes override earlier ones —
+/// a convenient way to carve plugs/TSVs out of a background.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxRegion {
+    /// Minimum corner (µm).
+    pub min: [f64; 3],
+    /// Maximum corner (µm).
+    pub max: [f64; 3],
+    /// Material assigned to nodes inside the box (inclusive of its faces).
+    pub material: Material,
+}
+
+impl BoxRegion {
+    /// Creates a box region.
+    pub fn new(min: [f64; 3], max: [f64; 3], material: Material) -> Self {
+        Self { min, max, material }
+    }
+
+    /// Returns `true` if `p` lies inside the box (inclusive, with a small
+    /// geometric tolerance so nodes exactly on a face are captured).
+    pub fn contains(&self, p: [f64; 3]) -> bool {
+        const TOL: f64 = 1e-9;
+        (0..3).all(|d| p[d] >= self.min[d] - TOL && p[d] <= self.max[d] + TOL)
+    }
+}
+
+/// A named set of nodes where a potential (Dirichlet) boundary condition is
+/// applied — a metal terminal of the structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contact {
+    /// Terminal name (e.g. `"tsv1"`, `"plug2"`, `"ground"`).
+    pub name: String,
+    /// Nodes belonging to the terminal.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Which side of a facet the *interior* of the perturbed region lies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FacetSide {
+    /// Interior lies at lower coordinates than the facet.
+    Negative,
+    /// Interior lies at higher coordinates than the facet.
+    Positive,
+}
+
+/// A planar material-interface facet subject to surface roughness.
+///
+/// The paper perturbs the nodes on the lateral walls of plugs/TSVs along the
+/// facet normal; each facet groups the correlated nodes of one wall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Facet {
+    /// Human-readable name (e.g. `"tsv1+x"`).
+    pub name: String,
+    /// Axis normal to the facet (the perturbation direction).
+    pub normal: Axis,
+    /// Side of the facet occupied by the region interior.
+    pub interior_side: FacetSide,
+    /// Interface nodes lying on the facet.
+    pub nodes: Vec<NodeId>,
+}
+
+/// A meshed structure: geometry, materials, terminals and rough facets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Structure {
+    /// The FVM mesh (nominal geometry).
+    pub mesh: CartesianMesh,
+    /// Per-node material assignment.
+    pub materials: MaterialMap,
+    /// Electrical terminals.
+    pub contacts: Vec<Contact>,
+    /// Material-interface facets subject to surface roughness.
+    pub rough_facets: Vec<Facet>,
+}
+
+impl Structure {
+    /// Looks up a contact by name.
+    pub fn contact(&self, name: &str) -> Option<&Contact> {
+        self.contacts.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a rough facet by name.
+    pub fn facet(&self, name: &str) -> Option<&Facet> {
+        self.rough_facets.iter().find(|f| f.name == name)
+    }
+
+    /// All semiconductor nodes (doping-variation candidates).
+    pub fn semiconductor_nodes(&self) -> Vec<NodeId> {
+        self.materials.nodes_of(Material::Semiconductor)
+    }
+
+    /// Nodes that belong to any contact.
+    pub fn contact_nodes(&self) -> BTreeSet<NodeId> {
+        self.contacts
+            .iter()
+            .flat_map(|c| c.nodes.iter().copied())
+            .collect()
+    }
+}
+
+/// Builder assembling a [`Structure`] from boxes, contacts and facets.
+///
+/// # Example
+/// ```
+/// use vaem_mesh::{Axis, BoxRegion, Material, StructureBuilder};
+///
+/// let structure = StructureBuilder::new(Material::Insulator)
+///     .with_max_spacing(1.0)
+///     .add_box(BoxRegion::new([0.0, 0.0, 0.0], [4.0, 4.0, 2.0], Material::Semiconductor))
+///     .add_box(BoxRegion::new([1.0, 1.0, 2.0], [3.0, 3.0, 4.0], Material::Metal))
+///     .add_contact_box("plug", [1.0, 1.0, 4.0], [3.0, 3.0, 4.0])
+///     .add_rough_facet("plug+x", Axis::X, 3.0, [1.0, 2.0], [2.0, 4.0])
+///     .build();
+/// assert!(structure.mesh.node_count() > 0);
+/// assert!(structure.contact("plug").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StructureBuilder {
+    background: Material,
+    boxes: Vec<BoxRegion>,
+    contacts: Vec<(String, [f64; 3], [f64; 3])>,
+    facets: Vec<FacetSpec>,
+    extra_lines: [Vec<f64>; 3],
+    max_spacing: f64,
+}
+
+#[derive(Debug, Clone)]
+struct FacetSpec {
+    name: String,
+    normal: Axis,
+    plane: f64,
+    /// In-plane bounds: (min, max) for the two perpendicular axes in
+    /// `Axis::perpendicular` order.
+    span: [[f64; 2]; 2],
+    interior_side: FacetSide,
+}
+
+impl StructureBuilder {
+    /// Creates a builder with the given background material.
+    pub fn new(background: Material) -> Self {
+        Self {
+            background,
+            boxes: Vec::new(),
+            contacts: Vec::new(),
+            facets: Vec::new(),
+            extra_lines: [Vec::new(), Vec::new(), Vec::new()],
+            max_spacing: 1.0,
+        }
+    }
+
+    /// Sets the maximum grid spacing (µm) used when generating grid lines.
+    pub fn with_max_spacing(mut self, spacing: f64) -> Self {
+        assert!(spacing > 0.0, "max spacing must be positive");
+        self.max_spacing = spacing;
+        self
+    }
+
+    /// Adds a material box (later boxes override earlier ones).
+    pub fn add_box(mut self, region: BoxRegion) -> Self {
+        self.boxes.push(region);
+        self
+    }
+
+    /// Adds an explicit grid line on the given axis.
+    pub fn add_grid_line(mut self, axis: Axis, value: f64) -> Self {
+        self.extra_lines[axis.as_usize()].push(value);
+        self
+    }
+
+    /// Declares a contact as all nodes inside the given box.
+    pub fn add_contact_box(mut self, name: &str, min: [f64; 3], max: [f64; 3]) -> Self {
+        self.contacts.push((name.to_string(), min, max));
+        self
+    }
+
+    /// Declares a rough facet: the plane `normal = plane` restricted to the
+    /// in-plane rectangle spanned by `span_a` (first perpendicular axis) and
+    /// `span_b` (second perpendicular axis). `interior_side` is derived from
+    /// whether the interior box center lies below or above the plane when the
+    /// facet is added with [`StructureBuilder::add_rough_facet_with_side`];
+    /// this convenience method assumes the interior is on the negative side.
+    pub fn add_rough_facet(
+        self,
+        name: &str,
+        normal: Axis,
+        plane: f64,
+        span_a: [f64; 2],
+        span_b: [f64; 2],
+    ) -> Self {
+        self.add_rough_facet_with_side(name, normal, plane, span_a, span_b, FacetSide::Negative)
+    }
+
+    /// Declares a rough facet and explicitly states on which side of it the
+    /// region interior lies.
+    pub fn add_rough_facet_with_side(
+        mut self,
+        name: &str,
+        normal: Axis,
+        plane: f64,
+        span_a: [f64; 2],
+        span_b: [f64; 2],
+        interior_side: FacetSide,
+    ) -> Self {
+        self.facets.push(FacetSpec {
+            name: name.to_string(),
+            normal,
+            plane,
+            span: [span_a, span_b],
+            interior_side,
+        });
+        self
+    }
+
+    /// Generates the grid lines for one axis from the box boundaries, the
+    /// explicit lines and the maximum spacing.
+    fn grid_lines(&self, axis: Axis) -> Vec<f64> {
+        let d = axis.as_usize();
+        let mut breaks: Vec<f64> = Vec::new();
+        for b in &self.boxes {
+            breaks.push(b.min[d]);
+            breaks.push(b.max[d]);
+        }
+        for f in &self.facets {
+            if f.normal == axis {
+                breaks.push(f.plane);
+            }
+        }
+        breaks.extend_from_slice(&self.extra_lines[d]);
+        breaks.sort_by(|a, b| a.partial_cmp(b).expect("grid line is NaN"));
+        breaks.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        assert!(
+            breaks.len() >= 2,
+            "structure needs at least two distinct {axis} boundaries"
+        );
+        // Refine every interval down to the maximum spacing.
+        let mut lines = Vec::new();
+        for w in breaks.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let n = ((hi - lo) / self.max_spacing).ceil().max(1.0) as usize;
+            for s in 0..n {
+                lines.push(lo + (hi - lo) * s as f64 / n as f64);
+            }
+        }
+        lines.push(*breaks.last().expect("non-empty breaks"));
+        lines
+    }
+
+    /// Builds the mesh, assigns materials, resolves contacts and facets.
+    ///
+    /// # Panics
+    /// Panics if the description contains fewer than two distinct boundaries
+    /// along any axis (nothing to mesh).
+    pub fn build(self) -> Structure {
+        let xs = self.grid_lines(Axis::X);
+        let ys = self.grid_lines(Axis::Y);
+        let zs = self.grid_lines(Axis::Z);
+        let mesh = CartesianMesh::from_grid_lines(xs, ys, zs);
+
+        // Materials: background then boxes in order.
+        let mut materials = MaterialMap::new(mesh.node_count(), self.background);
+        for node in mesh.node_ids() {
+            let p = mesh.position(node);
+            for b in &self.boxes {
+                if b.contains(p) {
+                    materials.set(node, b.material);
+                }
+            }
+        }
+
+        // Contacts.
+        let contacts = self
+            .contacts
+            .iter()
+            .map(|(name, min, max)| {
+                let probe = BoxRegion::new(*min, *max, Material::Metal);
+                let nodes: Vec<NodeId> = mesh
+                    .node_ids()
+                    .filter(|&n| probe.contains(mesh.position(n)))
+                    .collect();
+                Contact {
+                    name: name.clone(),
+                    nodes,
+                }
+            })
+            .collect();
+
+        // Facets.
+        const TOL: f64 = 1e-9;
+        let rough_facets = self
+            .facets
+            .iter()
+            .map(|spec| {
+                let [pa, pb] = spec.normal.perpendicular();
+                let nodes: Vec<NodeId> = mesh
+                    .node_ids()
+                    .filter(|&n| {
+                        let p = mesh.position(n);
+                        (p[spec.normal.as_usize()] - spec.plane).abs() < TOL
+                            && p[pa.as_usize()] >= spec.span[0][0] - TOL
+                            && p[pa.as_usize()] <= spec.span[0][1] + TOL
+                            && p[pb.as_usize()] >= spec.span[1][0] - TOL
+                            && p[pb.as_usize()] <= spec.span[1][1] + TOL
+                    })
+                    .collect();
+                Facet {
+                    name: spec.name.clone(),
+                    normal: spec.normal,
+                    interior_side: spec.interior_side,
+                    nodes,
+                }
+            })
+            .collect();
+
+        Structure {
+            mesh,
+            materials,
+            contacts,
+            rough_facets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_structure() -> Structure {
+        StructureBuilder::new(Material::Insulator)
+            .with_max_spacing(1.0)
+            .add_box(BoxRegion::new(
+                [0.0, 0.0, 0.0],
+                [4.0, 4.0, 2.0],
+                Material::Semiconductor,
+            ))
+            .add_box(BoxRegion::new(
+                [1.0, 1.0, 2.0],
+                [3.0, 3.0, 4.0],
+                Material::Metal,
+            ))
+            .add_contact_box("plug_top", [1.0, 1.0, 4.0], [3.0, 3.0, 4.0])
+            .add_contact_box("ground", [0.0, 0.0, 0.0], [4.0, 4.0, 0.0])
+            .add_rough_facet("plug+x", Axis::X, 3.0, [1.0, 3.0], [2.0, 4.0])
+            .build()
+    }
+
+    #[test]
+    fn materials_follow_box_priority() {
+        let s = simple_structure();
+        let (metal, insulator, semi) = s.materials.counts();
+        assert!(metal > 0 && insulator > 0 && semi > 0);
+        // The metal plug overrides the semiconductor at the shared face z=2.
+        let node = s
+            .mesh
+            .node_ids()
+            .find(|&n| s.mesh.position(n) == [2.0, 2.0, 2.0])
+            .unwrap();
+        assert_eq!(s.materials.material(node), Material::Metal);
+    }
+
+    #[test]
+    fn contacts_capture_expected_nodes() {
+        let s = simple_structure();
+        let top = s.contact("plug_top").unwrap();
+        assert!(!top.nodes.is_empty());
+        for &n in &top.nodes {
+            let p = s.mesh.position(n);
+            assert!((p[2] - 4.0).abs() < 1e-9);
+        }
+        let ground = s.contact("ground").unwrap();
+        assert!(ground.nodes.len() >= 25); // 5x5 bottom face
+        assert!(s.contact("missing").is_none());
+    }
+
+    #[test]
+    fn facets_lie_on_their_plane() {
+        let s = simple_structure();
+        let f = s.facet("plug+x").unwrap();
+        assert!(!f.nodes.is_empty());
+        for &n in &f.nodes {
+            let p = s.mesh.position(n);
+            assert!((p[0] - 3.0).abs() < 1e-9);
+            assert!(p[1] >= 1.0 - 1e-9 && p[1] <= 3.0 + 1e-9);
+            assert!(p[2] >= 2.0 - 1e-9 && p[2] <= 4.0 + 1e-9);
+        }
+        assert_eq!(f.normal, Axis::X);
+    }
+
+    #[test]
+    fn grid_respects_max_spacing() {
+        let s = StructureBuilder::new(Material::Insulator)
+            .with_max_spacing(0.5)
+            .add_box(BoxRegion::new(
+                [0.0, 0.0, 0.0],
+                [2.0, 1.0, 1.0],
+                Material::Metal,
+            ))
+            .build();
+        let (nx, _, _) = s.mesh.dims();
+        assert!(nx >= 5, "expected at least 5 x-lines, got {nx}");
+        // Consecutive x coordinates never exceed the max spacing.
+        let mut xs: Vec<f64> = s
+            .mesh
+            .node_ids()
+            .map(|n| s.mesh.position(n)[0])
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        for w in xs.windows(2) {
+            assert!(w[1] - w[0] <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn semiconductor_nodes_and_contact_nodes_helpers() {
+        let s = simple_structure();
+        let semis = s.semiconductor_nodes();
+        assert!(!semis.is_empty());
+        for &n in &semis {
+            assert_eq!(s.materials.material(n), Material::Semiconductor);
+        }
+        let cnodes = s.contact_nodes();
+        assert!(cnodes.len() >= s.contact("plug_top").unwrap().nodes.len());
+    }
+
+    #[test]
+    fn box_contains_is_inclusive() {
+        let b = BoxRegion::new([0.0; 3], [1.0; 3], Material::Metal);
+        assert!(b.contains([0.0, 0.5, 1.0]));
+        assert!(!b.contains([1.1, 0.5, 0.5]));
+    }
+}

@@ -1,0 +1,148 @@
+//! Strongly typed indices for nodes, links and axes.
+
+use std::fmt;
+
+/// Identifier of a mesh node (vertex of the structured grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a mesh link (edge between two adjacent nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// Underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Cartesian axis of the structured grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// x direction (index `i`).
+    X,
+    /// y direction (index `j`).
+    Y,
+    /// z direction (index `k`).
+    Z,
+}
+
+impl Axis {
+    /// All three axes in `X`, `Y`, `Z` order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Axis position used to index `[f64; 3]` coordinate arrays.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// The two axes perpendicular to this one.
+    pub fn perpendicular(self) -> [Axis; 2] {
+        match self {
+            Axis::X => [Axis::Y, Axis::Z],
+            Axis::Y => [Axis::X, Axis::Z],
+            Axis::Z => [Axis::X, Axis::Y],
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+            Axis::Z => write!(f, "z"),
+        }
+    }
+}
+
+/// Logical (i, j, k) position of a node in the structured grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridIndex {
+    /// Index along x.
+    pub i: usize,
+    /// Index along y.
+    pub j: usize,
+    /// Index along z.
+    pub k: usize,
+}
+
+impl GridIndex {
+    /// Creates a grid index.
+    pub fn new(i: usize, j: usize, k: usize) -> Self {
+        Self { i, j, k }
+    }
+
+    /// Component along the given axis.
+    pub fn along(&self, axis: Axis) -> usize {
+        match axis {
+            Axis::X => self.i,
+            Axis::Y => self.j,
+            Axis::Z => self.k,
+        }
+    }
+}
+
+impl fmt::Display for GridIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.i, self.j, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_helpers() {
+        assert_eq!(Axis::X.as_usize(), 0);
+        assert_eq!(Axis::Z.as_usize(), 2);
+        assert_eq!(Axis::Y.perpendicular(), [Axis::X, Axis::Z]);
+        assert_eq!(Axis::ALL.len(), 3);
+        assert_eq!(Axis::X.to_string(), "x");
+    }
+
+    #[test]
+    fn grid_index_accessors() {
+        let g = GridIndex::new(1, 2, 3);
+        assert_eq!(g.along(Axis::X), 1);
+        assert_eq!(g.along(Axis::Y), 2);
+        assert_eq!(g.along(Axis::Z), 3);
+        assert_eq!(g.to_string(), "(1, 2, 3)");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(NodeId(3) < NodeId(5));
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(LinkId(4).to_string(), "l4");
+        assert_eq!(NodeId(4).to_string(), "n4");
+    }
+}

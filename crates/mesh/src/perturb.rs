@@ -1,0 +1,105 @@
+//! Low-level geometric perturbation helpers.
+//!
+//! The variation models (traditional node perturbation and the paper's
+//! continuous-surface "smart" model) live in the `vaem-variation` crate; this
+//! module provides the mesh-side primitives they need: applying per-node
+//! offsets along an axis and walking grid columns.
+
+use crate::{Axis, CartesianMesh, GridIndex, NodeId};
+
+/// Applies per-node coordinate offsets along `axis`.
+///
+/// Every pair `(node, delta)` moves `node` by `delta` µm along the axis.
+///
+/// # Panics
+/// Panics if a node id is out of range for the mesh.
+pub fn apply_offsets(mesh: &mut CartesianMesh, axis: Axis, offsets: &[(NodeId, f64)]) {
+    for &(node, delta) in offsets {
+        mesh.displace(node, axis, delta);
+    }
+}
+
+/// Returns the whole grid column passing through `node` along `axis`,
+/// ordered by increasing grid index (from the domain boundary on the
+/// negative side to the boundary on the positive side).
+pub fn column_through(mesh: &CartesianMesh, node: NodeId, axis: Axis) -> Vec<NodeId> {
+    let g = mesh.grid_index(node);
+    let (nx, ny, nz) = mesh.dims();
+    let len = match axis {
+        Axis::X => nx,
+        Axis::Y => ny,
+        Axis::Z => nz,
+    };
+    (0..len)
+        .map(|s| {
+            let idx = match axis {
+                Axis::X => GridIndex::new(s, g.j, g.k),
+                Axis::Y => GridIndex::new(g.i, s, g.k),
+                Axis::Z => GridIndex::new(g.i, g.j, s),
+            };
+            mesh.node_at(idx)
+        })
+        .collect()
+}
+
+/// Splits a column at `node`: returns `(before, after)` where `before` holds
+/// the nodes on the negative side of `node` (closest first) and `after` the
+/// nodes on the positive side (closest first). `node` itself is excluded.
+pub fn column_sides(
+    mesh: &CartesianMesh,
+    node: NodeId,
+    axis: Axis,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let column = column_through(mesh, node, axis);
+    let pos = column
+        .iter()
+        .position(|&n| n == node)
+        .expect("node must lie on its own column");
+    let mut before: Vec<NodeId> = column[..pos].to_vec();
+    before.reverse();
+    let after: Vec<NodeId> = column[pos + 1..].to_vec();
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh3() -> CartesianMesh {
+        let lines: Vec<f64> = vec![0.0, 1.0, 2.0, 3.0];
+        CartesianMesh::from_grid_lines(lines.clone(), lines.clone(), lines)
+    }
+
+    #[test]
+    fn offsets_move_nodes() {
+        let mut m = mesh3();
+        let n = m.node_at(GridIndex::new(1, 1, 1));
+        apply_offsets(&mut m, Axis::Y, &[(n, 0.25)]);
+        assert!((m.position(n)[1] - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_has_full_length_and_contains_node() {
+        let m = mesh3();
+        let n = m.node_at(GridIndex::new(2, 1, 3));
+        let col = column_through(&m, n, Axis::X);
+        assert_eq!(col.len(), 4);
+        assert!(col.contains(&n));
+        // Ordered by increasing x.
+        let xs: Vec<f64> = col.iter().map(|&c| m.position(c)[0]).collect();
+        assert!(xs.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn column_sides_split_correctly() {
+        let m = mesh3();
+        let n = m.node_at(GridIndex::new(1, 2, 0));
+        let (before, after) = column_sides(&m, n, Axis::X);
+        assert_eq!(before.len(), 1);
+        assert_eq!(after.len(), 2);
+        // "before" is ordered closest-first.
+        assert_eq!(m.grid_index(before[0]).i, 0);
+        assert_eq!(m.grid_index(after[0]).i, 2);
+        assert_eq!(m.grid_index(after[1]).i, 3);
+    }
+}

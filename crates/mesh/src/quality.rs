@@ -1,0 +1,154 @@
+//! Mesh validity diagnostics.
+//!
+//! The paper's Fig. 1 contrasts the traditional geometric variation model,
+//! where large perturbations make interface nodes cross their neighbours and
+//! "destroy" the mesh, with the smart continuous model that keeps the mesh
+//! valid. These diagnostics quantify that: a mesh is valid when every grid
+//! column remains strictly monotone (no node crossings, no collapsed or
+//! inverted dual cells).
+
+use crate::{Axis, CartesianMesh, GridIndex};
+
+/// Summary of the geometric health of a (possibly perturbed) mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshQualityReport {
+    /// Number of adjacent node pairs whose coordinates are out of order
+    /// (crossed) along their common grid column.
+    pub crossing_count: usize,
+    /// Number of adjacent node pairs closer than `min_spacing_tolerance`
+    /// (nearly collapsed cells).
+    pub near_collapse_count: usize,
+    /// Smallest link length in the mesh (µm); negative lengths cannot occur
+    /// (lengths are Euclidean), crossings show up in `crossing_count`.
+    pub min_link_length: f64,
+    /// Smallest signed spacing along any grid column (µm); negative when
+    /// nodes crossed.
+    pub min_signed_spacing: f64,
+}
+
+impl MeshQualityReport {
+    /// Returns `true` when the mesh has no crossings (the paper's criterion
+    /// for a usable variational geometry).
+    pub fn is_valid(&self) -> bool {
+        self.crossing_count == 0
+    }
+}
+
+/// Assesses the mesh, flagging node crossings and near-collapsed cells.
+///
+/// `min_spacing_tolerance` is the spacing (µm) below which an adjacent node
+/// pair is counted as nearly collapsed.
+///
+/// # Example
+/// ```
+/// use vaem_mesh::{CartesianMesh, Axis, GridIndex};
+/// use vaem_mesh::quality::assess;
+///
+/// let mut mesh = CartesianMesh::from_grid_lines(
+///     vec![0.0, 1.0, 2.0],
+///     vec![0.0, 1.0],
+///     vec![0.0, 1.0],
+/// );
+/// assert!(assess(&mesh, 1e-6).is_valid());
+/// // Push the middle x-plane past its right neighbour: the mesh breaks.
+/// let node = mesh.node_at(GridIndex::new(1, 0, 0));
+/// mesh.displace(node, Axis::X, 1.5);
+/// assert!(!assess(&mesh, 1e-6).is_valid());
+/// ```
+pub fn assess(mesh: &CartesianMesh, min_spacing_tolerance: f64) -> MeshQualityReport {
+    let (nx, ny, nz) = mesh.dims();
+    let mut crossing_count = 0usize;
+    let mut near_collapse_count = 0usize;
+    let mut min_signed_spacing = f64::INFINITY;
+
+    let mut check = |axis: Axis, len: usize, other1: usize, other2: usize| {
+        for a in 0..other1 {
+            for b in 0..other2 {
+                for s in 0..len - 1 {
+                    let (idx0, idx1) = match axis {
+                        Axis::X => (GridIndex::new(s, a, b), GridIndex::new(s + 1, a, b)),
+                        Axis::Y => (GridIndex::new(a, s, b), GridIndex::new(a, s + 1, b)),
+                        Axis::Z => (GridIndex::new(a, b, s), GridIndex::new(a, b, s + 1)),
+                    };
+                    let c0 = mesh.position(mesh.node_at(idx0))[axis.as_usize()];
+                    let c1 = mesh.position(mesh.node_at(idx1))[axis.as_usize()];
+                    let spacing = c1 - c0;
+                    min_signed_spacing = min_signed_spacing.min(spacing);
+                    if spacing <= 0.0 {
+                        crossing_count += 1;
+                    } else if spacing < min_spacing_tolerance {
+                        near_collapse_count += 1;
+                    }
+                }
+            }
+        }
+    };
+
+    check(Axis::X, nx, ny, nz);
+    check(Axis::Y, ny, nx, nz);
+    check(Axis::Z, nz, nx, ny);
+
+    let min_link_length = mesh
+        .link_ids()
+        .map(|l| mesh.link_length(l))
+        .fold(f64::INFINITY, f64::min);
+
+    MeshQualityReport {
+        crossing_count,
+        near_collapse_count,
+        min_link_length,
+        min_signed_spacing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> CartesianMesh {
+        let lines: Vec<f64> = vec![0.0, 1.0, 2.0, 3.0];
+        CartesianMesh::from_grid_lines(lines.clone(), lines.clone(), lines)
+    }
+
+    #[test]
+    fn pristine_mesh_is_valid() {
+        let report = assess(&mesh(), 1e-3);
+        assert!(report.is_valid());
+        assert_eq!(report.crossing_count, 0);
+        assert_eq!(report.near_collapse_count, 0);
+        assert!((report.min_link_length - 1.0).abs() < 1e-12);
+        assert!((report.min_signed_spacing - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_perturbation_keeps_validity() {
+        let mut m = mesh();
+        let n = m.node_at(GridIndex::new(1, 1, 1));
+        m.displace(n, Axis::X, 0.4);
+        let report = assess(&m, 1e-3);
+        assert!(report.is_valid());
+        assert!(report.min_signed_spacing < 1.0);
+    }
+
+    #[test]
+    fn crossing_is_detected() {
+        let mut m = mesh();
+        let n = m.node_at(GridIndex::new(1, 1, 1));
+        // Move past the next grid plane (spacing 1.0): crossing.
+        m.displace(n, Axis::X, 1.2);
+        let report = assess(&m, 1e-3);
+        assert!(!report.is_valid());
+        assert!(report.crossing_count >= 1);
+        assert!(report.min_signed_spacing < 0.0);
+    }
+
+    #[test]
+    fn near_collapse_is_counted_separately() {
+        let mut m = mesh();
+        let n = m.node_at(GridIndex::new(1, 0, 0));
+        m.displace(n, Axis::X, 0.9999);
+        let report = assess(&m, 1e-2);
+        assert!(report.is_valid());
+        assert!(report.near_collapse_count >= 1);
+    }
+}

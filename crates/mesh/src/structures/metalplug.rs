@@ -1,0 +1,210 @@
+//! Example A: two metal plugs on doped silicon (paper Section IV.A, Fig. 2a).
+//!
+//! The structure is a 10×10×10 µm doped-silicon block with two
+//! 3×3×5 µm metal plugs sitting on its top face; the quantity of interest is
+//! the current through the metal–semiconductor interfaces at 1 GHz under
+//! surface roughness (on those interfaces) and random doping fluctuation.
+
+use crate::{Axis, BoxRegion, FacetSide, Material, Structure, StructureBuilder};
+
+/// Geometric parameters of the metal-plug structure (all lengths in µm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetalPlugConfig {
+    /// Lateral size of the silicon block (x and y).
+    pub silicon_size: f64,
+    /// Height of the silicon block (z).
+    pub silicon_height: f64,
+    /// Lateral size of each square plug.
+    pub plug_size: f64,
+    /// Height of each plug.
+    pub plug_height: f64,
+    /// Gap between the silicon edge and the first plug (x direction).
+    pub plug_edge_margin: f64,
+    /// Maximum mesh spacing.
+    pub max_spacing: f64,
+}
+
+impl Default for MetalPlugConfig {
+    fn default() -> Self {
+        Self {
+            silicon_size: 10.0,
+            silicon_height: 10.0,
+            plug_size: 3.0,
+            plug_height: 5.0,
+            plug_edge_margin: 1.0,
+            max_spacing: 1.0,
+        }
+    }
+}
+
+impl MetalPlugConfig {
+    /// A coarser variant used by fast tests and the bench "quick" mode.
+    pub fn coarse() -> Self {
+        Self {
+            max_spacing: 2.0,
+            ..Self::default()
+        }
+    }
+
+    /// Footprint `(min, max)` of plug 1 in the x–y plane.
+    pub fn plug1_footprint(&self) -> ([f64; 2], [f64; 2]) {
+        let x0 = self.plug_edge_margin;
+        let y0 = 0.5 * (self.silicon_size - self.plug_size);
+        ([x0, y0], [x0 + self.plug_size, y0 + self.plug_size])
+    }
+
+    /// Footprint `(min, max)` of plug 2 in the x–y plane.
+    pub fn plug2_footprint(&self) -> ([f64; 2], [f64; 2]) {
+        let x1 = self.silicon_size - self.plug_edge_margin;
+        let y0 = 0.5 * (self.silicon_size - self.plug_size);
+        (
+            [x1 - self.plug_size, y0],
+            [x1, y0 + self.plug_size],
+        )
+    }
+}
+
+/// Builds the Example-A structure.
+///
+/// Terminals: `"plug1"`, `"plug2"` (top faces of the plugs) and `"ground"`
+/// (bottom face of the silicon). Rough facets: the metal–semiconductor
+/// interface under each plug (`"plug1_interface"`, `"plug2_interface"`),
+/// perturbed along z as in the paper's Example A (σ_G = 0.5 µm).
+///
+/// # Example
+/// ```
+/// use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+/// let s = build_metalplug_structure(&MetalPlugConfig::default());
+/// assert_eq!(s.rough_facets.len(), 2);
+/// assert!(s.contact("plug1").is_some());
+/// assert!(s.contact("ground").is_some());
+/// ```
+pub fn build_metalplug_structure(config: &MetalPlugConfig) -> Structure {
+    let si = config.silicon_size;
+    let h = config.silicon_height;
+    let top = h + config.plug_height;
+    let ([p1x0, p1y0], [p1x1, p1y1]) = config.plug1_footprint();
+    let ([p2x0, p2y0], [p2x1, p2y1]) = config.plug2_footprint();
+
+    StructureBuilder::new(Material::Insulator)
+        .with_max_spacing(config.max_spacing)
+        // Guarantee at least one dielectric grid plane between the facing
+        // plug walls so the two terminals can never merge on coarse meshes.
+        .add_grid_line(Axis::X, 0.5 * (p1x1 + p2x0))
+        // Doped silicon block.
+        .add_box(BoxRegion::new(
+            [0.0, 0.0, 0.0],
+            [si, si, h],
+            Material::Semiconductor,
+        ))
+        // Metal plugs sitting on the silicon.
+        .add_box(BoxRegion::new(
+            [p1x0, p1y0, h],
+            [p1x1, p1y1, top],
+            Material::Metal,
+        ))
+        .add_box(BoxRegion::new(
+            [p2x0, p2y0, h],
+            [p2x1, p2y1, top],
+            Material::Metal,
+        ))
+        // Terminals.
+        .add_contact_box("plug1", [p1x0, p1y0, top], [p1x1, p1y1, top])
+        .add_contact_box("plug2", [p2x0, p2y0, top], [p2x1, p2y1, top])
+        .add_contact_box("ground", [0.0, 0.0, 0.0], [si, si, 0.0])
+        // Rough metal-semiconductor interfaces (bottom faces of the plugs).
+        .add_rough_facet_with_side(
+            "plug1_interface",
+            Axis::Z,
+            h,
+            [p1x0, p1x1],
+            [p1y0, p1y1],
+            FacetSide::Negative,
+        )
+        .add_rough_facet_with_side(
+            "plug2_interface",
+            Axis::Z,
+            h,
+            [p2x0, p2x1],
+            [p2y0, p2y1],
+            FacetSide::Negative,
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_structure_has_expected_scale() {
+        let s = build_metalplug_structure(&MetalPlugConfig::default());
+        // Comparable to the paper's 1300-node mesh.
+        assert!(
+            s.mesh.node_count() > 800 && s.mesh.node_count() < 6000,
+            "node count {}",
+            s.mesh.node_count()
+        );
+        let (metal, _, semi) = s.materials.counts();
+        assert!(metal > 0);
+        assert!(semi > 0);
+    }
+
+    #[test]
+    fn contacts_are_disjoint_and_on_expected_planes() {
+        let s = build_metalplug_structure(&MetalPlugConfig::default());
+        let plug1 = s.contact("plug1").unwrap();
+        let plug2 = s.contact("plug2").unwrap();
+        let ground = s.contact("ground").unwrap();
+        assert!(!plug1.nodes.is_empty());
+        assert!(!plug2.nodes.is_empty());
+        assert!(!ground.nodes.is_empty());
+        for &n in &plug1.nodes {
+            assert!((s.mesh.position(n)[2] - 15.0).abs() < 1e-9);
+        }
+        for &n in &ground.nodes {
+            assert!(s.mesh.position(n)[2].abs() < 1e-9);
+        }
+        let set1: std::collections::BTreeSet<_> = plug1.nodes.iter().collect();
+        assert!(plug2.nodes.iter().all(|n| !set1.contains(n)));
+    }
+
+    #[test]
+    fn interface_facets_have_a_plug_footprint_of_nodes() {
+        let cfg = MetalPlugConfig::default();
+        let s = build_metalplug_structure(&cfg);
+        let f1 = s.facet("plug1_interface").unwrap();
+        // 3x3 µm footprint at 1 µm pitch: 4x4 = 16 nodes, matching the paper's
+        // 32 perturbed nodes over the two interfaces.
+        assert_eq!(f1.nodes.len(), 16, "got {}", f1.nodes.len());
+        assert_eq!(f1.normal, Axis::Z);
+        for &n in &f1.nodes {
+            assert!((s.mesh.position(n)[2] - cfg.silicon_height).abs() < 1e-9);
+        }
+        let total: usize = s.rough_facets.iter().map(|f| f.nodes.len()).sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn interface_nodes_touch_metal_above_and_silicon_below() {
+        let s = build_metalplug_structure(&MetalPlugConfig::default());
+        let f1 = s.facet("plug1_interface").unwrap();
+        let mut saw_metal_above = 0;
+        for &n in &f1.nodes {
+            // Node itself is metal (plug box overrides silicon at the face).
+            if s.materials.material(n).is_metal() {
+                saw_metal_above += 1;
+            }
+            let below = s.mesh.neighbor(n, Axis::Z, false).unwrap();
+            assert!(s.materials.material(below).is_semiconductor());
+        }
+        assert!(saw_metal_above > 0);
+    }
+
+    #[test]
+    fn coarse_config_is_smaller() {
+        let fine = build_metalplug_structure(&MetalPlugConfig::default());
+        let coarse = build_metalplug_structure(&MetalPlugConfig::coarse());
+        assert!(coarse.mesh.node_count() < fine.mesh.node_count());
+    }
+}

@@ -1,0 +1,10 @@
+//! Pre-built test structures from the paper's evaluation section.
+//!
+//! * [`metalplug`] — Example A (Section IV.A / Fig. 2a): two metal plugs on a
+//!   doped silicon block, used for the interface-current study of Table I.
+//! * [`tsv`] — Example B (Section IV.B / Fig. 3): two TSVs through a silicon
+//!   substrate with surrounding metal traces, used for the capacitance study
+//!   of Table II.
+
+pub mod metalplug;
+pub mod tsv;

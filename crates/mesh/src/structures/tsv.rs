@@ -1,0 +1,287 @@
+//! Example B: two TSVs through a silicon substrate with neighbouring metal
+//! traces (paper Section IV.B, Fig. 3).
+//!
+//! Two 5×5×20 µm TSVs at 10 µm pitch penetrate a 5 µm silicon substrate;
+//! a thin dielectric liner separates the TSV metal from the silicon, and four
+//! 1×2 µm metal traces at 2 µm pitch run alongside the TSVs in the top metal
+//! layer. The quantities of interest are the self- and coupling capacitances
+//! of TSV1 (Table II) under lateral-wall roughness and random doping
+//! fluctuation in the substrate.
+
+use crate::{Axis, BoxRegion, FacetSide, Material, Structure, StructureBuilder};
+
+/// Geometric parameters of the TSV structure (all lengths in µm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsvConfig {
+    /// TSV metal cross-section side length.
+    pub tsv_size: f64,
+    /// TSV height (z extent of the metal barrel).
+    pub tsv_height: f64,
+    /// Centre-to-centre pitch between the two TSVs.
+    pub pitch: f64,
+    /// Dielectric liner thickness around each TSV.
+    pub liner_thickness: f64,
+    /// Thickness of the silicon substrate crossed by the TSVs.
+    pub substrate_thickness: f64,
+    /// Thickness of each metal (trace) layer.
+    pub metal_layer_thickness: f64,
+    /// Width of the surrounding traces.
+    pub trace_width: f64,
+    /// Pitch between neighbouring traces.
+    pub trace_pitch: f64,
+    /// Maximum mesh spacing.
+    pub max_spacing: f64,
+}
+
+impl Default for TsvConfig {
+    fn default() -> Self {
+        Self {
+            tsv_size: 5.0,
+            tsv_height: 20.0,
+            pitch: 10.0,
+            liner_thickness: 0.5,
+            substrate_thickness: 5.0,
+            metal_layer_thickness: 2.0,
+            trace_width: 1.0,
+            trace_pitch: 2.0,
+            max_spacing: 1.25,
+        }
+    }
+}
+
+impl TsvConfig {
+    /// A coarser variant used by fast tests and the bench "quick" mode.
+    pub fn coarse() -> Self {
+        Self {
+            max_spacing: 2.5,
+            ..Self::default()
+        }
+    }
+
+    /// Domain size `(x, y, z)`.
+    pub fn domain(&self) -> [f64; 3] {
+        let x = self.pitch + self.tsv_size + 2.0 * (self.liner_thickness + 2.5);
+        let y = self.tsv_size + 2.0 * (self.liner_thickness + 2.0);
+        [x, y, self.tsv_height]
+    }
+
+    /// Centre x-coordinates of the two TSVs.
+    pub fn tsv_centers(&self) -> [f64; 2] {
+        let [dx, _, _] = self.domain();
+        let mid = dx / 2.0;
+        [mid - self.pitch / 2.0, mid + self.pitch / 2.0]
+    }
+}
+
+/// Builds the Example-B TSV structure.
+///
+/// Terminals: `"tsv1"`, `"tsv2"`, `"w1"`…`"w4"`. Rough facets: the four
+/// lateral walls of each TSV (`"tsv1+x"`, `"tsv1-x"`, `"tsv1+y"`, `"tsv1-y"`,
+/// same for `tsv2`), perturbed along their normals.
+///
+/// # Example
+/// ```
+/// use vaem_mesh::structures::tsv::{build_tsv_structure, TsvConfig};
+/// let s = build_tsv_structure(&TsvConfig::default());
+/// assert_eq!(s.rough_facets.len(), 8);
+/// assert!(s.contact("tsv1").is_some());
+/// assert!(s.contact("w4").is_some());
+/// ```
+pub fn build_tsv_structure(config: &TsvConfig) -> Structure {
+    let [dx, dy, dz] = config.domain();
+    let [c1, c2] = config.tsv_centers();
+    let half = config.tsv_size / 2.0;
+    let liner = config.liner_thickness;
+    let y_mid = dy / 2.0;
+
+    // Substrate occupies the middle of the stack.
+    let sub_z0 = (dz - config.substrate_thickness) / 2.0;
+    let sub_z1 = sub_z0 + config.substrate_thickness;
+    // Top metal (trace) layer sits above the substrate with a small gap.
+    let m_top_z0 = sub_z1 + 2.0;
+    let m_top_z1 = m_top_z0 + config.metal_layer_thickness;
+
+    let mut builder = StructureBuilder::new(Material::Insulator)
+        .with_max_spacing(config.max_spacing)
+        // Silicon substrate through the whole x-y extent.
+        .add_box(BoxRegion::new(
+            [0.0, 0.0, sub_z0],
+            [dx, dy, sub_z1],
+            Material::Semiconductor,
+        ));
+
+    // TSVs with dielectric liners.
+    for (name, c) in [("tsv1", c1), ("tsv2", c2)] {
+        builder = builder
+            .add_box(BoxRegion::new(
+                [c - half - liner, y_mid - half - liner, 0.0],
+                [c + half + liner, y_mid + half + liner, dz],
+                Material::Insulator,
+            ))
+            .add_box(BoxRegion::new(
+                [c - half, y_mid - half, 0.0],
+                [c + half, y_mid + half, dz],
+                Material::Metal,
+            ))
+            .add_contact_box(
+                name,
+                [c - half, y_mid - half, 0.0],
+                [c + half, y_mid + half, dz],
+            );
+    }
+
+    // Four traces running along y in the top metal layer: two to the left of
+    // TSV1 and two to the right of TSV2, at the configured pitch.
+    let w = config.trace_width;
+    let p = config.trace_pitch;
+    let trace_xs = [
+        c1 - half - liner - p,
+        c1 - half - liner - p - p,
+        c2 + half + liner + p - w,
+        c2 + half + liner + p + p - w,
+    ];
+    for (i, &x0) in trace_xs.iter().enumerate() {
+        let name = format!("w{}", i + 1);
+        builder = builder
+            .add_box(BoxRegion::new(
+                [x0, 0.0, m_top_z0],
+                [x0 + w, dy, m_top_z1],
+                Material::Metal,
+            ))
+            .add_contact_box(&name, [x0, 0.0, m_top_z0], [x0 + w, dy, m_top_z1]);
+    }
+
+    // Rough lateral walls of both TSVs (the metal surface planes).
+    for (tsv, c) in [("tsv1", c1), ("tsv2", c2)] {
+        builder = builder
+            .add_rough_facet_with_side(
+                &format!("{tsv}+x"),
+                Axis::X,
+                c + half,
+                [y_mid - half, y_mid + half],
+                [0.0, dz],
+                FacetSide::Negative,
+            )
+            .add_rough_facet_with_side(
+                &format!("{tsv}-x"),
+                Axis::X,
+                c - half,
+                [y_mid - half, y_mid + half],
+                [0.0, dz],
+                FacetSide::Positive,
+            )
+            .add_rough_facet_with_side(
+                &format!("{tsv}+y"),
+                Axis::Y,
+                y_mid + half,
+                [c - half, c + half],
+                [0.0, dz],
+                FacetSide::Negative,
+            )
+            .add_rough_facet_with_side(
+                &format!("{tsv}-y"),
+                Axis::Y,
+                y_mid - half,
+                [c - half, c + half],
+                [0.0, dz],
+                FacetSide::Positive,
+            );
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn default_structure_scale_is_comparable_to_paper() {
+        let s = build_tsv_structure(&TsvConfig::default());
+        // The paper's mesh has 4032 nodes and 11332 links.
+        assert!(
+            s.mesh.node_count() > 1500 && s.mesh.node_count() < 12000,
+            "node count {}",
+            s.mesh.node_count()
+        );
+        assert!(s.mesh.link_count() > 3 * 1500);
+    }
+
+    #[test]
+    fn six_terminals_exist_and_are_disjoint() {
+        let s = build_tsv_structure(&TsvConfig::default());
+        let names = ["tsv1", "tsv2", "w1", "w2", "w3", "w4"];
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for name in names {
+            let c = s.contact(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(!c.nodes.is_empty(), "{name} has no nodes");
+            for &n in &c.nodes {
+                assert!(seen.insert(n.index()), "{name} overlaps another contact");
+            }
+        }
+    }
+
+    #[test]
+    fn contacts_are_all_metal_nodes() {
+        let s = build_tsv_structure(&TsvConfig::default());
+        for c in &s.contacts {
+            for &n in &c.nodes {
+                assert!(
+                    s.materials.material(n).is_metal(),
+                    "contact {} contains a non-metal node",
+                    c.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eight_rough_facets_with_dozens_of_nodes_each() {
+        let s = build_tsv_structure(&TsvConfig::default());
+        assert_eq!(s.rough_facets.len(), 8);
+        for f in &s.rough_facets {
+            assert!(
+                f.nodes.len() >= 30,
+                "facet {} has only {} nodes",
+                f.name,
+                f.nodes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn substrate_separates_from_tsv_metal_by_liner() {
+        let cfg = TsvConfig::default();
+        let s = build_tsv_structure(&cfg);
+        let [c1, _] = cfg.tsv_centers();
+        let half = cfg.tsv_size / 2.0;
+        // A node just outside the metal wall (inside the liner) is insulator.
+        let probe = s
+            .mesh
+            .node_ids()
+            .find(|&n| {
+                let p = s.mesh.position(n);
+                (p[0] - (c1 + half + cfg.liner_thickness / 2.0)).abs() < cfg.liner_thickness
+                    && (p[1] - cfg.domain()[1] / 2.0).abs() < 1.0
+                    && p[2] > cfg.domain()[2] * 0.45
+                    && p[2] < cfg.domain()[2] * 0.55
+                    && !s.materials.material(n).is_metal()
+            });
+        assert!(probe.is_some(), "expected liner nodes next to the TSV wall");
+    }
+
+    #[test]
+    fn semiconductor_nodes_exist_in_substrate_band() {
+        let cfg = TsvConfig::default();
+        let s = build_tsv_structure(&cfg);
+        let semis = s.semiconductor_nodes();
+        assert!(!semis.is_empty());
+        let sub_z0 = (cfg.domain()[2] - cfg.substrate_thickness) / 2.0;
+        let sub_z1 = sub_z0 + cfg.substrate_thickness;
+        for &n in &semis {
+            let z = s.mesh.position(n)[2];
+            assert!(z >= sub_z0 - 1e-9 && z <= sub_z1 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Symmetric eigendecomposition via cyclic Jacobi rotations.
+//!
+//! Used for the classical PFA (principal factor analysis) reduction of the
+//! variation covariance matrix and for the Golub–Welsch construction of
+//! Gauss–Hermite quadrature rules.
+
+use super::DMatrix;
+use crate::NumericError;
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a real symmetric matrix.
+///
+/// Eigenpairs are sorted by decreasing eigenvalue.
+///
+/// # Example
+/// ```
+/// use vaem_numeric::dense::{DMatrix, SymmetricEigen};
+/// let a = DMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+/// let eig = SymmetricEigen::new(&a)?;
+/// assert!((eig.eigenvalues()[0] - 3.0).abs() < 1e-12);
+/// assert!((eig.eigenvalues()[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), vaem_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    eigenvectors: DMatrix<f64>,
+}
+
+impl SymmetricEigen {
+    /// Maximum number of Jacobi sweeps before giving up.
+    const MAX_SWEEPS: usize = 100;
+
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// The strictly upper triangle is assumed to mirror the lower triangle;
+    /// small asymmetries (below 1e-9 relative) are tolerated and symmetrized.
+    ///
+    /// # Errors
+    /// * [`NumericError::DimensionMismatch`] for non-square input.
+    /// * [`NumericError::NoConvergence`] if the Jacobi sweeps do not converge.
+    pub fn new(a: &DMatrix<f64>) -> Result<Self, NumericError> {
+        if !a.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                detail: format!(
+                    "eigendecomposition requires a square matrix, got {}x{}",
+                    a.rows(),
+                    a.cols()
+                ),
+            });
+        }
+        let n = a.rows();
+        // Work on the symmetrized copy to be robust to round-off asymmetry.
+        let mut m = DMatrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let mut v = DMatrix::<f64>::identity(n);
+
+        let off = |m: &DMatrix<f64>| -> f64 {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        s += m[(i, j)] * m[(i, j)];
+                    }
+                }
+            }
+            s.sqrt()
+        };
+
+        let scale = m.frobenius_norm().max(1e-300);
+        let tol = 1e-14 * scale;
+        let mut sweeps = 0;
+        while off(&m) > tol {
+            sweeps += 1;
+            if sweeps > Self::MAX_SWEEPS {
+                return Err(NumericError::NoConvergence {
+                    iterations: Self::MAX_SWEEPS,
+                });
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol / (n as f64) {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Apply rotation on rows/columns p and q.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+
+        // Extract and sort by decreasing eigenvalue.
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let eigenvalues: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
+        let eigenvectors =
+            DMatrix::from_fn(n, n, |i, j| v[(i, pairs[j].1)]);
+
+        Ok(Self {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues sorted in decreasing order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Matrix whose columns are the eigenvectors (same order as the values).
+    pub fn eigenvectors(&self) -> &DMatrix<f64> {
+        &self.eigenvectors
+    }
+
+    /// Number of eigenvalues needed to capture `fraction` of the total
+    /// (absolute) spectral energy.
+    ///
+    /// This mirrors the truncation criterion of the PFA/wPFA reduction: keep
+    /// the leading factors until the captured variance exceeds the threshold.
+    pub fn count_for_energy(&self, fraction: f64) -> usize {
+        let total: f64 = self.eigenvalues.iter().map(|l| l.abs()).sum();
+        if total == 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, l) in self.eigenvalues.iter().enumerate() {
+            acc += l.abs();
+            if acc >= fraction * total {
+                return i + 1;
+            }
+        }
+        self.eigenvalues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_sorted() {
+        let a = DMatrix::from_diagonal(&[1.0, 5.0, 3.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.eigenvalues(), &[5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn reconstructs_matrix_from_eigenpairs() {
+        let a = DMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let v = e.eigenvectors();
+        let lam = DMatrix::from_diagonal(e.eigenvalues());
+        let recon = v.matmul(&lam).matmul(&v.transpose());
+        assert!(recon.sub(&a).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = DMatrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let v = e.eigenvectors();
+        let vtv = v.transpose().matmul(v);
+        assert!(vtv.sub(&DMatrix::identity(3)).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        let a = DMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues()[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_truncation_counts() {
+        let a = DMatrix::from_diagonal(&[8.0, 1.0, 0.5, 0.5]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.count_for_energy(0.75), 1);
+        assert_eq!(e.count_for_energy(0.95), 3);
+        assert_eq!(e.count_for_energy(1.0), 4);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = DMatrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            SymmetricEigen::new(&a),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,245 @@
+//! LU factorization with partial pivoting, generic over [`Scalar`].
+
+use super::DMatrix;
+use crate::{NumericError, Scalar};
+
+/// LU factorization `P·A = L·U` with partial (row) pivoting.
+///
+/// Used as a dense fallback solver and for small coupling blocks in the FVM
+/// layer; works for real and complex matrices.
+///
+/// # Example
+/// ```
+/// use vaem_numeric::dense::DMatrix;
+/// let a = DMatrix::from_rows(&[vec![4.0, 3.0], vec![6.0, 3.0]]);
+/// let lu = a.lu()?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), vaem_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu<T: Scalar> {
+    factors: DMatrix<T>,
+    pivots: Vec<usize>,
+    sign_flips: usize,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    /// * [`NumericError::DimensionMismatch`] if the matrix is not square.
+    /// * [`NumericError::Singular`] if a zero pivot is encountered.
+    pub fn new(a: &DMatrix<T>) -> Result<Self, NumericError> {
+        if !a.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                detail: format!("LU requires a square matrix, got {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut pivots = Vec::with_capacity(n);
+        let mut sign_flips = 0usize;
+
+        for k in 0..n {
+            // Find pivot row by maximum modulus in column k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].modulus();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].modulus();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 {
+                return Err(NumericError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                sign_flips += 1;
+            }
+            pivots.push(p);
+
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let update = factor * lu[(k, j)];
+                    lu[(i, j)] -= update;
+                }
+            }
+        }
+
+        Ok(Self {
+            factors: lu,
+            pivots,
+            sign_flips,
+        })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
+    /// the factorized dimension.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumericError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                detail: format!("rhs length {} does not match dimension {}", b.len(), n),
+            });
+        }
+        let mut x = b.to_vec();
+        // Apply row permutation.
+        for (k, &p) in self.pivots.iter().enumerate() {
+            if p != k {
+                x.swap(k, p);
+            }
+        }
+        // Forward substitution with unit lower-triangular L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = acc / self.factors[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves for multiple right-hand sides (columns of `B`).
+    ///
+    /// # Errors
+    /// Same conditions as [`Lu::solve`].
+    pub fn solve_matrix(&self, b: &DMatrix<T>) -> Result<DMatrix<T>, NumericError> {
+        let mut out = DMatrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.column(j);
+            let x = self.solve(&col)?;
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> T {
+        let n = self.dim();
+        let mut d = if self.sign_flips % 2 == 0 {
+            T::one()
+        } else {
+            -T::one()
+        };
+        for i in 0..n {
+            d *= self.factors[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factorized matrix.
+    ///
+    /// # Errors
+    /// Same conditions as [`Lu::solve`].
+    pub fn inverse(&self) -> Result<DMatrix<T>, NumericError> {
+        let n = self.dim();
+        self.solve_matrix(&DMatrix::identity(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn solves_real_3x3() {
+        let a = DMatrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ]);
+        let b = vec![5.0, -2.0, 9.0];
+        let x = a.solve(&b).unwrap();
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn determinant_and_inverse() {
+        let a = DMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let lu = a.lu().unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-13);
+        let inv = lu.inverse().unwrap();
+        let eye = a.matmul(&inv);
+        assert!((eye[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!(eye[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = DMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(NumericError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = DMatrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            a.lu(),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        let a = DMatrix::from_rows(&[
+            vec![Complex64::new(2.0, 1.0), Complex64::new(0.0, -1.0)],
+            vec![Complex64::new(1.0, 0.0), Complex64::new(3.0, 2.0)],
+        ]);
+        let x_true = vec![Complex64::new(1.0, -1.0), Complex64::new(0.5, 2.0)];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (l, r) in x.iter().zip(x_true.iter()) {
+            assert!((*l - *r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn rhs_length_mismatch_is_an_error() {
+        let a = DMatrix::<f64>::identity(3);
+        let lu = a.lu().unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+}

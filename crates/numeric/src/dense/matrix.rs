@@ -1,0 +1,341 @@
+//! Row-major dense matrix generic over [`Scalar`].
+
+use crate::{NumericError, Scalar};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix over a [`Scalar`] type.
+///
+/// # Example
+/// ```
+/// use vaem_numeric::dense::DMatrix;
+/// let a = DMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let b = a.matmul(&DMatrix::<f64>::identity(2));
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DMatrix<T> {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row vectors.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths or the input is empty.
+    pub fn from_rows(rows: &[Vec<T>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: empty input");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "from_rows: ragged rows"
+        );
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[T]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of a full row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of a full row as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn column(&self, j: usize) -> Vec<T> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Underlying data in row-major order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Conjugate-transposed (Hermitian) copy.
+    pub fn conj_transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![T::zero(); self.rows];
+        for i in 0..self.rows {
+            let mut acc = T::zero();
+            let row = self.row(i);
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += *a * *b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == T::zero() {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Self::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + other[(i, j)])
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Self::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - other[(i, j)])
+    }
+
+    /// Scales every entry by a real factor.
+    pub fn scale(&self, s: f64) -> Self {
+        Self::from_fn(self.rows, self.cols, |i, j| self[(i, j)].scale(s))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v.modulus_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum modulus entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::Singular`] when a pivot is exactly zero and
+    /// [`NumericError::DimensionMismatch`] for non-square matrices.
+    pub fn lu(&self) -> Result<super::Lu<T>, NumericError> {
+        super::Lu::new(self)
+    }
+
+    /// Solves `A·x = b` through an LU factorization.
+    ///
+    /// # Errors
+    /// See [`DMatrix::lu`].
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumericError> {
+        self.lu()?.solve(b)
+    }
+}
+
+impl DMatrix<f64> {
+    /// Returns `true` if the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for DMatrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for DMatrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> fmt::Debug for DMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let eye = DMatrix::<f64>::identity(3);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(eye.matvec(&x), x);
+    }
+
+    #[test]
+    fn matmul_matches_manual_result() {
+        let a = DMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = DMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn transpose_and_conj_transpose() {
+        let a = DMatrix::from_rows(&[
+            vec![Complex64::new(1.0, 2.0), Complex64::new(3.0, 4.0)],
+        ]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t[(1, 0)], Complex64::new(3.0, 4.0));
+        let h = a.conj_transpose();
+        assert_eq!(h[(1, 0)], Complex64::new(3.0, -4.0));
+    }
+
+    #[test]
+    fn diagonal_constructor() {
+        let d = DMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert!((d.frobenius_norm() - 14.0_f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn symmetric_check() {
+        let s = DMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert!(s.is_symmetric(0.0));
+        let ns = DMatrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 2.0]]);
+        assert!(!ns.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = DMatrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = DMatrix::from_rows(&[vec![3.0, 4.0]]);
+        assert_eq!(a.add(&b)[(0, 1)], 6.0);
+        assert_eq!(b.sub(&a)[(0, 0)], 2.0);
+        assert_eq!(a.scale(2.0)[(0, 1)], 4.0);
+        assert_eq!(b.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn row_and_column_access() {
+        let a = DMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.column(0), vec![1.0, 3.0]);
+    }
+}

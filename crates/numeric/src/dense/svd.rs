@@ -1,0 +1,251 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The weighted PFA (wPFA) reduction of the paper multiplies the variation
+//! covariance by a diagonal weight matrix derived from the nominal solution
+//! and decomposes the product with an SVD (Section III.C); this module
+//! provides that decomposition.
+
+use super::DMatrix;
+use crate::NumericError;
+
+/// Thin SVD `A = U·diag(σ)·Vᵀ` of an `m×n` real matrix (`m ≥ n` is handled
+/// directly; `m < n` is handled by decomposing the transpose).
+///
+/// Singular values are sorted in decreasing order; `U` is `m×n`, `V` is `n×n`.
+///
+/// # Example
+/// ```
+/// use vaem_numeric::dense::{DMatrix, Svd};
+/// let a = DMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 2.0], vec![0.0, 0.0]]);
+/// let svd = Svd::new(&a)?;
+/// assert!((svd.singular_values()[0] - 3.0).abs() < 1e-12);
+/// assert!((svd.singular_values()[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), vaem_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: DMatrix<f64>,
+    singular_values: Vec<f64>,
+    v: DMatrix<f64>,
+}
+
+impl Svd {
+    /// Maximum number of one-sided Jacobi sweeps.
+    const MAX_SWEEPS: usize = 60;
+
+    /// Computes the thin SVD of `a`.
+    ///
+    /// # Errors
+    /// Returns [`NumericError::NoConvergence`] if the Jacobi sweeps fail to
+    /// orthogonalize the columns.
+    pub fn new(a: &DMatrix<f64>) -> Result<Self, NumericError> {
+        if a.rows() >= a.cols() {
+            Self::tall(a)
+        } else {
+            // A = U Σ Vᵀ  ⇔  Aᵀ = V Σ Uᵀ
+            let t = Self::tall(&a.transpose())?;
+            Ok(Self {
+                u: t.v,
+                singular_values: t.singular_values,
+                v: t.u,
+            })
+        }
+    }
+
+    fn tall(a: &DMatrix<f64>) -> Result<Self, NumericError> {
+        let m = a.rows();
+        let n = a.cols();
+        let mut u = a.clone();
+        let mut v = DMatrix::<f64>::identity(n);
+
+        let tol = 1e-14;
+        let mut converged = false;
+        for _sweep in 0..Self::MAX_SWEEPS {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Compute the 2x2 Gram entries for columns p and q.
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..m {
+                        app += u[(i, p)] * u[(i, p)];
+                        aqq += u[(i, q)] * u[(i, q)];
+                        apq += u[(i, p)] * u[(i, q)];
+                    }
+                    // Columns are "orthogonal enough" relative to their norms.
+                    if apq.abs() <= tol * (app * aqq).sqrt().max(1e-300) {
+                        continue;
+                    }
+                    rotated = true;
+                    // Jacobi rotation that annihilates the (p, q) Gram entry.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..m {
+                        let uip = u[(i, p)];
+                        let uiq = u[(i, q)];
+                        u[(i, p)] = c * uip - s * uiq;
+                        u[(i, q)] = s * uip + c * uiq;
+                    }
+                    for i in 0..n {
+                        let vip = v[(i, p)];
+                        let viq = v[(i, q)];
+                        v[(i, p)] = c * vip - s * viq;
+                        v[(i, q)] = s * vip + c * viq;
+                    }
+                }
+            }
+            if !rotated {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // One last check: columns may already be orthogonal enough.
+            // (Jacobi typically converges; report failure otherwise.)
+            return Err(NumericError::NoConvergence {
+                iterations: Self::MAX_SWEEPS,
+            });
+        }
+
+        // Column norms are the singular values; normalize U.
+        let mut sv: Vec<(f64, usize)> = (0..n)
+            .map(|j| {
+                let norm: f64 = (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt();
+                (norm, j)
+            })
+            .collect();
+        sv.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let singular_values: Vec<f64> = sv.iter().map(|(s, _)| *s).collect();
+        let mut u_sorted = DMatrix::<f64>::zeros(m, n);
+        let mut v_sorted = DMatrix::<f64>::zeros(n, n);
+        for (new_j, (sigma, old_j)) in sv.iter().enumerate() {
+            let denom = if *sigma > 0.0 { *sigma } else { 1.0 };
+            for i in 0..m {
+                u_sorted[(i, new_j)] = u[(i, *old_j)] / denom;
+            }
+            for i in 0..n {
+                v_sorted[(i, new_j)] = v[(i, *old_j)];
+            }
+        }
+
+        Ok(Self {
+            u: u_sorted,
+            singular_values,
+            v: v_sorted,
+        })
+    }
+
+    /// Left singular vectors (`m×n`, orthonormal columns).
+    pub fn u(&self) -> &DMatrix<f64> {
+        &self.u
+    }
+
+    /// Singular values in decreasing order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// Right singular vectors (`n×n`, orthonormal columns).
+    pub fn v(&self) -> &DMatrix<f64> {
+        &self.v
+    }
+
+    /// Number of singular values needed to capture `fraction` of the total
+    /// energy `Σσᵢ` (the wPFA truncation criterion).
+    pub fn count_for_energy(&self, fraction: f64) -> usize {
+        let total: f64 = self.singular_values.iter().sum();
+        if total == 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, s) in self.singular_values.iter().enumerate() {
+            acc += s;
+            if acc >= fraction * total {
+                return i + 1;
+            }
+        }
+        self.singular_values.len()
+    }
+
+    /// Reconstructs the (thin) matrix `U·diag(σ)·Vᵀ`, mainly for testing.
+    pub fn reconstruct(&self) -> DMatrix<f64> {
+        let sigma = DMatrix::from_diagonal(&self.singular_values);
+        self.u.matmul(&sigma).matmul(&self.v.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = DMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -2.0], vec![0.0, 0.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.singular_values()[0] - 3.0).abs() < 1e-12);
+        assert!((svd.singular_values()[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let a = DMatrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![-1.0, 0.3, 2.0],
+            vec![0.7, 1.1, -0.2],
+            vec![2.0, -0.4, 0.9],
+        ]);
+        let svd = Svd::new(&a).unwrap();
+        assert!(svd.reconstruct().sub(&a).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn u_and_v_columns_are_orthonormal() {
+        let a = DMatrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ]);
+        let svd = Svd::new(&a).unwrap();
+        let utu = svd.u().transpose().matmul(svd.u());
+        let vtv = svd.v().transpose().matmul(svd.v());
+        assert!(utu.sub(&DMatrix::identity(2)).frobenius_norm() < 1e-10);
+        assert!(vtv.sub(&DMatrix::identity(2)).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_is_handled_via_transpose() {
+        let a = DMatrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.u().rows(), 2);
+        assert_eq!(svd.v().rows(), 3);
+        assert!(svd.reconstruct().sub(&a).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn energy_truncation() {
+        let a = DMatrix::from_diagonal(&[10.0, 1.0, 0.1]);
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.count_for_energy(0.85), 1);
+        assert_eq!(svd.count_for_energy(0.999), 3);
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_of_gram_matrix() {
+        let a = DMatrix::from_rows(&[
+            vec![0.5, 1.5, -0.3],
+            vec![1.1, 0.2, 0.8],
+            vec![-0.9, 0.4, 1.2],
+            vec![0.3, -0.7, 0.6],
+        ]);
+        let svd = Svd::new(&a).unwrap();
+        let gram = a.transpose().matmul(&a);
+        let eig = super::super::SymmetricEigen::new(&gram).unwrap();
+        for (s, l) in svd.singular_values().iter().zip(eig.eigenvalues().iter()) {
+            assert!((s * s - l).abs() < 1e-9);
+        }
+    }
+}

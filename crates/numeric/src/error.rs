@@ -1,0 +1,78 @@
+//! Error type shared by the dense numerical kernels.
+
+use std::fmt;
+
+/// Errors produced by the dense factorizations and solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericError {
+    /// A factorization encountered an (numerically) singular matrix.
+    Singular {
+        /// Pivot index at which the breakdown was detected.
+        pivot: usize,
+    },
+    /// A matrix that must be positive definite failed the Cholesky test.
+    NotPositiveDefinite {
+        /// Column at which a non-positive pivot appeared.
+        column: usize,
+    },
+    /// Dimensions of the operands do not match.
+    DimensionMismatch {
+        /// Human-readable description of the expected/actual shapes.
+        detail: String,
+    },
+    /// An iterative kernel (Jacobi eigen/SVD) failed to converge.
+    NoConvergence {
+        /// Number of sweeps/iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was outside the domain of the routine.
+    InvalidArgument {
+        /// Human-readable description of the offending argument.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            NumericError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite at column {column}")
+            }
+            NumericError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            NumericError::NoConvergence { iterations } => {
+                write!(f, "iteration did not converge after {iterations} sweeps")
+            }
+            NumericError::InvalidArgument { detail } => {
+                write!(f, "invalid argument: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NumericError::Singular { pivot: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot 3");
+        let e = NumericError::DimensionMismatch {
+            detail: "expected 3x3, got 2x3".to_string(),
+        };
+        assert!(e.to_string().contains("expected 3x3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NumericError>();
+    }
+}

@@ -1,0 +1,186 @@
+//! Gauss–Hermite quadrature for the standard normal weight.
+//!
+//! Rules are built with the Golub–Welsch algorithm: the nodes are the
+//! eigenvalues of the symmetric tridiagonal Jacobi matrix of the Hermite
+//! recurrence, and the weights follow from the first components of the
+//! eigenvectors. The rules integrate `E[f(ζ)]` for `ζ ~ N(0, 1)` exactly for
+//! polynomials of degree `≤ 2n − 1`.
+
+use crate::dense::{DMatrix, SymmetricEigen};
+use crate::NumericError;
+
+/// An `n`-point Gauss–Hermite rule in the probabilists' convention
+/// (weight function = standard normal PDF, weights sum to one).
+///
+/// # Example
+/// ```
+/// use vaem_numeric::poly::GaussHermite;
+/// let rule = GaussHermite::new(5)?;
+/// // E[ζ²] = 1 for ζ ~ N(0,1)
+/// let second_moment: f64 = rule
+///     .nodes()
+///     .iter()
+///     .zip(rule.weights())
+///     .map(|(&x, &w)| w * x * x)
+///     .sum();
+/// assert!((second_moment - 1.0).abs() < 1e-12);
+/// # Ok::<(), vaem_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussHermite {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussHermite {
+    /// Builds the `n`-point rule.
+    ///
+    /// # Errors
+    /// * [`NumericError::InvalidArgument`] if `n == 0`.
+    /// * [`NumericError::NoConvergence`] if the eigen-solve fails (not
+    ///   expected for the small orders used here).
+    pub fn new(n: usize) -> Result<Self, NumericError> {
+        if n == 0 {
+            return Err(NumericError::InvalidArgument {
+                detail: "Gauss-Hermite rule needs at least one point".to_string(),
+            });
+        }
+        if n == 1 {
+            return Ok(Self {
+                nodes: vec![0.0],
+                weights: vec![1.0],
+            });
+        }
+        // Jacobi matrix of the probabilists' Hermite recurrence:
+        // alpha_k = 0, beta_k = k  =>  off-diagonal entries sqrt(k).
+        let jacobi = DMatrix::from_fn(n, n, |i, j| {
+            if i + 1 == j {
+                ((j) as f64).sqrt()
+            } else if j + 1 == i {
+                ((i) as f64).sqrt()
+            } else {
+                0.0
+            }
+        });
+        let eig = SymmetricEigen::new(&jacobi)?;
+        // Eigenvalues are sorted decreasing; re-sort nodes increasing for a
+        // conventional presentation.
+        let mut pairs: Vec<(f64, f64)> = eig
+            .eigenvalues()
+            .iter()
+            .enumerate()
+            .map(|(j, &node)| {
+                let v0 = eig.eigenvectors()[(0, j)];
+                (node, v0 * v0) // mu_0 = 1 for the normal weight
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Symmetrize: the exact nodes are symmetric about zero.
+        let nodes: Vec<f64> = pairs.iter().map(|(x, _)| *x).collect();
+        let mut weights: Vec<f64> = pairs.iter().map(|(_, w)| *w).collect();
+        // Normalize weights to sum exactly to one (they already do up to
+        // round-off; this keeps downstream statistics exactly unbiased for
+        // constants).
+        let sum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= sum;
+        }
+
+        Ok(Self { nodes, weights })
+    }
+
+    /// Number of quadrature points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for the (impossible) empty rule; provided for API
+    /// completeness alongside [`GaussHermite::len`].
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Quadrature nodes in increasing order.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Quadrature weights (sum to one).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Integrates `f` against the standard normal density.
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.nodes
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_point_rule_is_the_mean() {
+        let r = GaussHermite::new(1).unwrap();
+        assert_eq!(r.nodes(), &[0.0]);
+        assert_eq!(r.weights(), &[1.0]);
+    }
+
+    #[test]
+    fn three_point_rule_matches_known_values() {
+        let r = GaussHermite::new(3).unwrap();
+        // Probabilists' 3-point rule: nodes -sqrt(3), 0, sqrt(3); weights 1/6, 2/3, 1/6.
+        let s3 = 3.0_f64.sqrt();
+        assert!((r.nodes()[0] + s3).abs() < 1e-10);
+        assert!(r.nodes()[1].abs() < 1e-10);
+        assert!((r.nodes()[2] - s3).abs() < 1e-10);
+        assert!((r.weights()[0] - 1.0 / 6.0).abs() < 1e-10);
+        assert!((r.weights()[1] - 2.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn integrates_moments_of_standard_normal() {
+        let r = GaussHermite::new(6).unwrap();
+        // Odd moments vanish, E[x^2]=1, E[x^4]=3, E[x^6]=15.
+        assert!(r.integrate(|x| x).abs() < 1e-12);
+        assert!((r.integrate(|x| x * x) - 1.0).abs() < 1e-12);
+        assert!(r.integrate(|x| x * x * x).abs() < 1e-11);
+        assert!((r.integrate(|x| x.powi(4)) - 3.0).abs() < 1e-10);
+        assert!((r.integrate(|x| x.powi(6)) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_of_exactness_is_2n_minus_1() {
+        let r = GaussHermite::new(3).unwrap();
+        // Degree 5 is exact: E[x^4] = 3.
+        assert!((r.integrate(|x| x.powi(4)) - 3.0).abs() < 1e-10);
+        // Degree 6 is NOT exact for a 3-point rule: E[x^6] = 15, rule gives 9... != 15.
+        assert!((r.integrate(|x| x.powi(6)) - 15.0).abs() > 1.0);
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_nodes_are_symmetric() {
+        for n in 2..=9 {
+            let r = GaussHermite::new(n).unwrap();
+            let sum: f64 = r.weights().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-13);
+            for k in 0..n {
+                assert!(
+                    (r.nodes()[k] + r.nodes()[n - 1 - k]).abs() < 1e-8,
+                    "nodes not symmetric for n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_points_is_an_error() {
+        assert!(GaussHermite::new(0).is_err());
+    }
+}

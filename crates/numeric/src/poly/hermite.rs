@@ -1,0 +1,135 @@
+//! Probabilists' Hermite polynomials `He_n`.
+//!
+//! These satisfy the three-term recurrence
+//! `He_{n+1}(x) = x·He_n(x) − n·He_{n−1}(x)` with `He_0 = 1`, `He_1 = x`, and
+//! are orthogonal with respect to the standard normal density:
+//! `E[He_m(ζ)·He_n(ζ)] = n!·δ_{mn}` for `ζ ~ N(0, 1)`.
+//!
+//! The paper's PCE (eq. 4) uses products of these 1-D polynomials up to total
+//! order 2; the normalization `⟨He_n²⟩ = n!` enters the variance formula
+//! (eq. 5).
+
+/// Evaluates the probabilists' Hermite polynomial `He_n(x)`.
+///
+/// # Example
+/// ```
+/// use vaem_numeric::poly::hermite_value;
+/// assert_eq!(hermite_value(0, 1.5), 1.0);
+/// assert_eq!(hermite_value(1, 1.5), 1.5);
+/// assert_eq!(hermite_value(2, 1.5), 1.5_f64 * 1.5 - 1.0);
+/// ```
+pub fn hermite_value(n: usize, x: f64) -> f64 {
+    match n {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let mut prev = 1.0; // He_0
+            let mut curr = x; // He_1
+            for k in 1..n {
+                let next = x * curr - (k as f64) * prev;
+                prev = curr;
+                curr = next;
+            }
+            curr
+        }
+    }
+}
+
+/// Evaluates `He_0(x), …, He_max_order(x)` in one pass.
+///
+/// Returns a vector of length `max_order + 1`.
+pub fn hermite_values_upto(max_order: usize, x: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(max_order + 1);
+    out.push(1.0);
+    if max_order == 0 {
+        return out;
+    }
+    out.push(x);
+    for k in 1..max_order {
+        let next = x * out[k] - (k as f64) * out[k - 1];
+        out.push(next);
+    }
+    out
+}
+
+/// Squared norm `⟨He_n, He_n⟩ = n!` under the standard normal weight.
+///
+/// # Panics
+/// Panics if `n > 170` (the factorial overflows `f64`), far beyond the
+/// second-order chaos used here.
+pub fn hermite_norm_sqr(n: usize) -> f64 {
+    assert!(n <= 170, "hermite_norm_sqr: order {n} too large");
+    let mut f = 1.0;
+    for k in 2..=n {
+        f *= k as f64;
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_order_closed_forms() {
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+            assert_eq!(hermite_value(0, x), 1.0);
+            assert_eq!(hermite_value(1, x), x);
+            assert!((hermite_value(2, x) - (x * x - 1.0)).abs() < 1e-14);
+            assert!((hermite_value(3, x) - (x * x * x - 3.0 * x)).abs() < 1e-13);
+            assert!(
+                (hermite_value(4, x) - (x.powi(4) - 6.0 * x * x + 3.0)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_matches_single() {
+        let x = 0.83;
+        let vals = hermite_values_upto(6, x);
+        for (n, v) in vals.iter().enumerate() {
+            assert!((v - hermite_value(n, x)).abs() < 1e-12);
+        }
+        assert_eq!(hermite_values_upto(0, x), vec![1.0]);
+    }
+
+    #[test]
+    fn norms_are_factorials() {
+        assert_eq!(hermite_norm_sqr(0), 1.0);
+        assert_eq!(hermite_norm_sqr(1), 1.0);
+        assert_eq!(hermite_norm_sqr(2), 2.0);
+        assert_eq!(hermite_norm_sqr(3), 6.0);
+        assert_eq!(hermite_norm_sqr(5), 120.0);
+    }
+
+    #[test]
+    fn recurrence_holds() {
+        let x = 1.234;
+        for n in 1..8 {
+            let lhs = hermite_value(n + 1, x);
+            let rhs = x * hermite_value(n, x) - (n as f64) * hermite_value(n - 1, x);
+            assert!((lhs - rhs).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn orthogonality_under_gauss_hermite_quadrature() {
+        // Verified through the quadrature module: E[He_m He_n] = n! δ_mn.
+        let rule = crate::poly::GaussHermite::new(8).unwrap();
+        for m in 0..4 {
+            for n in 0..4 {
+                let integral: f64 = rule
+                    .nodes()
+                    .iter()
+                    .zip(rule.weights().iter())
+                    .map(|(&x, &w)| w * hermite_value(m, x) * hermite_value(n, x))
+                    .sum();
+                let expected = if m == n { hermite_norm_sqr(n) } else { 0.0 };
+                assert!(
+                    (integral - expected).abs() < 1e-9,
+                    "m={m} n={n} got {integral} expected {expected}"
+                );
+            }
+        }
+    }
+}

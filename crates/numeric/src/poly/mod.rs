@@ -1,0 +1,11 @@
+//! Orthogonal polynomials and quadrature rules.
+//!
+//! The spectral stochastic collocation method expands the solver outputs in
+//! probabilists' Hermite polynomials (orthogonal under the standard normal
+//! weight) and integrates with Gauss–Hermite quadrature; both live here.
+
+mod gauss_hermite;
+mod hermite;
+
+pub use gauss_hermite::GaussHermite;
+pub use hermite::{hermite_norm_sqr, hermite_value, hermite_values_upto};

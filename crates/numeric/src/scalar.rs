@@ -1,0 +1,162 @@
+//! A small scalar abstraction over `f64` and [`Complex64`].
+//!
+//! The FVM assembly and the sparse solvers are written once and instantiated
+//! for real matrices (electrostatic / covariance problems) and complex
+//! matrices (frequency-domain coupled solves).
+
+use crate::Complex64;
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Field-like scalar used by the generic dense and sparse kernels.
+///
+/// Implemented for `f64` and [`Complex64`]. The trait is sealed in spirit —
+/// downstream crates are not expected to add implementations.
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embeds a real number.
+    fn from_f64(v: f64) -> Self;
+    /// Complex conjugate (identity for real scalars).
+    fn conj(self) -> Self;
+    /// Modulus (absolute value) as a real number.
+    fn modulus(self) -> f64;
+    /// Squared modulus as a real number.
+    fn modulus_sqr(self) -> f64;
+    /// Real part.
+    fn real(self) -> f64;
+    /// Scales by a real factor.
+    fn scale(self, s: f64) -> Self;
+    /// Returns `true` when the value is finite.
+    fn is_finite_scalar(self) -> bool;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn modulus_sqr(self) -> f64 {
+        self * self
+    }
+    #[inline]
+    fn real(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        self * s
+    }
+    #[inline]
+    fn is_finite_scalar(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Scalar for Complex64 {
+    #[inline]
+    fn zero() -> Self {
+        Complex64::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex64::ONE
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        Complex64::from_real(v)
+    }
+    #[inline]
+    fn conj(self) -> Self {
+        Complex64::conj(self)
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn modulus_sqr(self) -> f64 {
+        self.norm_sqr()
+    }
+    #[inline]
+    fn real(self) -> f64 {
+        self.re
+    }
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        Complex64::scale(self, s)
+    }
+    #[inline]
+    fn is_finite_scalar(self) -> bool {
+        self.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_quadratic<T: Scalar>(x: T) -> T {
+        x * x + T::from_f64(2.0) * x + T::one()
+    }
+
+    #[test]
+    fn works_for_f64() {
+        assert_eq!(generic_quadratic(2.0_f64), 9.0);
+        assert_eq!(<f64 as Scalar>::zero(), 0.0);
+        assert_eq!(2.0_f64.conj(), 2.0);
+        assert_eq!((-3.0_f64).modulus(), 3.0);
+    }
+
+    #[test]
+    fn works_for_complex() {
+        let x = Complex64::new(0.0, 1.0);
+        // (x+1)^2 = x^2 + 2x + 1 = 2i for x = i
+        assert_eq!(generic_quadratic(x), Complex64::new(0.0, 2.0));
+        assert_eq!(x.modulus(), 1.0);
+        assert_eq!(x.real(), 0.0);
+    }
+
+    #[test]
+    fn scalar_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<f64>();
+        assert_send_sync::<Complex64>();
+    }
+}

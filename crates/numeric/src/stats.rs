@@ -1,0 +1,222 @@
+//! Sample statistics used when comparing the SSCM model against Monte Carlo.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+/// ```
+/// use vaem_numeric::stats::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (n − 1 denominator).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Population variance (n denominator).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Sample mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance of a slice (0 for fewer than two samples).
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0)
+}
+
+/// Unbiased sample standard deviation of a slice.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Sample covariance between two equally long slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sample_covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "sample_covariance: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys.iter())
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() as f64 - 1.0)
+}
+
+/// Relative error `|a − b| / max(|b|, floor)`, the metric used for the
+/// "error < 1 %" comparisons in the paper's tables.
+pub fn relative_error(a: f64, b: f64, floor: f64) -> f64 {
+    (a - b).abs() / b.abs().max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_match_slice_stats() {
+        let data = [1.3, -0.7, 2.9, 0.0, 4.2, -1.1];
+        let mut rs = RunningStats::new();
+        for &x in &data {
+            rs.push(x);
+        }
+        assert!((rs.mean() - mean(&data)).abs() < 1e-12);
+        assert!((rs.sample_variance() - sample_variance(&data)).abs() < 1e-12);
+        assert_eq!(rs.count(), data.len());
+        assert_eq!(rs.min(), -1.1);
+        assert_eq!(rs.max(), 4.2);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_identical_series_is_variance() {
+        let data = [0.4, 1.7, -2.2, 3.1];
+        assert!((sample_covariance(&data, &data) - sample_variance(&data)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_uses_floor_for_tiny_reference() {
+        assert_eq!(relative_error(1e-12, 0.0, 1e-6), 1e-6);
+        assert!((relative_error(1.01, 1.0, 1e-30) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_variance(&[1.0]), 0.0);
+        let rs = RunningStats::new();
+        assert_eq!(rs.mean(), 0.0);
+        assert_eq!(rs.sample_variance(), 0.0);
+    }
+}

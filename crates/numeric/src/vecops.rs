@@ -1,0 +1,153 @@
+//! Free functions operating on `Vec`/slice representations of vectors.
+//!
+//! Vectors are plain `Vec<T>` throughout the workspace; these helpers keep
+//! the call sites compact without introducing a wrapper type.
+
+use crate::Scalar;
+
+/// Inner product `⟨x, y⟩ = Σ conj(xᵢ)·yᵢ` (conjugate-linear in the first slot).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = T::zero();
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += a.conj() * *b;
+    }
+    acc
+}
+
+/// Unconjugated dot product `Σ xᵢ·yᵢ` (used by some Krylov recurrences).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dotu<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dotu: length mismatch");
+    let mut acc = T::zero();
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += *a * *b;
+    }
+    acc
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.modulus_sqr()).sum::<f64>().sqrt()
+}
+
+/// Maximum modulus entry `‖x‖∞`.
+pub fn norm_inf<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+}
+
+/// `y ← y + a·x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * *xi;
+    }
+}
+
+/// `x ← a·x`.
+pub fn scale_in_place<T: Scalar>(a: T, x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Element-wise difference `x - y` as a new vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn sub<T: Scalar>(x: &[T], y: &[T]) -> Vec<T> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| *a - *b).collect()
+}
+
+/// Element-wise sum `x + y` as a new vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn add<T: Scalar>(x: &[T], y: &[T]) -> Vec<T> {
+    assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| *a + *b).collect()
+}
+
+/// Converts a real vector into a vector of scalars of type `T`.
+pub fn from_real<T: Scalar>(x: &[f64]) -> Vec<T> {
+    x.iter().map(|&v| T::from_f64(v)).collect()
+}
+
+/// Extracts the real parts of a vector of scalars.
+pub fn to_real<T: Scalar>(x: &[T]) -> Vec<f64> {
+    x.iter().map(|v| v.real()).collect()
+}
+
+/// Relative difference `‖x - y‖₂ / max(‖y‖₂, floor)`.
+///
+/// `floor` guards against division by (near-)zero reference norms.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn relative_diff<T: Scalar>(x: &[T], y: &[T], floor: f64) -> f64 {
+    let d = sub(x, y);
+    norm2(&d) / norm2(y).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn dot_conjugates_first_argument() {
+        let x = vec![Complex64::new(0.0, 1.0)];
+        let y = vec![Complex64::new(0.0, 1.0)];
+        // conj(i) * i = -i * i = 1
+        assert_eq!(dot(&x, &y), Complex64::ONE);
+        // unconjugated: i * i = -1
+        assert_eq!(dotu(&x, &y), Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn norms() {
+        let x = vec![3.0, 4.0];
+        assert!((norm2(&x) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let x = vec![1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0]);
+        scale_in_place(0.5, &mut y);
+        assert_eq!(y, vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![0.5, 0.5, 0.5];
+        assert_eq!(add(&sub(&x, &y), &y), x);
+    }
+
+    #[test]
+    fn relative_diff_of_identical_vectors_is_zero() {
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(relative_diff(&x, &x, 1e-30), 0.0);
+    }
+
+    #[test]
+    fn real_conversions() {
+        let r = vec![1.0, 2.0];
+        let c: Vec<Complex64> = from_real(&r);
+        assert_eq!(c[1], Complex64::new(2.0, 0.0));
+        assert_eq!(to_real(&c), r);
+    }
+}

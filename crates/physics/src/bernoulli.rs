@@ -1,0 +1,106 @@
+//! The Bernoulli function used by the Scharfetter–Gummel flux.
+//!
+//! The exponentially fitted (Scharfetter–Gummel) discretization of the
+//! drift–diffusion current along a link writes the flux in terms of
+//! `B(x) = x / (eˣ − 1)`; evaluating it naively loses all precision near
+//! `x = 0`, so a series expansion is used there.
+
+/// Bernoulli function `B(x) = x / (eˣ − 1)` with a numerically stable
+/// evaluation near zero.
+///
+/// # Example
+/// ```
+/// use vaem_physics::bernoulli::bernoulli;
+/// assert!((bernoulli(0.0) - 1.0).abs() < 1e-15);
+/// assert!((bernoulli(1e-12) - 1.0).abs() < 1e-9);
+/// assert!(bernoulli(40.0) > 0.0);
+/// ```
+pub fn bernoulli(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 1.0e-10 {
+        // B(x) ≈ 1 - x/2 + x²/12
+        1.0 - 0.5 * x + x * x / 12.0
+    } else if ax < 37.0 {
+        x / x.exp_m1()
+    } else if x > 0.0 {
+        // e^x overflows the ratio towards 0.
+        x * (-x).exp()
+    } else {
+        // For very negative x, B(x) ≈ -x.
+        -x
+    }
+}
+
+/// Derivative `B'(x)` of the Bernoulli function, stable near zero.
+pub fn bernoulli_derivative(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 1.0e-5 {
+        // B'(x) ≈ -1/2 + x/6 - x^3/180
+        -0.5 + x / 6.0 - x * x * x / 180.0
+    } else {
+        let em1 = x.exp_m1();
+        let ex = x.exp();
+        (em1 - x * ex) / (em1 * em1)
+    }
+}
+
+/// The pair `(B(x), B(−x))` which always satisfies `B(−x) = B(x) + x`.
+pub fn bernoulli_pair(x: f64) -> (f64, f64) {
+    let b = bernoulli(x);
+    (b, b + x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_at_zero_and_symmetry_identity() {
+        assert!((bernoulli(0.0) - 1.0).abs() < 1e-15);
+        for &x in &[-30.0, -5.0, -0.3, -1e-8, 1e-8, 0.7, 10.0, 30.0] {
+            let (b, bm) = bernoulli_pair(x);
+            assert!(
+                (bm - bernoulli(-x)).abs() < 1e-9 * bm.abs().max(1.0),
+                "identity B(-x) = B(x) + x violated at {x}"
+            );
+            assert!(b > 0.0, "B must stay positive, failed at {x}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_formula_away_from_zero() {
+        for &x in &[-8.0_f64, -2.0, -0.5, 0.5, 2.0, 8.0] {
+            let naive = x / (x.exp() - 1.0);
+            assert!((bernoulli(x) - naive).abs() < 1e-12 * naive.abs());
+        }
+    }
+
+    #[test]
+    fn series_is_continuous_across_the_switch() {
+        let eps = 1.0e-10;
+        let below = bernoulli(eps * 0.99);
+        let above = bernoulli(eps * 1.01);
+        assert!((below - above).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        for &x in &[-3.0, -0.2, 0.0, 0.4, 2.5] {
+            let h = 1e-6;
+            let fd = (bernoulli(x + h) - bernoulli(x - h)) / (2.0 * h);
+            assert!(
+                (bernoulli_derivative(x) - fd).abs() < 1e-5,
+                "derivative mismatch at {x}: {} vs {fd}",
+                bernoulli_derivative(x)
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_arguments_do_not_overflow() {
+        assert!(bernoulli(800.0).is_finite());
+        assert!(bernoulli(-800.0).is_finite());
+        assert!((bernoulli(-800.0) - 800.0).abs() < 1e-6);
+        assert!(bernoulli(800.0) >= 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Physical constants in the µm-based unit system.
+//!
+//! Lengths are µm, charge in C, potential in V, capacitance in F,
+//! conductivity in S/µm, carrier densities in µm⁻³, mobility in µm²/(V·s).
+
+/// Elementary charge (C).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Vacuum permittivity (F/µm).
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-18;
+
+/// Vacuum permeability (H/µm).
+pub const VACUUM_PERMEABILITY: f64 = 1.256_637_062_12e-12;
+
+/// Boltzmann constant (J/K).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Reference lattice temperature (K).
+pub const TEMPERATURE: f64 = 300.0;
+
+/// Thermal voltage `k_B·T/q` at the reference temperature (V).
+pub const THERMAL_VOLTAGE: f64 = BOLTZMANN * TEMPERATURE / ELEMENTARY_CHARGE;
+
+/// Intrinsic carrier concentration of silicon at 300 K (µm⁻³).
+///
+/// 1.45·10¹⁰ cm⁻³ = 1.45·10⁻² µm⁻³.
+pub const SILICON_INTRINSIC_DENSITY: f64 = 1.45e-2;
+
+/// Relative permittivity of silicon.
+pub const SILICON_REL_PERMITTIVITY: f64 = 11.7;
+
+/// Relative permittivity of SiO₂-like inter-layer dielectric.
+pub const OXIDE_REL_PERMITTIVITY: f64 = 3.9;
+
+/// Conductivity of the TSV/plug metal (copper), S/µm (5.8·10⁷ S/m).
+pub const METAL_CONDUCTIVITY: f64 = 58.0;
+
+/// Electron mobility of lightly doped silicon (µm²/(V·s)); 1417 cm²/(V·s).
+pub const ELECTRON_MOBILITY: f64 = 1.417e11;
+
+/// Hole mobility of lightly doped silicon (µm²/(V·s)); 470 cm²/(V·s).
+pub const HOLE_MOBILITY: f64 = 4.70e10;
+
+/// Converts a density from cm⁻³ to µm⁻³.
+pub fn per_cm3_to_per_um3(value: f64) -> f64 {
+    value * 1.0e-12
+}
+
+/// Converts a conductivity from S/m to S/µm.
+pub fn siemens_per_m_to_per_um(value: f64) -> f64 {
+    value * 1.0e-6
+}
+
+/// Converts a mobility from cm²/(V·s) to µm²/(V·s).
+pub fn cm2_to_um2(value: f64) -> f64 {
+    value * 1.0e8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_is_about_25_85_mv() {
+        assert!((THERMAL_VOLTAGE - 0.02585).abs() < 2e-4);
+    }
+
+    #[test]
+    fn unit_conversions_are_consistent() {
+        assert!((per_cm3_to_per_um3(1.45e10) - SILICON_INTRINSIC_DENSITY).abs() < 1e-6);
+        assert!((siemens_per_m_to_per_um(5.8e7) - METAL_CONDUCTIVITY).abs() < 1e-9);
+        assert!((cm2_to_um2(1417.0) - ELECTRON_MOBILITY).abs() < 1e3);
+    }
+
+    #[test]
+    fn silicon_conductivity_sanity_check() {
+        // sigma = q * mu_n * n for 1e17 cm^-3 n-type doping should land in
+        // the hundreds-to-thousands of S/m range (i.e. ~1e-3 S/µm).
+        let nd = per_cm3_to_per_um3(1.0e17);
+        let sigma = ELEMENTARY_CHARGE * ELECTRON_MOBILITY * nd;
+        assert!(sigma > 1.0e-4 && sigma < 1.0e-2, "sigma = {sigma}");
+    }
+}

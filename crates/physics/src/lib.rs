@@ -1,0 +1,53 @@
+//! Material and semiconductor physical models for the VAEM coupled solver.
+//!
+//! All quantities use a micrometre-based unit system (lengths in µm,
+//! capacitance in F, conductivity in S/µm, carrier densities in µm⁻³), which
+//! keeps the FVM matrix entries within a numerically comfortable range for
+//! the µm-scale TSV structures of the paper.
+//!
+//! Provided models:
+//!
+//! * [`constants`] — physical constants in the µm unit system.
+//! * [`ElectricalProperties`] / [`MaterialTable`] — ε_r, σ_c, µ_r per
+//!   [`Material`](vaem_mesh::Material) (the coefficients of the paper's
+//!   eqs. (1) and (3)).
+//! * [`DopingProfile`] — per-node donor/acceptor concentrations including the
+//!   random-doping-fluctuation (RDF) perturbation hook.
+//! * [`SiliconParams`] and equilibrium-carrier helpers — the semiconductor
+//!   side of eq. (2).
+//! * [`bernoulli`] — the Bernoulli function underlying the
+//!   Scharfetter–Gummel flux discretization.
+//! * [`mobility`] — constant and doping-dependent (Caughey–Thomas) mobility.
+//! * [`recombination`] — Shockley–Read–Hall generation/recombination
+//!   (the `U(n, p)` of eq. (2)) with analytic derivatives for the Jacobian.
+//!
+//! # Example
+//!
+//! ```
+//! use vaem_physics::{constants, SiliconParams};
+//!
+//! let si = SiliconParams::default();
+//! // 1e17 cm^-3 n-type doping in µm^-3:
+//! let nd = 1.0e5;
+//! let (n0, p0) = si.equilibrium_densities(nd, 0.0);
+//! assert!(n0 > 0.99 * nd && n0 < 1.01 * nd);
+//! assert!(p0 < 1.0); // minority carriers are rare
+//! let phi = si.built_in_potential(nd, 0.0);
+//! assert!(phi > 0.3 && phi < 0.5);
+//! assert!(constants::THERMAL_VOLTAGE > 0.025 && constants::THERMAL_VOLTAGE < 0.026);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bernoulli;
+pub mod constants;
+mod doping;
+mod materials;
+pub mod mobility;
+pub mod recombination;
+mod semiconductor;
+
+pub use doping::DopingProfile;
+pub use materials::{ElectricalProperties, MaterialTable};
+pub use semiconductor::SiliconParams;

@@ -1,0 +1,111 @@
+//! Bulk electrical properties per material class.
+
+use crate::constants;
+use serde::{Deserialize, Serialize};
+use vaem_mesh::Material;
+
+/// Frequency-independent bulk electrical properties of a material, i.e. the
+/// coefficients ε_r, σ_c and µ_r appearing in the paper's eqs. (1) and (3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElectricalProperties {
+    /// Relative permittivity ε_r.
+    pub rel_permittivity: f64,
+    /// Bulk conductivity σ_c in S/µm (carrier transport in semiconductors is
+    /// handled separately through the drift–diffusion model).
+    pub conductivity: f64,
+    /// Relative permeability µ_r.
+    pub rel_permeability: f64,
+}
+
+impl ElectricalProperties {
+    /// Absolute permittivity ε_0·ε_r (F/µm).
+    pub fn permittivity(&self) -> f64 {
+        constants::VACUUM_PERMITTIVITY * self.rel_permittivity
+    }
+
+    /// Complex admittivity magnitude `σ + jωε` split into its parts
+    /// `(σ, ωε)` at angular frequency `omega` (rad/s).
+    pub fn admittivity_parts(&self, omega: f64) -> (f64, f64) {
+        (self.conductivity, omega * self.permittivity())
+    }
+}
+
+/// Lookup table of [`ElectricalProperties`] for the three material classes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaterialTable {
+    /// Metal properties (plugs, TSVs, traces).
+    pub metal: ElectricalProperties,
+    /// Insulator properties (inter-layer dielectric, liner).
+    pub insulator: ElectricalProperties,
+    /// Semiconductor background properties (silicon lattice; the carrier
+    /// conductivity is added by the drift–diffusion model).
+    pub semiconductor: ElectricalProperties,
+}
+
+impl Default for MaterialTable {
+    fn default() -> Self {
+        Self {
+            metal: ElectricalProperties {
+                rel_permittivity: 1.0,
+                conductivity: constants::METAL_CONDUCTIVITY,
+                rel_permeability: 1.0,
+            },
+            insulator: ElectricalProperties {
+                rel_permittivity: constants::OXIDE_REL_PERMITTIVITY,
+                conductivity: 0.0,
+                rel_permeability: 1.0,
+            },
+            semiconductor: ElectricalProperties {
+                rel_permittivity: constants::SILICON_REL_PERMITTIVITY,
+                conductivity: 0.0,
+                rel_permeability: 1.0,
+            },
+        }
+    }
+}
+
+impl MaterialTable {
+    /// Properties of the given material class.
+    pub fn properties(&self, material: Material) -> ElectricalProperties {
+        match material {
+            Material::Metal => self.metal,
+            Material::Insulator => self.insulator,
+            Material::Semiconductor => self.semiconductor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_textbook_values() {
+        let t = MaterialTable::default();
+        assert!((t.metal.conductivity - 58.0).abs() < 1e-9);
+        assert!((t.insulator.rel_permittivity - 3.9).abs() < 1e-12);
+        assert!((t.semiconductor.rel_permittivity - 11.7).abs() < 1e-12);
+        assert_eq!(t.insulator.conductivity, 0.0);
+    }
+
+    #[test]
+    fn lookup_dispatches_on_material() {
+        let t = MaterialTable::default();
+        assert_eq!(t.properties(Material::Metal), t.metal);
+        assert_eq!(t.properties(Material::Insulator), t.insulator);
+        assert_eq!(t.properties(Material::Semiconductor), t.semiconductor);
+    }
+
+    #[test]
+    fn admittivity_scales_with_frequency() {
+        let t = MaterialTable::default();
+        let omega = 2.0 * std::f64::consts::PI * 1.0e9;
+        let (sigma, weps) = t.insulator.admittivity_parts(omega);
+        assert_eq!(sigma, 0.0);
+        // omega * eps0 * 3.9 at 1 GHz in F/(µm·s) — around 2e-7 S/µm.
+        assert!(weps > 1e-8 && weps < 1e-6, "weps = {weps}");
+        let (sigma_m, _) = t.metal.admittivity_parts(omega);
+        // Metal conduction dominates its displacement term by many decades.
+        assert!(sigma_m / weps > 1e6);
+    }
+}

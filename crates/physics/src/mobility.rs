@@ -1,0 +1,93 @@
+//! Carrier mobility models.
+
+use crate::constants;
+
+/// Mobility model selection for the drift–diffusion discretization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityModel {
+    /// Constant (doping-independent) mobilities.
+    Constant {
+        /// Electron mobility (µm²/(V·s)).
+        electron: f64,
+        /// Hole mobility (µm²/(V·s)).
+        hole: f64,
+    },
+    /// Caughey–Thomas doping-dependent mobility.
+    CaugheyThomas,
+}
+
+impl Default for MobilityModel {
+    fn default() -> Self {
+        MobilityModel::Constant {
+            electron: constants::ELECTRON_MOBILITY,
+            hole: constants::HOLE_MOBILITY,
+        }
+    }
+}
+
+impl MobilityModel {
+    /// Electron mobility at the given total doping concentration (µm⁻³).
+    pub fn electron(&self, total_doping: f64) -> f64 {
+        match *self {
+            MobilityModel::Constant { electron, .. } => electron,
+            MobilityModel::CaugheyThomas => caughey_thomas(
+                total_doping,
+                constants::cm2_to_um2(68.5),
+                constants::cm2_to_um2(1414.0),
+                constants::per_cm3_to_per_um3(9.2e16),
+                0.711,
+            ),
+        }
+    }
+
+    /// Hole mobility at the given total doping concentration (µm⁻³).
+    pub fn hole(&self, total_doping: f64) -> f64 {
+        match *self {
+            MobilityModel::Constant { hole, .. } => hole,
+            MobilityModel::CaugheyThomas => caughey_thomas(
+                total_doping,
+                constants::cm2_to_um2(44.9),
+                constants::cm2_to_um2(470.5),
+                constants::per_cm3_to_per_um3(2.23e17),
+                0.719,
+            ),
+        }
+    }
+}
+
+/// Caughey–Thomas low-field mobility:
+/// `µ = µ_min + (µ_max − µ_min) / (1 + (N/N_ref)^α)`.
+fn caughey_thomas(doping: f64, mu_min: f64, mu_max: f64, n_ref: f64, alpha: f64) -> f64 {
+    mu_min + (mu_max - mu_min) / (1.0 + (doping.max(0.0) / n_ref).powf(alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_ignores_doping() {
+        let m = MobilityModel::default();
+        assert_eq!(m.electron(0.0), m.electron(1.0e6));
+        assert_eq!(m.hole(1.0), m.hole(1.0e8));
+    }
+
+    #[test]
+    fn caughey_thomas_decreases_with_doping() {
+        let m = MobilityModel::CaugheyThomas;
+        let lightly = m.electron(constants::per_cm3_to_per_um3(1.0e14));
+        let heavily = m.electron(constants::per_cm3_to_per_um3(1.0e19));
+        assert!(lightly > heavily);
+        // Lightly doped limit approaches the lattice mobility (~1414 cm²/Vs).
+        assert!((lightly - constants::cm2_to_um2(1414.0)).abs() / lightly < 0.05);
+        // Heavily doped limit approaches mu_min.
+        assert!(heavily < constants::cm2_to_um2(200.0));
+    }
+
+    #[test]
+    fn hole_mobility_is_below_electron_mobility() {
+        let m = MobilityModel::CaugheyThomas;
+        let doping = constants::per_cm3_to_per_um3(1.0e17);
+        assert!(m.hole(doping) < m.electron(doping));
+    }
+}

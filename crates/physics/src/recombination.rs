@@ -1,0 +1,64 @@
+//! Shockley–Read–Hall generation/recombination.
+//!
+//! This is the `U(n, p)` term on the right-hand side of the carrier
+//! continuity equation (paper eq. (2)). Analytic derivatives are provided for
+//! the Newton Jacobian blocks `∂K/∂{p, n}`.
+
+use crate::SiliconParams;
+
+/// SRH recombination rate `U = (n·p − n_i²) / (τ_p·(n + n_i) + τ_n·(p + n_i))`
+/// in µm⁻³/s (positive = net recombination).
+pub fn srh_rate(n: f64, p: f64, silicon: &SiliconParams) -> f64 {
+    let ni = silicon.intrinsic_density;
+    let denom = silicon.hole_lifetime * (n + ni) + silicon.electron_lifetime * (p + ni);
+    (n * p - ni * ni) / denom
+}
+
+/// Partial derivative `∂U/∂n`.
+pub fn srh_rate_dn(n: f64, p: f64, silicon: &SiliconParams) -> f64 {
+    let ni = silicon.intrinsic_density;
+    let denom = silicon.hole_lifetime * (n + ni) + silicon.electron_lifetime * (p + ni);
+    let num = n * p - ni * ni;
+    p / denom - num * silicon.hole_lifetime / (denom * denom)
+}
+
+/// Partial derivative `∂U/∂p`.
+pub fn srh_rate_dp(n: f64, p: f64, silicon: &SiliconParams) -> f64 {
+    let ni = silicon.intrinsic_density;
+    let denom = silicon.hole_lifetime * (n + ni) + silicon.electron_lifetime * (p + ni);
+    let num = n * p - ni * ni;
+    n / denom - num * silicon.electron_lifetime / (denom * denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equilibrium_has_zero_net_recombination() {
+        let si = SiliconParams::default();
+        let (n0, p0) = si.equilibrium_densities(1.0e5, 0.0);
+        let u = srh_rate(n0, p0, &si);
+        assert!(u.abs() < 1e-6, "u = {u}");
+    }
+
+    #[test]
+    fn excess_carriers_recombine_and_depletion_generates() {
+        let si = SiliconParams::default();
+        let (n0, p0) = si.equilibrium_densities(1.0e5, 0.0);
+        assert!(srh_rate(n0 * 2.0, p0 * 2.0, &si) > 0.0);
+        assert!(srh_rate(n0 * 0.5, p0 * 0.5, &si) < 0.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let si = SiliconParams::default();
+        let n = 3.0e4;
+        let p = 7.0e1;
+        let h = 1e-3;
+        let fd_n = (srh_rate(n + h, p, &si) - srh_rate(n - h, p, &si)) / (2.0 * h);
+        let fd_p = (srh_rate(n, p + h, &si) - srh_rate(n, p - h, &si)) / (2.0 * h);
+        assert!((srh_rate_dn(n, p, &si) - fd_n).abs() / fd_n.abs().max(1e-30) < 1e-5);
+        assert!((srh_rate_dp(n, p, &si) - fd_p).abs() / fd_p.abs().max(1e-30) < 1e-5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Bulk silicon parameters and equilibrium carrier statistics.
+
+use crate::constants;
+use serde::{Deserialize, Serialize};
+
+/// Bulk silicon model parameters (Boltzmann statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiliconParams {
+    /// Intrinsic carrier density n_i (µm⁻³).
+    pub intrinsic_density: f64,
+    /// Electron mobility (µm²/(V·s)).
+    pub electron_mobility: f64,
+    /// Hole mobility (µm²/(V·s)).
+    pub hole_mobility: f64,
+    /// SRH electron lifetime (s).
+    pub electron_lifetime: f64,
+    /// SRH hole lifetime (s).
+    pub hole_lifetime: f64,
+    /// Thermal voltage kT/q (V).
+    pub thermal_voltage: f64,
+}
+
+impl Default for SiliconParams {
+    fn default() -> Self {
+        Self {
+            intrinsic_density: constants::SILICON_INTRINSIC_DENSITY,
+            electron_mobility: constants::ELECTRON_MOBILITY,
+            hole_mobility: constants::HOLE_MOBILITY,
+            electron_lifetime: 1.0e-6,
+            hole_lifetime: 1.0e-6,
+            thermal_voltage: constants::THERMAL_VOLTAGE,
+        }
+    }
+}
+
+impl SiliconParams {
+    /// Equilibrium electron/hole densities for a net doping
+    /// `N_D − N_A = nd − na` under charge neutrality:
+    /// `n0 = (N + sqrt(N² + 4·n_i²)) / 2`, `p0 = n_i²/n0` for n-type
+    /// (and symmetrically for p-type).
+    pub fn equilibrium_densities(&self, nd: f64, na: f64) -> (f64, f64) {
+        let net = nd - na;
+        let ni = self.intrinsic_density;
+        let half = 0.5 * (net.abs() + (net * net + 4.0 * ni * ni).sqrt());
+        if net >= 0.0 {
+            (half, ni * ni / half)
+        } else {
+            (ni * ni / half, half)
+        }
+    }
+
+    /// Built-in potential of the quasi-neutral region relative to intrinsic
+    /// silicon: `V_T·asinh(net/(2·n_i))`.
+    pub fn built_in_potential(&self, nd: f64, na: f64) -> f64 {
+        let net = nd - na;
+        self.thermal_voltage * (net / (2.0 * self.intrinsic_density)).asinh()
+    }
+
+    /// Electron density for a given electrostatic potential with the electron
+    /// quasi-Fermi level at 0 V: `n = n_i·exp(V/V_T)`.
+    pub fn electron_density(&self, potential: f64) -> f64 {
+        self.intrinsic_density * (potential / self.thermal_voltage).exp()
+    }
+
+    /// Hole density for a given electrostatic potential with the hole
+    /// quasi-Fermi level at 0 V: `p = n_i·exp(−V/V_T)`.
+    pub fn hole_density(&self, potential: f64) -> f64 {
+        self.intrinsic_density * (-potential / self.thermal_voltage).exp()
+    }
+
+    /// Electron diffusion coefficient `D_n = µ_n·V_T` (µm²/s).
+    pub fn electron_diffusivity(&self) -> f64 {
+        self.electron_mobility * self.thermal_voltage
+    }
+
+    /// Hole diffusion coefficient `D_p = µ_p·V_T` (µm²/s).
+    pub fn hole_diffusivity(&self) -> f64 {
+        self.hole_mobility * self.thermal_voltage
+    }
+
+    /// Small-signal bulk conductivity `q(µ_n·n + µ_p·p)` in S/µm.
+    pub fn bulk_conductivity(&self, n: f64, p: f64) -> f64 {
+        constants::ELEMENTARY_CHARGE * (self.electron_mobility * n + self.hole_mobility * p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equilibrium_densities_n_type() {
+        let si = SiliconParams::default();
+        let nd = 1.0e5; // 1e17 cm^-3
+        let (n0, p0) = si.equilibrium_densities(nd, 0.0);
+        assert!((n0 - nd).abs() / nd < 1e-6);
+        assert!((n0 * p0 - si.intrinsic_density.powi(2)).abs() / si.intrinsic_density.powi(2) < 1e-9);
+    }
+
+    #[test]
+    fn equilibrium_densities_p_type_and_intrinsic() {
+        let si = SiliconParams::default();
+        let (n0, p0) = si.equilibrium_densities(0.0, 2.0e4);
+        assert!(p0 > n0);
+        let (ni_n, ni_p) = si.equilibrium_densities(0.0, 0.0);
+        assert!((ni_n - si.intrinsic_density).abs() < 1e-12);
+        assert!((ni_p - si.intrinsic_density).abs() < 1e-12);
+    }
+
+    #[test]
+    fn built_in_potential_matches_boltzmann_inversion() {
+        let si = SiliconParams::default();
+        let nd = 1.0e5;
+        let phi = si.built_in_potential(nd, 0.0);
+        // n(phi) should reproduce ~nd.
+        let n = si.electron_density(phi);
+        assert!((n - nd).abs() / nd < 1e-3);
+        // p-type doping gives a negative potential.
+        assert!(si.built_in_potential(0.0, 1.0e5) < 0.0);
+    }
+
+    #[test]
+    fn mass_action_law_holds_for_any_potential() {
+        let si = SiliconParams::default();
+        for v in [-0.4, -0.1, 0.0, 0.2, 0.35] {
+            let n = si.electron_density(v);
+            let p = si.hole_density(v);
+            let ni2 = si.intrinsic_density * si.intrinsic_density;
+            assert!((n * p - ni2).abs() / ni2 < 1e-10);
+        }
+    }
+
+    #[test]
+    fn einstein_relation() {
+        let si = SiliconParams::default();
+        assert!((si.electron_diffusivity() / si.electron_mobility - si.thermal_voltage).abs() < 1e-12);
+        assert!((si.hole_diffusivity() / si.hole_mobility - si.thermal_voltage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bulk_conductivity_of_doped_silicon_is_reasonable() {
+        let si = SiliconParams::default();
+        let (n0, p0) = si.equilibrium_densities(1.0e5, 0.0);
+        let sigma = si.bulk_conductivity(n0, p0);
+        // ~1e-3 S/µm (i.e. ~1e3 S/m) for 1e17 cm^-3.
+        assert!(sigma > 1e-4 && sigma < 1e-2, "sigma = {sigma}");
+    }
+}

@@ -1,0 +1,300 @@
+//! Preconditioned BiCGSTAB for non-symmetric (complex) systems.
+
+use crate::{CsrMatrix, Ilu0, SparseError};
+use vaem_numeric::{vecops, Scalar};
+
+/// Options shared by the Krylov solvers ([`BiCgStab`], [`crate::Gmres`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KrylovOptions {
+    /// Relative residual tolerance `‖b − A·x‖ / ‖b‖`.
+    pub tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// GMRES restart length (ignored by BiCGSTAB).
+    pub restart: usize,
+}
+
+impl Default for KrylovOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 2000,
+            restart: 60,
+        }
+    }
+}
+
+/// Preconditioned BiCGSTAB (van der Vorst) with an optional ILU(0)
+/// preconditioner.
+///
+/// This is the work-horse solver for the frequency-domain coupled A–V
+/// systems: non-symmetric, complex, with strong coefficient contrast between
+/// metal and semiconductor regions (handled by equilibration + ILU(0)).
+///
+/// # Example
+/// ```
+/// use vaem_sparse::{BiCgStab, CsrMatrix, Ilu0, KrylovOptions};
+/// let n = 30;
+/// let mut t = Vec::new();
+/// for i in 0..n {
+///     t.push((i, i, 2.5));
+///     if i > 0 { t.push((i, i - 1, -1.0)); }
+///     if i + 1 < n { t.push((i, i + 1, -1.0)); }
+/// }
+/// let a = CsrMatrix::from_triplets(n, n, &t);
+/// let ilu = Ilu0::new(&a)?;
+/// let b = vec![1.0; n];
+/// let solver = BiCgStab::new(KrylovOptions::default());
+/// let (x, iters) = solver.solve(&a, &b, Some(&ilu), None)?;
+/// assert!(iters <= n);
+/// let r = a.residual(&x, &b);
+/// assert!(r.iter().map(|v| v * v).sum::<f64>().sqrt() < 1e-8);
+/// # Ok::<(), vaem_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BiCgStab {
+    options: KrylovOptions,
+}
+
+impl BiCgStab {
+    /// Creates a solver with the given options.
+    pub fn new(options: KrylovOptions) -> Self {
+        Self { options }
+    }
+
+    /// Solver options.
+    pub fn options(&self) -> &KrylovOptions {
+        &self.options
+    }
+
+    /// Solves `A·x = b`, optionally preconditioned by `precond` and starting
+    /// from `x0` (zero when `None`).
+    ///
+    /// Returns the solution and the number of iterations used.
+    ///
+    /// # Errors
+    /// * [`SparseError::DimensionMismatch`] on shape mismatch.
+    /// * [`SparseError::Breakdown`] when a recurrence scalar vanishes.
+    /// * [`SparseError::NotConverged`] when the tolerance is not met.
+    pub fn solve<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        precond: Option<&Ilu0<T>>,
+        x0: Option<&[T]>,
+    ) -> Result<(Vec<T>, usize), SparseError> {
+        let n = a.rows();
+        if a.cols() != n || b.len() != n {
+            return Err(SparseError::DimensionMismatch {
+                detail: format!(
+                    "BiCGSTAB needs square A and matching rhs; got {}x{} with rhs {}",
+                    a.rows(),
+                    a.cols(),
+                    b.len()
+                ),
+            });
+        }
+        let apply_m = |v: &[T]| -> Vec<T> {
+            match precond {
+                Some(p) => p.apply(v),
+                None => v.to_vec(),
+            }
+        };
+
+        let bnorm = vecops::norm2(b).max(1e-300);
+        let mut x = match x0 {
+            Some(x0) => {
+                assert_eq!(x0.len(), n, "initial guess length mismatch");
+                x0.to_vec()
+            }
+            None => vec![T::zero(); n],
+        };
+        let mut r = a.residual(&x, b);
+        if vecops::norm2(&r) / bnorm <= self.options.tolerance {
+            return Ok((x, 0));
+        }
+        let r_hat = r.clone();
+        let mut rho = T::one();
+        let mut alpha = T::one();
+        let mut omega = T::one();
+        let mut v = vec![T::zero(); n];
+        let mut p = vec![T::zero(); n];
+
+        for iter in 1..=self.options.max_iterations {
+            let rho_new = vecops::dot(&r_hat, &r);
+            if rho_new.modulus() < 1e-300 {
+                return Err(SparseError::Breakdown {
+                    detail: "rho became zero in BiCGSTAB".to_string(),
+                });
+            }
+            let beta = (rho_new / rho) * (alpha / omega);
+            // p = r + beta (p - omega v)
+            for i in 0..n {
+                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            }
+            let p_hat = apply_m(&p);
+            v = a.matvec(&p_hat);
+            let denom = vecops::dot(&r_hat, &v);
+            if denom.modulus() < 1e-300 {
+                return Err(SparseError::Breakdown {
+                    detail: "r_hat . v became zero in BiCGSTAB".to_string(),
+                });
+            }
+            alpha = rho_new / denom;
+            // s = r - alpha v
+            let mut s = r.clone();
+            for i in 0..n {
+                s[i] -= alpha * v[i];
+            }
+            if vecops::norm2(&s) / bnorm <= self.options.tolerance {
+                for i in 0..n {
+                    x[i] += alpha * p_hat[i];
+                }
+                return Ok((x, iter));
+            }
+            let s_hat = apply_m(&s);
+            let t = a.matvec(&s_hat);
+            let tt = vecops::dot(&t, &t);
+            if tt.modulus() < 1e-300 {
+                return Err(SparseError::Breakdown {
+                    detail: "t . t became zero in BiCGSTAB".to_string(),
+                });
+            }
+            omega = vecops::dot(&t, &s) / tt;
+            for i in 0..n {
+                x[i] += alpha * p_hat[i] + omega * s_hat[i];
+                r[i] = s[i] - omega * t[i];
+            }
+            let rel = vecops::norm2(&r) / bnorm;
+            if rel <= self.options.tolerance {
+                return Ok((x, iter));
+            }
+            if omega.modulus() < 1e-300 {
+                return Err(SparseError::Breakdown {
+                    detail: "omega became zero in BiCGSTAB".to_string(),
+                });
+            }
+            rho = rho_new;
+        }
+
+        let rel = vecops::norm2(&a.residual(&x, b)) / bnorm;
+        Err(SparseError::NotConverged {
+            iterations: self.options.max_iterations,
+            residual: rel,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaem_numeric::Complex64;
+
+    fn laplacian_2d(nx: usize) -> CsrMatrix<f64> {
+        let n = nx * nx;
+        let idx = |i: usize, j: usize| i * nx + j;
+        let mut t = Vec::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                t.push((idx(i, j), idx(i, j), 4.0));
+                if i > 0 {
+                    t.push((idx(i, j), idx(i - 1, j), -1.0));
+                }
+                if i + 1 < nx {
+                    t.push((idx(i, j), idx(i + 1, j), -1.0));
+                }
+                if j > 0 {
+                    t.push((idx(i, j), idx(i, j - 1), -1.0));
+                }
+                if j + 1 < nx {
+                    t.push((idx(i, j), idx(i, j + 1), -1.0));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn solves_2d_laplacian_with_ilu() {
+        let a = laplacian_2d(12);
+        let n = a.rows();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b = a.matvec(&x_true);
+        let ilu = Ilu0::new(&a).unwrap();
+        let solver = BiCgStab::new(KrylovOptions {
+            tolerance: 1e-12,
+            ..Default::default()
+        });
+        let (x, iters) = solver.solve(&a, &b, Some(&ilu), None).unwrap();
+        assert!(iters < 80, "iterations {iters}");
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-8);
+    }
+
+    #[test]
+    fn solves_without_preconditioner() {
+        let a = laplacian_2d(6);
+        let b = vec![1.0; a.rows()];
+        let solver = BiCgStab::new(KrylovOptions::default());
+        let (x, _) = solver.solve(&a, &b, None, None).unwrap();
+        let r = a.residual(&x, &b);
+        assert!(vecops::norm2(&r) < 1e-7);
+    }
+
+    #[test]
+    fn solves_complex_shifted_laplacian() {
+        let base = laplacian_2d(8);
+        let n = base.rows();
+        let mut t: Vec<(usize, usize, Complex64)> = Vec::new();
+        for r in 0..n {
+            for (c, v) in base.row_entries(r) {
+                t.push((r, c, Complex64::new(v, 0.0)));
+            }
+            t.push((r, r, Complex64::new(0.0, 0.35)));
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let x_true: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.3).cos(), (i as f64 * 0.17).sin()))
+            .collect();
+        let b = a.matvec(&x_true);
+        let ilu = Ilu0::new(&a).unwrap();
+        let solver = BiCgStab::new(KrylovOptions {
+            tolerance: 1e-12,
+            ..Default::default()
+        });
+        let (x, _) = solver.solve(&a, &b, Some(&ilu), None).unwrap();
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-8);
+    }
+
+    #[test]
+    fn initial_guess_close_to_solution_converges_immediately() {
+        let a = laplacian_2d(6);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| i as f64).collect();
+        let b = a.matvec(&x_true);
+        let solver = BiCgStab::new(KrylovOptions::default());
+        let (_, iters) = solver.solve(&a, &b, None, Some(&x_true)).unwrap();
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = laplacian_2d(3);
+        let solver = BiCgStab::new(KrylovOptions::default());
+        assert!(matches!(
+            solver.solve(&a, &[1.0, 2.0], None, None),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_non_convergence_for_tiny_iteration_budget() {
+        let a = laplacian_2d(10);
+        let b = vec![1.0; a.rows()];
+        let solver = BiCgStab::new(KrylovOptions {
+            tolerance: 1e-14,
+            max_iterations: 2,
+            restart: 10,
+        });
+        let out = solver.solve(&a, &b, None, None);
+        assert!(matches!(out, Err(SparseError::NotConverged { .. })));
+    }
+}

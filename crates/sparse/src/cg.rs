@@ -1,0 +1,208 @@
+//! Conjugate gradient for symmetric positive-definite real systems.
+
+use crate::{CsrMatrix, Ilu0, KrylovOptions, SparseError};
+use vaem_numeric::vecops;
+
+/// Preconditioned conjugate gradient solver for real SPD matrices.
+///
+/// The pure electrostatic sub-problem (Laplace/Poisson with Dirichlet
+/// contacts) is symmetric positive definite, where CG is the cheapest option.
+///
+/// # Example
+/// ```
+/// use vaem_sparse::{CsrMatrix, ConjugateGradient, KrylovOptions};
+/// let n = 40;
+/// let mut t = Vec::new();
+/// for i in 0..n {
+///     t.push((i, i, 2.0));
+///     if i > 0 { t.push((i, i - 1, -1.0)); }
+///     if i + 1 < n { t.push((i, i + 1, -1.0)); }
+/// }
+/// let a = CsrMatrix::from_triplets(n, n, &t);
+/// let b = vec![1.0; n];
+/// let cg = ConjugateGradient::new(KrylovOptions::default());
+/// let (x, _) = cg.solve(&a, &b, None, None)?;
+/// let r = a.residual(&x, &b);
+/// assert!(r.iter().map(|v| v * v).sum::<f64>().sqrt() < 1e-8);
+/// # Ok::<(), vaem_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConjugateGradient {
+    options: KrylovOptions,
+}
+
+impl ConjugateGradient {
+    /// Creates a solver with the given options.
+    pub fn new(options: KrylovOptions) -> Self {
+        Self { options }
+    }
+
+    /// Solver options.
+    pub fn options(&self) -> &KrylovOptions {
+        &self.options
+    }
+
+    /// Solves the SPD system `A·x = b`.
+    ///
+    /// Symmetry/definiteness is not checked; using an unsuitable matrix shows
+    /// up as a convergence failure.
+    ///
+    /// # Errors
+    /// * [`SparseError::DimensionMismatch`] on shape mismatch.
+    /// * [`SparseError::NotConverged`] when the tolerance is not met.
+    pub fn solve(
+        &self,
+        a: &CsrMatrix<f64>,
+        b: &[f64],
+        precond: Option<&Ilu0<f64>>,
+        x0: Option<&[f64]>,
+    ) -> Result<(Vec<f64>, usize), SparseError> {
+        let n = a.rows();
+        if a.cols() != n || b.len() != n {
+            return Err(SparseError::DimensionMismatch {
+                detail: format!(
+                    "CG needs square A and matching rhs; got {}x{} with rhs {}",
+                    a.rows(),
+                    a.cols(),
+                    b.len()
+                ),
+            });
+        }
+        let apply_m = |v: &[f64]| -> Vec<f64> {
+            match precond {
+                Some(p) => p.apply(v),
+                None => v.to_vec(),
+            }
+        };
+        let bnorm = vecops::norm2(b).max(1e-300);
+        let mut x = match x0 {
+            Some(x0) => {
+                assert_eq!(x0.len(), n, "initial guess length mismatch");
+                x0.to_vec()
+            }
+            None => vec![0.0; n],
+        };
+        let mut r = a.residual(&x, b);
+        if vecops::norm2(&r) / bnorm <= self.options.tolerance {
+            return Ok((x, 0));
+        }
+        let mut z = apply_m(&r);
+        let mut p = z.clone();
+        let mut rz = vecops::dot(&r, &z);
+
+        for iter in 1..=self.options.max_iterations {
+            let ap = a.matvec(&p);
+            let pap = vecops::dot(&p, &ap);
+            if pap.abs() < 1e-300 {
+                return Err(SparseError::Breakdown {
+                    detail: "p . A p became zero in CG".to_string(),
+                });
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            if vecops::norm2(&r) / bnorm <= self.options.tolerance {
+                return Ok((x, iter));
+            }
+            z = apply_m(&r);
+            let rz_new = vecops::dot(&r, &z);
+            let beta = rz_new / rz;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+            rz = rz_new;
+        }
+
+        let rel = vecops::norm2(&a.residual(&x, b)) / bnorm;
+        Err(SparseError::NotConverged {
+            iterations: self.options.max_iterations,
+            residual: rel,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_2d(nx: usize) -> CsrMatrix<f64> {
+        let n = nx * nx;
+        let idx = |i: usize, j: usize| i * nx + j;
+        let mut t = Vec::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                t.push((idx(i, j), idx(i, j), 4.0));
+                if i > 0 {
+                    t.push((idx(i, j), idx(i - 1, j), -1.0));
+                }
+                if i + 1 < nx {
+                    t.push((idx(i, j), idx(i + 1, j), -1.0));
+                }
+                if j > 0 {
+                    t.push((idx(i, j), idx(i, j - 1), -1.0));
+                }
+                if j + 1 < nx {
+                    t.push((idx(i, j), idx(i, j + 1), -1.0));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn converges_on_2d_laplacian() {
+        let a = laplacian_2d(15);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.05).cos()).collect();
+        let b = a.matvec(&x_true);
+        let cg = ConjugateGradient::new(KrylovOptions {
+            tolerance: 1e-12,
+            max_iterations: 2000,
+            restart: 0,
+        });
+        let (x, _) = cg.solve(&a, &b, None, None).unwrap();
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-8);
+    }
+
+    #[test]
+    fn ilu_preconditioning_reduces_iterations() {
+        let a = laplacian_2d(20);
+        let b = vec![1.0; a.rows()];
+        let opts = KrylovOptions {
+            tolerance: 1e-10,
+            max_iterations: 5000,
+            restart: 0,
+        };
+        let cg = ConjugateGradient::new(opts);
+        let (_, it_plain) = cg.solve(&a, &b, None, None).unwrap();
+        let ilu = Ilu0::new(&a).unwrap();
+        let (_, it_prec) = cg.solve(&a, &b, Some(&ilu), None).unwrap();
+        assert!(it_prec < it_plain, "{it_prec} vs {it_plain}");
+    }
+
+    #[test]
+    fn warm_start_converges_instantly() {
+        let a = laplacian_2d(8);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| i as f64).collect();
+        let b = a.matvec(&x_true);
+        let cg = ConjugateGradient::new(KrylovOptions::default());
+        let (_, iters) = cg.solve(&a, &b, None, Some(&x_true)).unwrap();
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let a = laplacian_2d(20);
+        let b = vec![1.0; a.rows()];
+        let cg = ConjugateGradient::new(KrylovOptions {
+            tolerance: 1e-15,
+            max_iterations: 2,
+            restart: 0,
+        });
+        assert!(matches!(
+            cg.solve(&a, &b, None, None),
+            Err(SparseError::NotConverged { .. })
+        ));
+    }
+}

@@ -1,0 +1,367 @@
+//! Compressed sparse row (CSR) matrix.
+
+use crate::SparseError;
+use vaem_numeric::Scalar;
+
+/// A sparse matrix in compressed sparse row format with sorted column
+/// indices inside each row.
+///
+/// # Example
+/// ```
+/// use vaem_sparse::CsrMatrix;
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 1, 3.0)]);
+/// assert_eq!(a.matvec(&[1.0, 1.0]), vec![1.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T: Scalar = f64> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds a CSR matrix from (row, col, value) triplets, summing
+    /// duplicates and dropping entries that sum to exactly zero is *not*
+    /// performed (the structural pattern is kept, which ILU(0) relies on).
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, T)]) -> Self {
+        // Count entries per row (with duplicates).
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r}, {c}) out of bounds");
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        // Bucket the triplets per row.
+        let mut col_tmp = vec![0usize; triplets.len()];
+        let mut val_tmp = vec![T::zero(); triplets.len()];
+        let mut next = counts.clone();
+        for &(r, c, v) in triplets {
+            let dst = next[r];
+            col_tmp[dst] = c;
+            val_tmp[dst] = v;
+            next[r] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        let mut order: Vec<usize> = Vec::new();
+        for r in 0..rows {
+            let lo = counts[r];
+            let hi = counts[r + 1];
+            order.clear();
+            order.extend(lo..hi);
+            order.sort_by_key(|&k| col_tmp[k]);
+            let mut last_col = usize::MAX;
+            for &k in &order {
+                let c = col_tmp[k];
+                let v = val_tmp[k];
+                if c == last_col {
+                    let idx = values.len() - 1;
+                    values[idx] += v;
+                } else {
+                    col_idx.push(c);
+                    values.push(v);
+                    last_col = c;
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let triplets: Vec<(usize, usize, T)> = (0..n).map(|i| (i, i, T::one())).collect();
+        Self::from_triplets(n, n, &triplets)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable value array (pattern is fixed).
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Returns the stored value at `(row, col)` or zero if not present.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => T::zero(),
+        }
+    }
+
+    /// Iterator over `(col, value)` pairs of one row.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let (lo, hi) = (self.row_ptr[row], self.row_ptr[row + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![T::zero(); self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product into a pre-allocated output buffer.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.cols, "matvec_into: dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: output length mismatch");
+        for r in 0..self.rows {
+            let mut acc = T::zero();
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Residual `b − A·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn residual(&self, x: &[T], b: &[T]) -> Vec<T> {
+        assert_eq!(b.len(), self.rows, "residual: rhs length mismatch");
+        let ax = self.matvec(x);
+        b.iter().zip(ax.iter()).map(|(bi, ai)| *bi - *ai).collect()
+    }
+
+    /// Extracts the main diagonal (zero where structurally absent).
+    pub fn diagonal(&self) -> Vec<T> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        Self::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Scales row `i` by `row[i]` and column `j` by `col[j]` in place.
+    ///
+    /// # Panics
+    /// Panics if the scale vectors have wrong lengths.
+    pub fn scale_rows_cols(&mut self, row: &[f64], col: &[f64]) {
+        assert_eq!(row.len(), self.rows, "row scale length mismatch");
+        assert_eq!(col.len(), self.cols, "col scale length mismatch");
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                self.values[k] = self.values[k].scale(row[r] * col[c]);
+            }
+        }
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|r| {
+                self.row_entries(r)
+                    .map(|(_, v)| v.modulus())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks that every row has a structural diagonal entry.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::MissingDiagonal`] with the first offending row.
+    pub fn require_diagonal(&self) -> Result<(), SparseError> {
+        for r in 0..self.rows.min(self.cols) {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            if self.col_idx[lo..hi].binary_search(&r).is_err() {
+                return Err(SparseError::MissingDiagonal { row: r });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a symmetric permutation `B = A(p, p)` where `perm[new] = old`.
+    ///
+    /// # Panics
+    /// Panics if the permutation length differs from the matrix dimension or
+    /// the matrix is not square.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> Self {
+        assert!(self.rows == self.cols, "symmetric permutation needs a square matrix");
+        assert_eq!(perm.len(), self.rows, "permutation length mismatch");
+        // inverse permutation: inv[old] = new
+        let mut inv = vec![0usize; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                triplets.push((inv[r], inv[c], v));
+            }
+        }
+        Self::from_triplets(self.rows, self.cols, &triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaem_numeric::Complex64;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix<f64> {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_merges() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 0.5), (1, 1, -1.0)],
+        );
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 2), 1.5);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        let row0: Vec<usize> = a.row_entries(0).map(|(c, _)| c).collect();
+        assert_eq!(row0, vec![0, 2]);
+    }
+
+    #[test]
+    fn matvec_matches_dense_result() {
+        let a = laplacian_1d(5);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = a.matvec(&x);
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 1, 1.0), (1, 2, 5.0), (0, 0, -2.0)]);
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+        assert_eq!(a.transpose().get(2, 1), 5.0);
+    }
+
+    #[test]
+    fn diagonal_and_missing_diagonal_check() {
+        let a = laplacian_1d(4);
+        assert_eq!(a.diagonal(), vec![2.0; 4]);
+        assert!(a.require_diagonal().is_ok());
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]);
+        assert!(matches!(
+            b.require_diagonal(),
+            Err(SparseError::MissingDiagonal { row: 1 })
+        ));
+    }
+
+    #[test]
+    fn scaling_rows_and_columns() {
+        let mut a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 4.0), (1, 1, 8.0)]);
+        a.scale_rows_cols(&[0.5, 0.25], &[1.0, 0.5]);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn complex_matvec() {
+        let i = Complex64::I;
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, i), (1, 1, i * i)]);
+        let y = a.matvec(&[Complex64::ONE, Complex64::ONE]);
+        assert_eq!(y[0], i);
+        assert_eq!(y[1], Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_values() {
+        let a = laplacian_1d(4);
+        let perm = vec![3, 2, 1, 0];
+        let b = a.permute_symmetric(&perm);
+        // reversing twice restores
+        let c = b.permute_symmetric(&perm);
+        assert_eq!(a, c);
+        assert_eq!(b.get(0, 0), 2.0);
+        assert_eq!(b.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn norm_inf_of_laplacian() {
+        let a = laplacian_1d(5);
+        assert_eq!(a.norm_inf(), 4.0);
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let a = CsrMatrix::<f64>::identity(3);
+        assert_eq!(a.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! High-level linear-solver front-end.
+//!
+//! The FVM layer does not want to care about preconditioners, scalings and
+//! fallbacks; it hands a [`CsrMatrix`] and a right-hand side to
+//! [`LinearSolver`] and receives a solution plus a [`SolveReport`].
+
+use crate::{
+    BiCgStab, CsrMatrix, Gmres, Ilu0, KrylovOptions, RowColScaling, SparseError, SparseLu,
+};
+use vaem_numeric::{vecops, Scalar};
+
+/// Strategy selection for [`LinearSolver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Equilibrate, use the direct LU below a size threshold, otherwise
+    /// ILU(0)+BiCGSTAB with an ILU(0)+GMRES and finally direct fallback.
+    #[default]
+    Auto,
+    /// Always use the direct sparse LU.
+    DirectLu,
+    /// ILU(0)-preconditioned BiCGSTAB only.
+    IluBiCgStab,
+    /// ILU(0)-preconditioned restarted GMRES only.
+    IluGmres,
+}
+
+/// Statistics describing how a linear solve was performed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Short name of the strategy that produced the returned solution.
+    pub strategy: &'static str,
+    /// Krylov iterations used (0 for a direct solve).
+    pub iterations: usize,
+    /// Relative residual `‖b − A·x‖ / ‖b‖` of the returned solution,
+    /// measured on the *original* (unscaled) system.
+    pub residual_norm: f64,
+    /// Matrix dimension.
+    pub dimension: usize,
+    /// Matrix stored non-zeros.
+    pub nnz: usize,
+}
+
+/// Front-end that equilibrates the system and dispatches to the configured
+/// solver, with automatic fallbacks in [`SolverKind::Auto`] mode.
+///
+/// # Example
+/// ```
+/// use vaem_sparse::{CsrMatrix, LinearSolver, SolverKind};
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0e7), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0e-6)]);
+/// let b = vec![1.0, 1.0];
+/// let solver = LinearSolver::new(SolverKind::Auto);
+/// let (x, report) = solver.solve(&a, &b)?;
+/// assert!(report.residual_norm < 1e-8);
+/// assert_eq!(x.len(), 2);
+/// # Ok::<(), vaem_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSolver {
+    kind: SolverKind,
+    options: KrylovOptions,
+    direct_threshold: usize,
+}
+
+impl Default for LinearSolver {
+    fn default() -> Self {
+        Self::new(SolverKind::Auto)
+    }
+}
+
+impl LinearSolver {
+    /// Creates a solver front-end with default Krylov options and a direct
+    /// threshold of 6000 unknowns.
+    pub fn new(kind: SolverKind) -> Self {
+        Self {
+            kind,
+            options: KrylovOptions::default(),
+            direct_threshold: 6000,
+        }
+    }
+
+    /// Overrides the Krylov options.
+    pub fn with_options(mut self, options: KrylovOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the dimension below which [`SolverKind::Auto`] goes straight
+    /// to the direct LU.
+    pub fn with_direct_threshold(mut self, threshold: usize) -> Self {
+        self.direct_threshold = threshold;
+        self
+    }
+
+    /// Configured strategy.
+    pub fn kind(&self) -> SolverKind {
+        self.kind
+    }
+
+    /// Solves `A·x = b` starting from a zero initial guess.
+    ///
+    /// # Errors
+    /// Propagates the underlying solver error if every configured strategy
+    /// fails.
+    pub fn solve<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+    ) -> Result<(Vec<T>, SolveReport), SparseError> {
+        self.solve_with_guess(a, b, None)
+    }
+
+    /// Solves `A·x = b` using `x0` as the initial guess for the iterative
+    /// strategies (ignored by the direct solver).
+    ///
+    /// # Errors
+    /// Propagates the underlying solver error if every configured strategy
+    /// fails.
+    pub fn solve_with_guess<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        x0: Option<&[T]>,
+    ) -> Result<(Vec<T>, SolveReport), SparseError> {
+        if a.rows() != a.cols() || b.len() != a.rows() {
+            return Err(SparseError::DimensionMismatch {
+                detail: format!(
+                    "solver needs square A and matching rhs; got {}x{} with rhs {}",
+                    a.rows(),
+                    a.cols(),
+                    b.len()
+                ),
+            });
+        }
+        let (scaled, scaling) = RowColScaling::equilibrate(a);
+        let bs = scaling.scale_rhs(b);
+        let guess_scaled = x0.map(|g| scaling.scale_guess(g));
+
+        let finish = |x_scaled: Vec<T>, strategy: &'static str, iterations: usize| {
+            let x = scaling.unscale_solution(&x_scaled);
+            let resid = vecops::norm2(&a.residual(&x, b)) / vecops::norm2(b).max(1e-300);
+            (
+                x,
+                SolveReport {
+                    strategy,
+                    iterations,
+                    residual_norm: resid,
+                    dimension: a.rows(),
+                    nnz: a.nnz(),
+                },
+            )
+        };
+
+        let direct = || -> Result<(Vec<T>, &'static str, usize), SparseError> {
+            let lu = SparseLu::new(&scaled)?;
+            Ok((lu.solve(&bs)?, "sparse-lu", 0))
+        };
+        let bicgstab = || -> Result<(Vec<T>, &'static str, usize), SparseError> {
+            let ilu = Ilu0::new(&scaled)?;
+            let solver = BiCgStab::new(self.options);
+            let (x, it) = solver.solve(&scaled, &bs, Some(&ilu), guess_scaled.as_deref())?;
+            Ok((x, "ilu0-bicgstab", it))
+        };
+        let gmres = || -> Result<(Vec<T>, &'static str, usize), SparseError> {
+            let ilu = Ilu0::new(&scaled)?;
+            let solver = Gmres::new(self.options);
+            let (x, it) = solver.solve(&scaled, &bs, Some(&ilu), guess_scaled.as_deref())?;
+            Ok((x, "ilu0-gmres", it))
+        };
+
+        let outcome = match self.kind {
+            SolverKind::DirectLu => direct(),
+            SolverKind::IluBiCgStab => bicgstab(),
+            SolverKind::IluGmres => gmres(),
+            SolverKind::Auto => {
+                if a.rows() <= self.direct_threshold {
+                    direct().or_else(|_| bicgstab()).or_else(|_| gmres())
+                } else {
+                    bicgstab().or_else(|_| gmres()).or_else(|_| direct())
+                }
+            }
+        }?;
+
+        let (x, strategy, iterations) = outcome;
+        Ok(finish(x, strategy, iterations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaem_numeric::Complex64;
+
+    fn laplacian_2d(nx: usize) -> CsrMatrix<f64> {
+        let n = nx * nx;
+        let idx = |i: usize, j: usize| i * nx + j;
+        let mut t = Vec::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                t.push((idx(i, j), idx(i, j), 4.0));
+                if i > 0 {
+                    t.push((idx(i, j), idx(i - 1, j), -1.0));
+                }
+                if i + 1 < nx {
+                    t.push((idx(i, j), idx(i + 1, j), -1.0));
+                }
+                if j > 0 {
+                    t.push((idx(i, j), idx(i, j - 1), -1.0));
+                }
+                if j + 1 < nx {
+                    t.push((idx(i, j), idx(i, j + 1), -1.0));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn auto_small_uses_direct() {
+        let a = laplacian_2d(8);
+        let b = vec![1.0; a.rows()];
+        let solver = LinearSolver::new(SolverKind::Auto);
+        let (_, report) = solver.solve(&a, &b).unwrap();
+        assert_eq!(report.strategy, "sparse-lu");
+        assert!(report.residual_norm < 1e-10);
+    }
+
+    #[test]
+    fn auto_large_uses_iterative() {
+        let a = laplacian_2d(30); // 900 unknowns
+        let b = vec![1.0; a.rows()];
+        let solver = LinearSolver::new(SolverKind::Auto).with_direct_threshold(100);
+        let (_, report) = solver.solve(&a, &b).unwrap();
+        assert_eq!(report.strategy, "ilu0-bicgstab");
+        assert!(report.residual_norm < 1e-8);
+        assert!(report.iterations > 0);
+    }
+
+    #[test]
+    fn all_kinds_agree_on_solution() {
+        let a = laplacian_2d(10);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.11).sin()).collect();
+        let b = a.matvec(&x_true);
+        for kind in [
+            SolverKind::DirectLu,
+            SolverKind::IluBiCgStab,
+            SolverKind::IluGmres,
+        ] {
+            let solver = LinearSolver::new(kind).with_options(KrylovOptions {
+                tolerance: 1e-12,
+                max_iterations: 5000,
+                restart: 50,
+            });
+            let (x, report) = solver.solve(&a, &b).unwrap();
+            assert!(
+                vecops::relative_diff(&x, &x_true, 1e-30) < 1e-7,
+                "kind {kind:?} failed with report {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let a = laplacian_2d(20);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.05).cos()).collect();
+        let b = a.matvec(&x_true);
+        let solver = LinearSolver::new(SolverKind::IluBiCgStab);
+        let (_, cold) = solver.solve(&a, &b).unwrap();
+        let (_, warm) = solver.solve_with_guess(&a, &b, Some(&x_true)).unwrap();
+        assert!(warm.iterations <= cold.iterations);
+        assert_eq!(warm.iterations, 0);
+    }
+
+    #[test]
+    fn complex_system_with_huge_contrast() {
+        // Mimics the metal/dielectric admittance contrast at 1 GHz.
+        let nx = 12;
+        let base = laplacian_2d(nx);
+        let n = base.rows();
+        let mut t: Vec<(usize, usize, Complex64)> = Vec::new();
+        for r in 0..n {
+            let sigma = if r % 7 == 0 { 5.8e7 } else { 1.0 };
+            for (c, v) in base.row_entries(r) {
+                t.push((r, c, Complex64::new(v * sigma, v * 1e-6)));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let x_true: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.2).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let b = a.matvec(&x_true);
+        let solver = LinearSolver::new(SolverKind::Auto);
+        let (x, report) = solver.solve(&a, &b).unwrap();
+        assert!(
+            vecops::relative_diff(&x, &x_true, 1e-30) < 1e-6,
+            "report {report:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_rhs_is_rejected() {
+        let a = laplacian_2d(4);
+        let solver = LinearSolver::default();
+        assert!(matches!(
+            solver.solve(&a, &[1.0, 2.0]),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+}

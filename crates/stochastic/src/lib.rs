@@ -1,0 +1,55 @@
+//! Spectral stochastic collocation (SSCM) and Monte-Carlo drivers.
+//!
+//! Section II.B of the paper: the solver outputs are expanded in a
+//! second-order Hermite polynomial chaos of the reduced independent Gaussian
+//! variables (eq. 4); the expansion coefficients are determined from solver
+//! runs at sparse-grid collocation points, and mean/variance follow directly
+//! from the coefficients (eq. 5). A Monte-Carlo driver provides the accuracy
+//! reference used by the paper's tables.
+//!
+//! Components:
+//!
+//! * [`HermiteBasis`] — multi-dimensional probabilists' Hermite basis up to a
+//!   total order (2 in the paper).
+//! * [`CollocationGrid`] — the sparse collocation point set whose size
+//!   follows the paper's `2d² + 3d + 1` count.
+//! * [`PolynomialChaos`] — a fitted chaos expansion of one output quantity
+//!   (mean, variance, evaluation, sampling).
+//! * [`SparseCollocation`] — the SSCM driver: evaluate a model at the grid
+//!   points, fit one [`PolynomialChaos`] per output.
+//! * [`MonteCarlo`] — the reference sampler with streaming statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use vaem_stochastic::SparseCollocation;
+//!
+//! // A quadratic model with known statistics: y = 1 + ζ₀ + ζ₁² (mean 2, var 1 + 2 = 3).
+//! let sscm = SparseCollocation::new(2);
+//! let outputs: Vec<Vec<f64>> = sscm
+//!     .points()
+//!     .iter()
+//!     .map(|z| vec![1.0 + z[0] + z[1] * z[1]])
+//!     .collect();
+//! let pce = sscm.fit(&outputs)?;
+//! assert!((pce[0].mean() - 2.0).abs() < 1e-10);
+//! assert!((pce[0].variance() - 3.0).abs() < 1e-9);
+//! # Ok::<(), vaem_numeric::NumericError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod collocation;
+mod hermite_basis;
+mod monte_carlo;
+mod pce;
+mod sparse_grid;
+mod statistics;
+
+pub use collocation::SparseCollocation;
+pub use hermite_basis::{HermiteBasis, MultiIndex};
+pub use monte_carlo::{MonteCarlo, MonteCarloOutcome};
+pub use pce::PolynomialChaos;
+pub use sparse_grid::{paper_point_count, CollocationGrid};
+pub use statistics::{compare, StatComparison, SummaryStats};

@@ -1,0 +1,171 @@
+//! Monte-Carlo reference driver.
+
+use crate::SummaryStats;
+use rand::Rng;
+use vaem_numeric::stats::RunningStats;
+
+/// Result of a Monte-Carlo campaign over a multi-output model.
+#[derive(Debug, Clone)]
+pub struct MonteCarloOutcome {
+    /// Streaming statistics per output quantity.
+    pub stats: Vec<RunningStats>,
+    /// Number of samples evaluated.
+    pub samples: usize,
+}
+
+impl MonteCarloOutcome {
+    /// Mean/std summary of output `q`.
+    pub fn summary(&self, q: usize) -> SummaryStats {
+        SummaryStats {
+            mean: self.stats[q].mean(),
+            std: self.stats[q].sample_std(),
+        }
+    }
+
+    /// Number of output quantities.
+    pub fn output_count(&self) -> usize {
+        self.stats.len()
+    }
+}
+
+/// Plain Monte-Carlo sampler used as the accuracy/cost reference for SSCM
+/// (the paper uses a 10 000-run campaign).
+///
+/// # Example
+/// ```
+/// use rand::SeedableRng;
+/// use vaem_stochastic::MonteCarlo;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mc = MonteCarlo::new(5000);
+/// // Model: y = 3 + 2·u where u ~ N(0, 1) supplied by the caller.
+/// let outcome = mc.run(&mut rng, |rng| {
+///     let u: f64 = vaem_variation_free_normal(rng);
+///     vec![3.0 + 2.0 * u]
+/// });
+/// let s = outcome.summary(0);
+/// assert!((s.mean - 3.0).abs() < 0.1);
+/// assert!((s.std - 2.0).abs() < 0.1);
+///
+/// // Small helper for the doctest (Box–Muller).
+/// fn vaem_variation_free_normal<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+///     let u1: f64 = 1.0 - rng.gen::<f64>();
+///     let u2: f64 = rng.gen::<f64>();
+///     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    samples: usize,
+}
+
+impl MonteCarlo {
+    /// Creates a driver that draws `samples` model evaluations.
+    ///
+    /// # Panics
+    /// Panics if `samples == 0`.
+    pub fn new(samples: usize) -> Self {
+        assert!(samples > 0, "Monte Carlo needs at least one sample");
+        Self { samples }
+    }
+
+    /// Number of samples the campaign will draw.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Runs the campaign: `model` is called once per sample with the RNG and
+    /// must return the output vector (a consistent length across calls).
+    ///
+    /// # Panics
+    /// Panics if the model returns inconsistent output lengths.
+    pub fn run<R, F>(&self, rng: &mut R, mut model: F) -> MonteCarloOutcome
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> Vec<f64>,
+    {
+        let mut stats: Vec<RunningStats> = Vec::new();
+        for s in 0..self.samples {
+            let outputs = model(rng);
+            if s == 0 {
+                stats = vec![RunningStats::new(); outputs.len()];
+            }
+            assert_eq!(
+                outputs.len(),
+                stats.len(),
+                "model returned {} outputs on sample {s}, expected {}",
+                outputs.len(),
+                stats.len()
+            );
+            for (acc, v) in stats.iter_mut().zip(outputs.iter()) {
+                acc.push(*v);
+            }
+        }
+        MonteCarloOutcome {
+            stats,
+            samples: self.samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    #[test]
+    fn recovers_known_mean_and_std() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mc = MonteCarlo::new(40_000);
+        let outcome = mc.run(&mut rng, |rng| {
+            let z = normal(rng);
+            vec![1.0 + 0.5 * z, z * z]
+        });
+        let s0 = outcome.summary(0);
+        let s1 = outcome.summary(1);
+        assert!((s0.mean - 1.0).abs() < 0.02);
+        assert!((s0.std - 0.5).abs() < 0.02);
+        assert!((s1.mean - 1.0).abs() < 0.05);
+        // Var(z²) = 2 for standard normal.
+        assert!((s1.std - 2.0_f64.sqrt()).abs() < 0.06);
+        assert_eq!(outcome.samples, 40_000);
+        assert_eq!(outcome.output_count(), 2);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mc = MonteCarlo::new(100);
+        let a = mc.run(&mut StdRng::seed_from_u64(5), |rng| vec![normal(rng)]);
+        let b = mc.run(&mut StdRng::seed_from_u64(5), |rng| vec![normal(rng)]);
+        assert_eq!(a.summary(0).mean, b.summary(0).mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let _ = MonteCarlo::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn inconsistent_model_outputs_panic() {
+        let mc = MonteCarlo::new(3);
+        let mut toggle = false;
+        let mut rng = StdRng::seed_from_u64(0);
+        mc.run(&mut rng, |_| {
+            toggle = !toggle;
+            if toggle {
+                vec![1.0, 2.0]
+            } else {
+                vec![1.0]
+            }
+        });
+    }
+}

@@ -1,0 +1,143 @@
+//! Sparse collocation point sets.
+//!
+//! The paper reports that for `d` independent variables the sparse-grid SSCM
+//! requires `2d² + 3d + 1` deterministic solves (1035 for d = 22 in Example A
+//! and 2415 for d = 34 in Example B). The grid built here reproduces exactly
+//! that count: one centre point, five axial points per dimension (the level-2
+//! and level-3 Gauss–Hermite abscissae) and the four diagonal combinations
+//! `(±√3, ±√3)` for every pair of dimensions — enough to resolve every
+//! second-order chaos coefficient, including the cross terms.
+
+/// Collocation point count used by the paper for `d` variables.
+pub fn paper_point_count(d: usize) -> usize {
+    2 * d * d + 3 * d + 1
+}
+
+/// A sparse collocation grid in `d` standard-normal dimensions.
+///
+/// # Example
+/// ```
+/// use vaem_stochastic::{CollocationGrid, paper_point_count};
+/// let grid = CollocationGrid::level2(22);
+/// assert_eq!(grid.len(), paper_point_count(22)); // 1035 runs, as in the paper
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollocationGrid {
+    dim: usize,
+    points: Vec<Vec<f64>>,
+}
+
+impl CollocationGrid {
+    /// Builds the level-2 sparse grid for `dim` variables.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn level2(dim: usize) -> Self {
+        assert!(dim > 0, "collocation grid needs at least one dimension");
+        let sqrt3 = 3.0_f64.sqrt();
+        // Level-3 Gauss–Hermite abscissa (√6) complements ±1 and ±√3 so that
+        // pure quadratic and quartic directions are well resolved.
+        let sqrt6 = 6.0_f64.sqrt();
+        let axial = [-sqrt3, -1.0, 1.0, sqrt3, sqrt6];
+
+        let mut points = Vec::with_capacity(paper_point_count(dim));
+        // Centre.
+        points.push(vec![0.0; dim]);
+        // Axial points: 5 per dimension.
+        for d in 0..dim {
+            for &v in &axial {
+                let mut p = vec![0.0; dim];
+                p[d] = v;
+                points.push(p);
+            }
+        }
+        // Pairwise diagonal points: 4 per unordered pair.
+        for a in 0..dim {
+            for b in (a + 1)..dim {
+                for &sa in &[-sqrt3, sqrt3] {
+                    for &sb in &[-sqrt3, sqrt3] {
+                        let mut p = vec![0.0; dim];
+                        p[a] = sa;
+                        p[b] = sb;
+                        points.push(p);
+                    }
+                }
+            }
+        }
+        Self { dim, points }
+    }
+
+    /// Number of random dimensions.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of collocation points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the grid has no points (never happens).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The collocation points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn point_count_matches_paper_formula() {
+        for d in [1, 2, 3, 5, 10, 22, 34] {
+            let grid = CollocationGrid::level2(d);
+            assert_eq!(grid.len(), paper_point_count(d), "d = {d}");
+        }
+        // The two counts quoted in the paper.
+        assert_eq!(paper_point_count(22), 1035);
+        assert_eq!(paper_point_count(34), 2415);
+    }
+
+    #[test]
+    fn points_are_unique() {
+        let grid = CollocationGrid::level2(6);
+        let set: BTreeSet<String> = grid
+            .points()
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .map(|v| format!("{v:.9}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        assert_eq!(set.len(), grid.len());
+    }
+
+    #[test]
+    fn points_touch_at_most_two_dimensions() {
+        let grid = CollocationGrid::level2(5);
+        for p in grid.points() {
+            let active = p.iter().filter(|v| v.abs() > 0.0).count();
+            assert!(active <= 2, "point {p:?} has too many active dimensions");
+        }
+    }
+
+    #[test]
+    fn first_point_is_the_origin() {
+        let grid = CollocationGrid::level2(4);
+        assert!(grid.points()[0].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dimensions_panics() {
+        let _ = CollocationGrid::level2(0);
+    }
+}

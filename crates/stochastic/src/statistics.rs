@@ -1,0 +1,83 @@
+//! Summary statistics and SSCM-vs-MC comparison helpers.
+
+use vaem_numeric::stats::relative_error;
+
+/// Mean and standard deviation of one output quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Mean value.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+}
+
+impl SummaryStats {
+    /// Creates a summary.
+    pub fn new(mean: f64, std: f64) -> Self {
+        Self { mean, std }
+    }
+}
+
+/// Comparison of an SSCM estimate against a Monte-Carlo reference, mirroring
+/// the error metric the paper quotes ("errors on mean value and standard
+/// deviation are both less than 1 %").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatComparison {
+    /// SSCM estimate.
+    pub sscm: SummaryStats,
+    /// Monte-Carlo reference.
+    pub monte_carlo: SummaryStats,
+    /// Relative error of the mean.
+    pub mean_error: f64,
+    /// Relative error of the standard deviation.
+    pub std_error: f64,
+}
+
+impl StatComparison {
+    /// Returns `true` when both relative errors are below `threshold`.
+    pub fn within(&self, threshold: f64) -> bool {
+        self.mean_error <= threshold && self.std_error <= threshold
+    }
+}
+
+/// Compares an SSCM estimate against a Monte-Carlo reference.
+///
+/// `floor` guards the relative error against (near-)zero references; pass a
+/// magnitude that is negligible for the quantity at hand.
+pub fn compare(sscm: SummaryStats, monte_carlo: SummaryStats, floor: f64) -> StatComparison {
+    StatComparison {
+        sscm,
+        monte_carlo,
+        mean_error: relative_error(sscm.mean, monte_carlo.mean, floor),
+        std_error: relative_error(sscm.std, monte_carlo.std, floor),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_computes_relative_errors() {
+        let c = compare(
+            SummaryStats::new(1.01, 0.099),
+            SummaryStats::new(1.0, 0.1),
+            1e-30,
+        );
+        assert!((c.mean_error - 0.01).abs() < 1e-12);
+        assert!((c.std_error - 0.01).abs() < 1e-12);
+        assert!(c.within(0.011));
+        assert!(!c.within(0.005));
+    }
+
+    #[test]
+    fn floor_prevents_division_blowup() {
+        let c = compare(
+            SummaryStats::new(1e-9, 0.0),
+            SummaryStats::new(0.0, 0.0),
+            1e-6,
+        );
+        assert!(c.mean_error < 1e-2);
+        assert_eq!(c.std_error, 0.0);
+    }
+}

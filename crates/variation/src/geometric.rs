@@ -1,0 +1,384 @@
+//! Geometric (surface-roughness) variation models.
+//!
+//! Section III.A of the paper: interface nodes receive correlated Gaussian
+//! offsets along the facet normal. Two ways of transferring those offsets to
+//! the mesh are provided:
+//!
+//! * [`GeometricModel::Traditional`] — only the interface nodes move (the
+//!   model of the earlier variational A–V solver). When the offset exceeds
+//!   the local grid pitch, nodes cross their neighbours and the mesh is
+//!   destroyed (Fig. 1a).
+//! * [`GeometricModel::ContinuousSurface`] — the paper's smart model: the
+//!   interface offset is propagated along the perturbation direction, with a
+//!   linear blend between neighbouring interfaces (eq. 6) and a linear decay
+//!   towards the domain boundary (eq. 7), so all nodes move continuously and
+//!   crossings are avoided (Fig. 1b).
+
+use std::collections::BTreeMap;
+use vaem_mesh::{Axis, CartesianMesh, Facet, NodeId};
+
+/// Which model is used to transfer interface offsets onto the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GeometricModel {
+    /// Displace only the interface nodes (baseline, breaks at large σ).
+    Traditional,
+    /// The paper's continuous-surface-variation propagation (eqs. 6–7).
+    #[default]
+    ContinuousSurface,
+}
+
+/// Offsets (µm, along the facet normal) for the nodes of one rough facet.
+///
+/// `offsets[i]` applies to `facet.nodes[i]`.
+#[derive(Debug, Clone)]
+pub struct FacetPerturbation<'a> {
+    /// The facet being roughened.
+    pub facet: &'a Facet,
+    /// Normal offsets, one per facet node.
+    pub offsets: Vec<f64>,
+}
+
+impl<'a> FacetPerturbation<'a> {
+    /// Creates a perturbation, checking the length.
+    ///
+    /// # Panics
+    /// Panics if `offsets.len()` differs from the facet node count.
+    pub fn new(facet: &'a Facet, offsets: Vec<f64>) -> Self {
+        assert_eq!(
+            offsets.len(),
+            facet.nodes.len(),
+            "facet {} has {} nodes but {} offsets were supplied",
+            facet.name,
+            facet.nodes.len(),
+            offsets.len()
+        );
+        Self { facet, offsets }
+    }
+}
+
+/// Applies surface-roughness perturbations to the mesh with the chosen model.
+///
+/// All perturbations sharing a normal axis are treated together so that the
+/// continuous model can interpolate between interfaces crossed by the same
+/// grid column (eq. 6) and decay towards the domain boundary outside the
+/// outermost interfaces (eq. 7).
+///
+/// # Example
+/// ```
+/// use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+/// use vaem_mesh::quality::assess;
+/// use vaem_variation::{apply_roughness, FacetPerturbation, GeometricModel};
+///
+/// let structure = build_metalplug_structure(&MetalPlugConfig::default());
+/// let facet = structure.facet("plug1_interface").unwrap();
+/// let offsets = vec![0.4; facet.nodes.len()];
+///
+/// let mut mesh = structure.mesh.clone();
+/// apply_roughness(
+///     &mut mesh,
+///     GeometricModel::ContinuousSurface,
+///     &[FacetPerturbation::new(facet, offsets)],
+/// );
+/// assert!(assess(&mesh, 1e-9).is_valid());
+/// ```
+pub fn apply_roughness(
+    mesh: &mut CartesianMesh,
+    model: GeometricModel,
+    perturbations: &[FacetPerturbation<'_>],
+) {
+    match model {
+        GeometricModel::Traditional => {
+            for p in perturbations {
+                let axis = p.facet.normal;
+                for (&node, &delta) in p.facet.nodes.iter().zip(p.offsets.iter()) {
+                    mesh.displace(node, axis, delta);
+                }
+            }
+        }
+        GeometricModel::ContinuousSurface => {
+            apply_continuous(mesh, perturbations);
+        }
+    }
+}
+
+/// Continuous-surface propagation.
+///
+/// For every grid column along a perturbation axis we collect the perturbed
+/// interface nodes it crosses, then displace every node of the column:
+/// * between two interfaces — linear blend of the two interface offsets
+///   (the paper's eq. 6),
+/// * outside the outermost interfaces — linear decay of the nearest interface
+///   offset towards the domain boundary (the paper's eq. 7),
+/// * on an interface — the interface offset itself.
+fn apply_continuous(mesh: &mut CartesianMesh, perturbations: &[FacetPerturbation<'_>]) {
+    for axis in Axis::ALL {
+        // column key (perpendicular grid indices) -> [(axis grid index, coordinate, offset)]
+        let mut columns: BTreeMap<(usize, usize), Vec<(usize, f64, f64)>> = BTreeMap::new();
+        for p in perturbations {
+            if p.facet.normal != axis {
+                continue;
+            }
+            for (&node, &delta) in p.facet.nodes.iter().zip(p.offsets.iter()) {
+                let g = mesh.grid_index(node);
+                let key = match axis {
+                    Axis::X => (g.j, g.k),
+                    Axis::Y => (g.i, g.k),
+                    Axis::Z => (g.i, g.j),
+                };
+                let coord = mesh.position(node)[axis.as_usize()];
+                columns
+                    .entry(key)
+                    .or_default()
+                    .push((g.along(axis), coord, delta));
+            }
+        }
+        if columns.is_empty() {
+            continue;
+        }
+
+        let (lo_bound, hi_bound) = {
+            let (lo, hi) = mesh.bounding_box();
+            (lo[axis.as_usize()], hi[axis.as_usize()])
+        };
+        let (nx, ny, nz) = mesh.dims();
+        let axis_len = match axis {
+            Axis::X => nx,
+            Axis::Y => ny,
+            Axis::Z => nz,
+        };
+
+        for (key, mut interfaces) in columns {
+            interfaces.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("coordinate is NaN"));
+            // Walk the whole column and displace each node.
+            for s in 0..axis_len {
+                let node = node_on_column(mesh, axis, key, s);
+                let x_i = mesh.position(node)[axis.as_usize()];
+                let delta = column_offset(&interfaces, x_i, s, lo_bound, hi_bound);
+                if delta != 0.0 {
+                    mesh.displace(node, axis, delta);
+                }
+            }
+        }
+    }
+}
+
+/// Offset of a column node located at coordinate `x_i` (grid slot `slot`),
+/// given the sorted interface list `(grid slot, coordinate, offset)`.
+fn column_offset(
+    interfaces: &[(usize, f64, f64)],
+    x_i: f64,
+    slot: usize,
+    lo_bound: f64,
+    hi_bound: f64,
+) -> f64 {
+    // Exact interface node?
+    if let Some(&(_, _, xi)) = interfaces.iter().find(|&&(s, _, _)| s == slot) {
+        return xi;
+    }
+    let first = interfaces[0];
+    let last = interfaces[interfaces.len() - 1];
+    if x_i < first.1 {
+        // Outer region on the low side: decay towards the lower boundary (eq. 7).
+        let (_, x_l, xi_l) = first;
+        let denom = x_l - lo_bound;
+        if denom.abs() < 1e-30 {
+            return 0.0;
+        }
+        return xi_l * (x_i - lo_bound) / denom;
+    }
+    if x_i > last.1 {
+        // Outer region on the high side (eq. 7).
+        let (_, x_r, xi_r) = last;
+        let denom = hi_bound - x_r;
+        if denom.abs() < 1e-30 {
+            return 0.0;
+        }
+        return xi_r * (hi_bound - x_i) / denom;
+    }
+    // Inner region: find the bracketing interfaces and blend (eq. 6).
+    for w in interfaces.windows(2) {
+        let (_, x_l, xi_l) = w[0];
+        let (_, x_r, xi_r) = w[1];
+        if x_i >= x_l && x_i <= x_r {
+            let denom = x_r - x_l;
+            if denom.abs() < 1e-30 {
+                return 0.5 * (xi_l + xi_r);
+            }
+            return xi_r * (x_i - x_l) / denom + xi_l * (x_r - x_i) / denom;
+        }
+    }
+    0.0
+}
+
+/// Node at grid slot `s` of the column identified by `key` along `axis`.
+fn node_on_column(
+    mesh: &CartesianMesh,
+    axis: Axis,
+    key: (usize, usize),
+    s: usize,
+) -> NodeId {
+    use vaem_mesh::GridIndex;
+    let idx = match axis {
+        Axis::X => GridIndex::new(s, key.0, key.1),
+        Axis::Y => GridIndex::new(key.0, s, key.1),
+        Axis::Z => GridIndex::new(key.0, key.1, s),
+    };
+    mesh.node_at(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaem_mesh::quality::assess;
+    use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+    use vaem_mesh::structures::tsv::{build_tsv_structure, TsvConfig};
+
+    #[test]
+    fn traditional_model_moves_only_interface_nodes() {
+        let s = build_metalplug_structure(&MetalPlugConfig::default());
+        let facet = s.facet("plug1_interface").unwrap();
+        let mut mesh = s.mesh.clone();
+        let offsets = vec![0.2; facet.nodes.len()];
+        apply_roughness(
+            &mut mesh,
+            GeometricModel::Traditional,
+            &[FacetPerturbation::new(facet, offsets)],
+        );
+        let mut moved = 0;
+        for n in mesh.node_ids() {
+            let before = s.mesh.position(n);
+            let after = mesh.position(n);
+            if before != after {
+                moved += 1;
+                assert!(facet.nodes.contains(&n), "non-interface node moved");
+            }
+        }
+        assert_eq!(moved, facet.nodes.len());
+    }
+
+    #[test]
+    fn continuous_model_moves_neighbouring_nodes_too() {
+        let s = build_metalplug_structure(&MetalPlugConfig::default());
+        let facet = s.facet("plug1_interface").unwrap();
+        let mut mesh = s.mesh.clone();
+        let offsets = vec![0.2; facet.nodes.len()];
+        apply_roughness(
+            &mut mesh,
+            GeometricModel::ContinuousSurface,
+            &[FacetPerturbation::new(facet, offsets)],
+        );
+        let moved = mesh
+            .node_ids()
+            .filter(|&n| s.mesh.position(n) != mesh.position(n))
+            .count();
+        assert!(
+            moved > facet.nodes.len(),
+            "continuous model should propagate beyond the interface ({moved})"
+        );
+    }
+
+    #[test]
+    fn large_offsets_break_traditional_but_not_continuous() {
+        // sigma_G = 0.5 µm in the paper is comparable to the 1 µm pitch; use
+        // an offset well above the local pitch to provoke crossings.
+        let s = build_metalplug_structure(&MetalPlugConfig::default());
+        let facet = s.facet("plug1_interface").unwrap();
+        let big: Vec<f64> = facet
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i % 2 == 0 { 1.4 } else { -1.4 })
+            .collect();
+
+        let mut traditional = s.mesh.clone();
+        apply_roughness(
+            &mut traditional,
+            GeometricModel::Traditional,
+            &[FacetPerturbation::new(facet, big.clone())],
+        );
+        assert!(
+            !assess(&traditional, 1e-9).is_valid(),
+            "traditional model should break the mesh at this amplitude"
+        );
+
+        let mut continuous = s.mesh.clone();
+        apply_roughness(
+            &mut continuous,
+            GeometricModel::ContinuousSurface,
+            &[FacetPerturbation::new(facet, big)],
+        );
+        assert!(
+            assess(&continuous, 1e-9).is_valid(),
+            "continuous model must keep the mesh valid"
+        );
+    }
+
+    #[test]
+    fn interface_nodes_get_exactly_their_offsets_in_both_models() {
+        let s = build_metalplug_structure(&MetalPlugConfig::default());
+        let facet = s.facet("plug2_interface").unwrap();
+        let offsets: Vec<f64> = (0..facet.nodes.len()).map(|i| 0.01 * i as f64).collect();
+        for model in [GeometricModel::Traditional, GeometricModel::ContinuousSurface] {
+            let mut mesh = s.mesh.clone();
+            apply_roughness(&mut mesh, model, &[FacetPerturbation::new(facet, offsets.clone())]);
+            for (&node, &delta) in facet.nodes.iter().zip(offsets.iter()) {
+                let d = mesh.position(node)[2] - s.mesh.position(node)[2];
+                assert!(
+                    (d - delta).abs() < 1e-12,
+                    "{model:?}: interface node moved by {d}, expected {delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tsv_opposite_walls_blend_inside_the_barrel() {
+        let s = build_tsv_structure(&TsvConfig::coarse());
+        let plus = s.facet("tsv1+x").unwrap();
+        let minus = s.facet("tsv1-x").unwrap();
+        let mut mesh = s.mesh.clone();
+        // Push both walls outward by 0.3 µm.
+        apply_roughness(
+            &mut mesh,
+            GeometricModel::ContinuousSurface,
+            &[
+                FacetPerturbation::new(plus, vec![0.3; plus.nodes.len()]),
+                FacetPerturbation::new(minus, vec![-0.3; minus.nodes.len()]),
+            ],
+        );
+        assert!(assess(&mesh, 1e-9).is_valid());
+        // A node midway between the two walls moves by the blend of the two
+        // offsets, which is ~0 for symmetric outward motion.
+        let probe = mesh
+            .node_ids()
+            .find(|&n| {
+                let p = s.mesh.position(n);
+                let g = s.mesh.grid_index(n);
+                let on_wall_col = plus
+                    .nodes
+                    .iter()
+                    .chain(minus.nodes.iter())
+                    .any(|&m| {
+                        let gm = s.mesh.grid_index(m);
+                        gm.j == g.j && gm.k == g.k
+                    });
+                on_wall_col
+                    && (p[0] - (s.mesh.position(plus.nodes[0])[0]
+                        + s.mesh.position(minus.nodes[0])[0])
+                        / 2.0)
+                        .abs()
+                        < 0.8
+            })
+            .expect("probe node inside the barrel");
+        let shift = mesh.position(probe)[0] - s.mesh.position(probe)[0];
+        assert!(shift.abs() < 0.31, "mid-barrel shift {shift}");
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets were supplied")]
+    fn mismatched_offsets_panic() {
+        let s = build_metalplug_structure(&MetalPlugConfig::coarse());
+        let facet = s.facet("plug1_interface").unwrap();
+        let _ = FacetPerturbation::new(facet, vec![0.1; 3]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Process-variation modelling for the VAEM coupled solver.
+//!
+//! The paper studies two variation classes acting simultaneously on hybrid
+//! metal/semiconductor structures:
+//!
+//! * **Surface roughness** on material interfaces — correlated Gaussian
+//!   perturbations of the interface-node coordinates, applied to the mesh
+//!   either with the *traditional* model (only interface nodes move, which
+//!   breaks the mesh at large σ) or with the paper's *continuous surface
+//!   variation* (CSV) model that propagates the perturbation to neighbouring
+//!   nodes (Section III.A, eqs. (6)–(7)).
+//! * **Random doping fluctuation (RDF)** — correlated relative perturbation
+//!   of the donor concentration at semiconductor nodes.
+//!
+//! Both classes generate many correlated random variables; the paper reduces
+//! them with principal factor analysis ([`Pfa`]) or the weighted variant
+//! ([`Wpfa`], Section III.C, eqs. (9)–(10)) before handing the independent
+//! factors to the stochastic collocation method.
+//!
+//! # Example
+//!
+//! ```
+//! use vaem_variation::{CorrelationKernel, covariance_matrix, Pfa, VariableReduction};
+//!
+//! // Five points on a line, smoothly correlated over a long length.
+//! let positions: Vec<[f64; 3]> = (0..5).map(|i| [i as f64, 0.0, 0.0]).collect();
+//! let cov = covariance_matrix(&positions, 0.1, CorrelationKernel::Gaussian { length: 4.0 });
+//! let pfa = Pfa::new(&cov, 0.95)?;
+//! assert!(pfa.reduced_dim() < 5);
+//! let xi = pfa.expand(&vec![1.0; pfa.reduced_dim()]);
+//! assert_eq!(xi.len(), 5);
+//! # Ok::<(), vaem_numeric::NumericError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod correlation;
+pub mod geometric;
+mod pfa;
+mod rdf;
+mod reduction;
+mod sampling;
+mod wpfa;
+
+pub use correlation::{covariance_matrix, CorrelationKernel};
+pub use geometric::{apply_roughness, FacetPerturbation, GeometricModel};
+pub use pfa::Pfa;
+pub use rdf::DopingVariationSpec;
+pub use reduction::{FullRankGaussian, VariableReduction};
+pub use sampling::{standard_normal, standard_normal_vector};
+pub use wpfa::Wpfa;

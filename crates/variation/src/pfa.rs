@@ -1,0 +1,165 @@
+//! Classical principal factor analysis (PFA) reduction.
+
+use crate::VariableReduction;
+use vaem_numeric::dense::{DMatrix, SymmetricEigen};
+use vaem_numeric::NumericError;
+
+/// Principal-factor-analysis reduction of a correlated Gaussian vector.
+///
+/// The covariance `Σ` is eigendecomposed, the leading eigenpairs capturing
+/// `energy_fraction` of the total variance are kept, and the correlated
+/// vector is represented as `ξ = V_r·Λ_r^{1/2}·ζ` with `ζ ~ N(0, I_r)`.
+/// This is the baseline the paper's wPFA improves upon.
+///
+/// # Example
+/// ```
+/// use vaem_variation::{covariance_matrix, CorrelationKernel, Pfa, VariableReduction};
+/// let positions: Vec<[f64; 3]> = (0..10).map(|i| [0.2 * i as f64, 0.0, 0.0]).collect();
+/// let cov = covariance_matrix(&positions, 0.5, CorrelationKernel::Gaussian { length: 1.0 });
+/// let pfa = Pfa::new(&cov, 0.99)?;
+/// assert!(pfa.reduced_dim() < pfa.full_dim());
+/// # Ok::<(), vaem_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pfa {
+    /// Mapping matrix `A = V_r·Λ_r^{1/2}` (full_dim × reduced_dim).
+    transform: DMatrix<f64>,
+    captured_energy: f64,
+}
+
+impl Pfa {
+    /// Builds the reduction keeping enough factors to capture
+    /// `energy_fraction` of the total variance (trace of the covariance).
+    ///
+    /// # Errors
+    /// Propagates eigendecomposition failures; returns
+    /// [`NumericError::InvalidArgument`] when `energy_fraction` is outside
+    /// `(0, 1]`.
+    pub fn new(covariance: &DMatrix<f64>, energy_fraction: f64) -> Result<Self, NumericError> {
+        if !(0.0..=1.0).contains(&energy_fraction) || energy_fraction == 0.0 {
+            return Err(NumericError::InvalidArgument {
+                detail: format!("energy fraction must be in (0, 1], got {energy_fraction}"),
+            });
+        }
+        let eig = SymmetricEigen::new(covariance)?;
+        let r = eig.count_for_energy(energy_fraction).max(1);
+        Self::with_rank(covariance, r)
+    }
+
+    /// Builds the reduction with an explicit number of retained factors.
+    ///
+    /// # Errors
+    /// Propagates eigendecomposition failures; returns
+    /// [`NumericError::InvalidArgument`] when `rank` is zero or larger than
+    /// the dimension.
+    pub fn with_rank(covariance: &DMatrix<f64>, rank: usize) -> Result<Self, NumericError> {
+        let n = covariance.rows();
+        if rank == 0 || rank > n {
+            return Err(NumericError::InvalidArgument {
+                detail: format!("rank {rank} out of range for dimension {n}"),
+            });
+        }
+        let eig = SymmetricEigen::new(covariance)?;
+        let values = eig.eigenvalues();
+        let vectors = eig.eigenvectors();
+        let mut transform = DMatrix::zeros(n, rank);
+        for j in 0..rank {
+            let scale = values[j].max(0.0).sqrt();
+            for i in 0..n {
+                transform[(i, j)] = vectors[(i, j)] * scale;
+            }
+        }
+        let total: f64 = values.iter().map(|l| l.abs()).sum();
+        let captured: f64 = values.iter().take(rank).map(|l| l.abs()).sum();
+        Ok(Self {
+            transform,
+            captured_energy: if total > 0.0 { captured / total } else { 1.0 },
+        })
+    }
+
+    /// Fraction of the total variance captured by the retained factors.
+    pub fn captured_energy(&self) -> f64 {
+        self.captured_energy
+    }
+}
+
+impl VariableReduction for Pfa {
+    fn full_dim(&self) -> usize {
+        self.transform.rows()
+    }
+
+    fn reduced_dim(&self) -> usize {
+        self.transform.cols()
+    }
+
+    fn expand(&self, zeta: &[f64]) -> Vec<f64> {
+        assert_eq!(zeta.len(), self.reduced_dim(), "pfa expand: wrong length");
+        self.transform.matvec(zeta)
+    }
+
+    fn implied_covariance(&self) -> DMatrix<f64> {
+        self.transform.matmul(&self.transform.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{covariance_matrix, CorrelationKernel};
+
+    fn smooth_cov(n: usize) -> DMatrix<f64> {
+        let positions: Vec<[f64; 3]> = (0..n).map(|i| [0.25 * i as f64, 0.0, 0.0]).collect();
+        covariance_matrix(&positions, 0.5, CorrelationKernel::Gaussian { length: 2.0 })
+    }
+
+    #[test]
+    fn strongly_correlated_field_compresses_hard() {
+        let cov = smooth_cov(20);
+        let pfa = Pfa::new(&cov, 0.99).unwrap();
+        assert!(pfa.reduced_dim() <= 5, "kept {}", pfa.reduced_dim());
+        assert!(pfa.captured_energy() >= 0.99);
+    }
+
+    #[test]
+    fn implied_covariance_converges_with_rank() {
+        let cov = smooth_cov(12);
+        let low = Pfa::with_rank(&cov, 1).unwrap();
+        let high = Pfa::with_rank(&cov, 12).unwrap();
+        let err_low = low.implied_covariance().sub(&cov).frobenius_norm();
+        let err_high = high.implied_covariance().sub(&cov).frobenius_norm();
+        assert!(err_high < err_low);
+        assert!(err_high < 1e-8);
+    }
+
+    #[test]
+    fn expand_length_and_variance_scale() {
+        let cov = smooth_cov(8);
+        let pfa = Pfa::new(&cov, 0.95).unwrap();
+        let zeta = vec![1.0; pfa.reduced_dim()];
+        let xi = pfa.expand(&zeta);
+        assert_eq!(xi.len(), 8);
+        // The first factor dominates, so xi should have magnitude ~sigma.
+        assert!(xi.iter().any(|v| v.abs() > 0.1));
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let cov = smooth_cov(4);
+        assert!(Pfa::new(&cov, 0.0).is_err());
+        assert!(Pfa::new(&cov, 1.5).is_err());
+        assert!(Pfa::with_rank(&cov, 0).is_err());
+        assert!(Pfa::with_rank(&cov, 9).is_err());
+    }
+
+    #[test]
+    fn independent_variables_do_not_compress() {
+        let positions: Vec<[f64; 3]> = (0..6).map(|i| [i as f64 * 10.0, 0.0, 0.0]).collect();
+        let cov = covariance_matrix(
+            &positions,
+            1.0,
+            CorrelationKernel::Exponential { length: 0.01 },
+        );
+        let pfa = Pfa::new(&cov, 0.99).unwrap();
+        assert_eq!(pfa.reduced_dim(), 6);
+    }
+}

@@ -1,0 +1,101 @@
+//! Common interface for variable-reduction schemes.
+
+use vaem_numeric::dense::{Cholesky, DMatrix};
+use vaem_numeric::NumericError;
+
+/// Maps a reduced vector of independent standard normals `ζ` to the full
+/// correlated variation vector `ξ`.
+///
+/// Implemented by [`crate::Pfa`] (classical principal factor analysis),
+/// [`crate::Wpfa`] (the paper's weighted PFA) and [`FullRankGaussian`]
+/// (no reduction — used by the Monte-Carlo reference).
+pub trait VariableReduction {
+    /// Number of original correlated variables.
+    fn full_dim(&self) -> usize;
+
+    /// Number of retained independent factors.
+    fn reduced_dim(&self) -> usize;
+
+    /// Expands a reduced vector `ζ` (length [`VariableReduction::reduced_dim`])
+    /// into the full variation vector `ξ` (length
+    /// [`VariableReduction::full_dim`]).
+    ///
+    /// # Panics
+    /// Implementations panic when `zeta` has the wrong length.
+    fn expand(&self, zeta: &[f64]) -> Vec<f64>;
+
+    /// Covariance implied by the reduction, `A·Aᵀ` where `ξ = A·ζ`; used in
+    /// tests to quantify the truncation error.
+    fn implied_covariance(&self) -> DMatrix<f64>;
+}
+
+/// Exact (full-rank) Gaussian representation via the Cholesky factor of the
+/// covariance: `ξ = L·ζ` with as many factors as variables.
+#[derive(Debug, Clone)]
+pub struct FullRankGaussian {
+    chol: Cholesky,
+}
+
+impl FullRankGaussian {
+    /// Builds the exact representation from a covariance matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the covariance is not (numerically) positive
+    /// semi-definite even after regularization.
+    pub fn new(covariance: &DMatrix<f64>) -> Result<Self, NumericError> {
+        Ok(Self {
+            chol: Cholesky::new_regularized(covariance)?,
+        })
+    }
+}
+
+impl VariableReduction for FullRankGaussian {
+    fn full_dim(&self) -> usize {
+        self.chol.dim()
+    }
+
+    fn reduced_dim(&self) -> usize {
+        self.chol.dim()
+    }
+
+    fn expand(&self, zeta: &[f64]) -> Vec<f64> {
+        self.chol.correlate(zeta)
+    }
+
+    fn implied_covariance(&self) -> DMatrix<f64> {
+        let l = self.chol.factor();
+        l.matmul(&l.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{covariance_matrix, CorrelationKernel};
+
+    fn cov5() -> DMatrix<f64> {
+        let positions: Vec<[f64; 3]> = (0..5).map(|i| [i as f64 * 0.5, 0.0, 0.0]).collect();
+        covariance_matrix(&positions, 0.3, CorrelationKernel::Exponential { length: 1.0 })
+    }
+
+    #[test]
+    fn full_rank_reproduces_covariance_exactly() {
+        let cov = cov5();
+        let fr = FullRankGaussian::new(&cov).unwrap();
+        assert_eq!(fr.full_dim(), 5);
+        assert_eq!(fr.reduced_dim(), 5);
+        let err = fr.implied_covariance().sub(&cov).frobenius_norm() / cov.frobenius_norm();
+        assert!(err < 1e-6, "relative error {err}");
+    }
+
+    #[test]
+    fn expand_maps_unit_vectors_to_cholesky_columns() {
+        let cov = cov5();
+        let fr = FullRankGaussian::new(&cov).unwrap();
+        let mut e0 = vec![0.0; 5];
+        e0[0] = 1.0;
+        let xi = fr.expand(&e0);
+        assert_eq!(xi.len(), 5);
+        assert!((xi[0] - cov[(0, 0)].sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,64 @@
+//! Standard-normal sampling (Box–Muller) on top of any [`rand::Rng`].
+//!
+//! Only uniform variates are taken from `rand`; the Gaussian transform is
+//! done locally so that no additional distribution crate is needed.
+
+use rand::Rng;
+
+/// Draws one standard-normal sample using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a vector of independent standard-normal samples.
+pub fn standard_normal_vector<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<f64> {
+    (0..len).map(|_| standard_normal(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vaem_numeric::stats::RunningStats;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut stats = RunningStats::new();
+        let mut kurtosis_acc = 0.0;
+        let n = 200_000;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            stats.push(x);
+            kurtosis_acc += x.powi(4);
+        }
+        assert!(stats.mean().abs() < 0.01, "mean {}", stats.mean());
+        assert!(
+            (stats.sample_variance() - 1.0).abs() < 0.02,
+            "variance {}",
+            stats.sample_variance()
+        );
+        // Fourth moment of N(0,1) is 3.
+        let kurt = kurtosis_acc / n as f64;
+        assert!((kurt - 3.0).abs() < 0.1, "kurtosis {kurt}");
+    }
+
+    #[test]
+    fn vector_has_requested_length_and_no_nans() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = standard_normal_vector(&mut rng, 1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = standard_normal_vector(&mut StdRng::seed_from_u64(3), 10);
+        let b = standard_normal_vector(&mut StdRng::seed_from_u64(3), 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,252 @@
+//! Weighted principal factor analysis (wPFA) — Section III.C of the paper.
+//!
+//! The key idea: not every correlated variable matters equally for the output
+//! quantity. The paper weights each variable by the influence derived from
+//! the *nominal* solution — the panel charge for capacitance extraction, or
+//! `w_i = J⁰_i · nodeVol_i` (eq. 9) for the coupled-domain current — before
+//! decomposing, so that the retained factors concentrate on the variables
+//! that actually drive the output. The reduced set is then mapped back with
+//! `ξ = W⁻¹·U·ζ` (eq. 10).
+
+use crate::VariableReduction;
+use vaem_numeric::dense::{DMatrix, Svd};
+use vaem_numeric::NumericError;
+
+/// Weighted-PFA reduction.
+///
+/// Given the covariance `Σ` and the diagonal weights `w`, the symmetric
+/// weighted covariance `W·Σ·W` is decomposed with an SVD, the leading
+/// singular triplets capturing `energy_fraction` of the weighted energy are
+/// kept, and the expansion is `ξ = W⁻¹·U_r·S_r^{1/2}·ζ`, so that the implied
+/// covariance approximates `Σ` best in the weighted norm.
+///
+/// # Example
+/// ```
+/// use vaem_variation::{covariance_matrix, CorrelationKernel, Wpfa, VariableReduction};
+/// let positions: Vec<[f64; 3]> = (0..12).map(|i| [0.25 * i as f64, 0.0, 0.0]).collect();
+/// let cov = covariance_matrix(&positions, 0.5, CorrelationKernel::Gaussian { length: 1.5 });
+/// // Only the first few nodes matter for the output:
+/// let weights: Vec<f64> = (0..12).map(|i| if i < 4 { 1.0 } else { 1e-3 }).collect();
+/// let wpfa = Wpfa::new(&cov, &weights, 0.99)?;
+/// assert!(wpfa.reduced_dim() < 12);
+/// # Ok::<(), vaem_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wpfa {
+    /// Mapping matrix `A = W⁻¹·U_r·S_r^{1/2}` (full_dim × reduced_dim).
+    transform: DMatrix<f64>,
+    captured_energy: f64,
+}
+
+impl Wpfa {
+    /// Builds the weighted reduction keeping enough factors to capture
+    /// `energy_fraction` of the weighted energy.
+    ///
+    /// Weights with very small magnitude are floored at `1e-12` times the
+    /// maximum weight so that `W⁻¹` stays bounded.
+    ///
+    /// # Errors
+    /// * [`NumericError::InvalidArgument`] for an invalid energy fraction,
+    ///   mismatched weight length or all-zero weights.
+    /// * Propagates SVD failures.
+    pub fn new(
+        covariance: &DMatrix<f64>,
+        weights: &[f64],
+        energy_fraction: f64,
+    ) -> Result<Self, NumericError> {
+        if !(0.0..=1.0).contains(&energy_fraction) || energy_fraction == 0.0 {
+            return Err(NumericError::InvalidArgument {
+                detail: format!("energy fraction must be in (0, 1], got {energy_fraction}"),
+            });
+        }
+        let (svd, w) = Self::weighted_svd(covariance, weights)?;
+        let r = svd.count_for_energy(energy_fraction).max(1);
+        Self::assemble(&svd, &w, r)
+    }
+
+    /// Builds the weighted reduction with an explicit number of factors.
+    ///
+    /// # Errors
+    /// Same conditions as [`Wpfa::new`] plus an out-of-range rank.
+    pub fn with_rank(
+        covariance: &DMatrix<f64>,
+        weights: &[f64],
+        rank: usize,
+    ) -> Result<Self, NumericError> {
+        let n = covariance.rows();
+        if rank == 0 || rank > n {
+            return Err(NumericError::InvalidArgument {
+                detail: format!("rank {rank} out of range for dimension {n}"),
+            });
+        }
+        let (svd, w) = Self::weighted_svd(covariance, weights)?;
+        Self::assemble(&svd, &w, rank)
+    }
+
+    fn weighted_svd(
+        covariance: &DMatrix<f64>,
+        weights: &[f64],
+    ) -> Result<(Svd, Vec<f64>), NumericError> {
+        let n = covariance.rows();
+        if weights.len() != n {
+            return Err(NumericError::InvalidArgument {
+                detail: format!(
+                    "weight length {} does not match covariance dimension {}",
+                    weights.len(),
+                    n
+                ),
+            });
+        }
+        let wmax = weights.iter().fold(0.0_f64, |m, w| m.max(w.abs()));
+        if wmax == 0.0 {
+            return Err(NumericError::InvalidArgument {
+                detail: "all weights are zero".to_string(),
+            });
+        }
+        let floor = wmax * 1e-12;
+        let w: Vec<f64> = weights.iter().map(|v| v.abs().max(floor)).collect();
+        // Symmetric weighted covariance W Σ W.
+        let wsw = DMatrix::from_fn(n, n, |i, j| w[i] * covariance[(i, j)] * w[j]);
+        let svd = Svd::new(&wsw)?;
+        Ok((svd, w))
+    }
+
+    fn assemble(svd: &Svd, w: &[f64], rank: usize) -> Result<Self, NumericError> {
+        let n = w.len();
+        let u = svd.u();
+        let sv = svd.singular_values();
+        let mut transform = DMatrix::zeros(n, rank);
+        for j in 0..rank {
+            let scale = sv[j].max(0.0).sqrt();
+            for i in 0..n {
+                transform[(i, j)] = u[(i, j)] * scale / w[i];
+            }
+        }
+        let total: f64 = sv.iter().sum();
+        let captured: f64 = sv.iter().take(rank).sum();
+        Ok(Self {
+            transform,
+            captured_energy: if total > 0.0 { captured / total } else { 1.0 },
+        })
+    }
+
+    /// Fraction of the weighted energy captured by the retained factors.
+    pub fn captured_energy(&self) -> f64 {
+        self.captured_energy
+    }
+}
+
+impl VariableReduction for Wpfa {
+    fn full_dim(&self) -> usize {
+        self.transform.rows()
+    }
+
+    fn reduced_dim(&self) -> usize {
+        self.transform.cols()
+    }
+
+    fn expand(&self, zeta: &[f64]) -> Vec<f64> {
+        assert_eq!(zeta.len(), self.reduced_dim(), "wpfa expand: wrong length");
+        self.transform.matvec(zeta)
+    }
+
+    fn implied_covariance(&self) -> DMatrix<f64> {
+        self.transform.matmul(&self.transform.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{covariance_matrix, CorrelationKernel, Pfa};
+
+    fn cov(n: usize) -> DMatrix<f64> {
+        let positions: Vec<[f64; 3]> = (0..n).map(|i| [0.3 * i as f64, 0.0, 0.0]).collect();
+        covariance_matrix(&positions, 0.5, CorrelationKernel::Exponential { length: 0.8 })
+    }
+
+    /// Weighted covariance error, the metric wPFA is designed to minimize.
+    fn weighted_error(model: &dyn VariableReduction, cov: &DMatrix<f64>, w: &[f64]) -> f64 {
+        let implied = model.implied_covariance();
+        let n = cov.rows();
+        let mut err = 0.0;
+        let mut norm = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let scale = w[i] * w[j];
+                err += (scale * (implied[(i, j)] - cov[(i, j)])).powi(2);
+                norm += (scale * cov[(i, j)]).powi(2);
+            }
+        }
+        (err / norm).sqrt()
+    }
+
+    #[test]
+    fn wpfa_beats_pfa_in_the_weighted_norm_at_equal_rank() {
+        let n = 16;
+        let c = cov(n);
+        // Output only cares about the first quarter of the nodes.
+        let w: Vec<f64> = (0..n).map(|i| if i < 4 { 1.0 } else { 1e-2 }).collect();
+        let rank = 3;
+        let wpfa = Wpfa::with_rank(&c, &w, rank).unwrap();
+        let pfa = Pfa::with_rank(&c, rank).unwrap();
+        let e_w = weighted_error(&wpfa, &c, &w);
+        let e_p = weighted_error(&pfa, &c, &w);
+        assert!(
+            e_w <= e_p + 1e-12,
+            "wPFA ({e_w}) should not be worse than PFA ({e_p}) in the weighted norm"
+        );
+    }
+
+    #[test]
+    fn uniform_weights_recover_pfa_behaviour() {
+        let c = cov(10);
+        let w = vec![1.0; 10];
+        let wpfa = Wpfa::new(&c, &w, 0.95).unwrap();
+        let pfa = Pfa::new(&c, 0.95).unwrap();
+        // Same covariance and same truncation criterion: the number of
+        // retained factors must match.
+        assert_eq!(wpfa.reduced_dim(), pfa.reduced_dim());
+        let diff = wpfa
+            .implied_covariance()
+            .sub(&pfa.implied_covariance())
+            .frobenius_norm();
+        assert!(diff / c.frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn reduction_ratio_matches_paper_scale() {
+        // The paper reduces 72 correlated doping variables to about 10 and
+        // 128 to about 6 with strongly non-uniform weights. Reproduce the
+        // qualitative behaviour: a smooth field with concentrated weights
+        // compresses by an order of magnitude.
+        let n = 64;
+        let positions: Vec<[f64; 3]> = (0..n)
+            .map(|i| [(i % 8) as f64 * 0.5, (i / 8) as f64 * 0.5, 0.0])
+            .collect();
+        let c = covariance_matrix(&positions, 0.1, CorrelationKernel::Gaussian { length: 1.5 });
+        let w: Vec<f64> = (0..n).map(|i| ((i % 8) as f64 + 1.0).recip()).collect();
+        let wpfa = Wpfa::new(&c, &w, 0.98).unwrap();
+        assert!(
+            wpfa.reduced_dim() <= n / 4,
+            "kept {} of {n}",
+            wpfa.reduced_dim()
+        );
+        assert!(wpfa.captured_energy() >= 0.98);
+    }
+
+    #[test]
+    fn zero_weights_are_rejected_but_tiny_weights_are_floored() {
+        let c = cov(5);
+        assert!(Wpfa::new(&c, &[0.0; 5], 0.9).is_err());
+        let w = vec![1.0, 1e-30, 1.0, 1.0, 1.0];
+        let wpfa = Wpfa::new(&c, &w, 0.9).unwrap();
+        assert!(wpfa.expand(&vec![0.5; wpfa.reduced_dim()]).len() == 5);
+    }
+
+    #[test]
+    fn mismatched_weight_length_is_rejected() {
+        let c = cov(4);
+        assert!(Wpfa::new(&c, &[1.0; 3], 0.9).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Example A of the paper (Table I): variational analysis of the current
+//! through the metal–semiconductor interface under surface roughness and
+//! random doping fluctuation, comparing SSCM against Monte Carlo.
+//!
+//! Run with `cargo run --release --example metalplug_current`.
+//! Set `VAEM_TABLE1_ROW` to `geometry`, `doping` or `both` to pick a row.
+
+use vaem::experiments::metalplug::{MetalPlugExperiment, TableOneRow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let row = match std::env::var("VAEM_TABLE1_ROW").as_deref() {
+        Ok("geometry") => TableOneRow::GeometryOnly,
+        Ok("doping") => TableOneRow::DopingOnly,
+        _ => TableOneRow::Both,
+    };
+    let experiment = MetalPlugExperiment::quick().with_row(row);
+    println!("running Example A ({}), this takes a little while...", row.label());
+
+    let result = experiment.run()?;
+    println!();
+    println!("{}", result.table().render());
+    println!(
+        "SSCM used {} deterministic solves, Monte Carlo used {}.",
+        result.collocation_runs, result.mc_runs
+    );
+    for g in &result.reductions {
+        println!(
+            "variable reduction for '{}': {} correlated -> {} independent",
+            g.name, g.full_dim, g.reduced_dim
+        );
+    }
+    Ok(())
+}

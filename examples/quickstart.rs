@@ -1,0 +1,50 @@
+//! Quickstart: build the paper's metal-plug structure, solve the nominal
+//! coupled problem and print the interface current and a capacitance.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use vaem::fvm::{postprocess, CoupledSolver, SolverOptions};
+use vaem::mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+use vaem::physics::DopingProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the structure: two metal plugs on a doped silicon block.
+    let structure = build_metalplug_structure(&MetalPlugConfig::default());
+    println!(
+        "structure: {} nodes, {} links, {} terminals",
+        structure.mesh.node_count(),
+        structure.mesh.link_count(),
+        structure.contacts.len()
+    );
+
+    // 2. Assign the doping: uniform 1e17 cm^-3 donors in the silicon.
+    let semis = structure.semiconductor_nodes();
+    let doping = DopingProfile::uniform_donor(structure.mesh.node_count(), &semis, 1.0e5);
+
+    // 3. Bind the coupled solver and compute the DC operating point.
+    let solver = CoupledSolver::new(&structure, &doping, SolverOptions::default())?;
+    let dc = solver.solve_dc()?;
+    println!(
+        "DC operating point converged in {} Newton iterations",
+        dc.newton_iterations
+    );
+
+    // 4. Frequency-domain solve at 1 GHz with plug1 driven at 1 V.
+    let ac = solver.solve_ac(&dc, "plug1", 1.0e9)?;
+    let current = postprocess::interface_current(&solver, &ac, "plug1")?;
+    println!(
+        "interface current |J| = {:.6} uA (solver: {}, residual {:.2e})",
+        current.abs() * 1.0e6,
+        ac.solver_strategy,
+        ac.linear_residual
+    );
+
+    // 5. A capacitance entry: plug1-to-plug2 coupling at 1 MHz.
+    let column = postprocess::capacitance_column(&solver, &dc, "plug1", 1.0e6)?;
+    println!(
+        "C(plug1, plug1) = {:.4} fF,  C(plug1, plug2) = {:.4} fF",
+        column["plug1"] * 1.0e15,
+        column["plug2"] * 1.0e15
+    );
+    Ok(())
+}

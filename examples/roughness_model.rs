@@ -1,0 +1,69 @@
+//! Demonstrates the paper's smart geometric variation model (Section III.A):
+//! large interface roughness breaks the mesh under the traditional model but
+//! not under the continuous-surface propagation model (Fig. 1).
+//!
+//! Run with `cargo run --release --example roughness_model`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vaem::mesh::quality::assess;
+use vaem::mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+use vaem::numeric::dense::Cholesky;
+use vaem::variation::{
+    apply_roughness, covariance_matrix, standard_normal_vector, CorrelationKernel,
+    FacetPerturbation, GeometricModel,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let structure = build_metalplug_structure(&MetalPlugConfig::default());
+    let facet = structure
+        .facet("plug1_interface")
+        .expect("structure declares the plug1 interface facet");
+    println!(
+        "perturbing the {}-node metal-semiconductor interface of plug1",
+        facet.nodes.len()
+    );
+
+    let positions: Vec<[f64; 3]> = facet
+        .nodes
+        .iter()
+        .map(|&n| structure.mesh.position(n))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    println!();
+    println!("sigma_G [um]   traditional   continuous-surface");
+    for sigma in [0.25, 0.5, 1.0, 1.5] {
+        let cov = covariance_matrix(
+            &positions,
+            sigma,
+            CorrelationKernel::Exponential { length: 0.7 },
+        );
+        let chol = Cholesky::new_regularized(&cov)?;
+        let offsets = chol.correlate(&standard_normal_vector(&mut rng, facet.nodes.len()));
+
+        let verdict = |model: GeometricModel| {
+            let mut mesh = structure.mesh.clone();
+            apply_roughness(
+                &mut mesh,
+                model,
+                &[FacetPerturbation::new(facet, offsets.clone())],
+            );
+            let report = assess(&mesh, 1e-9);
+            if report.is_valid() {
+                "valid".to_string()
+            } else {
+                format!("{} crossings", report.crossing_count)
+            }
+        };
+        println!(
+            "{:>10.2}   {:<12}  {:<12}",
+            sigma,
+            verdict(GeometricModel::Traditional),
+            verdict(GeometricModel::ContinuousSurface)
+        );
+    }
+    println!();
+    println!("the continuous model keeps the mesh usable even when sigma_G exceeds the 1 um grid pitch");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Example B of the paper (Table II): variational capacitance extraction of
+//! the two-TSV structure under lateral-wall roughness and substrate RDF.
+//!
+//! Run with `cargo run --release --example tsv_capacitance`.
+//! This uses the scaled-down "quick" setup; set `VAEM_TSV_MC` to raise the
+//! Monte-Carlo sample count.
+
+use vaem::experiments::tsv::TsvExperiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut experiment = TsvExperiment::quick();
+    if let Ok(mc) = std::env::var("VAEM_TSV_MC") {
+        if let Ok(n) = mc.parse::<usize>() {
+            experiment = experiment.with_mc_runs(n);
+        }
+    }
+    println!(
+        "running Example B on a {}-node mesh with {} MC samples...",
+        experiment.analysis().structure().mesh.node_count(),
+        experiment.mc_runs
+    );
+
+    let result = experiment.run()?;
+    println!();
+    println!("{}", result.table().render());
+    println!(
+        "speed-up of SSCM over MC (wall clock): {:.1}x with {} vs {} solver runs",
+        result.speedup(),
+        result.collocation_runs,
+        result.mc_runs
+    );
+    Ok(())
+}

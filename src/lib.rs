@@ -1,0 +1,7 @@
+//! Reproduction harness for the variation-aware EM–semiconductor coupled TSV solver.
+//!
+//! This crate only hosts the repository-level examples (`examples/`) and
+//! integration tests (`tests/`); the actual library lives in the [`vaem`]
+//! crate and the substrate crates it re-exports.
+
+pub use vaem;

@@ -1,0 +1,115 @@
+//! Integration tests spanning mesh → physics → FVM: the deterministic
+//! coupled solver behaves physically on the paper's structures.
+
+use vaem_fvm::{postprocess, CoupledSolver, SolverOptions};
+use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+use vaem_mesh::structures::tsv::{build_tsv_structure, TsvConfig};
+use vaem_physics::DopingProfile;
+
+fn metalplug_solver_inputs() -> (vaem_mesh::Structure, DopingProfile) {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let semis = structure.semiconductor_nodes();
+    let doping = DopingProfile::uniform_donor(structure.mesh.node_count(), &semis, 1.0e5);
+    (structure, doping)
+}
+
+#[test]
+fn interface_current_scales_with_doping() {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let semis = structure.semiconductor_nodes();
+    let mut currents = Vec::new();
+    for nd in [3.0e4, 1.0e5, 3.0e5] {
+        let doping = DopingProfile::uniform_donor(structure.mesh.node_count(), &semis, nd);
+        let solver = CoupledSolver::new(&structure, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let ac = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+        let current = postprocess::interface_current(&solver, &ac, "plug1").unwrap();
+        currents.push(current.abs());
+    }
+    // Higher doping -> higher substrate conductivity -> larger interface current.
+    assert!(
+        currents[0] < currents[1] && currents[1] < currents[2],
+        "currents should increase with doping: {currents:?}"
+    );
+}
+
+#[test]
+fn interface_current_increases_with_frequency() {
+    let (structure, doping) = metalplug_solver_inputs();
+    let solver = CoupledSolver::new(&structure, &doping, SolverOptions::default()).unwrap();
+    let dc = solver.solve_dc().unwrap();
+    let mut magnitudes = Vec::new();
+    for f in [1.0e8, 1.0e9, 5.0e9] {
+        let ac = solver.solve_ac(&dc, "plug1", f).unwrap();
+        let current = postprocess::interface_current(&solver, &ac, "plug1").unwrap();
+        magnitudes.push(current.abs());
+    }
+    // Displacement coupling grows with frequency, so the total interface
+    // current must not shrink.
+    assert!(magnitudes[0] <= magnitudes[2] * 1.01, "{magnitudes:?}");
+}
+
+#[test]
+fn tsv_capacitance_matrix_column_is_physical() {
+    let structure = build_tsv_structure(&TsvConfig::coarse());
+    let semis = structure.semiconductor_nodes();
+    let doping = DopingProfile::uniform_donor(structure.mesh.node_count(), &semis, 1.0e5);
+    let solver = CoupledSolver::new(&structure, &doping, SolverOptions::default()).unwrap();
+    let dc = solver.solve_dc().unwrap();
+    let column = postprocess::capacitance_column(&solver, &dc, "tsv1", 1.0e9).unwrap();
+
+    let c_self = column["tsv1"];
+    assert!(c_self > 0.0, "self capacitance must be positive: {c_self}");
+    // Couplings are negative and the self term dominates every coupling.
+    for name in ["tsv2", "w1", "w2", "w3", "w4"] {
+        let c = column[name];
+        assert!(c <= 0.0, "coupling {name} should be non-positive, got {c}");
+        assert!(c.abs() < c_self, "coupling {name} exceeds the self term");
+    }
+    // TSV1 couples more strongly to its neighbouring TSV2 than to the most
+    // remote trace.
+    let far_trace = column["w4"].abs().min(column["w2"].abs());
+    assert!(
+        column["tsv2"].abs() >= far_trace,
+        "tsv2 coupling {} should exceed the farthest trace coupling {}",
+        column["tsv2"].abs(),
+        far_trace
+    );
+    // Self capacitance has a plausible magnitude (paper: ~7 fF).
+    let c_self_ff = c_self * 1.0e15;
+    assert!(
+        c_self_ff > 0.1 && c_self_ff < 500.0,
+        "C_T1 = {c_self_ff} fF is out of the plausible range"
+    );
+}
+
+#[test]
+fn perturbed_geometry_changes_the_current_smoothly() {
+    use vaem_variation::{apply_roughness, FacetPerturbation, GeometricModel};
+    let (structure, doping) = metalplug_solver_inputs();
+    let solver = CoupledSolver::new(&structure, &doping, SolverOptions::default()).unwrap();
+    let dc = solver.solve_dc().unwrap();
+    let ac = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+    let base = postprocess::interface_current(&solver, &ac, "plug1")
+        .unwrap()
+        .abs();
+
+    // Push the plug1 interface down by 0.3 um with the continuous model.
+    let facet = structure.facet("plug1_interface").unwrap();
+    let mut perturbed = structure.clone();
+    apply_roughness(
+        &mut perturbed.mesh,
+        GeometricModel::ContinuousSurface,
+        &[FacetPerturbation::new(facet, vec![-0.3; facet.nodes.len()])],
+    );
+    let solver_p = CoupledSolver::new(&perturbed, &doping, SolverOptions::default()).unwrap();
+    let dc_p = solver_p.solve_dc().unwrap();
+    let ac_p = solver_p.solve_ac(&dc_p, "plug1", 1.0e9).unwrap();
+    let shifted = postprocess::interface_current(&solver_p, &ac_p, "plug1")
+        .unwrap()
+        .abs();
+
+    let rel = (shifted - base).abs() / base;
+    assert!(rel > 1e-6, "geometry change must move the current");
+    assert!(rel < 0.5, "a 0.3 um shift should not change the current by 50%: {rel}");
+}

@@ -1,0 +1,82 @@
+//! Property-based integration tests on the variation and stochastic layers:
+//! invariants that must hold for arbitrary (bounded) inputs.
+
+use proptest::prelude::*;
+use vaem_mesh::quality::assess;
+use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+use vaem_stochastic::{paper_point_count, CollocationGrid, HermiteBasis, PolynomialChaos};
+use vaem_variation::{
+    apply_roughness, covariance_matrix, CorrelationKernel, FacetPerturbation, GeometricModel, Pfa,
+    VariableReduction, Wpfa,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The continuous-surface model never breaks the mesh as long as the
+    /// offsets stay below half of the domain margin, for arbitrary offset
+    /// patterns.
+    #[test]
+    fn csv_model_preserves_mesh_validity(seed in 0u64..1000, amplitude in 0.05f64..1.4) {
+        let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+        let facet = structure.facet("plug1_interface").unwrap();
+        // Deterministic pseudo-random offsets from the seed.
+        let offsets: Vec<f64> = (0..facet.nodes.len())
+            .map(|i| {
+                let x = ((seed as f64 + 1.3) * (i as f64 + 0.7)).sin();
+                amplitude * x
+            })
+            .collect();
+        let mut mesh = structure.mesh.clone();
+        apply_roughness(
+            &mut mesh,
+            GeometricModel::ContinuousSurface,
+            &[FacetPerturbation::new(facet, offsets)],
+        );
+        prop_assert!(assess(&mesh, 1e-12).is_valid());
+    }
+
+    /// PFA keeps at most as many factors as variables and its implied
+    /// covariance error decreases monotonically with the energy threshold.
+    #[test]
+    fn pfa_energy_threshold_is_monotone(spacing in 0.2f64..2.0, sigma in 0.05f64..1.0) {
+        let positions: Vec<[f64; 3]> = (0..12).map(|i| [spacing * i as f64, 0.0, 0.0]).collect();
+        let cov = covariance_matrix(&positions, sigma, CorrelationKernel::Gaussian { length: 1.0 });
+        let loose = Pfa::new(&cov, 0.9).unwrap();
+        let tight = Pfa::new(&cov, 0.999).unwrap();
+        prop_assert!(loose.reduced_dim() <= tight.reduced_dim());
+        prop_assert!(tight.reduced_dim() <= 12);
+        let err_loose = loose.implied_covariance().sub(&cov).frobenius_norm();
+        let err_tight = tight.implied_covariance().sub(&cov).frobenius_norm();
+        prop_assert!(err_tight <= err_loose + 1e-12);
+    }
+
+    /// wPFA with any positive weights reproduces the covariance exactly when
+    /// no truncation happens (energy fraction 1.0 keeps every factor).
+    #[test]
+    fn wpfa_full_rank_reproduces_covariance(w0 in 0.1f64..10.0, w1 in 0.1f64..10.0) {
+        let positions: Vec<[f64; 3]> = (0..6).map(|i| [0.4 * i as f64, 0.0, 0.0]).collect();
+        let cov = covariance_matrix(&positions, 0.5, CorrelationKernel::Exponential { length: 1.0 });
+        let weights = vec![w0, w1, 1.0, 2.0, 0.5, 1.5];
+        let wpfa = Wpfa::with_rank(&cov, &weights, 6).unwrap();
+        let err = wpfa.implied_covariance().sub(&cov).frobenius_norm() / cov.frobenius_norm();
+        prop_assert!(err < 1e-6, "relative covariance error {}", err);
+    }
+
+    /// The collocation grid always matches the paper's 2d²+3d+1 cost formula
+    /// and a fitted quadratic chaos reproduces polynomial models exactly.
+    #[test]
+    fn sscm_reproduces_quadratic_models(dim in 1usize..6, a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let grid = CollocationGrid::level2(dim);
+        prop_assert_eq!(grid.len(), paper_point_count(dim));
+        let f = |z: &[f64]| a + b * z[0] + 0.5 * z[0] * z[dim - 1];
+        let values: Vec<f64> = grid.points().iter().map(|p| f(p)).collect();
+        let pce = PolynomialChaos::fit(HermiteBasis::new(dim, 2), grid.points(), &values).unwrap();
+        // Mean of the model: a (+ 0.5*E[z0*z_{d-1}] which is 0.5 if dim == 1).
+        let expected_mean = if dim == 1 { a + 0.5 } else { a };
+        prop_assert!((pce.mean() - expected_mean).abs() < 1e-8);
+        for p in grid.points().iter().take(5) {
+            prop_assert!((pce.evaluate(p) - f(p)).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration tests of the full variational workflow (core crate): SSCM
+//! statistics track Monte Carlo, and the wPFA reduction compresses the
+//! variable count, on scaled-down versions of the paper's experiments.
+
+use vaem::config::{
+    AnalysisConfig, DopingVariationConfig, QuantitySet, ReductionMethod, RoughnessConfig,
+    VariationSpec,
+};
+use vaem::experiments::metalplug::{MetalPlugExperiment, TableOneRow};
+use vaem::VariationalAnalysis;
+use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+
+fn tiny_config(reduction: ReductionMethod) -> AnalysisConfig {
+    let mut config = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
+        terminal: "plug1".to_string(),
+    });
+    config.mc_runs = 25;
+    config.seed = 7;
+    config.energy_fraction = 0.9;
+    config.max_reduced_per_group = 2;
+    config.reduction = reduction;
+    config.variations = VariationSpec {
+        roughness: Some(RoughnessConfig {
+            sigma: 0.3,
+            ..RoughnessConfig::paper_default()
+        }),
+        doping: Some(DopingVariationConfig {
+            max_nodes: 16,
+            ..DopingVariationConfig::paper_default()
+        }),
+    };
+    config
+}
+
+#[test]
+fn sscm_tracks_monte_carlo_on_the_metalplug_experiment() {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let analysis = VariationalAnalysis::new(structure, tiny_config(ReductionMethod::Wpfa));
+    let result = analysis.run().expect("workflow runs");
+    let q = &result.quantities[0];
+    assert!(q.nominal > 0.0);
+    assert!(q.sscm.mean > 0.0 && q.monte_carlo.mean > 0.0);
+    // With 25 MC samples the reference is noisy; require agreement within 30%.
+    assert!(
+        q.mean_error() < 0.3,
+        "SSCM mean {} vs MC mean {}",
+        q.sscm.mean,
+        q.monte_carlo.mean
+    );
+    // Standard deviations must be the same order of magnitude.
+    assert!(q.sscm.std > 0.0);
+    assert!(q.monte_carlo.std > 0.0);
+    assert!(q.sscm.std / q.monte_carlo.std < 10.0);
+    assert!(q.monte_carlo.std / q.sscm.std < 10.0);
+}
+
+#[test]
+fn wpfa_and_pfa_both_reduce_and_give_consistent_means() {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let wpfa = VariationalAnalysis::new(structure.clone(), tiny_config(ReductionMethod::Wpfa))
+        .run()
+        .expect("wPFA workflow runs");
+    let pfa = VariationalAnalysis::new(structure, tiny_config(ReductionMethod::Pfa))
+        .run()
+        .expect("PFA workflow runs");
+    for result in [&wpfa, &pfa] {
+        for g in &result.reductions {
+            assert!(g.reduced_dim <= g.full_dim);
+            assert!(g.reduced_dim >= 1);
+        }
+    }
+    let m_w = wpfa.quantities[0].sscm.mean;
+    let m_p = pfa.quantities[0].sscm.mean;
+    assert!(
+        (m_w - m_p).abs() / m_p.abs() < 0.2,
+        "wPFA and PFA SSCM means should agree: {m_w} vs {m_p}"
+    );
+}
+
+#[test]
+fn geometry_variation_produces_larger_spread_than_doping_variation() {
+    // The paper's Table I shows the geometric variation dominating the
+    // standard deviation of the interface current (7.9e-4 vs 2.9e-4).
+    let quick = MetalPlugExperiment::quick().with_mc_runs(20);
+    let geometry = quick
+        .clone()
+        .with_row(TableOneRow::GeometryOnly)
+        .run()
+        .expect("geometry-only run");
+    let doping = quick
+        .with_row(TableOneRow::DopingOnly)
+        .run()
+        .expect("doping-only run");
+    let cv_geom = geometry.quantities[0].sscm.std / geometry.quantities[0].sscm.mean;
+    let cv_dope = doping.quantities[0].sscm.std / doping.quantities[0].sscm.mean;
+    assert!(
+        cv_geom > cv_dope,
+        "geometry variation should dominate: cv_geom {cv_geom} vs cv_dope {cv_dope}"
+    );
+}
+
+#[test]
+fn collocation_cost_follows_the_paper_formula() {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let analysis = VariationalAnalysis::new(structure, tiny_config(ReductionMethod::Wpfa));
+    let result = analysis.run().expect("workflow runs");
+    let d = result.total_reduced_dim();
+    assert_eq!(result.collocation_runs, 2 * d * d + 3 * d + 1);
+}
