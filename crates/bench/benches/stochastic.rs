@@ -25,16 +25,18 @@ fn bench_stochastic(c: &mut Criterion) {
             .map(|z| 1.0 + z.iter().sum::<f64>() + z[0] * z[1])
             .collect();
         let points = sscm.points().to_vec();
-        b.iter(|| {
-            PolynomialChaos::fit(HermiteBasis::new(10, 2), &points, &values).expect("fit")
-        });
+        b.iter(|| PolynomialChaos::fit(HermiteBasis::new(10, 2), &points, &values).expect("fit"));
     });
 
     // PFA vs wPFA on a 128-variable covariance (the Table-II doping group).
     let positions: Vec<[f64; 3]> = (0..128)
         .map(|i| [(i % 16) as f64 * 0.6, (i / 16) as f64 * 0.6, 0.0])
         .collect();
-    let cov = covariance_matrix(&positions, 0.1, CorrelationKernel::Exponential { length: 0.5 });
+    let cov = covariance_matrix(
+        &positions,
+        0.1,
+        CorrelationKernel::Exponential { length: 0.5 },
+    );
     let weights: Vec<f64> = (0..128).map(|i| 1.0 / (1.0 + (i % 16) as f64)).collect();
     group.bench_function("pfa_128", |b| {
         b.iter(|| Pfa::new(&cov, 0.95).expect("pfa").reduced_dim());

@@ -22,7 +22,11 @@ fn bench_variation(c: &mut Criterion) {
         .iter()
         .map(|&n| structure.mesh.position(n))
         .collect();
-    let cov = covariance_matrix(&positions, 0.5, CorrelationKernel::Exponential { length: 0.7 });
+    let cov = covariance_matrix(
+        &positions,
+        0.5,
+        CorrelationKernel::Exponential { length: 0.7 },
+    );
     let chol = Cholesky::new_regularized(&cov).unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let offsets = chol.correlate(&standard_normal_vector(&mut rng, facet.nodes.len()));

@@ -15,7 +15,11 @@ fn main() {
     let (metal, insulator, semi) = structure.materials.counts();
 
     println!("== Fig. 2(a): metal-plug structure mesh ==");
-    println!("nodes: {}   links: {}", mesh.node_count(), mesh.link_count());
+    println!(
+        "nodes: {}   links: {}",
+        mesh.node_count(),
+        mesh.link_count()
+    );
     println!("  (paper mesh: 1300 nodes, 3540 links)");
     println!("materials: {metal} metal, {insulator} insulator, {semi} semiconductor nodes");
     let (lx, ly, lz) = mesh.link_counts_by_axis();
@@ -31,14 +35,12 @@ fn main() {
         .solve_ac(&dc, "plug1", 1.0e9)
         .expect("AC solve at 1 GHz");
 
-    println!("== Fig. 2(b): potential on the metal-semiconductor interface (z = {} um) ==", config.silicon_height);
-    let slice = postprocess::potential_slice(
-        &solver,
-        &ac.potential,
-        Axis::Z,
-        config.silicon_height,
-        1e-6,
+    println!(
+        "== Fig. 2(b): potential on the metal-semiconductor interface (z = {} um) ==",
+        config.silicon_height
     );
+    let slice =
+        postprocess::potential_slice(&solver, &ac.potential, Axis::Z, config.silicon_height, 1e-6);
     let min = slice.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
     let max = slice
         .iter()

@@ -17,7 +17,11 @@ fn main() {
         "TSV cross-section {}x{} um, height {} um, pitch {} um, liner {} um",
         config.tsv_size, config.tsv_size, config.tsv_height, config.pitch, config.liner_thickness
     );
-    println!("nodes: {}   links: {}", mesh.node_count(), mesh.link_count());
+    println!(
+        "nodes: {}   links: {}",
+        mesh.node_count(),
+        mesh.link_count()
+    );
     println!("  (paper mesh: 4032 nodes, 11332 links)");
     println!("materials: {metal} metal, {insulator} insulator, {semi} semiconductor nodes");
     println!();
@@ -36,7 +40,12 @@ fn main() {
     println!("rough lateral facets (surface-roughness variables):");
     let mut total = 0usize;
     for facet in &structure.rough_facets {
-        println!("  {:<8} {:>4} nodes (normal {})", facet.name, facet.nodes.len(), facet.normal);
+        println!(
+            "  {:<8} {:>4} nodes (normal {})",
+            facet.name,
+            facet.nodes.len(),
+            facet.normal
+        );
         total += facet.nodes.len();
     }
     println!("  total perturbed interface nodes: {total} (paper: 8 facets of 64 nodes)");

@@ -58,8 +58,14 @@ fn main() {
         );
     }
     println!();
-    println!("paper data point: 22 reduced variables -> {} solves (Table I setup)", paper_point_count(22));
-    println!("paper data point: 34 reduced variables -> {} solves (Table II setup)", paper_point_count(34));
+    println!(
+        "paper data point: 22 reduced variables -> {} solves (Table I setup)",
+        paper_point_count(22)
+    );
+    println!(
+        "paper data point: 34 reduced variables -> {} solves (Table II setup)",
+        paper_point_count(34)
+    );
     println!();
     println!(
         "collocation cost formula 2d^2+3d+1 vs 10000-run MC breaks even at d = {}",

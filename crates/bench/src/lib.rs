@@ -10,7 +10,9 @@
 
 /// Returns `true` when the harness should run at paper scale.
 pub fn full_scale() -> bool {
-    std::env::var("VAEM_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("VAEM_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Monte-Carlo run count override, if any.

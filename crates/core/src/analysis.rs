@@ -353,8 +353,7 @@ impl VariationalAnalysis {
                 let stride = candidates.len().div_ceil(doping.max_nodes);
                 candidates = candidates.into_iter().step_by(stride).collect();
             }
-            let positions: Vec<[f64; 3]> =
-                candidates.iter().map(|&n| mesh.position(n)).collect();
+            let positions: Vec<[f64; 3]> = candidates.iter().map(|&n| mesh.position(n)).collect();
             let covariance = covariance_matrix(
                 &positions,
                 doping.relative_sigma,
@@ -394,9 +393,9 @@ impl VariationalAnalysis {
         let mut area_acc = vec![0.0_f64; mesh.node_count()];
         for lid in mesh.link_ids() {
             let link = mesh.link(lid);
-            let current =
-                (ac.admittance_at(lid) * (ac.potential_at(link.from) - ac.potential_at(link.to)))
-                    .abs();
+            let current = (ac.admittance_at(lid)
+                * (ac.potential_at(link.from) - ac.potential_at(link.to)))
+            .abs();
             let area = mesh.dual_area(lid);
             for node in [link.from, link.to] {
                 weights[node.index()] += current;
@@ -618,7 +617,10 @@ mod tests {
         let b = analysis.evaluate_sample(&[], &[]).unwrap();
         assert_eq!(a.len(), 1);
         assert!(a[0] > 0.0);
-        assert!((a[0] - b[0]).abs() < 1e-12, "evaluation must be deterministic");
+        assert!(
+            (a[0] - b[0]).abs() < 1e-12,
+            "evaluation must be deterministic"
+        );
     }
 
     #[test]
@@ -659,6 +661,9 @@ mod tests {
         assert!(q.mean_error() < 0.5, "mean error {}", q.mean_error());
         assert!(result.collocation_runs >= result.total_reduced_dim());
         assert!(!result.reductions.is_empty());
-        assert!(result.reductions.iter().all(|g| g.reduced_dim <= g.full_dim));
+        assert!(result
+            .reductions
+            .iter()
+            .all(|g| g.reduced_dim <= g.full_dim));
     }
 }

@@ -95,6 +95,9 @@ mod tests {
         let weak = Complex64::new(0.0, 1e-7);
         let y = link_admittivity(strong, weak);
         assert!(y.abs() < 3.0e-7);
-        assert_eq!(link_admittivity(Complex64::ZERO, Complex64::ZERO), Complex64::ZERO);
+        assert_eq!(
+            link_admittivity(Complex64::ZERO, Complex64::ZERO),
+            Complex64::ZERO
+        );
     }
 }

@@ -239,8 +239,13 @@ impl<'a> CoupledSolver<'a> {
                 let mut diag = 0.0;
                 for &lid in &self.node_links[node.index()] {
                     let link = mesh.link(lid);
-                    let other = if link.from == node { link.to } else { link.from };
-                    let eps = link_permittivity(mat_i, self.material(other), &self.options.materials);
+                    let other = if link.from == node {
+                        link.to
+                    } else {
+                        link.from
+                    };
+                    let eps =
+                        link_permittivity(mat_i, self.material(other), &self.options.materials);
                     let c = eps * self.link_factor[lid.index()];
                     residual[ui] += c * (potential[other.index()] - vi);
                     diag -= c;
@@ -362,7 +367,12 @@ impl<'a> CoupledSolver<'a> {
                 } else {
                     0.0
                 };
-                node_admittivity(self.material(node), sigma_semi, omega, &self.options.materials)
+                node_admittivity(
+                    self.material(node),
+                    sigma_semi,
+                    omega,
+                    &self.options.materials,
+                )
             })
             .collect();
 
@@ -403,7 +413,11 @@ impl<'a> CoupledSolver<'a> {
             let mut diag = Complex64::ZERO;
             for &lid in &self.node_links[node.index()] {
                 let link = mesh.link(lid);
-                let other = if link.from == node { link.to } else { link.from };
+                let other = if link.from == node {
+                    link.to
+                } else {
+                    link.from
+                };
                 let ya = link_admittance[lid.index()];
                 diag -= ya;
                 match unknown_index[other.index()] {
@@ -430,12 +444,9 @@ impl<'a> CoupledSolver<'a> {
 
         let vector_potential = match self.options.em_mode {
             EmMode::ElectroQuasiStatic => None,
-            EmMode::FullWave => Some(self.solve_vector_potential(
-                mesh,
-                &potential,
-                &link_admittance,
-                omega,
-            )?),
+            EmMode::FullWave => {
+                Some(self.solve_vector_potential(mesh, &potential, &link_admittance, omega)?)
+            }
         };
 
         Ok(AcSolution {
@@ -517,8 +528,16 @@ mod tests {
     fn parallel_plate(spacing: f64) -> Structure {
         StructureBuilder::new(Material::Insulator)
             .with_max_spacing(spacing)
-            .add_box(BoxRegion::new([0.0, 0.0, 0.0], [4.0, 4.0, 1.0], Material::Metal))
-            .add_box(BoxRegion::new([0.0, 0.0, 3.0], [4.0, 4.0, 4.0], Material::Metal))
+            .add_box(BoxRegion::new(
+                [0.0, 0.0, 0.0],
+                [4.0, 4.0, 1.0],
+                Material::Metal,
+            ))
+            .add_box(BoxRegion::new(
+                [0.0, 0.0, 3.0],
+                [4.0, 4.0, 4.0],
+                Material::Metal,
+            ))
             .add_contact_box("bottom", [0.0, 0.0, 0.0], [4.0, 4.0, 0.0])
             .add_contact_box("top", [0.0, 0.0, 4.0], [4.0, 4.0, 4.0])
             .build()
@@ -535,11 +554,7 @@ mod tests {
         assert!(dc.newton_iterations < 40);
         // Bulk silicon sits near the built-in potential.
         let vbi = SiliconParams::default().built_in_potential(1.0e5, 0.0);
-        let bulk = semis
-            .iter()
-            .map(|&n| dc.potential_at(n))
-            .sum::<f64>()
-            / semis.len() as f64;
+        let bulk = semis.iter().map(|&n| dc.potential_at(n)).sum::<f64>() / semis.len() as f64;
         assert!((bulk - vbi).abs() < 0.15, "bulk {bulk} vs vbi {vbi}");
         // Carrier densities follow the doping in the bulk.
         let n_mean: f64 =
@@ -616,7 +631,9 @@ mod tests {
         let mut biases = BTreeMap::new();
         biases.insert("top".to_string(), 0.5);
         let dc = solver.solve_dc_with_biases(&biases).unwrap();
-        let top_nodes = solver.terminals().nodes_of(solver.terminals().index_of("top").unwrap());
+        let top_nodes = solver
+            .terminals()
+            .nodes_of(solver.terminals().index_of("top").unwrap());
         for n in top_nodes {
             assert!((dc.potential_at(n) - 0.5).abs() < 1e-12);
         }

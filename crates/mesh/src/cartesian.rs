@@ -265,8 +265,7 @@ impl CartesianMesh {
     pub fn dual_area(&self, link: LinkId) -> f64 {
         let l = self.link(link);
         let [p, q] = l.axis.perpendicular();
-        let area_of =
-            |node: NodeId| self.dual_length(node, p) * self.dual_length(node, q);
+        let area_of = |node: NodeId| self.dual_length(node, p) * self.dual_length(node, q);
         0.5 * (area_of(l.from) + area_of(l.to))
     }
 
@@ -341,7 +340,10 @@ mod tests {
             m.neighbor(center, Axis::X, true),
             Some(m.node_at(GridIndex::new(2, 1, 1)))
         );
-        assert_eq!(m.neighbor(m.node_at(GridIndex::new(2, 1, 1)), Axis::X, true), None);
+        assert_eq!(
+            m.neighbor(m.node_at(GridIndex::new(2, 1, 1)), Axis::X, true),
+            None
+        );
     }
 
     #[test]
@@ -388,11 +390,8 @@ mod tests {
 
     #[test]
     fn bounding_box_covers_grid() {
-        let m = CartesianMesh::from_grid_lines(
-            vec![0.0, 2.0, 5.0],
-            vec![-1.0, 1.0],
-            vec![0.0, 10.0],
-        );
+        let m =
+            CartesianMesh::from_grid_lines(vec![0.0, 2.0, 5.0], vec![-1.0, 1.0], vec![0.0, 10.0]);
         let (lo, hi) = m.bounding_box();
         assert_eq!(lo, [0.0, -1.0, 0.0]);
         assert_eq!(hi, [5.0, 1.0, 10.0]);

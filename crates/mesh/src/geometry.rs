@@ -404,11 +404,7 @@ mod tests {
         let (nx, _, _) = s.mesh.dims();
         assert!(nx >= 5, "expected at least 5 x-lines, got {nx}");
         // Consecutive x coordinates never exceed the max spacing.
-        let mut xs: Vec<f64> = s
-            .mesh
-            .node_ids()
-            .map(|n| s.mesh.position(n)[0])
-            .collect();
+        let mut xs: Vec<f64> = s.mesh.node_ids().map(|n| s.mesh.position(n)[0]).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         for w in xs.windows(2) {

@@ -45,11 +45,7 @@ pub fn column_through(mesh: &CartesianMesh, node: NodeId, axis: Axis) -> Vec<Nod
 /// Splits a column at `node`: returns `(before, after)` where `before` holds
 /// the nodes on the negative side of `node` (closest first) and `after` the
 /// nodes on the positive side (closest first). `node` itself is excluded.
-pub fn column_sides(
-    mesh: &CartesianMesh,
-    node: NodeId,
-    axis: Axis,
-) -> (Vec<NodeId>, Vec<NodeId>) {
+pub fn column_sides(mesh: &CartesianMesh, node: NodeId, axis: Axis) -> (Vec<NodeId>, Vec<NodeId>) {
     let column = column_through(mesh, node, axis);
     let pos = column
         .iter()

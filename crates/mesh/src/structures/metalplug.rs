@@ -57,10 +57,7 @@ impl MetalPlugConfig {
     pub fn plug2_footprint(&self) -> ([f64; 2], [f64; 2]) {
         let x1 = self.silicon_size - self.plug_edge_margin;
         let y0 = 0.5 * (self.silicon_size - self.plug_size);
-        (
-            [x1 - self.plug_size, y0],
-            [x1, y0 + self.plug_size],
-        )
+        ([x1 - self.plug_size, y0], [x1, y0 + self.plug_size])
     }
 }
 

@@ -257,17 +257,14 @@ mod tests {
         let [c1, _] = cfg.tsv_centers();
         let half = cfg.tsv_size / 2.0;
         // A node just outside the metal wall (inside the liner) is insulator.
-        let probe = s
-            .mesh
-            .node_ids()
-            .find(|&n| {
-                let p = s.mesh.position(n);
-                (p[0] - (c1 + half + cfg.liner_thickness / 2.0)).abs() < cfg.liner_thickness
-                    && (p[1] - cfg.domain()[1] / 2.0).abs() < 1.0
-                    && p[2] > cfg.domain()[2] * 0.45
-                    && p[2] < cfg.domain()[2] * 0.55
-                    && !s.materials.material(n).is_metal()
-            });
+        let probe = s.mesh.node_ids().find(|&n| {
+            let p = s.mesh.position(n);
+            (p[0] - (c1 + half + cfg.liner_thickness / 2.0)).abs() < cfg.liner_thickness
+                && (p[1] - cfg.domain()[1] / 2.0).abs() < 1.0
+                && p[2] > cfg.domain()[2] * 0.45
+                && p[2] < cfg.domain()[2] * 0.55
+                && !s.materials.material(n).is_metal()
+        });
         assert!(probe.is_some(), "expected liner nodes next to the TSV wall");
     }
 

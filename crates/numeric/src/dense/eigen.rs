@@ -114,8 +114,7 @@ impl SymmetricEigen {
         let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
         pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let eigenvalues: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
-        let eigenvectors =
-            DMatrix::from_fn(n, n, |i, j| v[(i, pairs[j].1)]);
+        let eigenvectors = DMatrix::from_fn(n, n, |i, j| v[(i, pairs[j].1)]);
 
         Ok(Self {
             eigenvalues,

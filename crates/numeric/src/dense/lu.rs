@@ -145,7 +145,7 @@ impl<T: Scalar> Lu<T> {
     /// Determinant of the factorized matrix.
     pub fn det(&self) -> T {
         let n = self.dim();
-        let mut d = if self.sign_flips % 2 == 0 {
+        let mut d = if self.sign_flips.is_multiple_of(2) {
             T::one()
         } else {
             -T::one()

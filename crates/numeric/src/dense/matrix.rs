@@ -197,7 +197,11 @@ impl<T: Scalar> DMatrix<T> {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v.modulus_sqr()).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|v| v.modulus_sqr())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Maximum modulus entry.
@@ -296,9 +300,7 @@ mod tests {
 
     #[test]
     fn transpose_and_conj_transpose() {
-        let a = DMatrix::from_rows(&[
-            vec![Complex64::new(1.0, 2.0), Complex64::new(3.0, 4.0)],
-        ]);
+        let a = DMatrix::from_rows(&[vec![Complex64::new(1.0, 2.0), Complex64::new(3.0, 4.0)]]);
         let t = a.transpose();
         assert_eq!(t.rows(), 2);
         assert_eq!(t[(1, 0)], Complex64::new(3.0, 4.0));

@@ -204,11 +204,7 @@ mod tests {
 
     #[test]
     fn u_and_v_columns_are_orthonormal() {
-        let a = DMatrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = DMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let svd = Svd::new(&a).unwrap();
         let utu = svd.u().transpose().matmul(svd.u());
         let vtv = svd.v().transpose().matmul(svd.v());

@@ -77,9 +77,7 @@ mod tests {
             assert_eq!(hermite_value(1, x), x);
             assert!((hermite_value(2, x) - (x * x - 1.0)).abs() < 1e-14);
             assert!((hermite_value(3, x) - (x * x * x - 3.0 * x)).abs() < 1e-13);
-            assert!(
-                (hermite_value(4, x) - (x.powi(4) - 6.0 * x * x + 3.0)).abs() < 1e-12
-            );
+            assert!((hermite_value(4, x) - (x.powi(4) - 6.0 * x * x + 3.0)).abs() < 1e-12);
         }
     }
 

@@ -94,7 +94,9 @@ mod tests {
         let nd = 1.0e5; // 1e17 cm^-3
         let (n0, p0) = si.equilibrium_densities(nd, 0.0);
         assert!((n0 - nd).abs() / nd < 1e-6);
-        assert!((n0 * p0 - si.intrinsic_density.powi(2)).abs() / si.intrinsic_density.powi(2) < 1e-9);
+        assert!(
+            (n0 * p0 - si.intrinsic_density.powi(2)).abs() / si.intrinsic_density.powi(2) < 1e-9
+        );
     }
 
     #[test]
@@ -133,7 +135,9 @@ mod tests {
     #[test]
     fn einstein_relation() {
         let si = SiliconParams::default();
-        assert!((si.electron_diffusivity() / si.electron_mobility - si.thermal_voltage).abs() < 1e-12);
+        assert!(
+            (si.electron_diffusivity() / si.electron_mobility - si.thermal_voltage).abs() < 1e-12
+        );
         assert!((si.hole_diffusivity() / si.hole_mobility - si.thermal_voltage).abs() < 1e-12);
     }
 

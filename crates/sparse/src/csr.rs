@@ -216,11 +216,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Infinity norm (maximum absolute row sum).
     pub fn norm_inf(&self) -> f64 {
         (0..self.rows)
-            .map(|r| {
-                self.row_entries(r)
-                    .map(|(_, v)| v.modulus())
-                    .sum::<f64>()
-            })
+            .map(|r| self.row_entries(r).map(|(_, v)| v.modulus()).sum::<f64>())
             .fold(0.0, f64::max)
     }
 
@@ -244,7 +240,10 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Panics if the permutation length differs from the matrix dimension or
     /// the matrix is not square.
     pub fn permute_symmetric(&self, perm: &[usize]) -> Self {
-        assert!(self.rows == self.cols, "symmetric permutation needs a square matrix");
+        assert!(
+            self.rows == self.cols,
+            "symmetric permutation needs a square matrix"
+        );
         assert_eq!(perm.len(), self.rows, "permutation length mismatch");
         // inverse permutation: inv[old] = new
         let mut inv = vec![0usize; perm.len()];
@@ -282,11 +281,8 @@ mod tests {
 
     #[test]
     fn from_triplets_sorts_and_merges() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            3,
-            &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 0.5), (1, 1, -1.0)],
-        );
+        let a =
+            CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 0.5), (1, 1, -1.0)]);
         assert_eq!(a.nnz(), 3);
         assert_eq!(a.get(0, 2), 1.5);
         assert_eq!(a.get(0, 0), 2.0);

@@ -40,7 +40,11 @@ impl<T: Scalar> Ilu0<T> {
     pub fn new(a: &CsrMatrix<T>) -> Result<Self, SparseError> {
         if a.rows() != a.cols() {
             return Err(SparseError::DimensionMismatch {
-                detail: format!("ILU(0) requires a square matrix, got {}x{}", a.rows(), a.cols()),
+                detail: format!(
+                    "ILU(0) requires a square matrix, got {}x{}",
+                    a.rows(),
+                    a.cols()
+                ),
             });
         }
         a.require_diagonal()?;

@@ -293,11 +293,7 @@ mod tests {
     #[test]
     fn partial_pivoting_handles_zero_diagonal() {
         // Permutation-like matrix: zero diagonal everywhere.
-        let a = CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)],
-        );
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]);
         let lu = SparseLu::new(&a).unwrap();
         let b = vec![2.0, 6.0, 8.0];
         let x = lu.solve(&b).unwrap();

@@ -56,9 +56,7 @@ pub fn rcm<T: Scalar>(a: &CsrMatrix<T>) -> Vec<usize> {
 
     loop {
         // Pick the unvisited node of minimum degree as the next component seed.
-        let seed = (0..n)
-            .filter(|&i| !visited[i])
-            .min_by_key(|&i| degree[i]);
+        let seed = (0..n).filter(|&i| !visited[i]).min_by_key(|&i| degree[i]);
         let seed = match seed {
             Some(s) => s,
             None => break,
@@ -67,11 +65,8 @@ pub fn rcm<T: Scalar>(a: &CsrMatrix<T>) -> Vec<usize> {
         queue.push_back(seed);
         while let Some(u) = queue.pop_front() {
             order.push(u);
-            let mut neighbours: Vec<usize> = adj[u]
-                .iter()
-                .copied()
-                .filter(|&v| !visited[v])
-                .collect();
+            let mut neighbours: Vec<usize> =
+                adj[u].iter().copied().filter(|&v| !visited[v]).collect();
             neighbours.sort_by_key(|&v| degree[v]);
             for v in neighbours {
                 visited[v] = true;

@@ -118,13 +118,7 @@ mod tests {
         let runs: Vec<Vec<f64>> = sscm
             .points()
             .iter()
-            .map(|z| {
-                vec![
-                    1.0 + z[0],
-                    z[1] * z[2],
-                    2.0 - 0.5 * z[3] * z[3],
-                ]
-            })
+            .map(|z| vec![1.0 + z[0], z[1] * z[2], 2.0 - 0.5 * z[3] * z[3]])
             .collect();
         let pces = sscm.fit(&runs).unwrap();
         assert_eq!(pces.len(), 3);

@@ -37,7 +37,11 @@ impl HermiteBasis {
             let total: u32 = idx.iter().map(|&v| v as u32).sum();
             (total, idx.clone())
         });
-        Self { dim, order, indices }
+        Self {
+            dim,
+            order,
+            indices,
+        }
     }
 
     /// Number of random dimensions D.
@@ -79,7 +83,11 @@ impl HermiteBasis {
     /// # Panics
     /// Panics if `zeta.len() != self.dim()`.
     pub fn evaluate(&self, zeta: &[f64]) -> Vec<f64> {
-        assert_eq!(zeta.len(), self.dim, "basis evaluation: wrong point dimension");
+        assert_eq!(
+            zeta.len(),
+            self.dim,
+            "basis evaluation: wrong point dimension"
+        );
         // Per-dimension 1-D Hermite values up to the max order.
         let per_dim: Vec<Vec<f64>> = zeta
             .iter()

@@ -66,7 +66,10 @@ impl PolynomialChaos {
         });
         let qr = Qr::new(&design)?;
         let coefficients = qr.solve_least_squares(values)?;
-        Ok(Self { basis, coefficients })
+        Ok(Self {
+            basis,
+            coefficients,
+        })
     }
 
     /// The underlying basis.

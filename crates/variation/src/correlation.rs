@@ -97,11 +97,7 @@ mod tests {
         let positions: Vec<[f64; 3]> = (0..8)
             .map(|i| [(i % 4) as f64, (i / 4) as f64, 0.0])
             .collect();
-        let cov = covariance_matrix(
-            &positions,
-            0.5,
-            CorrelationKernel::Gaussian { length: 0.7 },
-        );
+        let cov = covariance_matrix(&positions, 0.5, CorrelationKernel::Gaussian { length: 0.7 });
         assert!(cov.is_symmetric(1e-14));
         let eig = SymmetricEigen::new(&cov).unwrap();
         assert!(eig.eigenvalues().iter().all(|&l| l > -1e-10));

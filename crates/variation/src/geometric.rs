@@ -101,6 +101,10 @@ pub fn apply_roughness(
     }
 }
 
+/// Perturbed interface crossings of one grid column, one
+/// `(axis grid index, coordinate along the axis, offset)` entry per crossing.
+type ColumnCrossings = Vec<(usize, f64, f64)>;
+
 /// Continuous-surface propagation.
 ///
 /// For every grid column along a perturbation axis we collect the perturbed
@@ -112,8 +116,8 @@ pub fn apply_roughness(
 /// * on an interface — the interface offset itself.
 fn apply_continuous(mesh: &mut CartesianMesh, perturbations: &[FacetPerturbation<'_>]) {
     for axis in Axis::ALL {
-        // column key (perpendicular grid indices) -> [(axis grid index, coordinate, offset)]
-        let mut columns: BTreeMap<(usize, usize), Vec<(usize, f64, f64)>> = BTreeMap::new();
+        // column key (perpendicular grid indices) -> crossings along the axis
+        let mut columns: BTreeMap<(usize, usize), ColumnCrossings> = BTreeMap::new();
         for p in perturbations {
             if p.facet.normal != axis {
                 continue;
@@ -211,12 +215,7 @@ fn column_offset(
 }
 
 /// Node at grid slot `s` of the column identified by `key` along `axis`.
-fn node_on_column(
-    mesh: &CartesianMesh,
-    axis: Axis,
-    key: (usize, usize),
-    s: usize,
-) -> NodeId {
+fn node_on_column(mesh: &CartesianMesh, axis: Axis, key: (usize, usize), s: usize) -> NodeId {
     use vaem_mesh::GridIndex;
     let idx = match axis {
         Axis::X => GridIndex::new(s, key.0, key.1),
@@ -318,9 +317,16 @@ mod tests {
         let s = build_metalplug_structure(&MetalPlugConfig::default());
         let facet = s.facet("plug2_interface").unwrap();
         let offsets: Vec<f64> = (0..facet.nodes.len()).map(|i| 0.01 * i as f64).collect();
-        for model in [GeometricModel::Traditional, GeometricModel::ContinuousSurface] {
+        for model in [
+            GeometricModel::Traditional,
+            GeometricModel::ContinuousSurface,
+        ] {
             let mut mesh = s.mesh.clone();
-            apply_roughness(&mut mesh, model, &[FacetPerturbation::new(facet, offsets.clone())]);
+            apply_roughness(
+                &mut mesh,
+                model,
+                &[FacetPerturbation::new(facet, offsets.clone())],
+            );
             for (&node, &delta) in facet.nodes.iter().zip(offsets.iter()) {
                 let d = mesh.position(node)[2] - s.mesh.position(node)[2];
                 assert!(
@@ -354,18 +360,14 @@ mod tests {
             .find(|&n| {
                 let p = s.mesh.position(n);
                 let g = s.mesh.grid_index(n);
-                let on_wall_col = plus
-                    .nodes
-                    .iter()
-                    .chain(minus.nodes.iter())
-                    .any(|&m| {
-                        let gm = s.mesh.grid_index(m);
-                        gm.j == g.j && gm.k == g.k
-                    });
+                let on_wall_col = plus.nodes.iter().chain(minus.nodes.iter()).any(|&m| {
+                    let gm = s.mesh.grid_index(m);
+                    gm.j == g.j && gm.k == g.k
+                });
                 on_wall_col
-                    && (p[0] - (s.mesh.position(plus.nodes[0])[0]
-                        + s.mesh.position(minus.nodes[0])[0])
-                        / 2.0)
+                    && (p[0]
+                        - (s.mesh.position(plus.nodes[0])[0] + s.mesh.position(minus.nodes[0])[0])
+                            / 2.0)
                         .abs()
                         < 0.8
             })

@@ -32,11 +32,7 @@ impl DopingVariationSpec {
     /// Convenience constructor matching the paper's setup: 10 % relative
     /// sigma, exponential correlation with length `eta` µm.
     pub fn paper_default(nodes: Vec<NodeId>, eta: f64) -> Self {
-        Self::new(
-            nodes,
-            0.10,
-            CorrelationKernel::Exponential { length: eta },
-        )
+        Self::new(nodes, 0.10, CorrelationKernel::Exponential { length: eta })
     }
 
     /// Number of correlated RDF variables.
@@ -52,13 +48,18 @@ impl DopingVariationSpec {
     }
 
     /// Pairs a vector of relative deltas with the node ids, ready for
-    /// [`vaem_physics::DopingProfile::perturbed`]-style consumers.
+    /// `vaem_physics::DopingProfile::perturbed`-style consumers (this crate
+    /// does not depend on `vaem_physics`, so the link stays textual).
     ///
     /// # Panics
     /// Panics if `deltas.len()` differs from the node count.
     pub fn pair_with_nodes(&self, deltas: &[f64]) -> Vec<(NodeId, f64)> {
         assert_eq!(deltas.len(), self.nodes.len(), "delta length mismatch");
-        self.nodes.iter().copied().zip(deltas.iter().copied()).collect()
+        self.nodes
+            .iter()
+            .copied()
+            .zip(deltas.iter().copied())
+            .collect()
     }
 }
 

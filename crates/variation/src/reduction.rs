@@ -75,7 +75,11 @@ mod tests {
 
     fn cov5() -> DMatrix<f64> {
         let positions: Vec<[f64; 3]> = (0..5).map(|i| [i as f64 * 0.5, 0.0, 0.0]).collect();
-        covariance_matrix(&positions, 0.3, CorrelationKernel::Exponential { length: 1.0 })
+        covariance_matrix(
+            &positions,
+            0.3,
+            CorrelationKernel::Exponential { length: 1.0 },
+        )
     }
 
     #[test]

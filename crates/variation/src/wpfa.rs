@@ -162,7 +162,11 @@ mod tests {
 
     fn cov(n: usize) -> DMatrix<f64> {
         let positions: Vec<[f64; 3]> = (0..n).map(|i| [0.3 * i as f64, 0.0, 0.0]).collect();
-        covariance_matrix(&positions, 0.5, CorrelationKernel::Exponential { length: 0.8 })
+        covariance_matrix(
+            &positions,
+            0.5,
+            CorrelationKernel::Exponential { length: 0.8 },
+        )
     }
 
     /// Weighted covariance error, the metric wPFA is designed to minimize.

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         _ => TableOneRow::Both,
     };
     let experiment = MetalPlugExperiment::quick().with_row(row);
-    println!("running Example A ({}), this takes a little while...", row.label());
+    println!(
+        "running Example A ({}), this takes a little while...",
+        row.label()
+    );
 
     let result = experiment.run()?;
     println!();

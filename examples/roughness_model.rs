@@ -64,6 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    println!("the continuous model keeps the mesh usable even when sigma_G exceeds the 1 um grid pitch");
+    println!(
+        "the continuous model keeps the mesh usable even when sigma_G exceeds the 1 um grid pitch"
+    );
     Ok(())
 }

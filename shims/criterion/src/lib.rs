@@ -1,0 +1,296 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion/0.5).
+//!
+//! The build container cannot reach crates.io, so this shim implements the
+//! subset of the Criterion API the `vaem_bench` benches use — groups,
+//! `sample_size`, `bench_function`, `bench_with_input`, [`BenchmarkId`] and
+//! `Bencher::iter` — with a simple adaptive wall-clock timing loop instead of
+//! Criterion's full statistical machinery.
+//!
+//! Each benchmark reports its mean iteration time to stdout. When the
+//! `VAEM_BENCH_JSON` environment variable names a file, one JSON object per
+//! benchmark is appended to it (JSON-lines), which is how the repo's
+//! `BENCH_baseline.json` trajectory file is produced.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`"function/parameter"`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Conversion into a benchmark id string; mirrors Criterion's `IntoBenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// Returns the id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    measurement: Option<Measurement>,
+}
+
+/// One completed measurement.
+struct Measurement {
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing the iteration count so one
+    /// benchmark costs milliseconds, not seconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: one timed call decides how many
+        // iterations fit the per-sample budget.
+        let start = Instant::now();
+        black_box(routine());
+        let first_ns = start.elapsed().as_nanos().max(1) as f64;
+
+        const SAMPLE_BUDGET_NS: f64 = 5.0e6; // 5 ms per sample
+        let per_sample = ((SAMPLE_BUDGET_NS / first_ns).floor() as u64).clamp(1, 100_000);
+
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += per_sample;
+        }
+        self.measurement = Some(Measurement {
+            mean_ns: total_ns / total_iters as f64,
+            iterations: total_iters,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnOnce(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurement: None,
+        };
+        f(&mut bencher);
+        self.criterion.record(full_id, bencher.measurement);
+        self
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnOnce(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; recording happens eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// One recorded benchmark line.
+struct Record {
+    id: String,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+/// Top-level benchmark driver standing in for `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 10,
+            measurement: None,
+        };
+        f(&mut bencher);
+        self.record(id.to_owned(), bencher.measurement);
+        self
+    }
+
+    fn record(&mut self, id: String, measurement: Option<Measurement>) {
+        if let Some(m) = measurement {
+            self.records.push(Record {
+                id,
+                mean_ns: m.mean_ns,
+                iterations: m.iterations,
+            });
+        }
+    }
+
+    /// Prints the collected measurements and, when `VAEM_BENCH_JSON` is set,
+    /// appends them as JSON-lines to that file.
+    pub fn finalize(&mut self) {
+        for r in &self.records {
+            println!(
+                "{:<50} time: {:>12}   ({} iterations)",
+                r.id,
+                format_ns(r.mean_ns),
+                r.iterations
+            );
+        }
+        if let Ok(path) = std::env::var("VAEM_BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = self.append_json(&path) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+        }
+        self.records.clear();
+    }
+
+    fn append_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}",
+                r.id, r.mean_ns, r.iterations
+            );
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(out.as_bytes())
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1.0e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1.0e6 {
+        format!("{:.2} µs", ns / 1.0e3)
+    } else if ns < 1.0e9 {
+        format!("{:.2} ms", ns / 1.0e6)
+    } else {
+        format!("{:.3} s", ns / 1.0e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags such as `--bench`; the shim
+            // has no CLI surface, so arguments are deliberately ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_formats() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("fast", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0].id, "g/fast");
+        assert_eq!(c.records[1].id, "g/param/4");
+        assert!(c.records.iter().all(|r| r.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(12_300.0), "12.30 µs");
+        assert_eq!(format_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(format_ns(2.5e9), "2.500 s");
+    }
+}

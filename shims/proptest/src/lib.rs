@@ -1,0 +1,208 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest/1).
+//!
+//! The build container cannot reach crates.io, so this shim implements the
+//! slice of proptest the integration tests use: the [`proptest!`] macro with
+//! an inner `#![proptest_config(...)]` attribute, range strategies over
+//! `f64`/`u64`/`usize`, and the `prop_assert*` macros. Inputs are sampled
+//! uniformly from a deterministic generator (no shrinking), so test runs are
+//! reproducible across machines.
+
+#![warn(missing_docs)]
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled input tuples per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic input generator used by the [`proptest!`] expansion.
+pub mod test_runner {
+    /// SplitMix64-based generator; every test function starts from the same
+    /// fixed state so failures are reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with a fixed, shared seed.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn uniform(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Input strategies (uniform sampling over ranges; no shrinking).
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of test-case values, mirroring `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.uniform() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            self.start + rng.next_u64() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<u32> {
+        type Value = u32;
+
+        fn sample(&self, rng: &mut TestRng) -> u32 {
+            self.start + (rng.next_u64() % u64::from(self.end - self.start)) as u32
+        }
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl Strategy for Range<i32> {
+        type Value = i32;
+
+        fn sample(&self, rng: &mut TestRng) -> i32 {
+            let span = (self.end - self.start) as u64;
+            self.start + (rng.next_u64() % span) as i32
+        }
+    }
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a plain
+/// `#[test]` that samples the strategies `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name($($arg in $strategy),*) $body )*
+        }
+    };
+}
+
+/// `prop_assert!` standing in via a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `prop_assert_eq!` standing in via a plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `prop_assert_ne!` standing in via a plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// The usual glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges produce values inside their bounds.
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.5f64..9.5, n in 3u64..17, k in 1usize..4) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((1..4).contains(&k));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_repeats() {
+        let mut a = crate::test_runner::TestRng::deterministic();
+        let mut b = crate::test_runner::TestRng::deterministic();
+        for _ in 0..10 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde/1).
+//!
+//! The solver crates tag plain-old-data types with
+//! `#[derive(Serialize, Deserialize)]` so that a future persistence layer can
+//! pick them up, but nothing in the workspace serializes today (no data
+//! format crate is available offline). This shim provides marker traits under
+//! the usual names plus no-op derive macros, so the annotations compile
+//! unchanged and the shim can later be swapped for the real crate without
+//! touching the sources.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

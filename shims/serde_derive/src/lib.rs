@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of plain-old
+//! data types but never actually serializes anything (there is no data-format
+//! crate in the build), so the derives can expand to nothing. When a real
+//! serde becomes available these shims drop out without source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

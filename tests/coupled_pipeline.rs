@@ -111,5 +111,8 @@ fn perturbed_geometry_changes_the_current_smoothly() {
 
     let rel = (shifted - base).abs() / base;
     assert!(rel > 1e-6, "geometry change must move the current");
-    assert!(rel < 0.5, "a 0.3 um shift should not change the current by 50%: {rel}");
+    assert!(
+        rel < 0.5,
+        "a 0.3 um shift should not change the current by 50%: {rel}"
+    );
 }

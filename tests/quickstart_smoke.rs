@@ -1,0 +1,58 @@
+//! Fast end-to-end smoke test over the `vaem` re-export surface: the same
+//! structure → doping → DC → AC → postprocess path as `examples/quickstart.rs`,
+//! on the coarse mesh so `cargo test -q` stays quick, plus a scaled-down
+//! Monte-Carlo sweep through the `vaem::stochastic` re-export.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vaem::fvm::{postprocess, CoupledSolver, SolverOptions};
+use vaem::mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+use vaem::physics::DopingProfile;
+use vaem::stochastic::MonteCarlo;
+use vaem::variation::standard_normal;
+
+#[test]
+fn quickstart_path_end_to_end() {
+    // 1. Structure: the paper's metal-plug example on the coarse mesh.
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    assert!(structure.mesh.node_count() > 0);
+    assert!(structure.contact("plug1").is_some());
+    assert!(structure.contact("plug2").is_some());
+
+    // 2. Uniform 1e17 cm^-3 donor doping in the silicon (1e5 µm^-3).
+    let semis = structure.semiconductor_nodes();
+    assert!(!semis.is_empty());
+    let doping = DopingProfile::uniform_donor(structure.mesh.node_count(), &semis, 1.0e5);
+
+    // 3. DC operating point.
+    let solver = CoupledSolver::new(&structure, &doping, SolverOptions::default())
+        .expect("solver binds to the coarse structure");
+    let dc = solver.solve_dc().expect("Newton converges");
+    assert!(dc.newton_iterations > 0);
+
+    // 4. AC solve and interface current at 1 GHz.
+    let ac = solver.solve_ac(&dc, "plug1", 1.0e9).expect("AC solve");
+    let current = postprocess::interface_current(&solver, &ac, "plug1").expect("interface current");
+    assert!(current.abs().is_finite());
+    assert!(current.abs() > 0.0, "driven interface carries current");
+
+    // 5. Capacitance column at 1 MHz: finite, with a positive self term.
+    let column =
+        postprocess::capacitance_column(&solver, &dc, "plug1", 1.0e6).expect("capacitance column");
+    let self_cap = column["plug1"];
+    let mutual_cap = column["plug2"];
+    assert!(self_cap.is_finite() && mutual_cap.is_finite());
+    assert!(self_cap > 0.0, "self capacitance must be positive");
+}
+
+#[test]
+fn few_run_monte_carlo_over_reexports() {
+    // A tiny Monte-Carlo sweep (8 runs) through the façade re-exports:
+    // enough to prove the stochastic layer is wired, cheap enough for CI.
+    let mc = MonteCarlo::new(8);
+    let mut rng = StdRng::seed_from_u64(2012);
+    let outcome = mc.run(&mut rng, |rng| vec![1.0 + 0.1 * standard_normal(rng)]);
+    assert_eq!(outcome.samples, 8);
+    assert_eq!(outcome.output_count(), 1);
+    assert!((outcome.summary(0).mean - 1.0).abs() < 0.5);
+}
