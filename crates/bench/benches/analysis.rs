@@ -1,0 +1,35 @@
+//! Criterion bench: the full variational-analysis sweep (quick-mode Table I
+//! "both variations" row) and its thread scaling.
+//!
+//! `table1_sweep` runs under the ambient `VAEM_THREADS` (hardware default);
+//! the `_t1` / `_t4` variants pin the thread count to measure how the
+//! parallel sample-sweep engine scales. On a multi-core host `_t4` should
+//! approach the core-count speedup over `_t1`; on a single-core container
+//! the two are expected to tie.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vaem::experiments::metalplug::{MetalPlugExperiment, TableOneRow};
+
+fn sweep() -> usize {
+    let result = MetalPlugExperiment::quick()
+        .with_row(TableOneRow::Both)
+        .with_mc_runs(24)
+        .run()
+        .expect("quick analysis");
+    result.collocation_runs + result.mc_runs
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(2);
+    group.bench_function("table1_sweep", |b| b.iter(sweep));
+    for threads in [1usize, 4] {
+        std::env::set_var("VAEM_THREADS", threads.to_string());
+        group.bench_function(format!("table1_sweep_t{threads}"), |b| b.iter(sweep));
+    }
+    std::env::remove_var("VAEM_THREADS");
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

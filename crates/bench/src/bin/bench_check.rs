@@ -1,0 +1,141 @@
+//! Bench-regression gate for CI.
+//!
+//! Compares a fresh criterion-shim JSON-lines run (`VAEM_BENCH_JSON`)
+//! against a committed baseline (`BENCH_baseline.json` style) and fails
+//! when any of the named benchmarks regressed beyond the allowed ratio.
+//!
+//! ```text
+//! bench_check <current.jsonl> <baseline.json> <bench-id> [<bench-id>...]
+//! ```
+//!
+//! The allowed regression defaults to 1.20 (20 % slower than baseline) and
+//! can be overridden with `VAEM_BENCH_MAX_REGRESSION`.
+
+use std::process::ExitCode;
+
+/// Extracts the string value following `"key":` on a JSON line.
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    let colon = rest.find(':')?;
+    let rest = &rest[colon + 1..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// Extracts the numeric value following `"key":` on a JSON line.
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)? + key.len();
+    let rest = &line[at..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses every `{"id": ..., "mean_ns": ...}` object found in `text`
+/// (works for both the JSON-lines run log and the wrapped baseline file,
+/// which keeps one result object per line). Later duplicates win, so a
+/// re-run appended to the same log supersedes earlier entries.
+fn parse_results(text: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for line in text.lines() {
+        let (Some(id), Some(mean)) = (
+            extract_str(line, "\"id\""),
+            extract_num(line, "\"mean_ns\""),
+        ) else {
+            continue;
+        };
+        if let Some(slot) = out.iter_mut().find(|(existing, _)| *existing == id) {
+            slot.1 = mean;
+        } else {
+            out.push((id, mean));
+        }
+    }
+    out
+}
+
+fn lookup(results: &[(String, f64)], id: &str) -> Option<f64> {
+    results.iter().find(|(rid, _)| rid == id).map(|(_, m)| *m)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_check <current.jsonl> <baseline.json> <bench-id> [<bench-id>...]");
+        return ExitCode::FAILURE;
+    }
+    let max_regression: f64 = std::env::var("VAEM_BENCH_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.20);
+
+    let read = |path: &str| -> Option<String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                eprintln!("bench_check: cannot read '{path}': {e}");
+                None
+            }
+        }
+    };
+    let (Some(current_text), Some(baseline_text)) = (read(&args[0]), read(&args[1])) else {
+        return ExitCode::FAILURE;
+    };
+    let current = parse_results(&current_text);
+    let baseline = parse_results(&baseline_text);
+
+    let mut failed = false;
+    for id in &args[2..] {
+        let (Some(now), Some(base)) = (lookup(&current, id), lookup(&baseline, id)) else {
+            eprintln!("FAIL {id}: missing from current or baseline results");
+            failed = true;
+            continue;
+        };
+        let ratio = now / base;
+        let verdict = if ratio > max_regression {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:>4} {id}: {:.3} ms vs baseline {:.3} ms (x{ratio:.2}, limit x{max_regression:.2})",
+            now / 1e6,
+            base / 1e6
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_jsonl_and_baseline_styles() {
+        let jsonl = "{\"id\": \"a/b\", \"mean_ns\": 1500.5, \"iterations\": 10}\n\
+                     {\"id\": \"c/d\", \"mean_ns\": 2e3, \"iterations\": 5}\n\
+                     {\"id\": \"a/b\", \"mean_ns\": 1600.0, \"iterations\": 10}\n";
+        let results = parse_results(jsonl);
+        assert_eq!(results.len(), 2);
+        assert_eq!(lookup(&results, "a/b"), Some(1600.0)); // later run wins
+        assert_eq!(lookup(&results, "c/d"), Some(2000.0));
+
+        let wrapped = "{\n  \"note\": \"x\",\n  \"results\": [\n    {\"id\": \"a/b\", \"mean_ns\": 10.0, \"iterations\": 1},\n    {\"id\": \"c/d\", \"mean_ns\": 20.0, \"iterations\": 1}\n  ]\n}\n";
+        let results = parse_results(wrapped);
+        assert_eq!(lookup(&results, "a/b"), Some(10.0));
+        assert_eq!(lookup(&results, "c/d"), Some(20.0));
+        assert_eq!(lookup(&results, "missing"), None);
+    }
+}

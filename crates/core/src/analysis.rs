@@ -1,5 +1,12 @@
 //! The variational analysis workflow (nominal solve → weights → reduction →
 //! SSCM + Monte Carlo).
+//!
+//! The SSCM collocation points and the Monte-Carlo reference runs are
+//! independent deterministic solves; both stages fan out over
+//! [`vaem_parallel::par_map`] worker threads (`VAEM_THREADS`, hardware
+//! default). Every Monte-Carlo run draws from its own RNG stream seeded by
+//! `(config.seed, run index)`, so the results are bit-for-bit identical for
+//! any thread count.
 
 use crate::config::{AnalysisConfig, QuantitySet, ReductionMethod};
 use crate::report::ComparisonTable;
@@ -7,17 +14,30 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 use std::time::Instant;
-use vaem_fvm::{postprocess, CoupledSolver, DcSolution, FvmError};
+use vaem_fvm::{postprocess, AcSolution, CoupledSolver, DcSolution, FvmError};
 use vaem_mesh::{NodeId, Structure};
 use vaem_numeric::dense::DMatrix;
 use vaem_numeric::stats::RunningStats;
 use vaem_numeric::NumericError;
+use vaem_parallel::{par_map, par_map_indices};
 use vaem_physics::DopingProfile;
 use vaem_stochastic::{SparseCollocation, SummaryStats};
 use vaem_variation::{
     apply_roughness, covariance_matrix, standard_normal_vector, CorrelationKernel,
     FacetPerturbation, FullRankGaussian, Pfa, VariableReduction, Wpfa,
 };
+
+/// Derives the RNG seed of one Monte-Carlo run from the base seed and the
+/// run index.
+///
+/// Each run owns an independent generator, so runs can be evaluated in any
+/// order — and on any number of threads — without changing the sampled
+/// ensemble. The odd multiplier makes the map `run ↦ seed` a bijection for a
+/// fixed base; `StdRng::seed_from_u64` scrambles the sequential values into
+/// decorrelated streams.
+fn mc_run_seed(base: u64, run: u64) -> u64 {
+    base.wrapping_add(run.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// Errors of the analysis workflow.
 #[derive(Debug)]
@@ -127,6 +147,14 @@ impl AnalysisResult {
     pub fn total_reduced_dim(&self) -> usize {
         self.reductions.iter().map(|g| g.reduced_dim).sum()
     }
+}
+
+/// The inputs of one deterministic evaluation: facet offsets plus doping
+/// perturbations.
+#[derive(Debug, Clone, Default)]
+struct SampleInput {
+    facet_offsets: Vec<(String, Vec<f64>)>,
+    doping_deltas: Vec<(NodeId, f64)>,
 }
 
 /// One group of correlated variation variables.
@@ -240,20 +268,37 @@ impl VariationalAnalysis {
         self.extract_outputs(&solver, &dc)
     }
 
+    /// The terminal driven with 1 V by the AC stage of every evaluation.
+    fn driven_terminal(&self) -> &str {
+        match &self.config.quantities {
+            QuantitySet::InterfaceCurrent { terminal } => terminal,
+            QuantitySet::CapacitanceColumn { driven, .. } => driven,
+        }
+    }
+
     fn extract_outputs(
         &self,
         solver: &CoupledSolver<'_>,
         dc: &DcSolution,
     ) -> Result<Vec<f64>, AnalysisError> {
+        let ac = solver.solve_ac(dc, self.driven_terminal(), self.config.frequency)?;
+        self.extract_outputs_from(solver, &ac)
+    }
+
+    /// Reads the configured quantities off an already-solved AC solution
+    /// (driven at [`VariationalAnalysis::driven_terminal`]).
+    fn extract_outputs_from(
+        &self,
+        solver: &CoupledSolver<'_>,
+        ac: &AcSolution,
+    ) -> Result<Vec<f64>, AnalysisError> {
         match &self.config.quantities {
             QuantitySet::InterfaceCurrent { terminal } => {
-                let ac = solver.solve_ac(dc, terminal, self.config.frequency)?;
-                let current = postprocess::interface_current(solver, &ac, terminal)?;
+                let current = postprocess::interface_current(solver, ac, terminal)?;
                 Ok(vec![current.abs() * 1.0e6])
             }
-            QuantitySet::CapacitanceColumn { driven, terminals } => {
-                let column =
-                    postprocess::capacitance_column(solver, dc, driven, self.config.frequency)?;
+            QuantitySet::CapacitanceColumn { terminals, .. } => {
+                let column = postprocess::capacitance_column_from(solver, ac)?;
                 terminals
                     .iter()
                     .map(|t| {
@@ -376,18 +421,9 @@ impl VariationalAnalysis {
         Ok(groups)
     }
 
-    /// Influence weights of every node, from the nominal solution
+    /// Influence weights of every node, from the nominal AC solution
     /// (w_i = |J⁰_i|·nodeVol_i, the paper's eq. 9).
-    fn nominal_weights(
-        &self,
-        solver: &CoupledSolver<'_>,
-        dc: &DcSolution,
-    ) -> Result<Vec<f64>, AnalysisError> {
-        let driven = match &self.config.quantities {
-            QuantitySet::InterfaceCurrent { terminal } => terminal.clone(),
-            QuantitySet::CapacitanceColumn { driven, .. } => driven.clone(),
-        };
-        let ac = solver.solve_ac(dc, &driven, self.config.frequency)?;
+    fn nominal_weights(&self, ac: &AcSolution) -> Result<Vec<f64>, AnalysisError> {
         let mesh = &self.structure.mesh;
         let mut weights = vec![0.0_f64; mesh.node_count()];
         let mut area_acc = vec![0.0_f64; mesh.node_count()];
@@ -426,34 +462,20 @@ impl VariationalAnalysis {
             .map(|&n| node_weights[n.index()])
             .collect();
         let max_w = weights.iter().cloned().fold(0.0_f64, f64::max);
+        // The capped constructors decompose the covariance exactly once,
+        // whether or not the rank cap bites.
         let reduction: Box<dyn VariableReduction> = match self.config.reduction {
-            ReductionMethod::Wpfa if max_w > 0.0 => {
-                let wpfa = Wpfa::new(&group.covariance, &weights, self.config.energy_fraction)?;
-                if self.config.max_reduced_per_group > 0
-                    && wpfa.reduced_dim() > self.config.max_reduced_per_group
-                {
-                    Box::new(Wpfa::with_rank(
-                        &group.covariance,
-                        &weights,
-                        self.config.max_reduced_per_group,
-                    )?)
-                } else {
-                    Box::new(wpfa)
-                }
-            }
-            _ => {
-                let pfa = Pfa::new(&group.covariance, self.config.energy_fraction)?;
-                if self.config.max_reduced_per_group > 0
-                    && pfa.reduced_dim() > self.config.max_reduced_per_group
-                {
-                    Box::new(Pfa::with_rank(
-                        &group.covariance,
-                        self.config.max_reduced_per_group,
-                    )?)
-                } else {
-                    Box::new(pfa)
-                }
-            }
+            ReductionMethod::Wpfa if max_w > 0.0 => Box::new(Wpfa::new_capped(
+                &group.covariance,
+                &weights,
+                self.config.energy_fraction,
+                self.config.max_reduced_per_group,
+            )?),
+            _ => Box::new(Pfa::new_capped(
+                &group.covariance,
+                self.config.energy_fraction,
+                self.config.max_reduced_per_group,
+            )?),
         };
         Ok(reduction)
     }
@@ -492,14 +514,17 @@ impl VariationalAnalysis {
     pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
         let groups = self.build_groups()?;
 
-        // --- Nominal solve (also provides the wPFA weights). ---
+        // --- Nominal solve (also provides the wPFA weights). One AC solve
+        // covers both the nominal outputs and the influence weights.
         let sscm_start = Instant::now();
         let nominal_doping = self.nominal_doping();
         let nominal_solver =
             CoupledSolver::new(&self.structure, &nominal_doping, self.config.solver.clone())?;
         let nominal_dc = nominal_solver.solve_dc()?;
-        let nominal_outputs = self.extract_outputs(&nominal_solver, &nominal_dc)?;
-        let node_weights = self.nominal_weights(&nominal_solver, &nominal_dc)?;
+        let nominal_ac =
+            nominal_solver.solve_ac(&nominal_dc, self.driven_terminal(), self.config.frequency)?;
+        let nominal_outputs = self.extract_outputs_from(&nominal_solver, &nominal_ac)?;
+        let node_weights = self.nominal_weights(&nominal_ac)?;
 
         // --- Variable reduction. ---
         let mut reductions: Vec<Box<dyn VariableReduction>> = Vec::new();
@@ -515,43 +540,67 @@ impl VariationalAnalysis {
         }
         let total_dim: usize = reductions.iter().map(|r| r.reduced_dim()).sum();
 
-        // --- SSCM stage. ---
+        // --- SSCM stage: expand every collocation point into its sample
+        // inputs (cheap, serial), then fan the independent deterministic
+        // solves out over the worker threads.
         let sscm = SparseCollocation::new(total_dim);
-        let mut outputs: Vec<Vec<f64>> = Vec::with_capacity(sscm.run_count());
-        for point in sscm.points() {
-            let mut facet_offsets = Vec::new();
-            let mut doping_deltas = Vec::new();
-            let mut offset = 0;
-            for (group, reduction) in groups.iter().zip(reductions.iter()) {
-                let d = reduction.reduced_dim();
-                let zeta = &point[offset..offset + d];
-                let xi = reduction.expand(zeta);
-                self.group_sample(group, &xi, &mut facet_offsets, &mut doping_deltas);
-                offset += d;
-            }
-            outputs.push(self.evaluate_sample(&facet_offsets, &doping_deltas)?);
-        }
+        let sample_inputs: Vec<SampleInput> = sscm
+            .points()
+            .iter()
+            .map(|point| {
+                let mut input = SampleInput::default();
+                let mut offset = 0;
+                for (group, reduction) in groups.iter().zip(reductions.iter()) {
+                    let d = reduction.reduced_dim();
+                    let zeta = &point[offset..offset + d];
+                    let xi = reduction.expand(zeta);
+                    self.group_sample(
+                        group,
+                        &xi,
+                        &mut input.facet_offsets,
+                        &mut input.doping_deltas,
+                    );
+                    offset += d;
+                }
+                input
+            })
+            .collect();
+        let outputs: Vec<Vec<f64>> = par_map(&sample_inputs, |_, input| {
+            self.evaluate_sample(&input.facet_offsets, &input.doping_deltas)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
         let pces = sscm.fit(&outputs)?;
         let sscm_seconds = sscm_start.elapsed().as_secs_f64();
 
-        // --- Monte-Carlo reference (full-rank sampling of every group). ---
+        // --- Monte-Carlo reference (full-rank sampling of every group).
+        // Each run draws from its own `(seed, run)` stream, so the sweep is
+        // deterministic for any thread count.
         let mc_start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
         let full_rank: Vec<FullRankGaussian> = groups
             .iter()
             .map(|g| FullRankGaussian::new(&g.covariance))
             .collect::<Result<_, _>>()?;
         let n_outputs = self.config.quantities.len();
-        let mut mc_stats = vec![RunningStats::new(); n_outputs];
-        for _ in 0..self.config.mc_runs {
-            let mut facet_offsets = Vec::new();
-            let mut doping_deltas = Vec::new();
+        let mc_samples: Vec<Vec<f64>> = par_map_indices(self.config.mc_runs, |run| {
+            let mut rng = StdRng::seed_from_u64(mc_run_seed(self.config.seed, run as u64));
+            let mut input = SampleInput::default();
             for (group, sampler) in groups.iter().zip(full_rank.iter()) {
                 let z = standard_normal_vector(&mut rng, sampler.reduced_dim());
                 let xi = sampler.expand(&z);
-                self.group_sample(group, &xi, &mut facet_offsets, &mut doping_deltas);
+                self.group_sample(
+                    group,
+                    &xi,
+                    &mut input.facet_offsets,
+                    &mut input.doping_deltas,
+                );
             }
-            let sample = self.evaluate_sample(&facet_offsets, &doping_deltas)?;
+            self.evaluate_sample(&input.facet_offsets, &input.doping_deltas)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+        let mut mc_stats = vec![RunningStats::new(); n_outputs];
+        for sample in &mc_samples {
             for (acc, v) in mc_stats.iter_mut().zip(sample.iter()) {
                 acc.push(*v);
             }

@@ -16,7 +16,9 @@
 //!   from the Boltzmann carrier statistics), producing the DC operating
 //!   point: node potentials and carrier densities.
 //! * [`AcSolution`] / [`CoupledSolver::solve_ac`] — frequency-domain coupled
-//!   solve around the operating point. The default
+//!   solve around the operating point ([`CoupledSolver::prepare_ac`] returns
+//!   an [`AcOperator`] that factorizes once and solves every terminal
+//!   excitation against the cached factorization). The default
 //!   [`EmMode::ElectroQuasiStatic`] solves the complex potential equation
 //!   with the full admittivity `σ + jωε` (metal conduction, dielectric
 //!   displacement, semiconductor small-signal conduction); the
@@ -58,4 +60,4 @@ pub mod terminals;
 pub use ac::AcSolution;
 pub use dc::DcSolution;
 pub use error::FvmError;
-pub use solver::{CoupledSolver, EmMode, SolverOptions};
+pub use solver::{AcOperator, CoupledSolver, EmMode, SolverOptions};

@@ -104,11 +104,48 @@ pub fn capacitance_column(
     frequency: f64,
 ) -> Result<BTreeMap<String, f64>, FvmError> {
     let ac = solver.solve_ac(dc, driven, frequency)?;
+    capacitance_column_from(solver, &ac)
+}
+
+/// [`capacitance_column`] computed from an already-available AC solution
+/// (the nominal-analysis path solves once and shares the solution between
+/// the output extraction and the wPFA weights).
+///
+/// # Errors
+/// Propagates terminal-lookup failures.
+pub fn capacitance_column_from(
+    solver: &CoupledSolver<'_>,
+    ac: &crate::AcSolution,
+) -> Result<BTreeMap<String, f64>, FvmError> {
     let mut out = BTreeMap::new();
     for k in 0..solver.terminals().terminal_count() {
         let name = solver.terminals().name(k).to_string();
-        let current = terminal_current(solver, &ac, &name)?;
+        let current = terminal_current(solver, ac, &name)?;
         out.insert(name, current.im / ac.omega);
+    }
+    Ok(out)
+}
+
+/// The full Maxwell capacitance matrix at `frequency`: one column per
+/// terminal, keyed `[driven][measured]`.
+///
+/// All columns share a single [`CoupledSolver::prepare_ac`] operator, so the
+/// AC assembly and the ILU/LU factorization are done exactly once for the
+/// whole matrix instead of once per terminal.
+///
+/// # Errors
+/// Propagates AC-solve failures.
+pub fn capacitance_matrix(
+    solver: &CoupledSolver<'_>,
+    dc: &DcSolution,
+    frequency: f64,
+) -> Result<BTreeMap<String, BTreeMap<String, f64>>, FvmError> {
+    let mut operator = solver.prepare_ac(dc, frequency)?;
+    let mut out = BTreeMap::new();
+    for k in 0..solver.terminals().terminal_count() {
+        let driven = solver.terminals().name(k).to_string();
+        let ac = operator.solve_terminal(&driven)?;
+        out.insert(driven, capacitance_column_from(solver, &ac)?);
     }
     Ok(out)
 }
@@ -237,6 +274,27 @@ mod tests {
         assert!(c_self > 0.0, "self capacitance {c_self}");
         assert!(col["plug2"] < 0.0, "coupling {}", col["plug2"]);
         assert!(c_self.abs() >= col["plug2"].abs());
+    }
+
+    #[test]
+    fn capacitance_matrix_columns_match_per_terminal_solves() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let matrix = capacitance_matrix(&solver, &dc, 1.0e6).unwrap();
+        assert_eq!(matrix.len(), solver.terminals().terminal_count());
+        // The shared-factorization matrix must agree with the one-shot
+        // column extraction for every driven terminal.
+        for (driven, column) in &matrix {
+            let reference = capacitance_column(&solver, &dc, driven, 1.0e6).unwrap();
+            for (name, c) in column {
+                let r = reference[name];
+                assert!(
+                    (c - r).abs() <= 1e-9 * r.abs().max(1e-20),
+                    "C[{driven}][{name}] = {c} vs {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, HashMap};
 use vaem_mesh::{Axis, LinkId, Material, NodeId, Structure};
 use vaem_numeric::Complex64;
 use vaem_physics::{constants, DopingProfile, MaterialTable, SiliconParams};
-use vaem_sparse::{LinearSolver, SolverKind, TripletMatrix};
+use vaem_sparse::{LinearSolver, PreparedSolver, SolverKind, TripletMatrix};
 
 /// Electromagnetic modelling depth of the AC stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -225,47 +225,85 @@ impl<'a> CoupledSolver<'a> {
         let clamp_exp = |x: f64| x.clamp(-60.0, 60.0);
         let linear = LinearSolver::new(self.options.linear_solver);
 
+        // The Jacobian stencil is geometry-only: per unknown, the link
+        // coefficient, the neighbour node and (when the neighbour is itself
+        // an unknown) its column. Precomputing it keeps the per-iteration
+        // assembly to pure arithmetic, and the structural pattern fixed.
+        let stencils: Vec<Vec<(f64, usize, Option<usize>)>> = unknowns
+            .iter()
+            .map(|&node| {
+                let mat_i = self.material(node);
+                self.node_links[node.index()]
+                    .iter()
+                    .map(|&lid| {
+                        let link = mesh.link(lid);
+                        let other = if link.from == node {
+                            link.to
+                        } else {
+                            link.from
+                        };
+                        let eps =
+                            link_permittivity(mat_i, self.material(other), &self.options.materials);
+                        let c = eps * self.link_factor[lid.index()];
+                        (c, other.index(), unknown_index[other.index()])
+                    })
+                    .collect()
+            })
+            .collect();
+        // Charge term data per unknown: (q·volume, net doping) for
+        // semiconductor nodes, None elsewhere.
+        let charge: Vec<Option<(f64, f64)>> = unknowns
+            .iter()
+            .map(|&node| {
+                self.material(node)
+                    .is_semiconductor()
+                    .then(|| (q * mesh.node_volume(node), self.doping.net(node)))
+            })
+            .collect();
+
+        let n_unknown = unknowns.len();
+        let mut rhs = vec![0.0_f64; n_unknown];
+        let mut jac = TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7);
+        // CSR built from the first iteration's triplets; later iterations
+        // re-assemble the values into the cached pattern.
+        let mut jac_csr: Option<vaem_sparse::CsrMatrix<f64>> = None;
+
         let mut iterations = 0usize;
         let mut update_norm = f64::INFINITY;
         while iterations < self.options.newton_max_iterations {
             iterations += 1;
-            let n_unknown = unknowns.len();
-            let mut residual = vec![0.0_f64; n_unknown];
-            let mut jac = TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7);
+            jac.clear();
 
             for (ui, &node) in unknowns.iter().enumerate() {
                 let vi = potential[node.index()];
-                let mat_i = self.material(node);
                 let mut diag = 0.0;
-                for &lid in &self.node_links[node.index()] {
-                    let link = mesh.link(lid);
-                    let other = if link.from == node {
-                        link.to
-                    } else {
-                        link.from
-                    };
-                    let eps =
-                        link_permittivity(mat_i, self.material(other), &self.options.materials);
-                    let c = eps * self.link_factor[lid.index()];
-                    residual[ui] += c * (potential[other.index()] - vi);
+                let mut residual = 0.0;
+                for &(c, other, uj) in &stencils[ui] {
+                    residual += c * (potential[other] - vi);
                     diag -= c;
-                    if let Some(uj) = unknown_index[other.index()] {
+                    if let Some(uj) = uj {
                         jac.push(ui, uj, c);
                     }
                 }
-                if mat_i.is_semiconductor() {
+                if let Some((qvol, net)) = charge[ui] {
                     let n = si.intrinsic_density * clamp_exp(vi / vt).exp();
                     let p = si.intrinsic_density * clamp_exp(-vi / vt).exp();
-                    let vol = mesh.node_volume(node);
-                    residual[ui] += q * vol * (p - n + self.doping.net(node));
-                    diag -= q * vol * (n + p) / vt;
+                    residual += qvol * (p - n + net);
+                    diag -= qvol * (n + p) / vt;
                 }
                 jac.push(ui, ui, diag);
+                // Solve J·δ = -F.
+                rhs[ui] = -residual;
             }
 
-            // Solve J·δ = -F.
-            let rhs: Vec<f64> = residual.iter().map(|r| -r).collect();
-            let (mut delta, _report) = linear.solve(&jac.to_csr(), &rhs)?;
+            let matrix = match jac_csr.as_mut() {
+                Some(cached) => {
+                    jac.assemble_into(cached)?;
+                    &*cached
+                }
+                None => &*jac_csr.insert(jac.to_csr()),
+            };
+            let (mut delta, _report) = linear.solve(matrix, &rhs)?;
 
             // Damp large Newton steps (potential updates beyond 1 V are
             // truncated, preserving direction).
@@ -346,13 +384,27 @@ impl<'a> CoupledSolver<'a> {
         frequency: f64,
         driven_label: &str,
     ) -> Result<AcSolution, FvmError> {
-        for name in excitations.keys() {
-            if self.terminals.index_of(name).is_none() {
-                return Err(FvmError::Configuration {
-                    detail: format!("unknown terminal '{name}'"),
-                });
-            }
-        }
+        self.prepare_ac(dc, frequency)?
+            .solve(excitations, driven_label)
+    }
+
+    /// Assembles and factorizes the frequency-domain operator once for a
+    /// given operating point and frequency.
+    ///
+    /// The AC system matrix depends only on `(dc, frequency)` — every
+    /// contact node is a Dirichlet node regardless of which terminal is
+    /// driven, so only the right-hand side changes between excitations. The
+    /// returned [`AcOperator`] therefore amortizes the assembly and the
+    /// ILU/LU setup across all terminal solves at this frequency (the
+    /// capacitance-matrix extraction and the wPFA weight solve reuse it).
+    ///
+    /// # Errors
+    /// * [`FvmError::Linear`] when the factorization fails.
+    pub fn prepare_ac<'s>(
+        &'s self,
+        dc: &DcSolution,
+        frequency: f64,
+    ) -> Result<AcOperator<'s, 'a>, FvmError> {
         let mesh = &self.structure.mesh;
         let n_nodes = mesh.node_count();
         let omega = 2.0 * std::f64::consts::PI * frequency;
@@ -386,21 +438,11 @@ impl<'a> CoupledSolver<'a> {
             })
             .collect();
 
-        // Dirichlet: contact nodes at their excitation.
-        let excitation_of = |contact: usize| -> Complex64 {
-            excitations
-                .get(self.terminals.name(contact))
-                .copied()
-                .unwrap_or(Complex64::ZERO)
-        };
-        let dirichlet: Vec<Option<Complex64>> = (0..n_nodes)
-            .map(|i| self.contact_of[i].map(excitation_of))
-            .collect();
-
+        // Dirichlet structure: every contact node, whatever its excitation.
         let mut unknown_index: Vec<Option<usize>> = vec![None; n_nodes];
         let mut unknowns: Vec<NodeId> = Vec::new();
         for node in mesh.node_ids() {
-            if dirichlet[node.index()].is_none() {
+            if self.contact_of[node.index()].is_none() {
                 unknown_index[node.index()] = Some(unknowns.len());
                 unknowns.push(node);
             }
@@ -408,7 +450,8 @@ impl<'a> CoupledSolver<'a> {
 
         let n_unknown = unknowns.len();
         let mut matrix = TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7);
-        let mut rhs = vec![Complex64::ZERO; n_unknown];
+        // Couplings into Dirichlet neighbours: (row, admittance, contact).
+        let mut boundary: Vec<(usize, Complex64, usize)> = Vec::new();
         for (ui, &node) in unknowns.iter().enumerate() {
             let mut diag = Complex64::ZERO;
             for &lid in &self.node_links[node.index()] {
@@ -423,8 +466,9 @@ impl<'a> CoupledSolver<'a> {
                 match unknown_index[other.index()] {
                     Some(uj) => matrix.push(ui, uj, ya),
                     None => {
-                        let vd = dirichlet[other.index()].expect("non-unknown node is Dirichlet");
-                        rhs[ui] -= ya * vd;
+                        let contact =
+                            self.contact_of[other.index()].expect("non-unknown node is a contact");
+                        boundary.push((ui, ya, contact));
                     }
                 }
             }
@@ -432,31 +476,16 @@ impl<'a> CoupledSolver<'a> {
         }
 
         let linear = LinearSolver::new(self.options.linear_solver);
-        let (solution, report) = linear.solve(&matrix.to_csr(), &rhs)?;
+        let prepared = linear.prepare(&matrix.to_csr())?;
 
-        let mut potential = vec![Complex64::ZERO; n_nodes];
-        for node in mesh.node_ids() {
-            potential[node.index()] = match dirichlet[node.index()] {
-                Some(v) => v,
-                None => solution[unknown_index[node.index()].expect("unknown node indexed")],
-            };
-        }
-
-        let vector_potential = match self.options.em_mode {
-            EmMode::ElectroQuasiStatic => None,
-            EmMode::FullWave => {
-                Some(self.solve_vector_potential(mesh, &potential, &link_admittance, omega)?)
-            }
-        };
-
-        Ok(AcSolution {
-            potential,
-            link_admittance,
-            vector_potential,
+        Ok(AcOperator {
+            solver: self,
             omega,
-            driven_terminal: driven_label.to_string(),
-            solver_strategy: report.strategy,
-            linear_residual: report.residual_norm,
+            link_admittance,
+            unknowns,
+            unknown_index,
+            boundary,
+            prepared,
         })
     }
 
@@ -516,6 +545,115 @@ impl<'a> CoupledSolver<'a> {
         let linear = LinearSolver::new(self.options.linear_solver);
         let (a, _report) = linear.solve(&matrix.to_csr(), &rhs)?;
         Ok(a)
+    }
+}
+
+/// A factorized frequency-domain operator bound to one operating point and
+/// frequency (see [`CoupledSolver::prepare_ac`]).
+///
+/// Each [`AcOperator::solve`] call only rebuilds the right-hand side from
+/// the excitations and runs the cached direct/ILU-preconditioned solve, so
+/// sweeping every terminal of a structure costs one assembly and one
+/// factorization in total.
+#[derive(Debug, Clone)]
+pub struct AcOperator<'s, 'a> {
+    solver: &'s CoupledSolver<'a>,
+    omega: f64,
+    link_admittance: Vec<Complex64>,
+    unknowns: Vec<NodeId>,
+    unknown_index: Vec<Option<usize>>,
+    /// Couplings of unknown rows into Dirichlet (contact) neighbours:
+    /// `(row, link admittance, contact index)`.
+    boundary: Vec<(usize, Complex64, usize)>,
+    prepared: PreparedSolver<Complex64>,
+}
+
+impl AcOperator<'_, '_> {
+    /// Angular frequency ω (rad/s) of the operator.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Number of unknown (non-contact) nodes.
+    pub fn unknown_count(&self) -> usize {
+        self.unknowns.len()
+    }
+
+    /// Solves for a 1 V excitation on `driven_terminal` with every other
+    /// contact grounded.
+    ///
+    /// # Errors
+    /// Same conditions as [`AcOperator::solve`].
+    pub fn solve_terminal(&mut self, driven_terminal: &str) -> Result<AcSolution, FvmError> {
+        let mut excitations = BTreeMap::new();
+        excitations.insert(driven_terminal.to_string(), Complex64::ONE);
+        self.solve(&excitations, driven_terminal)
+    }
+
+    /// Solves the prepared system for one set of complex contact excitations
+    /// (unlisted contacts are grounded).
+    ///
+    /// # Errors
+    /// * [`FvmError::Configuration`] for an unknown terminal name.
+    /// * [`FvmError::Linear`] when the cached solve fails.
+    pub fn solve(
+        &mut self,
+        excitations: &BTreeMap<String, Complex64>,
+        driven_label: &str,
+    ) -> Result<AcSolution, FvmError> {
+        let solver = self.solver;
+        for name in excitations.keys() {
+            if solver.terminals.index_of(name).is_none() {
+                return Err(FvmError::Configuration {
+                    detail: format!("unknown terminal '{name}'"),
+                });
+            }
+        }
+        let excitation_of = |contact: usize| -> Complex64 {
+            excitations
+                .get(solver.terminals.name(contact))
+                .copied()
+                .unwrap_or(Complex64::ZERO)
+        };
+
+        let mut rhs = vec![Complex64::ZERO; self.unknowns.len()];
+        for &(ui, ya, contact) in &self.boundary {
+            rhs[ui] -= ya * excitation_of(contact);
+        }
+        let (solution, report) = self.prepared.solve(&rhs)?;
+
+        let mesh = &solver.structure.mesh;
+        let mut potential = vec![Complex64::ZERO; mesh.node_count()];
+        for node in mesh.node_ids() {
+            let i = node.index();
+            potential[i] = match self.unknown_index[i] {
+                Some(ui) => solution[ui],
+                None => {
+                    let contact = solver.contact_of[i].expect("non-unknown node is a contact");
+                    excitation_of(contact)
+                }
+            };
+        }
+
+        let vector_potential = match solver.options.em_mode {
+            EmMode::ElectroQuasiStatic => None,
+            EmMode::FullWave => Some(solver.solve_vector_potential(
+                mesh,
+                &potential,
+                &self.link_admittance,
+                self.omega,
+            )?),
+        };
+
+        Ok(AcSolution {
+            potential,
+            link_admittance: self.link_admittance.clone(),
+            vector_potential,
+            omega: self.omega,
+            driven_terminal: driven_label.to_string(),
+            solver_strategy: report.strategy,
+            linear_residual: report.residual_norm,
+        })
     }
 }
 

@@ -50,25 +50,43 @@ impl SymmetricEigen {
         }
         let n = a.rows();
         // Work on the symmetrized copy to be robust to round-off asymmetry.
-        let mut m = DMatrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
-        let mut v = DMatrix::<f64>::identity(n);
+        // Rows (and the columns of V) are held as separate contiguous
+        // buffers so each plane rotation streams linearly; the strided
+        // column updates of the similarity transform are replaced by a
+        // symmetry mirror (M' stays symmetric, so its columns p and q equal
+        // its rows p and q).
+        let mut rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| 0.5 * (a[(i, j)] + a[(j, i)])).collect())
+            .collect();
+        let mut v_cols: Vec<Vec<f64>> = (0..n)
+            .map(|j| {
+                let mut e = vec![0.0; n];
+                e[j] = 1.0;
+                e
+            })
+            .collect();
 
-        let off = |m: &DMatrix<f64>| -> f64 {
+        let off = |rows: &[Vec<f64>]| -> f64 {
             let mut s = 0.0;
-            for i in 0..n {
-                for j in 0..n {
+            for (i, row) in rows.iter().enumerate() {
+                for (j, &x) in row.iter().enumerate() {
                     if i != j {
-                        s += m[(i, j)] * m[(i, j)];
+                        s += x * x;
                     }
                 }
             }
             s.sqrt()
         };
 
-        let scale = m.frobenius_norm().max(1e-300);
+        let scale = rows
+            .iter()
+            .map(|r| r.iter().map(|x| x * x).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-300);
         let tol = 1e-14 * scale;
         let mut sweeps = 0;
-        while off(&m) > tol {
+        while off(&rows) > tol {
             sweeps += 1;
             if sweeps > Self::MAX_SWEEPS {
                 return Err(NumericError::NoConvergence {
@@ -77,44 +95,64 @@ impl SymmetricEigen {
             }
             for p in 0..n {
                 for q in (p + 1)..n {
-                    let apq = m[(p, q)];
+                    let apq = rows[p][q];
                     if apq.abs() <= tol / (n as f64) {
                         continue;
                     }
-                    let app = m[(p, p)];
-                    let aqq = m[(q, q)];
+                    let app = rows[p][p];
+                    let aqq = rows[q][q];
                     let theta = (aqq - app) / (2.0 * apq);
                     let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
                     let c = 1.0 / (t * t + 1.0).sqrt();
                     let s = t * c;
-                    // Apply rotation on rows/columns p and q.
-                    for k in 0..n {
-                        let mkp = m[(k, p)];
-                        let mkq = m[(k, q)];
-                        m[(k, p)] = c * mkp - s * mkq;
-                        m[(k, q)] = s * mkp + c * mkq;
+                    // R = Jᵀ·M: combine rows p and q (contiguous).
+                    let (head, tail) = rows.split_at_mut(q);
+                    let rp = &mut head[p];
+                    let rq = &mut tail[0];
+                    for (x, y) in rp.iter_mut().zip(rq.iter_mut()) {
+                        let mpk = *x;
+                        let mqk = *y;
+                        *x = c * mpk - s * mqk;
+                        *y = s * mpk + c * mqk;
                     }
+                    // The 2x2 pivot block of M' = R·J; the off-diagonal pair
+                    // is annihilated by construction.
+                    let rpp = rp[p];
+                    let rpq = rp[q];
+                    let rqp = rq[p];
+                    let rqq = rq[q];
+                    rp[p] = c * rpp - s * rpq;
+                    rq[q] = s * rqp + c * rqq;
+                    rp[q] = 0.0;
+                    rq[p] = 0.0;
+                    // Mirror rows p and q onto columns p and q: for k ∉ {p, q}
+                    // symmetry gives M'[k][p] = R[p][k] and M'[k][q] = R[q][k].
                     for k in 0..n {
-                        let mpk = m[(p, k)];
-                        let mqk = m[(q, k)];
-                        m[(p, k)] = c * mpk - s * mqk;
-                        m[(q, k)] = s * mpk + c * mqk;
+                        if k == p || k == q {
+                            continue;
+                        }
+                        rows[k][p] = rows[p][k];
+                        rows[k][q] = rows[q][k];
                     }
-                    for k in 0..n {
-                        let vkp = v[(k, p)];
-                        let vkq = v[(k, q)];
-                        v[(k, p)] = c * vkp - s * vkq;
-                        v[(k, q)] = s * vkp + c * vkq;
+                    // Accumulate V·J on contiguous eigenvector columns.
+                    let (vhead, vtail) = v_cols.split_at_mut(q);
+                    let vp = &mut vhead[p];
+                    let vq = &mut vtail[0];
+                    for (x, y) in vp.iter_mut().zip(vq.iter_mut()) {
+                        let vkp = *x;
+                        let vkq = *y;
+                        *x = c * vkp - s * vkq;
+                        *y = s * vkp + c * vkq;
                     }
                 }
             }
         }
 
         // Extract and sort by decreasing eigenvalue.
-        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+        let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (rows[i][i], i)).collect();
         pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let eigenvalues: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
-        let eigenvectors = DMatrix::from_fn(n, n, |i, j| v[(i, pairs[j].1)]);
+        let eigenvectors = DMatrix::from_fn(n, n, |i, j| v_cols[pairs[j].1][i]);
 
         Ok(Self {
             eigenvalues,

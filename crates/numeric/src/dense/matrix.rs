@@ -153,20 +153,60 @@ impl<T: Scalar> DMatrix<T> {
 
     /// Matrix–matrix product `A·B`.
     ///
+    /// Runs an `i`–`k`–`j` loop on contiguous row slices, with `k` blocked so
+    /// the rows of `B` touched by a block stay cache-resident while every row
+    /// of `A` streams through — the PFA/wPFA covariance products are the hot
+    /// consumers.
+    ///
     /// # Panics
     /// Panics if the inner dimensions do not match.
     pub fn matmul(&self, other: &Self) -> Self {
         assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
         let mut out = Self::zeros(self.rows, other.cols);
+        let nc = other.cols;
+        const K_BLOCK: usize = 64;
+        for k0 in (0..self.cols).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(self.cols);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * nc..(i + 1) * nc];
+                for k in k0..k1 {
+                    let aik = a_row[k];
+                    if aik == T::zero() {
+                        continue;
+                    }
+                    let b_row = &other.data[k * nc..(k + 1) * nc];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += aik * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose-aware product `A·Bᵀ` (no conjugation) without materializing
+    /// the transpose: entry `(i, j)` is the plain dot product of row `i` of
+    /// `A` with row `j` of `B`, so both operands stream contiguously.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn matmul_transpose(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose: dimension mismatch"
+        );
+        let mut out = Self::zeros(self.rows, other.rows);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == T::zero() {
-                    continue;
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = T::zero();
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
                 }
-                for j in 0..other.cols {
-                    out[(i, j)] += aik * other[(k, j)];
-                }
+                *o = acc;
             }
         }
         out
@@ -296,6 +336,39 @@ mod tests {
         assert_eq!(c[(0, 1)], 22.0);
         assert_eq!(c[(1, 0)], 43.0);
         assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit_transpose() {
+        let a = DMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-0.5, 0.25, 4.0]]);
+        let b = DMatrix::from_rows(&[
+            vec![2.0, -1.0, 0.5],
+            vec![1.5, 3.0, -2.0],
+            vec![0.0, 1.0, 1.0],
+            vec![-1.0, 0.0, 2.5],
+        ]);
+        let fast = a.matmul_transpose(&b);
+        let reference = a.matmul(&b.transpose());
+        assert_eq!(fast.rows(), 2);
+        assert_eq!(fast.cols(), 4);
+        assert!(fast.sub(&reference).frobenius_norm() < 1e-14);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_larger_sizes() {
+        // Exercise the k-blocking path (cols > block size).
+        let a = DMatrix::from_fn(7, 150, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = DMatrix::from_fn(150, 5, |i, j| ((i * 17 + j * 3) % 11) as f64 - 5.0);
+        let fast = a.matmul(&b);
+        let mut naive = DMatrix::<f64>::zeros(7, 5);
+        for i in 0..7 {
+            for j in 0..5 {
+                for k in 0..150 {
+                    naive[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        assert!(fast.sub(&naive).frobenius_norm() < 1e-10);
     }
 
     #[test]

@@ -55,8 +55,19 @@ impl Svd {
     fn tall(a: &DMatrix<f64>) -> Result<Self, NumericError> {
         let m = a.rows();
         let n = a.cols();
-        let mut u = a.clone();
-        let mut v = DMatrix::<f64>::identity(n);
+        // One-sided Jacobi works column-by-column, so hold each column of A
+        // (and of V) as a contiguous buffer: the Gram dot products and the
+        // plane rotations then stream linearly instead of striding through a
+        // row-major matrix, which dominates the runtime at wPFA sizes
+        // (n = 128 ⇒ 1 KiB stride per element with row-major storage).
+        let mut u_cols: Vec<Vec<f64>> = (0..n).map(|j| a.column(j)).collect();
+        let mut v_cols: Vec<Vec<f64>> = (0..n)
+            .map(|j| {
+                let mut e = vec![0.0; n];
+                e[j] = 1.0;
+                e
+            })
+            .collect();
 
         let tol = 1e-14;
         let mut converged = false;
@@ -64,14 +75,17 @@ impl Svd {
             let mut rotated = false;
             for p in 0..n {
                 for q in (p + 1)..n {
-                    // Compute the 2x2 Gram entries for columns p and q.
+                    let (head, tail) = u_cols.split_at_mut(q);
+                    let up = &mut head[p];
+                    let uq = &mut tail[0];
+                    // 2x2 Gram entries for columns p and q.
                     let mut app = 0.0;
                     let mut aqq = 0.0;
                     let mut apq = 0.0;
-                    for i in 0..m {
-                        app += u[(i, p)] * u[(i, p)];
-                        aqq += u[(i, q)] * u[(i, q)];
-                        apq += u[(i, p)] * u[(i, q)];
+                    for (&x, &y) in up.iter().zip(uq.iter()) {
+                        app += x * x;
+                        aqq += y * y;
+                        apq += x * y;
                     }
                     // Columns are "orthogonal enough" relative to their norms.
                     if apq.abs() <= tol * (app * aqq).sqrt().max(1e-300) {
@@ -83,17 +97,20 @@ impl Svd {
                     let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = c * t;
-                    for i in 0..m {
-                        let uip = u[(i, p)];
-                        let uiq = u[(i, q)];
-                        u[(i, p)] = c * uip - s * uiq;
-                        u[(i, q)] = s * uip + c * uiq;
+                    for (x, y) in up.iter_mut().zip(uq.iter_mut()) {
+                        let uip = *x;
+                        let uiq = *y;
+                        *x = c * uip - s * uiq;
+                        *y = s * uip + c * uiq;
                     }
-                    for i in 0..n {
-                        let vip = v[(i, p)];
-                        let viq = v[(i, q)];
-                        v[(i, p)] = c * vip - s * viq;
-                        v[(i, q)] = s * vip + c * viq;
+                    let (vhead, vtail) = v_cols.split_at_mut(q);
+                    let vp = &mut vhead[p];
+                    let vq = &mut vtail[0];
+                    for (x, y) in vp.iter_mut().zip(vq.iter_mut()) {
+                        let vip = *x;
+                        let viq = *y;
+                        *x = c * vip - s * viq;
+                        *y = s * vip + c * viq;
                     }
                 }
             }
@@ -111,9 +128,11 @@ impl Svd {
         }
 
         // Column norms are the singular values; normalize U.
-        let mut sv: Vec<(f64, usize)> = (0..n)
-            .map(|j| {
-                let norm: f64 = (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt();
+        let mut sv: Vec<(f64, usize)> = u_cols
+            .iter()
+            .enumerate()
+            .map(|(j, col)| {
+                let norm: f64 = col.iter().map(|x| x * x).sum::<f64>().sqrt();
                 (norm, j)
             })
             .collect();
@@ -125,10 +144,10 @@ impl Svd {
         for (new_j, (sigma, old_j)) in sv.iter().enumerate() {
             let denom = if *sigma > 0.0 { *sigma } else { 1.0 };
             for i in 0..m {
-                u_sorted[(i, new_j)] = u[(i, *old_j)] / denom;
+                u_sorted[(i, new_j)] = u_cols[*old_j][i] / denom;
             }
             for i in 0..n {
-                v_sorted[(i, new_j)] = v[(i, *old_j)];
+                v_sorted[(i, new_j)] = v_cols[*old_j][i];
             }
         }
 

@@ -1,0 +1,181 @@
+//! Std-only parallel fan-out for embarrassingly parallel sample sweeps.
+//!
+//! The SSCM collocation points and the Monte-Carlo reference runs of the
+//! variational analysis are independent deterministic solves; this crate
+//! fans them out over [`std::thread::scope`] threads without adding any
+//! external dependency.
+//!
+//! Two properties the analysis layer relies on:
+//!
+//! * **Determinism** — [`par_map`] assigns item `i` of the input to slot `i`
+//!   of the output, and the mapped function receives the item index, so the
+//!   result is identical for any thread count (including 1). Randomness must
+//!   be derived from the item/index, never from thread identity or timing.
+//! * **Bounded threads** — the thread count comes from the `VAEM_THREADS`
+//!   environment variable when set (clamped to [1, 512]), otherwise from
+//!   [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "VAEM_THREADS";
+
+/// Upper bound on the worker-thread count (guards against typos such as
+/// `VAEM_THREADS=40000`).
+pub const MAX_THREADS: usize = 512;
+
+/// Parses a `VAEM_THREADS`-style value; `None` for unset/invalid/zero.
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .map(|n| n.min(MAX_THREADS))
+}
+
+/// The configured worker-thread count: `VAEM_THREADS` when set to a positive
+/// integer, otherwise the detected hardware parallelism (at least 1).
+///
+/// Read on every call (not cached) so tests and harnesses can switch the
+/// variable between runs within one process.
+pub fn thread_count() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Maps `f` over `items` on up to [`thread_count`] scoped threads.
+///
+/// `f` receives `(index, &item)` and its results are returned in input
+/// order; the output is bit-for-bit independent of the thread count as long
+/// as `f` itself is a pure function of its arguments. Work is split into
+/// contiguous chunks, which fits the sample sweeps (every item costs roughly
+/// the same deterministic solve).
+///
+/// # Panics
+/// Propagates a panic from any worker thread.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (mainly for tests and for
+/// callers that manage their own thread budget).
+pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (ci, (in_chunk, out_chunk)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let base = ci * chunk;
+            scope.spawn(move || {
+                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(base + j, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every slot is filled by exactly one worker"))
+        .collect()
+}
+
+/// Runs `f` for every index in `0..count` (no input slice) and collects the
+/// results in index order — convenience wrapper for seed-indexed sweeps like
+/// the Monte-Carlo reference.
+pub fn par_map_indices<U, F>(count: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let indices: Vec<usize> = (0..count).collect();
+    par_map(&indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_with_indices() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |i, &v| (i as u64) * 1000 + v);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, (i as u64) * 1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn result_is_independent_of_thread_count() {
+        let items: Vec<f64> = (0..53).map(|i| i as f64 * 0.37).collect();
+        let f = |i: usize, x: &f64| (x.sin() * 1e6) + i as f64;
+        let serial = par_map_with(1, &items, f);
+        for threads in [2, 3, 4, 7, 64] {
+            let parallel = par_map_with(threads, &items, f);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &v| v).is_empty());
+        assert_eq!(par_map(&[41u32], |_, &v| v + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map_with(100, &items, |_, &v| v * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn index_sweep_matches_slice_sweep() {
+        let by_index = par_map_indices(10, |i| i * i);
+        let squares: Vec<usize> = (0..10).map(|i| i * i).collect();
+        assert_eq!(by_index, squares);
+    }
+
+    #[test]
+    fn env_parsing_rules() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("abc")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads(Some("99999")), Some(MAX_THREADS));
+    }
+
+    #[test]
+    fn errors_can_be_collected_deterministically() {
+        let items: Vec<i32> = (0..20).collect();
+        let out: Result<Vec<i32>, String> = par_map_with(4, &items, |_, &v| {
+            if v == 13 {
+                Err(format!("bad item {v}"))
+            } else {
+                Ok(v)
+            }
+        })
+        .into_iter()
+        .collect();
+        assert_eq!(out.unwrap_err(), "bad item 13");
+    }
+}

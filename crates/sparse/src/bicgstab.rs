@@ -56,6 +56,48 @@ pub struct BiCgStab {
     options: KrylovOptions,
 }
 
+/// Reusable buffers of the BiCGSTAB recurrence (`r`, `r̂`, `v`, `p`, `p̂`,
+/// `s`, `ŝ`, `t`).
+///
+/// One Newton/AC solve used to allocate (and drop) eight fresh vectors per
+/// call plus two per iteration; keeping a workspace alive across calls makes
+/// the inner loop allocation-free. Buffers are resized lazily, so one
+/// workspace can serve systems of different sizes.
+#[derive(Debug, Clone, Default)]
+pub struct BiCgStabWorkspace<T: Scalar = f64> {
+    r: Vec<T>,
+    r_hat: Vec<T>,
+    v: Vec<T>,
+    p: Vec<T>,
+    p_hat: Vec<T>,
+    s: Vec<T>,
+    s_hat: Vec<T>,
+    t: Vec<T>,
+}
+
+impl<T: Scalar> BiCgStabWorkspace<T> {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        for buf in [
+            &mut self.r,
+            &mut self.r_hat,
+            &mut self.v,
+            &mut self.p,
+            &mut self.p_hat,
+            &mut self.s,
+            &mut self.s_hat,
+            &mut self.t,
+        ] {
+            buf.clear();
+            buf.resize(n, T::zero());
+        }
+    }
+}
+
 impl BiCgStab {
     /// Creates a solver with the given options.
     pub fn new(options: KrylovOptions) -> Self {
@@ -83,6 +125,24 @@ impl BiCgStab {
         precond: Option<&Ilu0<T>>,
         x0: Option<&[T]>,
     ) -> Result<(Vec<T>, usize), SparseError> {
+        let mut workspace = BiCgStabWorkspace::new();
+        self.solve_with_workspace(a, b, precond, x0, &mut workspace)
+    }
+
+    /// [`BiCgStab::solve`] with caller-owned buffers; the variant used by
+    /// repeated solves (Newton iterations, terminal/frequency sweeps) to
+    /// keep the inner loops allocation-free.
+    ///
+    /// # Errors
+    /// Same conditions as [`BiCgStab::solve`].
+    pub fn solve_with_workspace<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        precond: Option<&Ilu0<T>>,
+        x0: Option<&[T]>,
+        ws: &mut BiCgStabWorkspace<T>,
+    ) -> Result<(Vec<T>, usize), SparseError> {
         let n = a.rows();
         if a.cols() != n || b.len() != n {
             return Err(SparseError::DimensionMismatch {
@@ -94,12 +154,7 @@ impl BiCgStab {
                 ),
             });
         }
-        let apply_m = |v: &[T]| -> Vec<T> {
-            match precond {
-                Some(p) => p.apply(v),
-                None => v.to_vec(),
-            }
-        };
+        ws.reset(n);
 
         let bnorm = vecops::norm2(b).max(1e-300);
         let mut x = match x0 {
@@ -109,19 +164,25 @@ impl BiCgStab {
             }
             None => vec![T::zero(); n],
         };
-        let mut r = a.residual(&x, b);
-        if vecops::norm2(&r) / bnorm <= self.options.tolerance {
+        // r = b − A·x (skip the matvec for the zero initial guess).
+        if x0.is_some() {
+            a.matvec_into(&x, &mut ws.t);
+            for i in 0..n {
+                ws.r[i] = b[i] - ws.t[i];
+            }
+        } else {
+            ws.r.copy_from_slice(b);
+        }
+        if vecops::norm2(&ws.r) / bnorm <= self.options.tolerance {
             return Ok((x, 0));
         }
-        let r_hat = r.clone();
+        ws.r_hat.copy_from_slice(&ws.r);
         let mut rho = T::one();
         let mut alpha = T::one();
         let mut omega = T::one();
-        let mut v = vec![T::zero(); n];
-        let mut p = vec![T::zero(); n];
 
         for iter in 1..=self.options.max_iterations {
-            let rho_new = vecops::dot(&r_hat, &r);
+            let rho_new = vecops::dot(&ws.r_hat, &ws.r);
             if rho_new.modulus() < 1e-300 {
                 return Err(SparseError::Breakdown {
                     detail: "rho became zero in BiCGSTAB".to_string(),
@@ -130,11 +191,14 @@ impl BiCgStab {
             let beta = (rho_new / rho) * (alpha / omega);
             // p = r + beta (p - omega v)
             for i in 0..n {
-                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+                ws.p[i] = ws.r[i] + beta * (ws.p[i] - omega * ws.v[i]);
             }
-            let p_hat = apply_m(&p);
-            v = a.matvec(&p_hat);
-            let denom = vecops::dot(&r_hat, &v);
+            match precond {
+                Some(m) => m.apply_into(&ws.p, &mut ws.p_hat),
+                None => ws.p_hat.copy_from_slice(&ws.p),
+            }
+            a.matvec_into(&ws.p_hat, &mut ws.v);
+            let denom = vecops::dot(&ws.r_hat, &ws.v);
             if denom.modulus() < 1e-300 {
                 return Err(SparseError::Breakdown {
                     detail: "r_hat . v became zero in BiCGSTAB".to_string(),
@@ -142,30 +206,32 @@ impl BiCgStab {
             }
             alpha = rho_new / denom;
             // s = r - alpha v
-            let mut s = r.clone();
             for i in 0..n {
-                s[i] -= alpha * v[i];
+                ws.s[i] = ws.r[i] - alpha * ws.v[i];
             }
-            if vecops::norm2(&s) / bnorm <= self.options.tolerance {
+            if vecops::norm2(&ws.s) / bnorm <= self.options.tolerance {
                 for i in 0..n {
-                    x[i] += alpha * p_hat[i];
+                    x[i] += alpha * ws.p_hat[i];
                 }
                 return Ok((x, iter));
             }
-            let s_hat = apply_m(&s);
-            let t = a.matvec(&s_hat);
-            let tt = vecops::dot(&t, &t);
+            match precond {
+                Some(m) => m.apply_into(&ws.s, &mut ws.s_hat),
+                None => ws.s_hat.copy_from_slice(&ws.s),
+            }
+            a.matvec_into(&ws.s_hat, &mut ws.t);
+            let tt = vecops::dot(&ws.t, &ws.t);
             if tt.modulus() < 1e-300 {
                 return Err(SparseError::Breakdown {
                     detail: "t . t became zero in BiCGSTAB".to_string(),
                 });
             }
-            omega = vecops::dot(&t, &s) / tt;
+            omega = vecops::dot(&ws.t, &ws.s) / tt;
             for i in 0..n {
-                x[i] += alpha * p_hat[i] + omega * s_hat[i];
-                r[i] = s[i] - omega * t[i];
+                x[i] += alpha * ws.p_hat[i] + omega * ws.s_hat[i];
+                ws.r[i] = ws.s[i] - omega * ws.t[i];
             }
-            let rel = vecops::norm2(&r) / bnorm;
+            let rel = vecops::norm2(&ws.r) / bnorm;
             if rel <= self.options.tolerance {
                 return Ok((x, iter));
             }
@@ -263,6 +329,28 @@ mod tests {
         });
         let (x, _) = solver.solve(&a, &b, Some(&ilu), None).unwrap();
         assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-8);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves_across_sizes() {
+        let solver = BiCgStab::new(KrylovOptions {
+            tolerance: 1e-12,
+            ..Default::default()
+        });
+        let mut ws = BiCgStabWorkspace::new();
+        // Shrinking and growing sizes exercise the lazy buffer resize.
+        for nx in [10, 6, 12] {
+            let a = laplacian_2d(nx);
+            let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.07).sin()).collect();
+            let b = a.matvec(&x_true);
+            let ilu = Ilu0::new(&a).unwrap();
+            let (x_ws, it_ws) = solver
+                .solve_with_workspace(&a, &b, Some(&ilu), None, &mut ws)
+                .unwrap();
+            let (x_fresh, it_fresh) = solver.solve(&a, &b, Some(&ilu), None).unwrap();
+            assert_eq!(it_ws, it_fresh, "nx = {nx}");
+            assert_eq!(x_ws, x_fresh, "nx = {nx}");
+        }
     }
 
     #[test]

@@ -31,6 +31,29 @@ pub struct ConjugateGradient {
     options: KrylovOptions,
 }
 
+/// Reusable buffers of the CG recurrence (`r`, `z`, `p`, `A·p`).
+#[derive(Debug, Clone, Default)]
+pub struct CgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        for buf in [&mut self.r, &mut self.z, &mut self.p, &mut self.ap] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
 impl ConjugateGradient {
     /// Creates a solver with the given options.
     pub fn new(options: KrylovOptions) -> Self {
@@ -57,6 +80,23 @@ impl ConjugateGradient {
         precond: Option<&Ilu0<f64>>,
         x0: Option<&[f64]>,
     ) -> Result<(Vec<f64>, usize), SparseError> {
+        let mut workspace = CgWorkspace::new();
+        self.solve_with_workspace(a, b, precond, x0, &mut workspace)
+    }
+
+    /// [`ConjugateGradient::solve`] with caller-owned buffers, keeping the
+    /// inner loop allocation-free across repeated solves.
+    ///
+    /// # Errors
+    /// Same conditions as [`ConjugateGradient::solve`].
+    pub fn solve_with_workspace(
+        &self,
+        a: &CsrMatrix<f64>,
+        b: &[f64],
+        precond: Option<&Ilu0<f64>>,
+        x0: Option<&[f64]>,
+        ws: &mut CgWorkspace,
+    ) -> Result<(Vec<f64>, usize), SparseError> {
         let n = a.rows();
         if a.cols() != n || b.len() != n {
             return Err(SparseError::DimensionMismatch {
@@ -68,12 +108,7 @@ impl ConjugateGradient {
                 ),
             });
         }
-        let apply_m = |v: &[f64]| -> Vec<f64> {
-            match precond {
-                Some(p) => p.apply(v),
-                None => v.to_vec(),
-            }
-        };
+        ws.reset(n);
         let bnorm = vecops::norm2(b).max(1e-300);
         let mut x = match x0 {
             Some(x0) => {
@@ -82,17 +117,28 @@ impl ConjugateGradient {
             }
             None => vec![0.0; n],
         };
-        let mut r = a.residual(&x, b);
-        if vecops::norm2(&r) / bnorm <= self.options.tolerance {
+        // r = b − A·x (skip the matvec for the zero initial guess).
+        if x0.is_some() {
+            a.matvec_into(&x, &mut ws.ap);
+            for i in 0..n {
+                ws.r[i] = b[i] - ws.ap[i];
+            }
+        } else {
+            ws.r.copy_from_slice(b);
+        }
+        if vecops::norm2(&ws.r) / bnorm <= self.options.tolerance {
             return Ok((x, 0));
         }
-        let mut z = apply_m(&r);
-        let mut p = z.clone();
-        let mut rz = vecops::dot(&r, &z);
+        match precond {
+            Some(m) => m.apply_into(&ws.r, &mut ws.z),
+            None => ws.z.copy_from_slice(&ws.r),
+        }
+        ws.p.copy_from_slice(&ws.z);
+        let mut rz = vecops::dot(&ws.r, &ws.z);
 
         for iter in 1..=self.options.max_iterations {
-            let ap = a.matvec(&p);
-            let pap = vecops::dot(&p, &ap);
+            a.matvec_into(&ws.p, &mut ws.ap);
+            let pap = vecops::dot(&ws.p, &ws.ap);
             if pap.abs() < 1e-300 {
                 return Err(SparseError::Breakdown {
                     detail: "p . A p became zero in CG".to_string(),
@@ -100,17 +146,20 @@ impl ConjugateGradient {
             }
             let alpha = rz / pap;
             for i in 0..n {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
+                x[i] += alpha * ws.p[i];
+                ws.r[i] -= alpha * ws.ap[i];
             }
-            if vecops::norm2(&r) / bnorm <= self.options.tolerance {
+            if vecops::norm2(&ws.r) / bnorm <= self.options.tolerance {
                 return Ok((x, iter));
             }
-            z = apply_m(&r);
-            let rz_new = vecops::dot(&r, &z);
+            match precond {
+                Some(m) => m.apply_into(&ws.r, &mut ws.z),
+                None => ws.z.copy_from_slice(&ws.r),
+            }
+            let rz_new = vecops::dot(&ws.r, &ws.z);
             let beta = rz_new / rz;
             for i in 0..n {
-                p[i] = z[i] + beta * p[i];
+                ws.p[i] = ws.z[i] + beta * ws.p[i];
             }
             rz = rz_new;
         }
@@ -179,6 +228,28 @@ mod tests {
         let ilu = Ilu0::new(&a).unwrap();
         let (_, it_prec) = cg.solve(&a, &b, Some(&ilu), None).unwrap();
         assert!(it_prec < it_plain, "{it_prec} vs {it_plain}");
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        let cg = ConjugateGradient::new(KrylovOptions {
+            tolerance: 1e-12,
+            max_iterations: 2000,
+            restart: 0,
+        });
+        let mut ws = CgWorkspace::new();
+        for nx in [12, 8, 15] {
+            let a = laplacian_2d(nx);
+            let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.09).sin()).collect();
+            let b = a.matvec(&x_true);
+            let ilu = Ilu0::new(&a).unwrap();
+            let (x_ws, it_ws) = cg
+                .solve_with_workspace(&a, &b, Some(&ilu), None, &mut ws)
+                .unwrap();
+            let (x_fresh, it_fresh) = cg.solve(&a, &b, Some(&ilu), None).unwrap();
+            assert_eq!(it_ws, it_fresh, "nx = {nx}");
+            assert_eq!(x_ws, x_fresh, "nx = {nx}");
+        }
     }
 
     #[test]

@@ -3,6 +3,68 @@
 use crate::SparseError;
 use vaem_numeric::Scalar;
 
+/// The structural (value-free) part of a CSR matrix: row pointers and sorted
+/// column indices.
+///
+/// Captured once from an assembled matrix, a pattern lets repeated
+/// assemblies (Newton iterations, frequency sweeps) rebuild only the values
+/// via [`CsrMatrix::assemble_into`] instead of re-sorting triplets with
+/// [`CsrMatrix::from_triplets`] on every pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparsityPattern {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl SparsityPattern {
+    /// Extracts the pattern of an assembled matrix.
+    pub fn of<T: Scalar>(matrix: &CsrMatrix<T>) -> Self {
+        Self {
+            rows: matrix.rows,
+            cols: matrix.cols,
+            row_ptr: matrix.row_ptr.clone(),
+            col_idx: matrix.col_idx.clone(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of structural entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Returns `true` when `matrix` has exactly this structure.
+    pub fn matches<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> bool {
+        self.rows == matrix.rows
+            && self.cols == matrix.cols
+            && self.row_ptr == matrix.row_ptr
+            && self.col_idx == matrix.col_idx
+    }
+
+    /// Materializes an all-zero matrix with this structure, ready for
+    /// [`CsrMatrix::assemble_into`].
+    pub fn zeros<T: Scalar>(&self) -> CsrMatrix<T> {
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: vec![T::zero(); self.col_idx.len()],
+        }
+    }
+}
+
 /// A sparse matrix in compressed sparse row format with sorted column
 /// indices inside each row.
 ///
@@ -123,6 +185,43 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Mutable value array (pattern is fixed).
     pub fn values_mut(&mut self) -> &mut [T] {
         &mut self.values
+    }
+
+    /// Re-assembles the values from triplets while keeping the existing
+    /// sparsity pattern: all stored values are zeroed, then every triplet is
+    /// added at its structural position (duplicates sum, as in
+    /// [`CsrMatrix::from_triplets`]).
+    ///
+    /// This is the fast path for iteration-style assembly (Newton steps, AC
+    /// sweeps) where the pattern never changes: no per-row sort, no
+    /// reallocation.
+    ///
+    /// # Errors
+    /// * [`SparseError::DimensionMismatch`] when a triplet indexes outside
+    ///   the matrix shape.
+    /// * [`SparseError::PatternMismatch`] when a triplet addresses a
+    ///   position that is structurally absent; the matrix values are left in
+    ///   an unspecified (partially assembled) state in that case.
+    pub fn assemble_into(&mut self, triplets: &[(usize, usize, T)]) -> Result<(), SparseError> {
+        for v in &mut self.values {
+            *v = T::zero();
+        }
+        for &(r, c, v) in triplets {
+            if r >= self.rows || c >= self.cols {
+                return Err(SparseError::DimensionMismatch {
+                    detail: format!(
+                        "triplet ({r}, {c}) out of bounds for {}x{}",
+                        self.rows, self.cols
+                    ),
+                });
+            }
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            match self.col_idx[lo..hi].binary_search(&c) {
+                Ok(k) => self.values[lo + k] += v,
+                Err(_) => return Err(SparseError::PatternMismatch { row: r, col: c }),
+            }
+        }
+        Ok(())
     }
 
     /// Returns the stored value at `(row, col)` or zero if not present.
@@ -359,5 +458,64 @@ mod tests {
     fn identity_matvec() {
         let a = CsrMatrix::<f64>::identity(3);
         assert_eq!(a.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn assemble_into_updates_values_on_fixed_pattern() {
+        let mut a = laplacian_1d(4);
+        // Same pattern, different values, duplicates summed.
+        a.assemble_into(&[
+            (0, 0, 5.0),
+            (0, 1, -2.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 1, 4.0),
+            (3, 3, 9.0),
+        ])
+        .unwrap();
+        assert_eq!(a.get(0, 0), 5.0);
+        assert_eq!(a.get(0, 1), -2.0);
+        assert_eq!(a.get(1, 1), 7.0);
+        // Structural entries not mentioned are zeroed, pattern kept.
+        assert_eq!(a.get(2, 2), 0.0);
+        assert_eq!(a.nnz(), laplacian_1d(4).nnz());
+        assert_eq!(a.get(3, 3), 9.0);
+    }
+
+    #[test]
+    fn assemble_into_rejects_entries_outside_the_pattern() {
+        let mut a = laplacian_1d(4);
+        assert!(matches!(
+            a.assemble_into(&[(0, 3, 1.0)]),
+            Err(SparseError::PatternMismatch { row: 0, col: 3 })
+        ));
+        assert!(matches!(
+            a.assemble_into(&[(0, 9, 1.0)]),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pattern_roundtrip_and_matching() {
+        let a = laplacian_1d(5);
+        let pattern = SparsityPattern::of(&a);
+        assert_eq!(pattern.rows(), 5);
+        assert_eq!(pattern.cols(), 5);
+        assert_eq!(pattern.nnz(), a.nnz());
+        assert!(pattern.matches(&a));
+
+        let mut z: CsrMatrix<f64> = pattern.zeros();
+        assert!(pattern.matches(&z));
+        assert_eq!(z.nnz(), a.nnz());
+        assert!(z.values().iter().all(|&v| v == 0.0));
+        // A zeroed clone of the pattern accepts the original values.
+        let triplets: Vec<(usize, usize, f64)> = (0..5)
+            .flat_map(|r| a.row_entries(r).map(move |(c, v)| (r, c, v)))
+            .collect();
+        z.assemble_into(&triplets).unwrap();
+        assert_eq!(z, a);
+
+        let other = laplacian_1d(6);
+        assert!(!pattern.matches(&other));
     }
 }

@@ -33,6 +33,14 @@ pub enum SparseError {
         /// Description of the quantity that vanished.
         detail: String,
     },
+    /// A value was assembled at a position that is structurally absent from
+    /// the fixed sparsity pattern (see `CsrMatrix::assemble_into`).
+    PatternMismatch {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -53,6 +61,10 @@ impl fmt::Display for SparseError {
                 "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             SparseError::Breakdown { detail } => write!(f, "numerical breakdown: {detail}"),
+            SparseError::PatternMismatch { row, col } => write!(
+                f,
+                "entry ({row}, {col}) is not part of the fixed sparsity pattern"
+            ),
         }
     }
 }

@@ -32,6 +32,72 @@ pub struct Gmres {
     options: KrylovOptions,
 }
 
+/// Reusable buffers of the restarted GMRES cycle: the Arnoldi basis, the
+/// Hessenberg columns, the Givens coefficients and the scratch vectors.
+///
+/// The basis alone is `restart + 1` vectors of length `n`; reusing it across
+/// restart cycles and across calls removes the dominant allocation churn of
+/// the solver.
+#[derive(Debug, Clone, Default)]
+pub struct GmresWorkspace<T: Scalar = f64> {
+    v: Vec<Vec<T>>,
+    h: Vec<Vec<T>>,
+    cs: Vec<T>,
+    sn: Vec<T>,
+    g: Vec<T>,
+    y: Vec<T>,
+    r: Vec<T>,
+    z: Vec<T>,
+    w: Vec<T>,
+    update: Vec<T>,
+    m_update: Vec<T>,
+}
+
+impl<T: Scalar> GmresWorkspace<T> {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize, m: usize) {
+        self.v.resize_with(m + 1, Vec::new);
+        for basis in &mut self.v {
+            basis.clear();
+            basis.resize(n, T::zero());
+        }
+        self.h.resize_with(m + 1, Vec::new);
+        for row in &mut self.h {
+            row.clear();
+            row.resize(m, T::zero());
+        }
+        for buf in [&mut self.cs, &mut self.sn] {
+            buf.clear();
+            buf.resize(m, T::zero());
+        }
+        self.g.clear();
+        self.g.resize(m + 1, T::zero());
+        self.y.clear();
+        self.y.resize(m, T::zero());
+        for buf in [
+            &mut self.r,
+            &mut self.z,
+            &mut self.w,
+            &mut self.update,
+            &mut self.m_update,
+        ] {
+            buf.clear();
+            buf.resize(n, T::zero());
+        }
+    }
+
+    fn clear_cycle(&mut self) {
+        for row in &mut self.h {
+            row.fill(T::zero());
+        }
+        self.g.fill(T::zero());
+    }
+}
+
 impl Gmres {
     /// Creates a solver with the given options.
     pub fn new(options: KrylovOptions) -> Self {
@@ -58,6 +124,23 @@ impl Gmres {
         precond: Option<&Ilu0<T>>,
         x0: Option<&[T]>,
     ) -> Result<(Vec<T>, usize), SparseError> {
+        let mut workspace = GmresWorkspace::new();
+        self.solve_with_workspace(a, b, precond, x0, &mut workspace)
+    }
+
+    /// [`Gmres::solve`] with caller-owned buffers, reusing the Arnoldi basis
+    /// across restart cycles and across calls.
+    ///
+    /// # Errors
+    /// Same conditions as [`Gmres::solve`].
+    pub fn solve_with_workspace<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        precond: Option<&Ilu0<T>>,
+        x0: Option<&[T]>,
+        ws: &mut GmresWorkspace<T>,
+    ) -> Result<(Vec<T>, usize), SparseError> {
         let n = a.rows();
         if a.cols() != n || b.len() != n {
             return Err(SparseError::DimensionMismatch {
@@ -70,12 +153,7 @@ impl Gmres {
             });
         }
         let m = self.options.restart.max(2).min(n.max(2));
-        let apply_m = |v: &[T]| -> Vec<T> {
-            match precond {
-                Some(p) => p.apply(v),
-                None => v.to_vec(),
-            }
-        };
+        ws.reset(n, m);
         let bnorm = vecops::norm2(b).max(1e-300);
         let mut x = match x0 {
             Some(x0) => {
@@ -87,46 +165,46 @@ impl Gmres {
         let mut total_iters = 0usize;
 
         while total_iters < self.options.max_iterations {
-            let r = a.residual(&x, b);
-            let beta = vecops::norm2(&r);
+            // r = b − A·x.
+            a.matvec_into(&x, &mut ws.w);
+            for i in 0..n {
+                ws.r[i] = b[i] - ws.w[i];
+            }
+            let beta = vecops::norm2(&ws.r);
             if beta / bnorm <= self.options.tolerance {
                 return Ok((x, total_iters));
             }
-            // Arnoldi basis (each vector length n) and Hessenberg matrix.
-            let mut v: Vec<Vec<T>> = Vec::with_capacity(m + 1);
-            let mut v0 = r.clone();
-            vecops::scale_in_place(T::from_f64(1.0 / beta), &mut v0);
-            v.push(v0);
-            let mut h = vec![vec![T::zero(); m]; m + 1];
-            // Givens rotation coefficients and the rotated rhs g.
-            let mut cs = vec![T::zero(); m];
-            let mut sn = vec![T::zero(); m];
-            let mut g = vec![T::zero(); m + 1];
-            g[0] = T::from_f64(beta);
+            ws.clear_cycle();
+            ws.v[0].copy_from_slice(&ws.r);
+            vecops::scale_in_place(T::from_f64(1.0 / beta), &mut ws.v[0]);
+            ws.g[0] = T::from_f64(beta);
+            let (cs, sn, h, g) = (&mut ws.cs, &mut ws.sn, &mut ws.h, &mut ws.g);
 
             let mut k_used = 0usize;
             for k in 0..m {
                 total_iters += 1;
                 k_used = k + 1;
                 // w = A M^{-1} v_k
-                let z = apply_m(&v[k]);
-                let mut w = a.matvec(&z);
+                match precond {
+                    Some(p) => p.apply_into(&ws.v[k], &mut ws.z),
+                    None => ws.z.copy_from_slice(&ws.v[k]),
+                }
+                a.matvec_into(&ws.z, &mut ws.w);
                 // Modified Gram-Schmidt.
                 for i in 0..=k {
-                    let hik = vecops::dot(&v[i], &w);
+                    let hik = vecops::dot(&ws.v[i], &ws.w);
                     h[i][k] = hik;
-                    for (wj, vj) in w.iter_mut().zip(v[i].iter()) {
+                    for (wj, vj) in ws.w.iter_mut().zip(ws.v[i].iter()) {
                         *wj -= hik * *vj;
                     }
                 }
-                let wnorm = vecops::norm2(&w);
+                let wnorm = vecops::norm2(&ws.w);
                 h[k + 1][k] = T::from_f64(wnorm);
                 if wnorm > 1e-300 {
-                    let mut vk1 = w;
-                    vecops::scale_in_place(T::from_f64(1.0 / wnorm), &mut vk1);
-                    v.push(vk1);
+                    ws.v[k + 1].copy_from_slice(&ws.w);
+                    vecops::scale_in_place(T::from_f64(1.0 / wnorm), &mut ws.v[k + 1]);
                 } else {
-                    v.push(vec![T::zero(); n]);
+                    ws.v[k + 1].fill(T::zero());
                 }
                 // Apply the previous Givens rotations to the new column.
                 for i in 0..k {
@@ -151,26 +229,28 @@ impl Gmres {
             }
 
             // Solve the small triangular system and update x.
-            let mut y = vec![T::zero(); k_used];
             for i in (0..k_used).rev() {
                 let mut acc = g[i];
                 for j in (i + 1)..k_used {
-                    acc -= h[i][j] * y[j];
+                    acc -= h[i][j] * ws.y[j];
                 }
                 if h[i][i].modulus() < 1e-300 {
                     return Err(SparseError::Breakdown {
                         detail: "singular Hessenberg diagonal in GMRES".to_string(),
                     });
                 }
-                y[i] = acc / h[i][i];
+                ws.y[i] = acc / h[i][i];
             }
-            let mut update = vec![T::zero(); n];
-            for (j, yj) in y.iter().enumerate() {
-                vecops::axpy(*yj, &v[j], &mut update);
+            ws.update.fill(T::zero());
+            for j in 0..k_used {
+                vecops::axpy(ws.y[j], &ws.v[j], &mut ws.update);
             }
-            let m_update = apply_m(&update);
+            match precond {
+                Some(p) => p.apply_into(&ws.update, &mut ws.m_update),
+                None => ws.m_update.copy_from_slice(&ws.update),
+            }
             for i in 0..n {
-                x[i] += m_update[i];
+                x[i] += ws.m_update[i];
             }
         }
 
@@ -283,6 +363,28 @@ mod tests {
         let ilu = Ilu0::new(&a).unwrap();
         let (x, _) = gmres.solve(&a, &b, Some(&ilu), None).unwrap();
         assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-8);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves_across_sizes() {
+        let gmres = Gmres::new(KrylovOptions {
+            tolerance: 1e-12,
+            max_iterations: 4000,
+            restart: 12,
+        });
+        let mut ws = GmresWorkspace::new();
+        for n in [60, 30, 90] {
+            let a = convection_diffusion(n);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+            let b = a.matvec(&x_true);
+            let ilu = Ilu0::new(&a).unwrap();
+            let (x_ws, it_ws) = gmres
+                .solve_with_workspace(&a, &b, Some(&ilu), None, &mut ws)
+                .unwrap();
+            let (x_fresh, it_fresh) = gmres.solve(&a, &b, Some(&ilu), None).unwrap();
+            assert_eq!(it_ws, it_fresh, "n = {n}");
+            assert_eq!(x_ws, x_fresh, "n = {n}");
+        }
     }
 
     #[test]

@@ -118,11 +118,25 @@ impl<T: Scalar> Ilu0<T> {
     /// # Panics
     /// Panics if `r.len()` differs from the dimension.
     pub fn apply(&self, r: &[T]) -> Vec<T> {
+        let mut z = vec![T::zero(); self.n];
+        self.apply_into(r, &mut z);
+        z
+    }
+
+    /// Applies the preconditioner into a caller-provided buffer (`r` and `z`
+    /// must not alias) — the allocation-free inner-loop variant used by the
+    /// Krylov solver workspaces.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn apply_into(&self, r: &[T], z: &mut [T]) {
         assert_eq!(r.len(), self.n, "ilu apply: dimension mismatch");
-        let mut z = r.to_vec();
-        // Forward solve with unit lower-triangular L.
+        assert_eq!(z.len(), self.n, "ilu apply: output length mismatch");
+        // Forward solve with unit lower-triangular L; the strictly-lower
+        // entries only reference already-computed z components, so z can be
+        // filled directly from r.
         for i in 0..self.n {
-            let mut acc = z[i];
+            let mut acc = r[i];
             for k in self.row_ptr[i]..self.diag_pos[i] {
                 acc -= self.values[k] * z[self.col_idx[k]];
             }
@@ -136,7 +150,6 @@ impl<T: Scalar> Ilu0<T> {
             }
             z[i] = acc / self.values[self.diag_pos[i]];
         }
-        z
     }
 }
 

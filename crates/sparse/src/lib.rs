@@ -63,14 +63,14 @@ mod scaling;
 mod solver;
 mod triplet;
 
-pub use bicgstab::{BiCgStab, KrylovOptions};
-pub use cg::ConjugateGradient;
-pub use csr::CsrMatrix;
+pub use bicgstab::{BiCgStab, BiCgStabWorkspace, KrylovOptions};
+pub use cg::{CgWorkspace, ConjugateGradient};
+pub use csr::{CsrMatrix, SparsityPattern};
 pub use error::SparseError;
-pub use gmres::Gmres;
+pub use gmres::{Gmres, GmresWorkspace};
 pub use ilu::Ilu0;
 pub use lu::SparseLu;
 pub use ordering::rcm;
 pub use scaling::RowColScaling;
-pub use solver::{LinearSolver, SolveReport, SolverKind};
+pub use solver::{LinearSolver, PreparedSolver, SolveReport, SolverKind};
 pub use triplet::TripletMatrix;

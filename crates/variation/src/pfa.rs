@@ -36,14 +36,34 @@ impl Pfa {
     /// [`NumericError::InvalidArgument`] when `energy_fraction` is outside
     /// `(0, 1]`.
     pub fn new(covariance: &DMatrix<f64>, energy_fraction: f64) -> Result<Self, NumericError> {
+        Self::new_capped(covariance, energy_fraction, 0)
+    }
+
+    /// Builds the reduction from the energy criterion, additionally capping
+    /// the retained rank at `max_rank` (`0` disables the cap).
+    ///
+    /// The covariance is eigendecomposed exactly once, which matters at the
+    /// paper's 128-variable group sizes where the decomposition dominates
+    /// the reduction cost.
+    ///
+    /// # Errors
+    /// Same conditions as [`Pfa::new`].
+    pub fn new_capped(
+        covariance: &DMatrix<f64>,
+        energy_fraction: f64,
+        max_rank: usize,
+    ) -> Result<Self, NumericError> {
         if !(0.0..=1.0).contains(&energy_fraction) || energy_fraction == 0.0 {
             return Err(NumericError::InvalidArgument {
                 detail: format!("energy fraction must be in (0, 1], got {energy_fraction}"),
             });
         }
         let eig = SymmetricEigen::new(covariance)?;
-        let r = eig.count_for_energy(energy_fraction).max(1);
-        Self::with_rank(covariance, r)
+        let mut r = eig.count_for_energy(energy_fraction).max(1);
+        if max_rank > 0 {
+            r = r.min(max_rank);
+        }
+        Self::from_eigen(&eig, r)
     }
 
     /// Builds the reduction with an explicit number of retained factors.
@@ -60,7 +80,18 @@ impl Pfa {
             });
         }
         let eig = SymmetricEigen::new(covariance)?;
+        Self::from_eigen(&eig, rank)
+    }
+
+    /// Assembles the mapping matrix from an existing eigendecomposition.
+    fn from_eigen(eig: &SymmetricEigen, rank: usize) -> Result<Self, NumericError> {
         let values = eig.eigenvalues();
+        let n = values.len();
+        if rank == 0 || rank > n {
+            return Err(NumericError::InvalidArgument {
+                detail: format!("rank {rank} out of range for dimension {n}"),
+            });
+        }
         let vectors = eig.eigenvectors();
         let mut transform = DMatrix::zeros(n, rank);
         for j in 0..rank {
@@ -98,7 +129,7 @@ impl VariableReduction for Pfa {
     }
 
     fn implied_covariance(&self) -> DMatrix<f64> {
-        self.transform.matmul(&self.transform.transpose())
+        self.transform.matmul_transpose(&self.transform)
     }
 }
 
@@ -140,6 +171,24 @@ mod tests {
         assert_eq!(xi.len(), 8);
         // The first factor dominates, so xi should have magnitude ~sigma.
         assert!(xi.iter().any(|v| v.abs() > 0.1));
+    }
+
+    #[test]
+    fn capped_construction_matches_explicit_rank() {
+        let cov = smooth_cov(16);
+        let uncapped = Pfa::new(&cov, 0.999).unwrap();
+        assert!(uncapped.reduced_dim() > 2);
+        let capped = Pfa::new_capped(&cov, 0.999, 2).unwrap();
+        assert_eq!(capped.reduced_dim(), 2);
+        let explicit = Pfa::with_rank(&cov, 2).unwrap();
+        let diff = capped
+            .implied_covariance()
+            .sub(&explicit.implied_covariance())
+            .frobenius_norm();
+        assert!(diff < 1e-12);
+        // A cap above the energy rank changes nothing.
+        let loose = Pfa::new_capped(&cov, 0.999, 16).unwrap();
+        assert_eq!(loose.reduced_dim(), uncapped.reduced_dim());
     }
 
     #[test]

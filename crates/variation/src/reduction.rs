@@ -9,7 +9,10 @@ use vaem_numeric::NumericError;
 /// Implemented by [`crate::Pfa`] (classical principal factor analysis),
 /// [`crate::Wpfa`] (the paper's weighted PFA) and [`FullRankGaussian`]
 /// (no reduction — used by the Monte-Carlo reference).
-pub trait VariableReduction {
+///
+/// `Send + Sync` is required so reductions can be shared by the parallel
+/// sample sweeps; implementations are plain numeric data.
+pub trait VariableReduction: Send + Sync {
     /// Number of original correlated variables.
     fn full_dim(&self) -> usize;
 
@@ -64,7 +67,7 @@ impl VariableReduction for FullRankGaussian {
 
     fn implied_covariance(&self) -> DMatrix<f64> {
         let l = self.chol.factor();
-        l.matmul(&l.transpose())
+        l.matmul_transpose(l)
     }
 }
 

@@ -54,13 +54,33 @@ impl Wpfa {
         weights: &[f64],
         energy_fraction: f64,
     ) -> Result<Self, NumericError> {
+        Self::new_capped(covariance, weights, energy_fraction, 0)
+    }
+
+    /// Builds the weighted reduction from the energy criterion, additionally
+    /// capping the retained rank at `max_rank` (`0` disables the cap).
+    ///
+    /// The weighted covariance is decomposed exactly once, which matters at
+    /// the paper's 128-variable group sizes where the SVD dominates.
+    ///
+    /// # Errors
+    /// Same conditions as [`Wpfa::new`].
+    pub fn new_capped(
+        covariance: &DMatrix<f64>,
+        weights: &[f64],
+        energy_fraction: f64,
+        max_rank: usize,
+    ) -> Result<Self, NumericError> {
         if !(0.0..=1.0).contains(&energy_fraction) || energy_fraction == 0.0 {
             return Err(NumericError::InvalidArgument {
                 detail: format!("energy fraction must be in (0, 1], got {energy_fraction}"),
             });
         }
         let (svd, w) = Self::weighted_svd(covariance, weights)?;
-        let r = svd.count_for_energy(energy_fraction).max(1);
+        let mut r = svd.count_for_energy(energy_fraction).max(1);
+        if max_rank > 0 {
+            r = r.min(max_rank);
+        }
         Self::assemble(&svd, &w, r)
     }
 
@@ -151,7 +171,7 @@ impl VariableReduction for Wpfa {
     }
 
     fn implied_covariance(&self) -> DMatrix<f64> {
-        self.transform.matmul(&self.transform.transpose())
+        self.transform.matmul_transpose(&self.transform)
     }
 }
 
@@ -237,6 +257,24 @@ mod tests {
             wpfa.reduced_dim()
         );
         assert!(wpfa.captured_energy() >= 0.98);
+    }
+
+    #[test]
+    fn capped_construction_matches_explicit_rank() {
+        let c = cov(14);
+        let w: Vec<f64> = (0..14).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let uncapped = Wpfa::new(&c, &w, 0.999).unwrap();
+        assert!(uncapped.reduced_dim() > 2);
+        let capped = Wpfa::new_capped(&c, &w, 0.999, 2).unwrap();
+        assert_eq!(capped.reduced_dim(), 2);
+        let explicit = Wpfa::with_rank(&c, &w, 2).unwrap();
+        let diff = capped
+            .implied_covariance()
+            .sub(&explicit.implied_covariance())
+            .frobenius_norm();
+        assert!(diff < 1e-12);
+        let loose = Wpfa::new_capped(&c, &w, 0.999, 14).unwrap();
+        assert_eq!(loose.reduced_dim(), uncapped.reduced_dim());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Tier-1 guarantee of the parallel sweep engine: `VariationalAnalysis::run`
+//! must produce bit-for-bit identical results for any `VAEM_THREADS` value,
+//! because every Monte-Carlo run owns a `(seed, run-index)`-derived RNG
+//! stream and the SSCM fan-out writes each collocation result to its input
+//! slot.
+//!
+//! This file intentionally holds a single test: it mutates the process-wide
+//! `VAEM_THREADS` variable, so no other test may race on it in this binary.
+
+use vaem::config::{AnalysisConfig, DopingVariationConfig, QuantitySet, VariationSpec};
+use vaem::{AnalysisResult, VariationalAnalysis};
+use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+
+fn tiny_analysis() -> VariationalAnalysis {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let mut config = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
+        terminal: "plug1".to_string(),
+    });
+    config.mc_runs = 6;
+    config.energy_fraction = 0.9;
+    config.max_reduced_per_group = 2;
+    config.seed = 0xD5EED;
+    config.variations = VariationSpec {
+        roughness: None,
+        doping: Some(DopingVariationConfig {
+            max_nodes: 10,
+            ..DopingVariationConfig::paper_default()
+        }),
+    };
+    VariationalAnalysis::new(structure, config)
+}
+
+/// Exact (bit-level) fingerprint of everything statistical in a result: the
+/// PCE-derived SSCM moments and the Monte-Carlo reference moments.
+fn fingerprint(result: &AnalysisResult) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for q in &result.quantities {
+        for v in [
+            q.nominal,
+            q.sscm.mean,
+            q.sscm.std,
+            q.monte_carlo.mean,
+            q.monte_carlo.std,
+        ] {
+            bits.push(v.to_bits());
+        }
+    }
+    bits.push(result.collocation_runs as u64);
+    bits.push(result.mc_runs as u64);
+    bits
+}
+
+#[test]
+fn run_is_bit_identical_across_thread_counts() {
+    std::env::set_var("VAEM_THREADS", "1");
+    let serial = tiny_analysis().run().expect("serial run");
+    std::env::set_var("VAEM_THREADS", "4");
+    let parallel = tiny_analysis().run().expect("parallel run");
+    std::env::remove_var("VAEM_THREADS");
+
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "PCE coefficients / MC statistics changed with the thread count:\n\
+         serial   = {serial:?}\n\
+         parallel = {parallel:?}"
+    );
+}
