@@ -1,0 +1,81 @@
+//! Criterion bench: the 64-point AC frequency sweep.
+//!
+//! `ac_sweep_64` measures the sweep-aware operator on one deterministic
+//! solver: one assembly + one symbolic factorization for the whole grid,
+//! then a numeric refactorization and a warm-started solve per point. The
+//! acceptance target is "well under 64× the single-point
+//! `coupled_solver/ac_quasi_static_1ghz` time".
+//!
+//! `ac_sweep_64_t{1,4}` run the core-level swept-frequency experiment (every
+//! collocation sample sweeps the grid) pinned to 1 and 4 worker threads; on
+//! a multi-core host `_t4` should approach the core-count speedup, while on
+//! a single-core container the two tie (the spectra are bit-identical at
+//! any thread count either way).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vaem::config::{AnalysisConfig, DopingVariationConfig, QuantitySet, VariationSpec};
+use vaem::VariationalAnalysis;
+use vaem_bench::log_grid;
+use vaem_fvm::{CoupledSolver, SolverOptions};
+use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+use vaem_physics::DopingProfile;
+
+/// A deliberately small doping-only analysis so the thread-scaling variants
+/// measure the sweep engine, not the reduction machinery.
+fn sweep_analysis() -> VariationalAnalysis {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let mut config = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
+        terminal: "plug1".to_string(),
+    });
+    config.energy_fraction = 0.9;
+    config.max_reduced_per_group = 2;
+    config.variations = VariationSpec {
+        roughness: None,
+        doping: Some(DopingVariationConfig {
+            max_nodes: 10,
+            ..DopingVariationConfig::paper_default()
+        }),
+    };
+    VariationalAnalysis::new(structure, config)
+}
+
+fn bench_ac_sweep(c: &mut Criterion) {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let semis = structure.semiconductor_nodes();
+    let doping = DopingProfile::uniform_donor(structure.mesh.node_count(), &semis, 1.0e5);
+    let frequencies = log_grid(64, 1.0e8, 1.0e10);
+
+    let mut group = c.benchmark_group("ac_sweep");
+    group.sample_size(10);
+
+    group.bench_function("ac_sweep_64", |b| {
+        let solver = CoupledSolver::new(&structure, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        b.iter(|| {
+            let mut operator = solver.prepare_ac_sweep(&dc).expect("prepare");
+            operator
+                .sweep_terminal(&frequencies, "plug1")
+                .expect("sweep")
+                .len()
+        });
+    });
+
+    group.sample_size(2);
+    for threads in [1usize, 4] {
+        std::env::set_var("VAEM_THREADS", threads.to_string());
+        group.bench_function(format!("ac_sweep_64_t{threads}"), |b| {
+            let analysis = sweep_analysis();
+            b.iter(|| {
+                analysis
+                    .run_frequency_sweep(&frequencies)
+                    .expect("sweep analysis")
+                    .collocation_runs
+            });
+        });
+    }
+    std::env::remove_var("VAEM_THREADS");
+    group.finish();
+}
+
+criterion_group!(benches, bench_ac_sweep);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Swept-frequency experiment: interface-current spectrum of the metal-plug
+//! structure (SSCM statistics per frequency point) plus the nominal input
+//! impedance spectrum of the driven plug.
+//!
+//! Every collocation sample performs one DC solve and one sweep-aware AC
+//! pass over the whole grid (one assembly + one symbolic factorization, a
+//! numeric refactorization and a warm-started solve per point); samples fan
+//! out over `VAEM_THREADS` worker threads with bit-identical results for
+//! any thread count.
+//!
+//! Environment:
+//! * `VAEM_SWEEP_POINTS=<n>` — number of grid points (default 16; the CI
+//!   quick job runs a 4-point smoke).
+//! * `VAEM_THREADS=<n>` — worker threads of the sample fan-out.
+
+use vaem::experiments::metalplug::{MetalPlugExperiment, TableOneRow};
+use vaem_bench::{format_seconds, log_grid};
+use vaem_fvm::{postprocess, CoupledSolver};
+
+fn main() {
+    let points: usize = std::env::var("VAEM_SWEEP_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(16);
+    let frequencies = log_grid(points, 1.0e8, 1.0e10);
+
+    // Doping-only quick setup: a small reduced dimension keeps the
+    // collocation count low, so the runtime is dominated by the sweeps.
+    let analysis = MetalPlugExperiment::quick()
+        .with_row(TableOneRow::DopingOnly)
+        .analysis();
+
+    println!("== AC frequency sweep: J(plug1) spectrum, {points} points [0.1, 10] GHz ==");
+    let result = match analysis.run_frequency_sweep(&frequencies) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("frequency sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "   ({} collocation sweeps + nominal = {} AC solves, wall clock {})",
+        result.collocation_runs,
+        result.ac_solve_count(),
+        format_seconds(result.seconds)
+    );
+    println!();
+    let q = &result.quantities[0];
+    println!(
+        "{:>12}  {:>14}  {:>14}  {:>12}",
+        "f [GHz]", "nominal [uA]", "SSCM mean", "SSCM std"
+    );
+    for (fi, f) in result.frequencies.iter().enumerate() {
+        println!(
+            "{:>12.4}  {:>14.6}  {:>14.6}  {:>12.6}",
+            f / 1e9,
+            q.nominal[fi],
+            q.sscm[fi].mean,
+            q.sscm[fi].std
+        );
+    }
+
+    // Nominal impedance spectrum off the same sweep machinery.
+    let structure = analysis.structure().clone();
+    let doping = analysis.nominal_doping();
+    let solver = match CoupledSolver::new(&structure, &doping, analysis.config().solver.clone()) {
+        Ok(solver) => solver,
+        Err(e) => {
+            eprintln!("nominal solver failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let spectrum = solver.solve_dc().and_then(|dc| {
+        let mut operator = solver.prepare_ac_sweep(&dc)?;
+        let sweep = operator.sweep_terminal(&frequencies, "plug1")?;
+        postprocess::impedance_spectrum(&solver, &sweep, "plug1")
+    });
+    match spectrum {
+        Ok(z) => {
+            println!();
+            println!("nominal input impedance Z(f) of plug1:");
+            println!(
+                "{:>12}  {:>14}  {:>10}",
+                "f [GHz]", "|Z| [Ohm]", "arg [deg]"
+            );
+            for (f, zf) in &z {
+                println!(
+                    "{:>12.4}  {:>14.3e}  {:>10.2}",
+                    f / 1e9,
+                    zf.abs(),
+                    zf.im.atan2(zf.re).to_degrees()
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("impedance spectrum failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -65,6 +65,69 @@ fn lookup(results: &[(String, f64)], id: &str) -> Option<f64> {
     results.iter().find(|(rid, _)| rid == id).map(|(_, m)| *m)
 }
 
+/// Outcome of one benchmark-id comparison.
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Ok {
+        now: f64,
+        base: f64,
+        ratio: f64,
+    },
+    Regressed {
+        now: f64,
+        base: f64,
+        ratio: f64,
+    },
+    /// The id is absent from one of the result sets, or a recorded time is
+    /// unusable (zero, negative, NaN or infinite) — a corrupt baseline must
+    /// fail loudly instead of producing a NaN ratio that passes every
+    /// comparison.
+    Unusable {
+        reason: String,
+    },
+}
+
+/// Compares one benchmark id between the current run and the baseline.
+fn check_id(
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    id: &str,
+    max_regression: f64,
+) -> Verdict {
+    let now = match lookup(current, id) {
+        Some(v) => v,
+        None => {
+            return Verdict::Unusable {
+                reason: "missing from the current results".to_string(),
+            }
+        }
+    };
+    let base = match lookup(baseline, id) {
+        Some(v) => v,
+        None => {
+            return Verdict::Unusable {
+                reason: "missing from the baseline".to_string(),
+            }
+        }
+    };
+    if !base.is_finite() || base <= 0.0 {
+        return Verdict::Unusable {
+            reason: format!("baseline time {base} ns is not a positive finite number"),
+        };
+    }
+    if !now.is_finite() || now <= 0.0 {
+        return Verdict::Unusable {
+            reason: format!("current time {now} ns is not a positive finite number"),
+        };
+    }
+    let ratio = now / base;
+    if ratio > max_regression {
+        Verdict::Regressed { now, base, ratio }
+    } else {
+        Verdict::Ok { now, base, ratio }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 3 {
@@ -74,6 +137,7 @@ fn main() -> ExitCode {
     let max_regression: f64 = std::env::var("VAEM_BENCH_MAX_REGRESSION")
         .ok()
         .and_then(|v| v.parse().ok())
+        .filter(|m: &f64| m.is_finite() && *m > 0.0)
         .unwrap_or(1.20);
 
     let read = |path: &str| -> Option<String> {
@@ -93,20 +157,20 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for id in &args[2..] {
-        let (Some(now), Some(base)) = (lookup(&current, id), lookup(&baseline, id)) else {
-            eprintln!("FAIL {id}: missing from current or baseline results");
-            failed = true;
-            continue;
-        };
-        let ratio = now / base;
-        let verdict = if ratio > max_regression {
-            failed = true;
-            "FAIL"
-        } else {
-            "ok"
+        let (tag, now, base, ratio) = match check_id(&current, &baseline, id, max_regression) {
+            Verdict::Unusable { reason } => {
+                eprintln!("FAIL {id}: {reason}");
+                failed = true;
+                continue;
+            }
+            Verdict::Ok { now, base, ratio } => ("ok", now, base, ratio),
+            Verdict::Regressed { now, base, ratio } => {
+                failed = true;
+                ("FAIL", now, base, ratio)
+            }
         };
         println!(
-            "{verdict:>4} {id}: {:.3} ms vs baseline {:.3} ms (x{ratio:.2}, limit x{max_regression:.2})",
+            "{tag:>4} {id}: {:.3} ms vs baseline {:.3} ms (x{ratio:.2}, limit x{max_regression:.2})",
             now / 1e6,
             base / 1e6
         );
@@ -137,5 +201,58 @@ mod tests {
         assert_eq!(lookup(&results, "a/b"), Some(10.0));
         assert_eq!(lookup(&results, "c/d"), Some(20.0));
         assert_eq!(lookup(&results, "missing"), None);
+    }
+
+    fn set(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn healthy_comparisons_pass_and_regressions_fail() {
+        let baseline = set(&[("a", 100.0)]);
+        assert_eq!(
+            check_id(&set(&[("a", 110.0)]), &baseline, "a", 1.2),
+            Verdict::Ok {
+                now: 110.0,
+                base: 100.0,
+                ratio: 1.1
+            }
+        );
+        assert!(matches!(
+            check_id(&set(&[("a", 150.0)]), &baseline, "a", 1.2),
+            Verdict::Regressed { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_keys_are_clear_errors() {
+        let some = set(&[("a", 100.0)]);
+        assert!(matches!(
+            check_id(&some, &set(&[]), "a", 1.2),
+            Verdict::Unusable { reason } if reason.contains("baseline")
+        ));
+        assert!(matches!(
+            check_id(&set(&[]), &some, "a", 1.2),
+            Verdict::Unusable { reason } if reason.contains("current")
+        ));
+    }
+
+    #[test]
+    fn zero_nan_and_negative_baselines_fail_instead_of_false_passing() {
+        // now/0 = inf and now/NaN = NaN; `NaN > limit` is false, so a corrupt
+        // baseline used to slip through as a pass. It must be an error.
+        let current = set(&[("a", 100.0)]);
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let verdict = check_id(&current, &set(&[("a", bad)]), "a", 1.2);
+            assert!(
+                matches!(verdict, Verdict::Unusable { .. }),
+                "baseline {bad} produced {verdict:?}"
+            );
+        }
+        // A corrupt *current* measurement is just as unusable.
+        for bad in [0.0, f64::NAN] {
+            let verdict = check_id(&set(&[("a", bad)]), &set(&[("a", 100.0)]), "a", 1.2);
+            assert!(matches!(verdict, Verdict::Unusable { .. }));
+        }
     }
 }

@@ -22,6 +22,23 @@ pub fn mc_runs_override() -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Logarithmic frequency grid from `lo` to `hi` (inclusive); a single-point
+/// grid collapses to `lo`.
+///
+/// # Panics
+/// Panics when `n == 0` or the endpoints are not positive.
+pub fn log_grid(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(n > 0, "log_grid needs at least one point");
+    assert!(lo > 0.0 && hi > 0.0, "log_grid endpoints must be positive");
+    if n == 1 {
+        return vec![lo];
+    }
+    let span = (hi / lo).ln();
+    (0..n)
+        .map(|i| lo * (span * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
 /// Formats a number of seconds compactly.
 pub fn format_seconds(seconds: f64) -> String {
     if seconds < 60.0 {
@@ -39,5 +56,15 @@ mod tests {
     fn seconds_formatting() {
         assert_eq!(format_seconds(12.3456), "12.35 s");
         assert_eq!(format_seconds(120.0), "2.0 min");
+    }
+
+    #[test]
+    fn log_grid_spans_the_endpoints() {
+        let g = log_grid(5, 1.0e8, 1.0e10);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 1.0e8).abs() < 1.0);
+        assert!((g[4] - 1.0e10).abs() < 100.0);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(log_grid(1, 2.0, 8.0), vec![2.0]);
     }
 }

@@ -13,8 +13,9 @@ use crate::report::ComparisonTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
-use vaem_fvm::{postprocess, AcSolution, CoupledSolver, DcSolution, FvmError};
+use vaem_fvm::{postprocess, AcSolution, CoupledSolver, DcSolution, FvmError, SolverTopology};
 use vaem_mesh::{NodeId, Structure};
 use vaem_numeric::dense::DMatrix;
 use vaem_numeric::stats::RunningStats;
@@ -149,6 +150,46 @@ impl AnalysisResult {
     }
 }
 
+/// One output quantity across a frequency grid (see
+/// [`VariationalAnalysis::run_frequency_sweep`]).
+#[derive(Debug, Clone)]
+pub struct SweepQuantity {
+    /// Output label (e.g. `"J(plug1) [uA]"`).
+    pub label: String,
+    /// Deterministic (nominal-geometry, nominal-doping) value per frequency.
+    pub nominal: Vec<f64>,
+    /// SSCM-propagated statistics per frequency.
+    pub sscm: Vec<SummaryStats>,
+}
+
+/// Result of a swept-frequency variational analysis: the configured output
+/// quantities — capacitance entries or interface currents — resolved over a
+/// frequency grid, with SSCM statistics per grid point.
+#[derive(Debug, Clone)]
+pub struct FrequencySweepResult {
+    /// The swept frequency grid (Hz), in input order.
+    pub frequencies: Vec<f64>,
+    /// Per-quantity spectra.
+    pub quantities: Vec<SweepQuantity>,
+    /// Variable-reduction summary per group.
+    pub reductions: Vec<GroupReduction>,
+    /// Number of deterministic sample sweeps used by the SSCM stage.
+    pub collocation_runs: usize,
+    /// Wall-clock seconds of the whole sweep (nominal + collocation).
+    pub seconds: f64,
+}
+
+impl FrequencySweepResult {
+    /// Total number of deterministic linear AC solves performed
+    /// (`(collocation runs + nominal) × grid points`).
+    pub fn ac_solve_count(&self) -> usize {
+        (self.collocation_runs + 1) * self.frequencies.len()
+    }
+}
+
+/// Per-group reductions plus their summaries.
+type GroupReductions = (Vec<Box<dyn VariableReduction>>, Vec<GroupReduction>);
+
 /// The inputs of one deterministic evaluation: facet offsets plus doping
 /// perturbations.
 #[derive(Debug, Clone, Default)]
@@ -238,7 +279,18 @@ impl VariationalAnalysis {
         facet_offsets: &[(String, Vec<f64>)],
         doping_deltas: &[(NodeId, f64)],
     ) -> Result<Vec<f64>, AnalysisError> {
-        // Perturbed geometry.
+        let topology = Arc::new(SolverTopology::build(&self.structure)?);
+        self.evaluate_sample_with(&topology, facet_offsets, doping_deltas)
+    }
+
+    /// Builds the perturbed structure and doping profile of one sample.
+    fn sample_problem(
+        &self,
+        facet_offsets: &[(String, Vec<f64>)],
+        doping_deltas: &[(NodeId, f64)],
+    ) -> Result<(Structure, DopingProfile), AnalysisError> {
+        // Perturbed geometry (positions only — the mesh topology is
+        // invariant, which is what lets samples share a `SolverTopology`).
         let mut structure = self.structure.clone();
         if !facet_offsets.is_empty() {
             let model = self
@@ -262,10 +314,57 @@ impl VariationalAnalysis {
 
         // Perturbed doping.
         let doping = self.nominal_doping().perturbed(doping_deltas);
+        Ok((structure, doping))
+    }
 
-        let solver = CoupledSolver::new(&structure, &doping, self.config.solver.clone())?;
+    /// [`VariationalAnalysis::evaluate_sample`] against a shared
+    /// [`SolverTopology`] (terminal labelling, adjacency and sparsity
+    /// patterns built once per analysis, not once per sample).
+    fn evaluate_sample_with(
+        &self,
+        topology: &Arc<SolverTopology>,
+        facet_offsets: &[(String, Vec<f64>)],
+        doping_deltas: &[(NodeId, f64)],
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let (structure, doping) = self.sample_problem(facet_offsets, doping_deltas)?;
+        let solver = CoupledSolver::with_topology(
+            &structure,
+            &doping,
+            self.config.solver.clone(),
+            topology.clone(),
+        )?;
         let dc = solver.solve_dc()?;
         self.extract_outputs(&solver, &dc)
+    }
+
+    /// Evaluates one sample across a whole frequency grid with the
+    /// sweep-aware AC operator (one assembly + symbolic factorization, a
+    /// numeric refactorization per point, warm-started solves).
+    ///
+    /// Returns the outputs flattened frequency-major:
+    /// `[f0 q0, f0 q1, ..., f1 q0, ...]`.
+    fn evaluate_spectrum_with(
+        &self,
+        topology: &Arc<SolverTopology>,
+        facet_offsets: &[(String, Vec<f64>)],
+        doping_deltas: &[(NodeId, f64)],
+        frequencies: &[f64],
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let (structure, doping) = self.sample_problem(facet_offsets, doping_deltas)?;
+        let solver = CoupledSolver::with_topology(
+            &structure,
+            &doping,
+            self.config.solver.clone(),
+            topology.clone(),
+        )?;
+        let dc = solver.solve_dc()?;
+        let mut operator = solver.prepare_ac_sweep(&dc)?;
+        let sweep = operator.sweep_terminal(frequencies, self.driven_terminal())?;
+        let mut out = Vec::with_capacity(frequencies.len() * self.config.quantities.len());
+        for ac in &sweep {
+            out.extend(self.extract_outputs_from(&solver, ac)?);
+        }
+        Ok(out)
     }
 
     /// The terminal driven with 1 V by the AC stage of every evaluation.
@@ -506,31 +605,16 @@ impl VariationalAnalysis {
         }
     }
 
-    /// Runs the complete workflow: nominal solve, wPFA/PFA reduction, SSCM
-    /// and the Monte-Carlo reference.
-    ///
-    /// # Errors
-    /// Propagates solver, reduction and fitting failures.
-    pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
-        let groups = self.build_groups()?;
-
-        // --- Nominal solve (also provides the wPFA weights). One AC solve
-        // covers both the nominal outputs and the influence weights.
-        let sscm_start = Instant::now();
-        let nominal_doping = self.nominal_doping();
-        let nominal_solver =
-            CoupledSolver::new(&self.structure, &nominal_doping, self.config.solver.clone())?;
-        let nominal_dc = nominal_solver.solve_dc()?;
-        let nominal_ac =
-            nominal_solver.solve_ac(&nominal_dc, self.driven_terminal(), self.config.frequency)?;
-        let nominal_outputs = self.extract_outputs_from(&nominal_solver, &nominal_ac)?;
-        let node_weights = self.nominal_weights(&nominal_ac)?;
-
-        // --- Variable reduction. ---
+    /// Builds every per-group reduction plus its summary.
+    fn build_reductions(
+        &self,
+        groups: &[VariationGroup],
+        node_weights: &[f64],
+    ) -> Result<GroupReductions, AnalysisError> {
         let mut reductions: Vec<Box<dyn VariableReduction>> = Vec::new();
         let mut reduction_summary = Vec::new();
-        for group in &groups {
-            let reduction = self.build_reduction(group, &node_weights)?;
+        for group in groups {
+            let reduction = self.build_reduction(group, node_weights)?;
             reduction_summary.push(GroupReduction {
                 name: group.name.clone(),
                 full_dim: group.dim(),
@@ -538,14 +622,18 @@ impl VariationalAnalysis {
             });
             reductions.push(reduction);
         }
-        let total_dim: usize = reductions.iter().map(|r| r.reduced_dim()).sum();
+        Ok((reductions, reduction_summary))
+    }
 
-        // --- SSCM stage: expand every collocation point into its sample
-        // inputs (cheap, serial), then fan the independent deterministic
-        // solves out over the worker threads.
-        let sscm = SparseCollocation::new(total_dim);
-        let sample_inputs: Vec<SampleInput> = sscm
-            .points()
+    /// Expands every collocation point into its sample inputs (cheap,
+    /// serial; the deterministic solves fan out afterwards).
+    fn collocation_inputs(
+        &self,
+        sscm: &SparseCollocation,
+        groups: &[VariationGroup],
+        reductions: &[Box<dyn VariableReduction>],
+    ) -> Vec<SampleInput> {
+        sscm.points()
             .iter()
             .map(|point| {
                 let mut input = SampleInput::default();
@@ -564,9 +652,47 @@ impl VariationalAnalysis {
                 }
                 input
             })
-            .collect();
+            .collect()
+    }
+
+    /// Runs the complete workflow: nominal solve, wPFA/PFA reduction, SSCM
+    /// and the Monte-Carlo reference.
+    ///
+    /// # Errors
+    /// Propagates solver, reduction and fitting failures.
+    pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
+        let groups = self.build_groups()?;
+        // Terminal labelling, adjacency and sparsity patterns are
+        // perturbation-invariant: build them once and share them read-only
+        // with every sample solver on every worker thread.
+        let topology = Arc::new(SolverTopology::build(&self.structure)?);
+
+        // --- Nominal solve (also provides the wPFA weights). One AC solve
+        // covers both the nominal outputs and the influence weights.
+        let sscm_start = Instant::now();
+        let nominal_doping = self.nominal_doping();
+        let nominal_solver = CoupledSolver::with_topology(
+            &self.structure,
+            &nominal_doping,
+            self.config.solver.clone(),
+            topology.clone(),
+        )?;
+        let nominal_dc = nominal_solver.solve_dc()?;
+        let nominal_ac =
+            nominal_solver.solve_ac(&nominal_dc, self.driven_terminal(), self.config.frequency)?;
+        let nominal_outputs = self.extract_outputs_from(&nominal_solver, &nominal_ac)?;
+        let node_weights = self.nominal_weights(&nominal_ac)?;
+
+        // --- Variable reduction. ---
+        let (reductions, reduction_summary) = self.build_reductions(&groups, &node_weights)?;
+        let total_dim: usize = reductions.iter().map(|r| r.reduced_dim()).sum();
+
+        // --- SSCM stage: fan the independent deterministic solves out over
+        // the worker threads.
+        let sscm = SparseCollocation::new(total_dim);
+        let sample_inputs = self.collocation_inputs(&sscm, &groups, &reductions);
         let outputs: Vec<Vec<f64>> = par_map(&sample_inputs, |_, input| {
-            self.evaluate_sample(&input.facet_offsets, &input.doping_deltas)
+            self.evaluate_sample_with(&topology, &input.facet_offsets, &input.doping_deltas)
         })
         .into_iter()
         .collect::<Result<_, _>>()?;
@@ -595,7 +721,7 @@ impl VariationalAnalysis {
                     &mut input.doping_deltas,
                 );
             }
-            self.evaluate_sample(&input.facet_offsets, &input.doping_deltas)
+            self.evaluate_sample_with(&topology, &input.facet_offsets, &input.doping_deltas)
         })
         .into_iter()
         .collect::<Result<_, _>>()?;
@@ -627,6 +753,107 @@ impl VariationalAnalysis {
             mc_runs: self.config.mc_runs,
             sscm_seconds,
             mc_seconds,
+        })
+    }
+
+    /// Runs the swept-frequency experiment: the nominal structure and every
+    /// SSCM collocation sample are evaluated over the whole `frequencies`
+    /// grid (capacitance / interface-current spectra), and a polynomial
+    /// chaos expansion is fitted per (frequency, quantity) pair.
+    ///
+    /// Every sample performs one DC solve and one
+    /// [`AcSweepOperator::sweep_terminal`](vaem_fvm::AcSweepOperator) pass —
+    /// one AC assembly and one symbolic factorization for the whole grid,
+    /// a numeric refactorization and a warm-started solve per point — and
+    /// the samples fan out over the `vaem_parallel` worker threads, so the
+    /// spectra are bit-identical for any `VAEM_THREADS` value.
+    ///
+    /// The wPFA influence weights are taken from the first grid point; the
+    /// configured single-point `frequency` is not used.
+    ///
+    /// # Errors
+    /// Propagates solver, reduction and fitting failures; an empty or
+    /// non-finite grid is a configuration error.
+    pub fn run_frequency_sweep(
+        &self,
+        frequencies: &[f64],
+    ) -> Result<FrequencySweepResult, AnalysisError> {
+        if frequencies.is_empty() {
+            return Err(AnalysisError::Configuration(
+                "frequency sweep needs a non-empty grid".to_string(),
+            ));
+        }
+        if frequencies.iter().any(|f| !f.is_finite() || *f < 0.0) {
+            return Err(AnalysisError::Configuration(
+                "frequency sweep grid must be finite and non-negative".to_string(),
+            ));
+        }
+        let start = Instant::now();
+        let groups = self.build_groups()?;
+        let topology = Arc::new(SolverTopology::build(&self.structure)?);
+
+        // --- Nominal sweep: provides the per-frequency nominal outputs and
+        // the wPFA weights (from the first grid point).
+        let nominal_doping = self.nominal_doping();
+        let nominal_solver = CoupledSolver::with_topology(
+            &self.structure,
+            &nominal_doping,
+            self.config.solver.clone(),
+            topology.clone(),
+        )?;
+        let nominal_dc = nominal_solver.solve_dc()?;
+        let mut nominal_operator = nominal_solver.prepare_ac_sweep(&nominal_dc)?;
+        let nominal_sweep = nominal_operator.sweep_terminal(frequencies, self.driven_terminal())?;
+        let node_weights = self.nominal_weights(&nominal_sweep[0])?;
+        let mut nominal_flat = Vec::with_capacity(frequencies.len() * self.config.quantities.len());
+        for ac in &nominal_sweep {
+            nominal_flat.extend(self.extract_outputs_from(&nominal_solver, ac)?);
+        }
+
+        // --- Reduction + collocation over the spectra: the PCE machinery is
+        // output-agnostic, so the per-frequency quantities are fitted as one
+        // flat (frequency-major) output vector per sample.
+        let (reductions, reduction_summary) = self.build_reductions(&groups, &node_weights)?;
+        let total_dim: usize = reductions.iter().map(|r| r.reduced_dim()).sum();
+        let sscm = SparseCollocation::new(total_dim);
+        let sample_inputs = self.collocation_inputs(&sscm, &groups, &reductions);
+        let outputs: Vec<Vec<f64>> = par_map(&sample_inputs, |_, input| {
+            self.evaluate_spectrum_with(
+                &topology,
+                &input.facet_offsets,
+                &input.doping_deltas,
+                frequencies,
+            )
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+        let pces = sscm.fit(&outputs)?;
+
+        let labels = self.config.quantities.labels();
+        let n_q = labels.len();
+        let quantities = labels
+            .into_iter()
+            .enumerate()
+            .map(|(q, label)| SweepQuantity {
+                label,
+                nominal: (0..frequencies.len())
+                    .map(|fi| nominal_flat[fi * n_q + q])
+                    .collect(),
+                sscm: (0..frequencies.len())
+                    .map(|fi| {
+                        let pce = &pces[fi * n_q + q];
+                        SummaryStats::new(pce.mean(), pce.std())
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        Ok(FrequencySweepResult {
+            frequencies: frequencies.to_vec(),
+            quantities,
+            reductions: reduction_summary,
+            collocation_runs: sscm.run_count(),
+            seconds: start.elapsed().as_secs_f64(),
         })
     }
 }
@@ -683,6 +910,57 @@ mod tests {
             (up - base).abs() / base > 1e-3,
             "30% doping change should move the current: {base} -> {up}"
         );
+    }
+
+    #[test]
+    fn frequency_sweep_produces_consistent_spectra() {
+        let analysis = tiny_analysis(false, true);
+        let frequencies = [1.0e8, 1.0e9, 5.0e9];
+        let result = analysis.run_frequency_sweep(&frequencies).unwrap();
+        assert_eq!(result.frequencies, frequencies);
+        assert_eq!(result.quantities.len(), 1);
+        let q = &result.quantities[0];
+        assert_eq!(q.nominal.len(), frequencies.len());
+        assert_eq!(q.sscm.len(), frequencies.len());
+        for (fi, _) in frequencies.iter().enumerate() {
+            assert!(q.nominal[fi].is_finite() && q.nominal[fi] > 0.0);
+            assert!(q.sscm[fi].mean.is_finite() && q.sscm[fi].mean > 0.0);
+            assert!(q.sscm[fi].std.is_finite() && q.sscm[fi].std >= 0.0);
+            // The SSCM mean stays in the neighbourhood of the nominal value.
+            let rel = (q.sscm[fi].mean - q.nominal[fi]).abs() / q.nominal[fi];
+            assert!(rel < 0.5, "sscm mean drifted at point {fi}: {rel}");
+        }
+        // The interface current of the mostly capacitive plug grows with
+        // frequency, so the spectrum must not be flat.
+        assert!(q.nominal[2] > q.nominal[0]);
+        assert!(result.collocation_runs > 0);
+        assert_eq!(
+            result.ac_solve_count(),
+            (result.collocation_runs + 1) * frequencies.len()
+        );
+
+        // Each grid point must match the single-frequency analysis run at
+        // that frequency (same collocation machinery, same solver path).
+        let mut config = analysis.config().clone();
+        config.frequency = frequencies[1];
+        let single = VariationalAnalysis::new(analysis.structure().clone(), config)
+            .run()
+            .unwrap();
+        let rel = (single.quantities[0].nominal - q.nominal[1]).abs() / q.nominal[1];
+        assert!(rel < 1e-9, "nominal mismatch vs single-point run: {rel}");
+    }
+
+    #[test]
+    fn empty_or_invalid_frequency_grid_is_rejected() {
+        let analysis = tiny_analysis(false, true);
+        assert!(matches!(
+            analysis.run_frequency_sweep(&[]),
+            Err(AnalysisError::Configuration(_))
+        ));
+        assert!(matches!(
+            analysis.run_frequency_sweep(&[1.0e9, f64::NAN]),
+            Err(AnalysisError::Configuration(_))
+        ));
     }
 
     #[test]

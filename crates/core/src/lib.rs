@@ -41,7 +41,10 @@ pub mod config;
 pub mod experiments;
 pub mod report;
 
-pub use analysis::{AnalysisError, AnalysisResult, QuantityResult, VariationalAnalysis};
+pub use analysis::{
+    AnalysisError, AnalysisResult, FrequencySweepResult, QuantityResult, SweepQuantity,
+    VariationalAnalysis,
+};
 pub use config::{
     AnalysisConfig, DopingVariationConfig, QuantitySet, ReductionMethod, RoughnessConfig,
     VariationSpec,

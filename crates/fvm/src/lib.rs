@@ -60,4 +60,6 @@ pub mod terminals;
 pub use ac::AcSolution;
 pub use dc::DcSolution;
 pub use error::FvmError;
-pub use solver::{AcOperator, CoupledSolver, EmMode, SolverOptions};
+pub use solver::{
+    AcOperator, AcSweepOperator, CoupledSolver, EmMode, SolverOptions, SolverTopology,
+};

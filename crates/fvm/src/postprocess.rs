@@ -150,6 +150,57 @@ pub fn capacitance_matrix(
     Ok(out)
 }
 
+/// Input impedance spectrum of a driven terminal over a frequency sweep.
+///
+/// For each swept [`AcSolution`] (as produced by
+/// [`crate::AcSweepOperator::sweep_terminal`]), computes the terminal
+/// current `I` and the applied terminal voltage `V` (read off the contact
+/// nodes, so non-unit excitations work too) and returns
+/// `(frequency_Hz, Z = V / I)` pairs in sweep order.
+///
+/// The low-frequency limit of a capacitive structure behaves as
+/// `Z ≈ 1/(jωC)`; the spectrum exposes the transition into the
+/// conduction-dominated regime that the TSV coupling studies sweep for.
+///
+/// # Errors
+/// Returns [`FvmError::Configuration`] for an unknown terminal or a terminal
+/// whose current is identically zero (no impedance is defined).
+pub fn impedance_spectrum(
+    solver: &CoupledSolver<'_>,
+    sweep: &[AcSolution],
+    terminal: &str,
+) -> Result<Vec<(f64, Complex64)>, FvmError> {
+    let k = solver
+        .terminals()
+        .index_of(terminal)
+        .ok_or_else(|| FvmError::Configuration {
+            detail: format!("unknown terminal '{terminal}'"),
+        })?;
+    let nodes = solver.terminals().nodes_of(k);
+    let drive_node = nodes
+        .first()
+        .copied()
+        .ok_or_else(|| FvmError::Configuration {
+            detail: format!("terminal '{terminal}' has no nodes"),
+        })?;
+    sweep
+        .iter()
+        .map(|ac| {
+            let current = terminal_current(solver, ac, terminal)?;
+            if current.abs() == 0.0 {
+                return Err(FvmError::Configuration {
+                    detail: format!(
+                        "terminal '{terminal}' carries no current at {} Hz",
+                        ac.frequency()
+                    ),
+                });
+            }
+            let voltage = ac.potential_at(drive_node);
+            Ok((ac.frequency(), voltage / current))
+        })
+        .collect()
+}
+
 /// Potential samples `(position, Re(V))` of all nodes lying on the plane
 /// `axis = coordinate` (within `tolerance`), used to regenerate the
 /// Fig. 2(b) potential map on the metal–semiconductor interface.
@@ -310,6 +361,30 @@ mod tests {
         }
         let dc_slice = dc_potential_slice(&solver, &dc, Axis::Z, 10.0, 1e-6);
         assert_eq!(dc_slice.len(), slice.len());
+    }
+
+    #[test]
+    fn impedance_spectrum_is_capacitive_over_the_sweep() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let frequencies = [1.0e8, 3.0e8, 1.0e9, 3.0e9];
+        let mut op = solver.prepare_ac_sweep(&dc).unwrap();
+        let sweep = op.sweep_terminal(&frequencies, "plug1").unwrap();
+        let z = impedance_spectrum(&solver, &sweep, "plug1").unwrap();
+        assert_eq!(z.len(), frequencies.len());
+        for ((f, zf), freq) in z.iter().zip(frequencies.iter()) {
+            assert!((f - freq).abs() < 1e-3 * freq);
+            assert!(zf.abs().is_finite() && zf.abs() > 0.0);
+        }
+        // A mostly capacitive structure: |Z| falls as the frequency rises.
+        assert!(
+            z.first().unwrap().1.abs() > z.last().unwrap().1.abs(),
+            "|Z| should decrease with frequency: {:?}",
+            z.iter().map(|(f, v)| (*f, v.abs())).collect::<Vec<_>>()
+        );
+        let unknown = impedance_spectrum(&solver, &sweep, "nope");
+        assert!(unknown.is_err());
     }
 
     #[test]

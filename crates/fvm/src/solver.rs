@@ -4,10 +4,11 @@ use crate::coefficients::{link_admittivity, link_permittivity, node_admittivity}
 use crate::terminals::{label_terminals, TerminalMap};
 use crate::{AcSolution, DcSolution, FvmError};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
 use vaem_mesh::{Axis, LinkId, Material, NodeId, Structure};
 use vaem_numeric::Complex64;
 use vaem_physics::{constants, DopingProfile, MaterialTable, SiliconParams};
-use vaem_sparse::{LinearSolver, PreparedSolver, SolverKind, TripletMatrix};
+use vaem_sparse::{LinearSolver, PreparedSolver, SolverKind, SparsityPattern, TripletMatrix};
 
 /// Electromagnetic modelling depth of the AC stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +55,85 @@ impl Default for SolverOptions {
     }
 }
 
+/// The perturbation-invariant part of a solver setup: terminal labelling,
+/// node–link adjacency, contact (Dirichlet) assignment and the cached
+/// sparsity patterns of the DC Jacobian and the AC operator.
+///
+/// Surface-roughness perturbations move node positions but never change the
+/// mesh topology, so one `SolverTopology` — wrapped in an [`Arc`] — can be
+/// built from the nominal structure and shared read-only across every
+/// perturbed-sample solver of a sweep (and across the worker threads of
+/// `vaem_parallel`), instead of being rebuilt per sample. The sparsity
+/// patterns are populated lazily by the first solve that assembles them.
+#[derive(Debug)]
+pub struct SolverTopology {
+    terminals: TerminalMap,
+    /// Links incident to each node.
+    node_links: Vec<Vec<LinkId>>,
+    /// Contact index of each node (Dirichlet in the AC stage), if any.
+    contact_of: Vec<Option<usize>>,
+    node_count: usize,
+    link_count: usize,
+    /// Structural pattern of the DC Newton Jacobian (unknown ordering is
+    /// topology-only, so it is shared across samples and iterations).
+    dc_pattern: OnceLock<SparsityPattern>,
+    /// Structural pattern of the AC (electro-quasi-static) operator.
+    ac_pattern: OnceLock<SparsityPattern>,
+}
+
+impl SolverTopology {
+    /// Builds the shared topology of a structure.
+    ///
+    /// # Errors
+    /// Returns [`FvmError::Configuration`] when the structure has no
+    /// contacts.
+    pub fn build(structure: &Structure) -> Result<Self, FvmError> {
+        let mesh = &structure.mesh;
+        if structure.contacts.is_empty() {
+            return Err(FvmError::Configuration {
+                detail: "structure has no contacts".to_string(),
+            });
+        }
+        let terminals = label_terminals(structure);
+        let mut node_links: Vec<Vec<LinkId>> = vec![Vec::new(); mesh.node_count()];
+        for lid in mesh.link_ids() {
+            let link = mesh.link(lid);
+            node_links[link.from.index()].push(lid);
+            node_links[link.to.index()].push(lid);
+        }
+        let mut contact_of = vec![None; mesh.node_count()];
+        for (k, contact) in structure.contacts.iter().enumerate() {
+            for &n in &contact.nodes {
+                contact_of[n.index()] = Some(k);
+            }
+        }
+        Ok(Self {
+            terminals,
+            node_links,
+            contact_of,
+            node_count: mesh.node_count(),
+            link_count: mesh.link_count(),
+            dc_pattern: OnceLock::new(),
+            ac_pattern: OnceLock::new(),
+        })
+    }
+
+    /// Terminal (conductor) labelling of the structure.
+    pub fn terminals(&self) -> &TerminalMap {
+        &self.terminals
+    }
+
+    /// Number of mesh nodes the topology was built for.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of mesh links the topology was built for.
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+}
+
 /// The coupled EM–semiconductor FVM solver bound to one (possibly perturbed)
 /// structure and doping profile.
 ///
@@ -64,17 +144,16 @@ pub struct CoupledSolver<'a> {
     structure: &'a Structure,
     doping: &'a DopingProfile,
     options: SolverOptions,
-    terminals: TerminalMap,
-    /// Links incident to each node.
-    node_links: Vec<Vec<LinkId>>,
-    /// Geometric factor `dual_area / length` per link (µm).
+    /// Shared perturbation-invariant topology (see [`SolverTopology`]).
+    topology: Arc<SolverTopology>,
+    /// Geometric factor `dual_area / length` per link (µm) — geometry
+    /// dependent, rebuilt per (perturbed) structure.
     link_factor: Vec<f64>,
-    /// Contact index of each node (Dirichlet in the AC stage), if any.
-    contact_of: Vec<Option<usize>>,
 }
 
 impl<'a> CoupledSolver<'a> {
-    /// Binds the solver to a structure and doping profile.
+    /// Binds the solver to a structure and doping profile, building a fresh
+    /// private [`SolverTopology`].
     ///
     /// # Errors
     /// Returns [`FvmError::Configuration`] when the doping profile does not
@@ -83,6 +162,25 @@ impl<'a> CoupledSolver<'a> {
         structure: &'a Structure,
         doping: &'a DopingProfile,
         options: SolverOptions,
+    ) -> Result<Self, FvmError> {
+        let topology = Arc::new(SolverTopology::build(structure)?);
+        Self::with_topology(structure, doping, options, topology)
+    }
+
+    /// Binds the solver to a structure re-using a shared [`SolverTopology`]
+    /// built from a topologically identical (e.g. nominal, unperturbed)
+    /// structure. Sample sweeps use this so terminal labelling, adjacency
+    /// and the cached sparsity patterns are built once per analysis instead
+    /// of once per sample.
+    ///
+    /// # Errors
+    /// Returns [`FvmError::Configuration`] when the doping profile or the
+    /// topology do not match the mesh.
+    pub fn with_topology(
+        structure: &'a Structure,
+        doping: &'a DopingProfile,
+        options: SolverOptions,
+        topology: Arc<SolverTopology>,
     ) -> Result<Self, FvmError> {
         let mesh = &structure.mesh;
         if doping.len() != mesh.node_count() {
@@ -94,18 +192,19 @@ impl<'a> CoupledSolver<'a> {
                 ),
             });
         }
-        if structure.contacts.is_empty() {
+        if topology.node_count != mesh.node_count() || topology.link_count != mesh.link_count() {
             return Err(FvmError::Configuration {
-                detail: "structure has no contacts".to_string(),
+                detail: format!(
+                    "topology was built for {} nodes / {} links but the mesh has {} / {}",
+                    topology.node_count,
+                    topology.link_count,
+                    mesh.node_count(),
+                    mesh.link_count()
+                ),
             });
         }
-        let terminals = label_terminals(structure);
-        let mut node_links: Vec<Vec<LinkId>> = vec![Vec::new(); mesh.node_count()];
         let mut link_factor = vec![0.0; mesh.link_count()];
         for lid in mesh.link_ids() {
-            let link = mesh.link(lid);
-            node_links[link.from.index()].push(lid);
-            node_links[link.to.index()].push(lid);
             let length = mesh.link_length(lid);
             link_factor[lid.index()] = if length > 1e-12 {
                 mesh.dual_area(lid) / length
@@ -113,20 +212,12 @@ impl<'a> CoupledSolver<'a> {
                 0.0
             };
         }
-        let mut contact_of = vec![None; mesh.node_count()];
-        for (k, contact) in structure.contacts.iter().enumerate() {
-            for &n in &contact.nodes {
-                contact_of[n.index()] = Some(k);
-            }
-        }
         Ok(Self {
             structure,
             doping,
             options,
-            terminals,
-            node_links,
+            topology,
             link_factor,
-            contact_of,
         })
     }
 
@@ -142,7 +233,12 @@ impl<'a> CoupledSolver<'a> {
 
     /// Terminal (conductor) labelling used by the solver.
     pub fn terminals(&self) -> &TerminalMap {
-        &self.terminals
+        &self.topology.terminals
+    }
+
+    /// The shared perturbation-invariant topology.
+    pub fn topology(&self) -> &Arc<SolverTopology> {
+        &self.topology
     }
 
     fn material(&self, node: NodeId) -> Material {
@@ -174,7 +270,7 @@ impl<'a> CoupledSolver<'a> {
         let q = constants::ELEMENTARY_CHARGE;
 
         let bias_of = |contact: usize| -> f64 {
-            let name = self.terminals.name(contact);
+            let name = self.topology.terminals.name(contact);
             biases.get(name).copied().unwrap_or(0.0)
         };
 
@@ -185,10 +281,10 @@ impl<'a> CoupledSolver<'a> {
         for node in mesh.node_ids() {
             let mat = self.material(node);
             if mat.is_metal() {
-                if let Some(t) = self.terminals.terminal(node) {
+                if let Some(t) = self.topology.terminals.terminal(node) {
                     dirichlet[node.index()] = Some(bias_of(t));
                 }
-            } else if let Some(c) = self.contact_of[node.index()] {
+            } else if let Some(c) = self.topology.contact_of[node.index()] {
                 let mut v = bias_of(c);
                 if mat.is_semiconductor() {
                     v += si.built_in_potential(self.doping.donor(node), self.doping.acceptor(node));
@@ -233,7 +329,7 @@ impl<'a> CoupledSolver<'a> {
             .iter()
             .map(|&node| {
                 let mat_i = self.material(node);
-                self.node_links[node.index()]
+                self.topology.node_links[node.index()]
                     .iter()
                     .map(|&lid| {
                         let link = mesh.link(lid);
@@ -264,9 +360,14 @@ impl<'a> CoupledSolver<'a> {
         let n_unknown = unknowns.len();
         let mut rhs = vec![0.0_f64; n_unknown];
         let mut jac = TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7);
-        // CSR built from the first iteration's triplets; later iterations
-        // re-assemble the values into the cached pattern.
+        // CSR carrying the fixed Jacobian pattern; seeded from the shared
+        // topology cache when a previous sample already assembled it, and
+        // published there otherwise. Later iterations (and samples) only
+        // re-assemble the values.
         let mut jac_csr: Option<vaem_sparse::CsrMatrix<f64>> = None;
+        // Linear solver prepared on the first iteration; every later Newton
+        // step refactorizes numerically against the cached symbolic phase.
+        let mut prepared: Option<PreparedSolver<f64>> = None;
 
         let mut iterations = 0usize;
         let mut update_norm = f64::INFINITY;
@@ -301,9 +402,32 @@ impl<'a> CoupledSolver<'a> {
                     jac.assemble_into(cached)?;
                     &*cached
                 }
-                None => &*jac_csr.insert(jac.to_csr()),
+                None => {
+                    let built = match self.topology.dc_pattern.get() {
+                        Some(p) if p.rows() == n_unknown && p.cols() == n_unknown => {
+                            let mut m = p.zeros();
+                            jac.assemble_into(&mut m)?;
+                            m
+                        }
+                        _ => {
+                            let m = jac.to_csr();
+                            let _ = self.topology.dc_pattern.set(SparsityPattern::of(&m));
+                            m
+                        }
+                    };
+                    &*jac_csr.insert(built)
+                }
             };
-            let (mut delta, _report) = linear.solve(matrix, &rhs)?;
+            let (mut delta, _report) = match prepared.as_mut() {
+                Some(p) => {
+                    p.refactor(matrix)?;
+                    p.solve(&rhs)?
+                }
+                None => {
+                    let p = prepared.insert(linear.prepare(matrix)?);
+                    p.solve(&rhs)?
+                }
+            };
 
             // Damp large Newton steps (potential updates beyond 1 V are
             // truncated, preserving direction).
@@ -394,9 +518,13 @@ impl<'a> CoupledSolver<'a> {
     /// The AC system matrix depends only on `(dc, frequency)` — every
     /// contact node is a Dirichlet node regardless of which terminal is
     /// driven, so only the right-hand side changes between excitations. The
-    /// returned [`AcOperator`] therefore amortizes the assembly and the
-    /// ILU/LU setup across all terminal solves at this frequency (the
+    /// returned operator therefore amortizes the assembly and the ILU/LU
+    /// setup across all terminal solves at this frequency (the
     /// capacitance-matrix extraction and the wPFA weight solve reuse it).
+    ///
+    /// Equivalent to [`CoupledSolver::prepare_ac_sweep`] followed by
+    /// [`AcSweepOperator::set_frequency`]; use the sweep operator directly
+    /// to walk a whole frequency grid against one assembly.
     ///
     /// # Errors
     /// * [`FvmError::Linear`] when the factorization fails.
@@ -404,37 +532,43 @@ impl<'a> CoupledSolver<'a> {
         &'s self,
         dc: &DcSolution,
         frequency: f64,
-    ) -> Result<AcOperator<'s, 'a>, FvmError> {
+    ) -> Result<AcSweepOperator<'s, 'a>, FvmError> {
+        let mut operator = self.prepare_ac_sweep(dc)?;
+        operator.set_frequency(frequency)?;
+        Ok(operator)
+    }
+
+    /// Prepares the frequency-agnostic part of the AC operator for one DC
+    /// operating point: the Dirichlet structure, the assembly stencils, the
+    /// semiconductor small-signal conductivities and the workspaces.
+    ///
+    /// The returned [`AcSweepOperator`] walks a frequency grid by rebuilding
+    /// only the frequency-dependent values into the cached CSR pattern
+    /// (`assemble_into`) and refactorizing numerically against the cached
+    /// symbolic phase; [`AcSweepOperator::sweep_terminal`] additionally
+    /// warm-starts every point from the previous solution.
+    ///
+    /// # Errors
+    /// Never fails today; returns `Result` for forward compatibility with
+    /// configuration validation.
+    pub fn prepare_ac_sweep<'s>(
+        &'s self,
+        dc: &DcSolution,
+    ) -> Result<AcSweepOperator<'s, 'a>, FvmError> {
         let mesh = &self.structure.mesh;
         let n_nodes = mesh.node_count();
-        let omega = 2.0 * std::f64::consts::PI * frequency;
         let si = &self.options.silicon;
 
-        // Per-node admittivity.
-        let node_y: Vec<Complex64> = (0..n_nodes)
+        // Frequency-independent: the semiconductor small-signal conductivity
+        // of the operating point.
+        let sigma_semi: Vec<f64> = (0..n_nodes)
             .map(|i| {
                 let node = NodeId(i);
-                let sigma_semi = if self.material(node).is_semiconductor() {
+                if self.material(node).is_semiconductor() {
                     si.bulk_conductivity(dc.electron_at(node), dc.hole_at(node))
                 } else {
                     0.0
-                };
-                node_admittivity(
-                    self.material(node),
-                    sigma_semi,
-                    omega,
-                    &self.options.materials,
-                )
-            })
-            .collect();
-
-        // Per-link admittance y·g.
-        let link_admittance: Vec<Complex64> = mesh
-            .link_ids()
-            .map(|lid| {
-                let link = mesh.link(lid);
-                let y = link_admittivity(node_y[link.from.index()], node_y[link.to.index()]);
-                y.scale(self.link_factor[lid.index()])
+                }
             })
             .collect();
 
@@ -442,50 +576,52 @@ impl<'a> CoupledSolver<'a> {
         let mut unknown_index: Vec<Option<usize>> = vec![None; n_nodes];
         let mut unknowns: Vec<NodeId> = Vec::new();
         for node in mesh.node_ids() {
-            if self.contact_of[node.index()].is_none() {
+            if self.topology.contact_of[node.index()].is_none() {
                 unknown_index[node.index()] = Some(unknowns.len());
                 unknowns.push(node);
             }
         }
 
+        // Assembly stencil per unknown row: the incident links and, when the
+        // neighbour is itself an unknown, its column. Couplings into
+        // Dirichlet neighbours move to the right-hand side per excitation.
         let n_unknown = unknowns.len();
-        let mut matrix = TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7);
-        // Couplings into Dirichlet neighbours: (row, admittance, contact).
-        let mut boundary: Vec<(usize, Complex64, usize)> = Vec::new();
+        let mut stencils: Vec<Vec<(LinkId, Option<usize>)>> = Vec::with_capacity(n_unknown);
+        let mut boundary: Vec<(usize, LinkId, usize)> = Vec::new();
         for (ui, &node) in unknowns.iter().enumerate() {
-            let mut diag = Complex64::ZERO;
-            for &lid in &self.node_links[node.index()] {
+            let links = &self.topology.node_links[node.index()];
+            let mut row = Vec::with_capacity(links.len());
+            for &lid in links {
                 let link = mesh.link(lid);
                 let other = if link.from == node {
                     link.to
                 } else {
                     link.from
                 };
-                let ya = link_admittance[lid.index()];
-                diag -= ya;
-                match unknown_index[other.index()] {
-                    Some(uj) => matrix.push(ui, uj, ya),
-                    None => {
-                        let contact =
-                            self.contact_of[other.index()].expect("non-unknown node is a contact");
-                        boundary.push((ui, ya, contact));
-                    }
+                let uj = unknown_index[other.index()];
+                if uj.is_none() {
+                    let contact = self.topology.contact_of[other.index()]
+                        .expect("non-unknown node is a contact");
+                    boundary.push((ui, lid, contact));
                 }
+                row.push((lid, uj));
             }
-            matrix.push(ui, ui, diag);
+            stencils.push(row);
         }
 
-        let linear = LinearSolver::new(self.options.linear_solver);
-        let prepared = linear.prepare(&matrix.to_csr())?;
-
-        Ok(AcOperator {
+        Ok(AcSweepOperator {
             solver: self,
-            omega,
-            link_admittance,
+            sigma_semi,
             unknowns,
             unknown_index,
+            stencils,
             boundary,
-            prepared,
+            node_y: vec![Complex64::ZERO; n_nodes],
+            link_admittance: vec![Complex64::ZERO; mesh.link_count()],
+            triplets: TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7),
+            matrix: None,
+            prepared: None,
+            omega: f64::NAN,
         })
     }
 
@@ -548,28 +684,53 @@ impl<'a> CoupledSolver<'a> {
     }
 }
 
-/// A factorized frequency-domain operator bound to one operating point and
-/// frequency (see [`CoupledSolver::prepare_ac`]).
+/// A sweep-aware factorized frequency-domain operator bound to one DC
+/// operating point (see [`CoupledSolver::prepare_ac_sweep`]).
 ///
-/// Each [`AcOperator::solve`] call only rebuilds the right-hand side from
-/// the excitations and runs the cached direct/ILU-preconditioned solve, so
-/// sweeping every terminal of a structure costs one assembly and one
-/// factorization in total.
+/// At one frequency, each [`AcSweepOperator::solve`] call only rebuilds the
+/// right-hand side from the excitations and runs the cached
+/// direct/ILU-preconditioned solve, so sweeping every terminal of a
+/// structure costs one assembly and one factorization in total. Across
+/// frequencies, [`AcSweepOperator::set_frequency`] rebuilds only the
+/// frequency-dependent values into the cached CSR pattern and refactorizes
+/// numerically (the symbolic phase and all workspaces are kept), and
+/// [`AcSweepOperator::sweep_terminal`] warm-starts each point from the
+/// previous solution.
 #[derive(Debug, Clone)]
-pub struct AcOperator<'s, 'a> {
+pub struct AcSweepOperator<'s, 'a> {
     solver: &'s CoupledSolver<'a>,
-    omega: f64,
-    link_admittance: Vec<Complex64>,
+    /// Semiconductor small-signal conductivity per node (ω-independent).
+    sigma_semi: Vec<f64>,
     unknowns: Vec<NodeId>,
     unknown_index: Vec<Option<usize>>,
+    /// Per unknown row: incident links and the column of the neighbour when
+    /// it is itself an unknown (`None` = Dirichlet neighbour).
+    stencils: Vec<Vec<(LinkId, Option<usize>)>>,
     /// Couplings of unknown rows into Dirichlet (contact) neighbours:
-    /// `(row, link admittance, contact index)`.
-    boundary: Vec<(usize, Complex64, usize)>,
-    prepared: PreparedSolver<Complex64>,
+    /// `(row, link, contact index)`.
+    boundary: Vec<(usize, LinkId, usize)>,
+    /// Scratch: per-node admittivity at the current frequency.
+    node_y: Vec<Complex64>,
+    /// Link admittance `y·g` (S) at the current frequency.
+    link_admittance: Vec<Complex64>,
+    /// Reused assembly buffer.
+    triplets: TripletMatrix<Complex64>,
+    /// CSR with the fixed sparsity pattern, built at the first frequency
+    /// (from the topology-cached pattern when available).
+    matrix: Option<vaem_sparse::CsrMatrix<Complex64>>,
+    /// Linear solver prepared at the first frequency, refactorized since.
+    prepared: Option<PreparedSolver<Complex64>>,
+    /// Angular frequency of the current factorization (NaN before the first
+    /// [`AcSweepOperator::set_frequency`]).
+    omega: f64,
 }
 
-impl AcOperator<'_, '_> {
-    /// Angular frequency ω (rad/s) of the operator.
+/// Backwards-compatible name of the single-frequency operator returned by
+/// [`CoupledSolver::prepare_ac`].
+pub type AcOperator<'s, 'a> = AcSweepOperator<'s, 'a>;
+
+impl AcSweepOperator<'_, '_> {
+    /// Angular frequency ω (rad/s) of the current factorization.
     pub fn omega(&self) -> f64 {
         self.omega
     }
@@ -579,11 +740,91 @@ impl AcOperator<'_, '_> {
         self.unknowns.len()
     }
 
+    /// Re-targets the operator to a new frequency: recomputes the node/link
+    /// admittances, rebuilds the matrix values into the cached sparsity
+    /// pattern and refactorizes numerically against the cached symbolic
+    /// phase of the linear solver.
+    ///
+    /// # Errors
+    /// * [`FvmError::Configuration`] for a non-finite or negative frequency.
+    /// * [`FvmError::Linear`] when the refactorization fails.
+    pub fn set_frequency(&mut self, frequency: f64) -> Result<(), FvmError> {
+        if !frequency.is_finite() || frequency < 0.0 {
+            return Err(FvmError::Configuration {
+                detail: format!("invalid AC frequency {frequency} Hz"),
+            });
+        }
+        let solver = self.solver;
+        let mesh = &solver.structure.mesh;
+        let omega = 2.0 * std::f64::consts::PI * frequency;
+
+        for (i, y) in self.node_y.iter_mut().enumerate() {
+            *y = node_admittivity(
+                solver.material(NodeId(i)),
+                self.sigma_semi[i],
+                omega,
+                &solver.options.materials,
+            );
+        }
+        for lid in mesh.link_ids() {
+            let link = mesh.link(lid);
+            let y = link_admittivity(self.node_y[link.from.index()], self.node_y[link.to.index()]);
+            self.link_admittance[lid.index()] = y.scale(solver.link_factor[lid.index()]);
+        }
+
+        // Only the values change between frequencies: push the new ones and
+        // re-assemble into the fixed pattern.
+        self.triplets.clear();
+        for (ui, row) in self.stencils.iter().enumerate() {
+            let mut diag = Complex64::ZERO;
+            for &(lid, uj) in row {
+                let ya = self.link_admittance[lid.index()];
+                diag -= ya;
+                if let Some(uj) = uj {
+                    self.triplets.push(ui, uj, ya);
+                }
+            }
+            self.triplets.push(ui, ui, diag);
+        }
+        let n_unknown = self.unknowns.len();
+        let matrix = match self.matrix.as_mut() {
+            Some(cached) => {
+                self.triplets.assemble_into(cached)?;
+                &*cached
+            }
+            None => {
+                let built = match solver.topology.ac_pattern.get() {
+                    Some(p) if p.rows() == n_unknown && p.cols() == n_unknown => {
+                        let mut m = p.zeros();
+                        self.triplets.assemble_into(&mut m)?;
+                        m
+                    }
+                    _ => {
+                        let m = self.triplets.to_csr();
+                        let _ = solver.topology.ac_pattern.set(SparsityPattern::of(&m));
+                        m
+                    }
+                };
+                &*self.matrix.insert(built)
+            }
+        };
+
+        match self.prepared.as_mut() {
+            Some(p) => p.refactor(matrix)?,
+            None => {
+                let linear = LinearSolver::new(solver.options.linear_solver);
+                self.prepared = Some(linear.prepare(matrix)?);
+            }
+        }
+        self.omega = omega;
+        Ok(())
+    }
+
     /// Solves for a 1 V excitation on `driven_terminal` with every other
     /// contact grounded.
     ///
     /// # Errors
-    /// Same conditions as [`AcOperator::solve`].
+    /// Same conditions as [`AcSweepOperator::solve`].
     pub fn solve_terminal(&mut self, driven_terminal: &str) -> Result<AcSolution, FvmError> {
         let mut excitations = BTreeMap::new();
         excitations.insert(driven_terminal.to_string(), Complex64::ONE);
@@ -594,16 +835,63 @@ impl AcOperator<'_, '_> {
     /// (unlisted contacts are grounded).
     ///
     /// # Errors
-    /// * [`FvmError::Configuration`] for an unknown terminal name.
+    /// * [`FvmError::Configuration`] for an unknown terminal name or when no
+    ///   frequency has been set.
     /// * [`FvmError::Linear`] when the cached solve fails.
     pub fn solve(
         &mut self,
         excitations: &BTreeMap<String, Complex64>,
         driven_label: &str,
     ) -> Result<AcSolution, FvmError> {
+        self.solve_inner(excitations, driven_label, None)
+            .map(|(ac, _)| ac)
+    }
+
+    /// Walks a frequency grid for one driven terminal (1 V, every other
+    /// contact grounded), refactorizing numerically per point and
+    /// warm-starting each solve from the previous point's solution.
+    ///
+    /// Returns one [`AcSolution`] per entry of `frequencies`, in order.
+    ///
+    /// # Errors
+    /// Propagates the first per-point failure.
+    pub fn sweep_terminal(
+        &mut self,
+        frequencies: &[f64],
+        driven_terminal: &str,
+    ) -> Result<Vec<AcSolution>, FvmError> {
+        let mut excitations = BTreeMap::new();
+        excitations.insert(driven_terminal.to_string(), Complex64::ONE);
+        let mut out = Vec::with_capacity(frequencies.len());
+        let mut guess: Option<Vec<Complex64>> = None;
+        for &frequency in frequencies {
+            self.set_frequency(frequency)?;
+            let (ac, solution) =
+                self.solve_inner(&excitations, driven_terminal, guess.as_deref())?;
+            guess = Some(solution);
+            out.push(ac);
+        }
+        Ok(out)
+    }
+
+    /// Shared solve path; returns the solution restricted to the unknown
+    /// nodes alongside the assembled [`AcSolution`] so sweeps can warm-start
+    /// the next point.
+    fn solve_inner(
+        &mut self,
+        excitations: &BTreeMap<String, Complex64>,
+        driven_label: &str,
+        guess: Option<&[Complex64]>,
+    ) -> Result<(AcSolution, Vec<Complex64>), FvmError> {
         let solver = self.solver;
+        let prepared = self
+            .prepared
+            .as_mut()
+            .ok_or_else(|| FvmError::Configuration {
+                detail: "AC operator has no frequency set (call set_frequency first)".to_string(),
+            })?;
         for name in excitations.keys() {
-            if solver.terminals.index_of(name).is_none() {
+            if solver.terminals().index_of(name).is_none() {
                 return Err(FvmError::Configuration {
                     detail: format!("unknown terminal '{name}'"),
                 });
@@ -611,16 +899,16 @@ impl AcOperator<'_, '_> {
         }
         let excitation_of = |contact: usize| -> Complex64 {
             excitations
-                .get(solver.terminals.name(contact))
+                .get(solver.terminals().name(contact))
                 .copied()
                 .unwrap_or(Complex64::ZERO)
         };
 
         let mut rhs = vec![Complex64::ZERO; self.unknowns.len()];
-        for &(ui, ya, contact) in &self.boundary {
-            rhs[ui] -= ya * excitation_of(contact);
+        for &(ui, lid, contact) in &self.boundary {
+            rhs[ui] -= self.link_admittance[lid.index()] * excitation_of(contact);
         }
-        let (solution, report) = self.prepared.solve(&rhs)?;
+        let (solution, report) = prepared.solve_with_guess(&rhs, guess)?;
 
         let mesh = &solver.structure.mesh;
         let mut potential = vec![Complex64::ZERO; mesh.node_count()];
@@ -629,7 +917,8 @@ impl AcOperator<'_, '_> {
             potential[i] = match self.unknown_index[i] {
                 Some(ui) => solution[ui],
                 None => {
-                    let contact = solver.contact_of[i].expect("non-unknown node is a contact");
+                    let contact =
+                        solver.topology.contact_of[i].expect("non-unknown node is a contact");
                     excitation_of(contact)
                 }
             };
@@ -645,7 +934,7 @@ impl AcOperator<'_, '_> {
             )?),
         };
 
-        Ok(AcSolution {
+        let ac = AcSolution {
             potential,
             link_admittance: self.link_admittance.clone(),
             vector_potential,
@@ -653,7 +942,8 @@ impl AcOperator<'_, '_> {
             driven_terminal: driven_label.to_string(),
             solver_strategy: report.strategy,
             linear_residual: report.residual_norm,
-        })
+        };
+        Ok((ac, solution))
     }
 }
 
@@ -759,6 +1049,88 @@ mod tests {
         let a = ac.vector_potential.as_ref().expect("full wave stores A");
         assert_eq!(a.len(), s.mesh.link_count());
         assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn frequency_sweep_matches_per_frequency_solves() {
+        let s = parallel_plate(0.5);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let frequencies = [1.0e6, 1.0e7, 1.0e8, 1.0e9];
+        let mut sweep = solver.prepare_ac_sweep(&dc).unwrap();
+        let swept = sweep.sweep_terminal(&frequencies, "top").unwrap();
+        assert_eq!(swept.len(), frequencies.len());
+        for (freq, ac) in frequencies.iter().zip(swept.iter()) {
+            let reference = solver.solve_ac(&dc, "top", *freq).unwrap();
+            assert_eq!(ac.omega, reference.omega);
+            let mut max_diff = 0.0_f64;
+            let mut max_ref = 0.0_f64;
+            for (a, b) in ac.potential.iter().zip(reference.potential.iter()) {
+                max_diff = max_diff.max((*a - *b).abs());
+                max_ref = max_ref.max(b.abs());
+            }
+            assert!(
+                max_diff <= 1e-8 * max_ref.max(1e-30),
+                "potentials diverged at {freq} Hz: {max_diff:.3e} vs scale {max_ref:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_topology_solver_matches_a_private_one() {
+        let s = parallel_plate(0.5);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let topology = Arc::new(SolverTopology::build(&s).unwrap());
+        let shared =
+            CoupledSolver::with_topology(&s, &doping, SolverOptions::default(), topology.clone())
+                .unwrap();
+        let private = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc_shared = shared.solve_dc().unwrap();
+        let dc_private = private.solve_dc().unwrap();
+        for (a, b) in dc_shared.potential.iter().zip(dc_private.potential.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // A second shared-topology solver re-uses the cached patterns.
+        let again =
+            CoupledSolver::with_topology(&s, &doping, SolverOptions::default(), topology).unwrap();
+        let dc_again = again.solve_dc().unwrap();
+        assert_eq!(dc_shared.potential, dc_again.potential);
+    }
+
+    #[test]
+    fn mismatched_topology_is_rejected() {
+        let s = parallel_plate(0.5);
+        let other = parallel_plate(1.0); // different mesh resolution
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let topology = Arc::new(SolverTopology::build(&other).unwrap());
+        assert!(matches!(
+            CoupledSolver::with_topology(&s, &doping, SolverOptions::default(), topology),
+            Err(FvmError::Configuration { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_sweep_frequency_is_rejected() {
+        let s = parallel_plate(1.0);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let mut sweep = solver.prepare_ac_sweep(&dc).unwrap();
+        assert!(matches!(
+            sweep.set_frequency(f64::NAN),
+            Err(FvmError::Configuration { .. })
+        ));
+        assert!(matches!(
+            sweep.set_frequency(-1.0),
+            Err(FvmError::Configuration { .. })
+        ));
+        // And solving without a frequency is a configuration error.
+        let mut fresh = solver.prepare_ac_sweep(&dc).unwrap();
+        assert!(matches!(
+            fresh.solve_terminal("top"),
+            Err(FvmError::Configuration { .. })
+        ));
     }
 
     #[test]

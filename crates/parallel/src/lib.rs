@@ -24,25 +24,62 @@ pub const THREADS_ENV: &str = "VAEM_THREADS";
 /// `VAEM_THREADS=40000`).
 pub const MAX_THREADS: usize = 512;
 
-/// Parses a `VAEM_THREADS`-style value; `None` for unset/invalid/zero.
-fn parse_threads(value: Option<&str>) -> Option<usize> {
-    value
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .map(|n| n.min(MAX_THREADS))
+/// How a `VAEM_THREADS`-style value parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadSetting {
+    /// Variable not set: use the detected hardware parallelism.
+    Unset,
+    /// Set but unusable (garbage, zero or negative): clamp to 1 worker and
+    /// warn, so a typo degrades to a serial run instead of silently
+    /// mis-sizing the pool.
+    Invalid,
+    /// A positive worker count, capped at [`MAX_THREADS`].
+    Count(usize),
+}
+
+/// Parses a `VAEM_THREADS`-style value.
+fn parse_threads(value: Option<&str>) -> ThreadSetting {
+    let Some(raw) = value else {
+        return ThreadSetting::Unset;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => ThreadSetting::Invalid,
+        Ok(n) => ThreadSetting::Count(n.min(MAX_THREADS)),
+    }
 }
 
 /// The configured worker-thread count: `VAEM_THREADS` when set to a positive
-/// integer, otherwise the detected hardware parallelism (at least 1).
+/// integer (capped at [`MAX_THREADS`]), the detected hardware parallelism
+/// when unset (at least 1), and 1 — with a one-time warning on stderr — when
+/// the variable is set to zero, a negative number or garbage.
 ///
 /// Read on every call (not cached) so tests and harnesses can switch the
 /// variable between runs within one process.
 pub fn thread_count() -> usize {
-    parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
+    let value = std::env::var(THREADS_ENV).ok();
+    resolve_threads(parse_threads(value.as_deref()), value.as_deref())
+}
+
+/// Maps a parsed setting to the live worker count, warning (once per
+/// process) about unusable values before clamping them to one worker.
+fn resolve_threads(setting: ThreadSetting, raw: Option<&str>) -> usize {
+    match setting {
+        ThreadSetting::Count(n) => n,
+        ThreadSetting::Unset => std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
-    })
+            .unwrap_or(1),
+        ThreadSetting::Invalid => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: {THREADS_ENV}={:?} is not a positive integer; \
+                     running with 1 worker thread",
+                    raw.unwrap_or_default()
+                );
+            });
+            1
+        }
+    }
 }
 
 /// Maps `f` over `items` on up to [`thread_count`] scoped threads.
@@ -155,13 +192,40 @@ mod tests {
 
     #[test]
     fn env_parsing_rules() {
-        assert_eq!(parse_threads(None), None);
-        assert_eq!(parse_threads(Some("")), None);
-        assert_eq!(parse_threads(Some("abc")), None);
-        assert_eq!(parse_threads(Some("0")), None);
-        assert_eq!(parse_threads(Some("4")), Some(4));
-        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
-        assert_eq!(parse_threads(Some("99999")), Some(MAX_THREADS));
+        // Unset: fall back to the hardware parallelism.
+        assert_eq!(parse_threads(None), ThreadSetting::Unset);
+        // Garbage, zero and negative values clamp to one worker (with a
+        // warning) instead of panicking or silently mis-sizing the pool.
+        assert_eq!(parse_threads(Some("")), ThreadSetting::Invalid);
+        assert_eq!(parse_threads(Some("abc")), ThreadSetting::Invalid);
+        assert_eq!(parse_threads(Some("0")), ThreadSetting::Invalid);
+        assert_eq!(parse_threads(Some("-3")), ThreadSetting::Invalid);
+        assert_eq!(parse_threads(Some("2.5")), ThreadSetting::Invalid);
+        assert_eq!(parse_threads(Some("4 threads")), ThreadSetting::Invalid);
+        // Valid values pass through, capped at MAX_THREADS.
+        assert_eq!(parse_threads(Some("1")), ThreadSetting::Count(1));
+        assert_eq!(parse_threads(Some("4")), ThreadSetting::Count(4));
+        assert_eq!(parse_threads(Some(" 8 ")), ThreadSetting::Count(8));
+        assert_eq!(
+            parse_threads(Some("99999")),
+            ThreadSetting::Count(MAX_THREADS)
+        );
+    }
+
+    #[test]
+    fn resolution_clamps_invalid_settings_to_one_worker() {
+        // Tested through `resolve_threads` (the pure half of
+        // `thread_count`) so no test in this binary has to mutate the
+        // process-wide environment variable under the concurrent harness.
+        for bad in ["0", "-2", "garbage", "1e3"] {
+            assert_eq!(
+                resolve_threads(parse_threads(Some(bad)), Some(bad)),
+                1,
+                "VAEM_THREADS={bad}"
+            );
+        }
+        assert_eq!(resolve_threads(ThreadSetting::Count(3), Some("3")), 3);
+        assert!(resolve_threads(ThreadSetting::Unset, None) >= 1);
     }
 
     #[test]

@@ -3,6 +3,18 @@
 use crate::{CsrMatrix, Ilu0, SparseError};
 use vaem_numeric::{vecops, Scalar};
 
+/// Relative near-breakdown threshold of the BiCGSTAB recurrence scalars.
+///
+/// `ρ = r̂·r` and `r̂·v` contract to (numerically) zero when the shadow
+/// residual turns orthogonal to the iteration space — the classic failure
+/// mode on rotation-dominated operators. Comparing them against the product
+/// of the participating vector norms (instead of an absolute `1e-300`)
+/// detects the *near*-breakdown scale-free, so the solver escalates to the
+/// GMRES/direct fallbacks immediately instead of burning the whole
+/// iteration budget on a diverging recurrence and reporting a spurious
+/// max-iterations failure.
+const BREAKDOWN_REL: f64 = 1e-14;
+
 /// Options shared by the Krylov solvers ([`BiCgStab`], [`crate::Gmres`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KrylovOptions {
@@ -173,19 +185,23 @@ impl BiCgStab {
         } else {
             ws.r.copy_from_slice(b);
         }
-        if vecops::norm2(&ws.r) / bnorm <= self.options.tolerance {
+        let mut r_norm = vecops::norm2(&ws.r);
+        if r_norm / bnorm <= self.options.tolerance {
             return Ok((x, 0));
         }
         ws.r_hat.copy_from_slice(&ws.r);
+        let mut r_hat_norm = r_norm;
         let mut rho = T::one();
         let mut alpha = T::one();
         let mut omega = T::one();
 
         for iter in 1..=self.options.max_iterations {
             let rho_new = vecops::dot(&ws.r_hat, &ws.r);
-            if rho_new.modulus() < 1e-300 {
+            if !rho_new.is_finite_scalar()
+                || rho_new.modulus() < BREAKDOWN_REL * r_hat_norm * r_norm
+            {
                 return Err(SparseError::Breakdown {
-                    detail: "rho became zero in BiCGSTAB".to_string(),
+                    detail: "rho (near-)vanished in BiCGSTAB".to_string(),
                 });
             }
             let beta = (rho_new / rho) * (alpha / omega);
@@ -199,9 +215,12 @@ impl BiCgStab {
             }
             a.matvec_into(&ws.p_hat, &mut ws.v);
             let denom = vecops::dot(&ws.r_hat, &ws.v);
-            if denom.modulus() < 1e-300 {
+            if !denom.is_finite_scalar()
+                || denom.modulus() < BREAKDOWN_REL * r_hat_norm * vecops::norm2(&ws.v)
+                || denom.modulus() < 1e-300
+            {
                 return Err(SparseError::Breakdown {
-                    detail: "r_hat . v became zero in BiCGSTAB".to_string(),
+                    detail: "r_hat . v (near-)vanished in BiCGSTAB".to_string(),
                 });
             }
             alpha = rho_new / denom;
@@ -213,7 +232,22 @@ impl BiCgStab {
                 for i in 0..n {
                     x[i] += alpha * ws.p_hat[i];
                 }
-                return Ok((x, iter));
+                if verify_or_restart(
+                    a,
+                    b,
+                    bnorm,
+                    &x,
+                    self.options.tolerance,
+                    ws,
+                    &mut r_norm,
+                    &mut r_hat_norm,
+                    &mut rho,
+                    &mut alpha,
+                    &mut omega,
+                ) {
+                    return Ok((x, iter));
+                }
+                continue;
             }
             match precond {
                 Some(m) => m.apply_into(&ws.s, &mut ws.s_hat),
@@ -221,9 +255,9 @@ impl BiCgStab {
             }
             a.matvec_into(&ws.s_hat, &mut ws.t);
             let tt = vecops::dot(&ws.t, &ws.t);
-            if tt.modulus() < 1e-300 {
+            if !tt.is_finite_scalar() || tt.modulus() < 1e-300 {
                 return Err(SparseError::Breakdown {
-                    detail: "t . t became zero in BiCGSTAB".to_string(),
+                    detail: "t . t (near-)vanished in BiCGSTAB".to_string(),
                 });
             }
             omega = vecops::dot(&ws.t, &ws.s) / tt;
@@ -231,13 +265,36 @@ impl BiCgStab {
                 x[i] += alpha * ws.p_hat[i] + omega * ws.s_hat[i];
                 ws.r[i] = ws.s[i] - omega * ws.t[i];
             }
-            let rel = vecops::norm2(&ws.r) / bnorm;
-            if rel <= self.options.tolerance {
-                return Ok((x, iter));
-            }
-            if omega.modulus() < 1e-300 {
+            r_norm = vecops::norm2(&ws.r);
+            let rel = r_norm / bnorm;
+            if !rel.is_finite() {
+                // The recurrence overflowed/NaN-poisoned itself; report a
+                // breakdown now rather than a max-iterations failure later.
                 return Err(SparseError::Breakdown {
-                    detail: "omega became zero in BiCGSTAB".to_string(),
+                    detail: "residual became non-finite in BiCGSTAB".to_string(),
+                });
+            }
+            if rel <= self.options.tolerance {
+                if verify_or_restart(
+                    a,
+                    b,
+                    bnorm,
+                    &x,
+                    self.options.tolerance,
+                    ws,
+                    &mut r_norm,
+                    &mut r_hat_norm,
+                    &mut rho,
+                    &mut alpha,
+                    &mut omega,
+                ) {
+                    return Ok((x, iter));
+                }
+                continue;
+            }
+            if !omega.is_finite_scalar() || omega.modulus() < 1e-300 {
+                return Err(SparseError::Breakdown {
+                    detail: "omega (near-)vanished in BiCGSTAB".to_string(),
                 });
             }
             rho = rho_new;
@@ -249,6 +306,51 @@ impl BiCgStab {
             residual: rel,
         })
     }
+}
+
+/// Trust-but-verify step shared by both BiCGSTAB convergence exits: the
+/// recurrence residual can drift from the true residual once a
+/// near-breakdown has amplified the iterates, so claimed convergence is only
+/// accepted when the explicit residual `b − A·x` confirms it. On drift the
+/// recurrence is restarted from the verified residual (residual
+/// replacement): `r = r̂ = b − A·x`, scalars reset, search directions
+/// zeroed. Returns `true` when `x` is truly converged.
+#[allow(clippy::too_many_arguments)]
+fn verify_or_restart<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    bnorm: f64,
+    x: &[T],
+    tolerance: f64,
+    ws: &mut BiCgStabWorkspace<T>,
+    r_norm: &mut f64,
+    r_hat_norm: &mut f64,
+    rho: &mut T,
+    alpha: &mut T,
+    omega: &mut T,
+) -> bool {
+    let n = x.len();
+    a.matvec_into(x, &mut ws.t);
+    let mut true_sqr = 0.0;
+    for i in 0..n {
+        true_sqr += (b[i] - ws.t[i]).modulus_sqr();
+    }
+    let true_rel = true_sqr.sqrt() / bnorm;
+    if true_rel <= tolerance {
+        return true;
+    }
+    for i in 0..n {
+        ws.r[i] = b[i] - ws.t[i];
+    }
+    ws.r_hat.copy_from_slice(&ws.r);
+    *r_norm = true_rel * bnorm;
+    *r_hat_norm = *r_norm;
+    *rho = T::one();
+    *alpha = T::one();
+    *omega = T::one();
+    ws.p.fill(T::zero());
+    ws.v.fill(T::zero());
+    false
 }
 
 #[cfg(test)]
@@ -371,6 +473,37 @@ mod tests {
             solver.solve(&a, &[1.0, 2.0], None, None),
             Err(SparseError::DimensionMismatch { .. })
         ));
+    }
+
+    /// Block-diagonal matrix of near-90° 2×2 rotation blocks — the
+    /// rotation-dominated operator on which the BiCGSTAB recurrence scalars
+    /// (near-)vanish.
+    fn rotation_blocks(n_blocks: usize, diag: f64) -> CsrMatrix<f64> {
+        let n = 2 * n_blocks;
+        let mut t = Vec::new();
+        for k in 0..n_blocks {
+            let i = 2 * k;
+            t.push((i, i, diag));
+            t.push((i, i + 1, -1.0));
+            t.push((i + 1, i, 1.0));
+            t.push((i + 1, i + 1, diag));
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn rotation_dominated_system_breaks_down_instead_of_burning_the_budget() {
+        // diag = 1e-15 puts r_hat·v at ~1e-15·‖r̂‖·‖v̂‖ on the very first
+        // iteration: far above the old absolute 1e-300 cutoff (which let the
+        // recurrence diverge and mis-report), but below the relative
+        // threshold, which must flag the near-breakdown immediately.
+        let a = rotation_blocks(20, 1e-15);
+        let b = vec![1.0; a.rows()];
+        let solver = BiCgStab::new(KrylovOptions::default());
+        match solver.solve(&a, &b, None, None) {
+            Err(SparseError::Breakdown { .. }) => {}
+            other => panic!("expected a breakdown, got {other:?}"),
+        }
     }
 
     #[test]

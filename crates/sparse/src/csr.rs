@@ -44,6 +44,16 @@ impl SparsityPattern {
         self.col_idx.len()
     }
 
+    /// Row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array (sorted within each row).
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
     /// Returns `true` when `matrix` has exactly this structure.
     pub fn matches<T: Scalar>(&self, matrix: &CsrMatrix<T>) -> bool {
         self.rows == matrix.rows

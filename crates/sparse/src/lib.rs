@@ -17,6 +17,9 @@
 //!   (pure electrostatic sub-problems).
 //! * [`SparseLu`] — a left-looking (Gilbert–Peierls style) direct sparse LU
 //!   with partial pivoting, used as a robust fallback and for smaller meshes.
+//! * [`SymbolicLu`] — the symbolic phase of the direct LU cached per
+//!   [`SparsityPattern`] (RCM ordering, pivot sequence, factor structure) so
+//!   repeated factorizations on one pattern pay only the numeric cost.
 //! * [`rcm`] — reverse Cuthill–McKee ordering to improve ILU quality and LU
 //!   fill.
 //! * [`LinearSolver`] — a front-end that picks a strategy and reports
@@ -61,6 +64,7 @@ mod lu;
 pub mod ordering;
 mod scaling;
 mod solver;
+mod symbolic;
 mod triplet;
 
 pub use bicgstab::{BiCgStab, BiCgStabWorkspace, KrylovOptions};
@@ -73,4 +77,5 @@ pub use lu::SparseLu;
 pub use ordering::rcm;
 pub use scaling::RowColScaling;
 pub use solver::{LinearSolver, PreparedSolver, SolveReport, SolverKind};
+pub use symbolic::SymbolicLu;
 pub use triplet::TripletMatrix;

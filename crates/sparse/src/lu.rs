@@ -40,6 +40,10 @@ pub struct SparseLu<T: Scalar = f64> {
     u_vals: Vec<T>,
     /// `prow[k]` = original row chosen as the k-th pivot.
     prow: Vec<usize>,
+    /// Optional column permutation `cperm[k] = original column` applied when
+    /// the factorization was computed on a symmetrically permuted matrix
+    /// (see [`crate::SymbolicLu`]); `None` for the natural ordering.
+    cperm: Option<Vec<usize>>,
 }
 
 impl<T: Scalar> SparseLu<T> {
@@ -196,7 +200,35 @@ impl<T: Scalar> SparseLu<T> {
             u_rows,
             u_vals,
             prow,
+            cperm: None,
         })
+    }
+
+    /// Assembles a factorization from raw parts (used by the symbolic/numeric
+    /// split in [`crate::SymbolicLu`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        n: usize,
+        l_colptr: Vec<usize>,
+        l_rows: Vec<usize>,
+        l_vals: Vec<T>,
+        u_colptr: Vec<usize>,
+        u_rows: Vec<usize>,
+        u_vals: Vec<T>,
+        prow: Vec<usize>,
+        cperm: Option<Vec<usize>>,
+    ) -> Self {
+        Self {
+            n,
+            l_colptr,
+            l_rows,
+            l_vals,
+            u_colptr,
+            u_rows,
+            u_vals,
+            prow,
+            cperm,
+        }
     }
 
     /// Dimension of the factorized matrix.
@@ -247,7 +279,17 @@ impl<T: Scalar> SparseLu<T> {
                 y[i] -= xk * v;
             }
         }
-        Ok(y)
+        // Undo the symmetric (column) permutation, if any.
+        match &self.cperm {
+            None => Ok(y),
+            Some(perm) => {
+                let mut x = vec![T::zero(); self.n];
+                for (k, &old) in perm.iter().enumerate() {
+                    x[old] = y[k];
+                }
+                Ok(x)
+            }
+        }
     }
 }
 

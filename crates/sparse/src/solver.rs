@@ -6,7 +6,7 @@
 
 use crate::{
     BiCgStab, BiCgStabWorkspace, CsrMatrix, Gmres, GmresWorkspace, Ilu0, KrylovOptions,
-    RowColScaling, SparseError, SparseLu,
+    RowColScaling, SparseError, SparseLu, SymbolicLu,
 };
 use vaem_numeric::{vecops, Scalar};
 
@@ -218,7 +218,7 @@ impl LinearSolver {
         }
         let (scaled, scaling) = RowColScaling::equilibrate(a);
         let factorization = match self.kind {
-            SolverKind::DirectLu => Factorization::Direct(SparseLu::new(&scaled)?),
+            SolverKind::DirectLu => direct_factorization(&scaled)?,
             SolverKind::IluBiCgStab => Factorization::Ilu {
                 ilu: Ilu0::new(&scaled)?,
                 gmres_fallback: false,
@@ -226,8 +226,8 @@ impl LinearSolver {
             SolverKind::IluGmres => Factorization::IluGmresOnly(Ilu0::new(&scaled)?),
             SolverKind::Auto => {
                 if a.rows() <= self.direct_threshold {
-                    match SparseLu::new(&scaled) {
-                        Ok(lu) => Factorization::Direct(lu),
+                    match direct_factorization(&scaled) {
+                        Ok(direct) => direct,
                         Err(_) => Factorization::Ilu {
                             ilu: Ilu0::new(&scaled)?,
                             gmres_fallback: true,
@@ -239,7 +239,7 @@ impl LinearSolver {
                             ilu,
                             gmres_fallback: true,
                         },
-                        Err(_) => Factorization::Direct(SparseLu::new(&scaled)?),
+                        Err(_) => direct_factorization(&scaled)?,
                     }
                 }
             }
@@ -258,8 +258,10 @@ impl LinearSolver {
 /// How a [`PreparedSolver`] applies its cached factorization.
 #[derive(Debug, Clone)]
 enum Factorization<T: Scalar> {
-    /// Direct sparse LU of the equilibrated matrix.
-    Direct(SparseLu<T>),
+    /// Direct sparse LU of the equilibrated matrix, kept together with its
+    /// symbolic phase so [`PreparedSolver::refactor`] pays only the numeric
+    /// cost when the values change on the same pattern.
+    Direct(Box<DirectFactorization<T>>),
     /// ILU(0) preconditioner shared by BiCGSTAB. When `gmres_fallback` is
     /// set (`Auto` mode), a failing solve falls back to GMRES with the same
     /// preconditioner and finally to an on-demand direct LU that replaces
@@ -267,6 +269,24 @@ enum Factorization<T: Scalar> {
     Ilu { ilu: Ilu0<T>, gmres_fallback: bool },
     /// ILU(0)-preconditioned GMRES only.
     IluGmresOnly(Ilu0<T>),
+}
+
+/// A direct sparse LU kept together with its symbolic phase (boxed inside
+/// [`Factorization`] to keep the enum small).
+#[derive(Debug, Clone)]
+struct DirectFactorization<T: Scalar> {
+    symbolic: SymbolicLu,
+    numeric: SparseLu<T>,
+}
+
+/// Builds a symbolic+numeric direct factorization of an equilibrated matrix.
+fn direct_factorization<T: Scalar>(scaled: &CsrMatrix<T>) -> Result<Factorization<T>, SparseError> {
+    let mut symbolic = SymbolicLu::analyze(scaled)?;
+    let numeric = symbolic.factor(scaled)?;
+    Ok(Factorization::Direct(Box::new(DirectFactorization {
+        symbolic,
+        numeric,
+    })))
 }
 
 /// A factorized linear system ready to solve many right-hand sides.
@@ -300,6 +320,54 @@ impl<T: Scalar> PreparedSolver<T> {
         }
     }
 
+    /// Re-equilibrates and refactorizes for a matrix with **new values on
+    /// the same sparsity pattern** (a Newton update, the next point of a
+    /// frequency sweep), keeping the symbolic analysis of the direct
+    /// strategy so only the numeric phase is redone.
+    ///
+    /// The strategy choice made by [`LinearSolver::prepare`] is kept; a
+    /// direct factorization whose cached pivot sequence has gone stale for
+    /// the new values transparently re-pivots (see [`SymbolicLu::factor`]),
+    /// and a pattern change falls back to a fresh symbolic analysis.
+    ///
+    /// # Errors
+    /// * [`SparseError::DimensionMismatch`] when the shape differs from the
+    ///   prepared matrix.
+    /// * Factorization failures of the kept strategy.
+    pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<(), SparseError> {
+        if a.rows() != self.scaled.rows() || a.cols() != self.scaled.cols() {
+            return Err(SparseError::DimensionMismatch {
+                detail: format!(
+                    "refactor expects a {}x{} matrix, got {}x{}",
+                    self.scaled.rows(),
+                    self.scaled.cols(),
+                    a.rows(),
+                    a.cols()
+                ),
+            });
+        }
+        // Factor against the *local* equilibrated matrix and only commit the
+        // new scaled/scaling state together with the new factorization: an
+        // error must leave the solver answering for the previously prepared
+        // matrix, not mix the old factors with the new scaling.
+        let (scaled, scaling) = RowColScaling::equilibrate(a);
+        match &mut self.factorization {
+            Factorization::Direct(direct) => match direct.symbolic.factor(&scaled) {
+                Ok(lu) => direct.numeric = lu,
+                Err(SparseError::DimensionMismatch { .. }) => {
+                    // The sparsity pattern itself changed: re-analyze.
+                    self.factorization = direct_factorization(&scaled)?;
+                }
+                Err(err) => return Err(err),
+            },
+            Factorization::Ilu { ilu, .. } => *ilu = Ilu0::new(&scaled)?,
+            Factorization::IluGmresOnly(ilu) => *ilu = Ilu0::new(&scaled)?,
+        }
+        self.scaled = scaled;
+        self.scaling = scaling;
+        Ok(())
+    }
+
     /// Solves `A·x = b` with the cached factorization.
     ///
     /// # Errors
@@ -331,7 +399,9 @@ impl<T: Scalar> PreparedSolver<T> {
         // bicgstab → gmres → direct chain of [`LinearSolver::solve`].
         let mut outcome: Option<(Vec<T>, &'static str, usize)> = None;
         match &self.factorization {
-            Factorization::Direct(lu) => outcome = Some((lu.solve(&bs)?, "sparse-lu", 0)),
+            Factorization::Direct(direct) => {
+                outcome = Some((direct.numeric.solve(&bs)?, "sparse-lu", 0))
+            }
             Factorization::Ilu {
                 ilu,
                 gmres_fallback,
@@ -378,11 +448,15 @@ impl<T: Scalar> PreparedSolver<T> {
             Some(result) => result,
             None => {
                 // Auto-mode last resort: the iteration has proven unreliable
-                // on this operator, so factor the direct LU once, keep it
+                // on this operator, so factor the direct LU once (with its
+                // symbolic phase, so later refactors stay cheap), keep it
                 // for every subsequent solve, and answer from it.
-                let lu = SparseLu::new(&self.scaled)?;
-                let y = lu.solve(&bs)?;
-                self.factorization = Factorization::Direct(lu);
+                let direct = direct_factorization(&self.scaled)?;
+                let y = match &direct {
+                    Factorization::Direct(d) => d.numeric.solve(&bs)?,
+                    _ => unreachable!("direct_factorization returns Direct"),
+                };
+                self.factorization = direct;
                 (y, "sparse-lu", 0)
             }
         };
@@ -586,6 +660,130 @@ mod tests {
         let (x2, report2) = prepared.solve(&b).unwrap();
         assert_eq!(report2.strategy, "sparse-lu");
         assert!(vecops::relative_diff(&x2, &x_true, 1e-30) < 1e-8);
+    }
+
+    /// Rotation-dominated system: near-90° 2×2 rotation blocks, chained by a
+    /// skip-two coupling so that ILU(0) drops fill and cannot be exact.
+    fn coupled_rotation_blocks(n_blocks: usize, diag: f64) -> CsrMatrix<f64> {
+        let n = 2 * n_blocks;
+        let mut t = Vec::new();
+        for k in 0..n_blocks {
+            let i = 2 * k;
+            t.push((i, i, diag));
+            t.push((i, i + 1, -1.0));
+            t.push((i + 1, i, 1.0));
+            t.push((i + 1, i + 1, diag));
+            if i + 2 < n {
+                t.push((i, i + 2, 0.3));
+                t.push((i + 2, i, -0.3));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn rotation_dominated_near_breakdown_never_yields_an_unconverged_iterate() {
+        // With a ~1e-12 rotation-block diagonal, the BiCGSTAB recurrence
+        // residual used to drift from the true residual after the
+        // near-breakdown amplification and the solver returned "converged"
+        // iterates that were wrong by ~1e-5. The true-residual verification
+        // must either push the iteration on (residual-replacement restart)
+        // or fail so the chain escalates — never hand back a bad iterate.
+        let a = coupled_rotation_blocks(40, 1e-12); // 80 unknowns
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = a.matvec(&x_true);
+
+        let solver = LinearSolver::new(SolverKind::Auto).with_direct_threshold(8);
+        let (x, report) = solver.solve(&a, &b).unwrap();
+        assert!(
+            vecops::relative_diff(&x, &x_true, 1e-30) < 1e-7,
+            "one-shot chain returned a bad iterate: report {report:?}"
+        );
+        assert!(report.residual_norm < 1e-8, "report {report:?}");
+
+        let mut prepared = solver.prepare(&a).unwrap();
+        let (xp, report_p) = prepared.solve(&b).unwrap();
+        assert!(
+            vecops::relative_diff(&xp, &x_true, 1e-30) < 1e-7,
+            "prepared chain returned a bad iterate: report {report_p:?}"
+        );
+        assert!(report_p.residual_norm < 1e-8, "report {report_p:?}");
+    }
+
+    #[test]
+    fn exactly_singular_rotation_blocks_escalate_to_the_direct_lu() {
+        // A structurally present but exactly zero diagonal defeats ILU(0),
+        // so both chains must escalate to the (pivoting) direct LU.
+        let a = coupled_rotation_blocks(40, 0.0);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = a.matvec(&x_true);
+        let solver = LinearSolver::new(SolverKind::Auto).with_direct_threshold(8);
+        let (x, report) = solver.solve(&a, &b).unwrap();
+        assert_eq!(report.strategy, "sparse-lu");
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-8);
+        let mut prepared = solver.prepare(&a).unwrap();
+        assert_eq!(prepared.strategy(), "sparse-lu");
+        let (xp, _) = prepared.solve(&b).unwrap();
+        assert!(vecops::relative_diff(&xp, &x_true, 1e-30) < 1e-8);
+    }
+
+    #[test]
+    fn refactor_reuses_the_direct_symbolic_phase() {
+        let a = laplacian_2d(9);
+        let solver = LinearSolver::new(SolverKind::Auto); // 81 unknowns -> direct
+        let mut prepared = solver.prepare(&a).unwrap();
+        assert_eq!(prepared.strategy(), "sparse-lu");
+        // New values, same pattern: a shifted operator.
+        let mut shifted = a.clone();
+        let triplets: Vec<(usize, usize, f64)> = (0..a.rows())
+            .flat_map(|r| {
+                a.row_entries(r)
+                    .map(move |(c, v)| (r, c, if r == c { v + 1.5 } else { v }))
+            })
+            .collect();
+        shifted.assemble_into(&triplets).unwrap();
+        prepared.refactor(&shifted).unwrap();
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.17).cos()).collect();
+        let b = shifted.matvec(&x_true);
+        let (x, report) = prepared.solve(&b).unwrap();
+        assert_eq!(report.strategy, "sparse-lu");
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-8);
+        // And the refactored operator matches a from-scratch solve.
+        let (x_ref, _) = solver.solve(&shifted, &b).unwrap();
+        assert!(vecops::relative_diff(&x, &x_ref, 1e-30) < 1e-8);
+    }
+
+    #[test]
+    fn refactor_rebuilds_the_ilu_preconditioner() {
+        let a = laplacian_2d(20);
+        let solver = LinearSolver::new(SolverKind::IluBiCgStab);
+        let mut prepared = solver.prepare(&a).unwrap();
+        let mut shifted = a.clone();
+        let triplets: Vec<(usize, usize, f64)> = (0..a.rows())
+            .flat_map(|r| {
+                a.row_entries(r)
+                    .map(move |(c, v)| (r, c, if r == c { v * 2.0 } else { v }))
+            })
+            .collect();
+        shifted.assemble_into(&triplets).unwrap();
+        prepared.refactor(&shifted).unwrap();
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.09).sin()).collect();
+        let b = shifted.matvec(&x_true);
+        let (x, report) = prepared.solve(&b).unwrap();
+        assert_eq!(report.strategy, "ilu0-bicgstab");
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-7);
+        assert!(report.residual_norm < 1e-8);
+    }
+
+    #[test]
+    fn refactor_rejects_a_shape_change() {
+        let a = laplacian_2d(5);
+        let mut prepared = LinearSolver::default().prepare(&a).unwrap();
+        let other = laplacian_2d(6);
+        assert!(matches!(
+            prepared.refactor(&other),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,658 @@
+//! Symbolic/numeric split of the direct sparse LU.
+//!
+//! [`SparseLu::new`] redoes the whole pipeline — fill-reducing ordering is
+//! absent, the reachability DFS and the pivot search run per column — on
+//! every call. Workloads that factorize many matrices with one sparsity
+//! pattern (Newton iterations, frequency sweeps, perturbed samples) only
+//! change the *values*, so [`SymbolicLu`] caches everything that depends on
+//! the pattern alone:
+//!
+//! * the reverse Cuthill–McKee ordering of the pattern (fill reduction),
+//! * after the first numeric factorization: the pivot sequence and the full
+//!   structural patterns of `L` and `U`.
+//!
+//! Subsequent [`SymbolicLu::factor`] calls then pay only the numeric phase —
+//! a sparse triangular solve per column over a fixed pattern, with no DFS,
+//! no sorting and no pivot search. A cached pivot that becomes numerically
+//! unstable for the new values triggers a transparent fresh pivoting
+//! factorization (which also refreshes the cached structure).
+
+use crate::{ordering, CsrMatrix, SparseError, SparseLu, SparsityPattern};
+use vaem_numeric::Scalar;
+
+/// Relative pivot tolerance of the numeric-only refactorization: when the
+/// cached pivot falls below this fraction of the magnitude of its column the
+/// cached pivot sequence is considered stale and the factorization restarts
+/// with fresh partial pivoting.
+const REFACTOR_PIVOT_TOL: f64 = 1e-10;
+
+/// The reusable symbolic phase of the sparse LU for one sparsity pattern.
+///
+/// # Example
+/// ```
+/// use vaem_sparse::{CsrMatrix, SparsityPattern, SymbolicLu};
+/// let a = CsrMatrix::from_triplets(3, 3, &[
+///     (0, 0, 2.0), (0, 1, 1.0),
+///     (1, 0, -1.0), (1, 1, 3.0), (1, 2, 0.5),
+///     (2, 1, 1.0), (2, 2, 4.0),
+/// ]);
+/// let mut symbolic = SymbolicLu::new(&SparsityPattern::of(&a))?;
+/// let lu = symbolic.factor(&a)?; // full pivoting factorization
+/// let x = lu.solve(&[1.0, 2.0, 3.0])?;
+/// // Same pattern, new values: only the numeric phase runs.
+/// let b = CsrMatrix::from_triplets(3, 3, &[
+///     (0, 0, 4.0), (0, 1, -1.0),
+///     (1, 0, 2.0), (1, 1, 5.0), (1, 2, 1.5),
+///     (2, 1, -1.0), (2, 2, 2.0),
+/// ]);
+/// let lu_b = symbolic.factor(&b)?;
+/// let y = lu_b.solve(&[1.0, 2.0, 3.0])?;
+/// assert!(a.residual(&x, &[1.0, 2.0, 3.0]).iter().all(|r| r.abs() < 1e-10));
+/// assert!(b.residual(&y, &[1.0, 2.0, 3.0]).iter().all(|r| r.abs() < 1e-10));
+/// # Ok::<(), vaem_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymbolicLu {
+    n: usize,
+    pattern: SparsityPattern,
+    /// Fill-reducing (RCM) ordering, `perm[new] = old`.
+    perm: Vec<usize>,
+    /// Column access of the permuted matrix `Ap = A(p, p)`: per permuted
+    /// column, the permuted row indices and the positions of the values in
+    /// the CSR value array of the *unpermuted* matrix. Pattern-only, so it
+    /// is valid for every matrix sharing the pattern.
+    col_ptr: Vec<usize>,
+    col_rows: Vec<usize>,
+    col_src: Vec<usize>,
+    /// Pivot sequence + factor patterns recorded by the first numeric
+    /// factorization.
+    structure: Option<LuStructure>,
+}
+
+/// Structural output of one pivoting factorization, all row indices in pivot
+/// coordinates of the permuted matrix.
+#[derive(Debug, Clone)]
+struct LuStructure {
+    /// `prow[k]` = permuted row chosen as the k-th pivot.
+    prow: Vec<usize>,
+    /// `pinv[permuted row]` = pivot index.
+    pinv: Vec<usize>,
+    l_colptr: Vec<usize>,
+    /// Strictly-lower rows per column, sorted ascending.
+    l_rows: Vec<usize>,
+    u_colptr: Vec<usize>,
+    /// Upper rows per column, sorted ascending; the diagonal (`== column`)
+    /// is therefore the last entry.
+    u_rows: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Analyzes a sparsity pattern: computes the fill-reducing ordering and
+    /// the permuted column-access map.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::DimensionMismatch`] for a non-square pattern.
+    pub fn new(pattern: &SparsityPattern) -> Result<Self, SparseError> {
+        let n = pattern.rows();
+        if pattern.cols() != n {
+            return Err(SparseError::DimensionMismatch {
+                detail: format!(
+                    "symbolic LU requires a square pattern, got {}x{}",
+                    n,
+                    pattern.cols()
+                ),
+            });
+        }
+        let perm = ordering::rcm(&pattern.zeros::<f64>());
+        let mut inv = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        // Bucket the CSR entries by permuted column.
+        let row_ptr = pattern.row_ptr();
+        let col_idx = pattern.col_idx();
+        let mut col_ptr = vec![0usize; n + 1];
+        for &c in col_idx {
+            col_ptr[inv[c] + 1] += 1;
+        }
+        for j in 0..n {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let mut next = col_ptr.clone();
+        let mut col_rows = vec![0usize; col_idx.len()];
+        let mut col_src = vec![0usize; col_idx.len()];
+        for r in 0..n {
+            for k in row_ptr[r]..row_ptr[r + 1] {
+                let pc = inv[col_idx[k]];
+                let dst = next[pc];
+                col_rows[dst] = inv[r];
+                col_src[dst] = k;
+                next[pc] += 1;
+            }
+        }
+        Ok(Self {
+            n,
+            pattern: pattern.clone(),
+            perm,
+            col_ptr,
+            col_rows,
+            col_src,
+            structure: None,
+        })
+    }
+
+    /// Convenience: analyzes the pattern of an assembled matrix.
+    ///
+    /// # Errors
+    /// Same conditions as [`SymbolicLu::new`].
+    pub fn analyze<T: Scalar>(a: &CsrMatrix<T>) -> Result<Self, SparseError> {
+        Self::new(&SparsityPattern::of(a))
+    }
+
+    /// Dimension of the analyzed pattern.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The fill-reducing ordering (`perm[new] = old`).
+    pub fn ordering(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// `true` once a factorization has recorded the pivot sequence, i.e.
+    /// subsequent [`SymbolicLu::factor`] calls take the numeric-only path.
+    pub fn has_structure(&self) -> bool {
+        self.structure.is_some()
+    }
+
+    /// Factorizes a matrix with the analyzed pattern.
+    ///
+    /// The first call runs the full pivoting factorization and records the
+    /// pivot sequence and factor structure; later calls redo only the
+    /// numeric phase against that structure, restarting with fresh pivoting
+    /// when a cached pivot becomes numerically unusable for the new values.
+    ///
+    /// # Errors
+    /// * [`SparseError::DimensionMismatch`] when `a` does not have exactly
+    ///   the analyzed pattern.
+    /// * [`SparseError::ZeroPivot`] when the matrix is (numerically)
+    ///   singular even under fresh pivoting.
+    pub fn factor<T: Scalar>(&mut self, a: &CsrMatrix<T>) -> Result<SparseLu<T>, SparseError> {
+        if !self.pattern.matches(a) {
+            return Err(SparseError::DimensionMismatch {
+                detail: format!(
+                    "matrix ({}x{}, {} nnz) does not share the analyzed sparsity pattern \
+                     ({}x{}, {} nnz)",
+                    a.rows(),
+                    a.cols(),
+                    a.nnz(),
+                    self.pattern.rows(),
+                    self.pattern.cols(),
+                    self.pattern.nnz()
+                ),
+            });
+        }
+        if let Some(structure) = &self.structure {
+            match self.refactor_numeric(a, structure) {
+                Ok(lu) => return Ok(lu),
+                // Stale pivot sequence — fall through to a fresh pivoting
+                // factorization, which also refreshes the structure.
+                Err(_) => self.structure = None,
+            }
+        }
+        self.factor_full(a)
+    }
+
+    /// Full left-looking Gilbert–Peierls factorization with partial pivoting
+    /// on the RCM-permuted matrix; records the (unpruned) structural reach
+    /// of every column so the numeric refactorization stays exact even when
+    /// entries that cancelled here become non-zero later.
+    fn factor_full<T: Scalar>(&mut self, a: &CsrMatrix<T>) -> Result<SparseLu<T>, SparseError> {
+        let n = self.n;
+        let vals = a.values();
+
+        let mut pinv = vec![usize::MAX; n];
+        let mut prow = vec![usize::MAX; n];
+        // L columns in *permuted* row indices during factorization.
+        let mut l_colptr = vec![0usize];
+        let mut l_rows: Vec<usize> = Vec::new();
+        let mut l_vals: Vec<T> = Vec::new();
+        // U columns in pivot coordinates.
+        let mut u_colptr = vec![0usize];
+        let mut u_rows: Vec<usize> = Vec::new();
+        let mut u_vals: Vec<T> = Vec::new();
+
+        let mut x = vec![T::zero(); n];
+        let mut mark = vec![usize::MAX; n];
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+
+        for j in 0..n {
+            // ---- symbolic: reach of Ap[:, j] through the L columns ----
+            topo.clear();
+            for t in self.col_ptr[j]..self.col_ptr[j + 1] {
+                let row = self.col_rows[t];
+                if mark[row] == j {
+                    continue;
+                }
+                dfs_stack.push((row, 0));
+                mark[row] = j;
+                while let Some(&mut (node, ref mut child_pos)) = dfs_stack.last_mut() {
+                    let k = pinv[node];
+                    let children: &[usize] = if k == usize::MAX {
+                        &[]
+                    } else {
+                        &l_rows[l_colptr[k]..l_colptr[k + 1]]
+                    };
+                    if *child_pos < children.len() {
+                        let child = children[*child_pos];
+                        *child_pos += 1;
+                        if mark[child] != j {
+                            mark[child] = j;
+                            dfs_stack.push((child, 0));
+                        }
+                    } else {
+                        topo.push(node);
+                        dfs_stack.pop();
+                    }
+                }
+            }
+            topo.reverse();
+
+            // ---- numeric: sparse triangular solve ----
+            for &r in &topo {
+                x[r] = T::zero();
+            }
+            for t in self.col_ptr[j]..self.col_ptr[j + 1] {
+                x[self.col_rows[t]] = vals[self.col_src[t]];
+            }
+            for &r in &topo {
+                let k = pinv[r];
+                if k == usize::MAX {
+                    continue;
+                }
+                let xr = x[r];
+                if xr.modulus() == 0.0 {
+                    continue;
+                }
+                for idx in l_colptr[k]..l_colptr[k + 1] {
+                    x[l_rows[idx]] -= xr * l_vals[idx];
+                }
+            }
+
+            // ---- pivot selection among non-pivotal rows ----
+            let mut piv_row = usize::MAX;
+            let mut piv_mag = 0.0_f64;
+            for &r in &topo {
+                if pinv[r] == usize::MAX {
+                    let m = x[r].modulus();
+                    if m > piv_mag {
+                        piv_mag = m;
+                        piv_row = r;
+                    }
+                }
+            }
+            if piv_row == usize::MAX || piv_mag == 0.0 {
+                return Err(SparseError::ZeroPivot { index: j });
+            }
+            let piv_val = x[piv_row];
+
+            // ---- store U[:, j] and L[:, j]; keep the whole reach, even
+            // numerically zero entries, so the cached structure stays a
+            // superset for any values on this pattern ----
+            for &r in &topo {
+                let k = pinv[r];
+                if k != usize::MAX {
+                    u_rows.push(k);
+                    u_vals.push(x[r]);
+                }
+            }
+            u_rows.push(j);
+            u_vals.push(piv_val);
+            u_colptr.push(u_rows.len());
+
+            for &r in &topo {
+                if pinv[r] == usize::MAX && r != piv_row {
+                    l_rows.push(r);
+                    l_vals.push(x[r] / piv_val);
+                }
+            }
+            l_colptr.push(l_rows.len());
+
+            pinv[piv_row] = j;
+            prow[j] = piv_row;
+        }
+
+        // Remap L rows to pivot coordinates, then sort every factor column
+        // ascending (the U diagonal lands last automatically) so the numeric
+        // refactorization can eliminate in plain index order.
+        for r in &mut l_rows {
+            *r = pinv[*r];
+        }
+        for j in 0..n {
+            sort_column(&mut l_rows, &mut l_vals, l_colptr[j], l_colptr[j + 1]);
+            sort_column(&mut u_rows, &mut u_vals, u_colptr[j], u_colptr[j + 1]);
+        }
+
+        self.structure = Some(LuStructure {
+            prow: prow.clone(),
+            pinv,
+            l_colptr: l_colptr.clone(),
+            l_rows: l_rows.clone(),
+            u_colptr: u_colptr.clone(),
+            u_rows: u_rows.clone(),
+        });
+
+        let prow_orig: Vec<usize> = prow.iter().map(|&r| self.perm[r]).collect();
+        Ok(SparseLu::from_parts(
+            n,
+            l_colptr,
+            l_rows,
+            l_vals,
+            u_colptr,
+            u_rows,
+            u_vals,
+            prow_orig,
+            Some(self.perm.clone()),
+        ))
+    }
+
+    /// Numeric-only refactorization against a cached pivot sequence and
+    /// factor structure: per column, scatter, eliminate in ascending pivot
+    /// order, divide — no reachability DFS, no sorting, no pivot search.
+    fn refactor_numeric<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        st: &LuStructure,
+    ) -> Result<SparseLu<T>, SparseError> {
+        let n = self.n;
+        let vals = a.values();
+        let mut l_vals = vec![T::zero(); st.l_rows.len()];
+        let mut u_vals = vec![T::zero(); st.u_rows.len()];
+        let mut x = vec![T::zero(); n];
+
+        for j in 0..n {
+            // The column pattern is exactly U[:, j] ∪ L[:, j] (the diagonal
+            // is the last U entry); zero it, then scatter Ap[:, j].
+            for idx in st.u_colptr[j]..st.u_colptr[j + 1] {
+                x[st.u_rows[idx]] = T::zero();
+            }
+            for idx in st.l_colptr[j]..st.l_colptr[j + 1] {
+                x[st.l_rows[idx]] = T::zero();
+            }
+            for t in self.col_ptr[j]..self.col_ptr[j + 1] {
+                x[st.pinv[self.col_rows[t]]] = vals[self.col_src[t]];
+            }
+
+            let u_lo = st.u_colptr[j];
+            let u_hi = st.u_colptr[j + 1];
+            for idx in u_lo..(u_hi - 1) {
+                let k = st.u_rows[idx];
+                let xk = x[k];
+                u_vals[idx] = xk;
+                if xk.modulus() != 0.0 {
+                    for li in st.l_colptr[k]..st.l_colptr[k + 1] {
+                        x[st.l_rows[li]] -= xk * l_vals[li];
+                    }
+                }
+            }
+
+            let piv = x[j];
+            let l_lo = st.l_colptr[j];
+            let l_hi = st.l_colptr[j + 1];
+            let mut colmax = piv.modulus();
+            for idx in l_lo..l_hi {
+                colmax = colmax.max(x[st.l_rows[idx]].modulus());
+            }
+            if piv.modulus() == 0.0 || piv.modulus() < REFACTOR_PIVOT_TOL * colmax {
+                return Err(SparseError::ZeroPivot { index: j });
+            }
+            u_vals[u_hi - 1] = piv;
+            for idx in l_lo..l_hi {
+                l_vals[idx] = x[st.l_rows[idx]] / piv;
+            }
+        }
+
+        let prow_orig: Vec<usize> = st.prow.iter().map(|&r| self.perm[r]).collect();
+        Ok(SparseLu::from_parts(
+            n,
+            st.l_colptr.clone(),
+            st.l_rows.clone(),
+            l_vals,
+            st.u_colptr.clone(),
+            st.u_rows.clone(),
+            u_vals,
+            prow_orig,
+            Some(self.perm.clone()),
+        ))
+    }
+}
+
+/// Sorts the `(row, value)` pairs of one factor column by row index.
+fn sort_column<T: Scalar>(rows: &mut [usize], vals: &mut [T], lo: usize, hi: usize) {
+    if hi - lo < 2 {
+        return;
+    }
+    let mut pairs: Vec<(usize, T)> = (lo..hi).map(|i| (rows[i], vals[i])).collect();
+    pairs.sort_unstable_by_key(|&(r, _)| r);
+    for (off, (r, v)) in pairs.into_iter().enumerate() {
+        rows[lo + off] = r;
+        vals[lo + off] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaem_numeric::{vecops, Complex64};
+
+    fn laplacian_2d(nx: usize) -> CsrMatrix<f64> {
+        let n = nx * nx;
+        let idx = |i: usize, j: usize| i * nx + j;
+        let mut t = Vec::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                t.push((idx(i, j), idx(i, j), 4.0));
+                if i > 0 {
+                    t.push((idx(i, j), idx(i - 1, j), -1.0));
+                }
+                if i + 1 < nx {
+                    t.push((idx(i, j), idx(i + 1, j), -1.0));
+                }
+                if j > 0 {
+                    t.push((idx(i, j), idx(i, j - 1), -1.0));
+                }
+                if j + 1 < nx {
+                    t.push((idx(i, j), idx(i, j + 1), -1.0));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    /// Rebuilds the laplacian with shifted values on the identical pattern.
+    fn shifted_laplacian(nx: usize, shift: f64) -> CsrMatrix<f64> {
+        let mut a = laplacian_2d(nx);
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        for r in 0..a.rows() {
+            for (c, v) in a.row_entries(r) {
+                let v = if r == c {
+                    v + shift
+                } else {
+                    v * (1.0 + shift * 0.1)
+                };
+                triplets.push((r, c, v));
+            }
+        }
+        a.assemble_into(&triplets).unwrap();
+        a
+    }
+
+    #[test]
+    fn first_factorization_matches_plain_sparse_lu() {
+        let a = laplacian_2d(9);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.21).sin()).collect();
+        let b = a.matvec(&x_true);
+        let mut sym = SymbolicLu::analyze(&a).unwrap();
+        assert!(!sym.has_structure());
+        let lu = sym.factor(&a).unwrap();
+        assert!(sym.has_structure());
+        let x = lu.solve(&b).unwrap();
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-10);
+        let reference = SparseLu::new(&a).unwrap().solve(&b).unwrap();
+        assert!(vecops::relative_diff(&x, &reference, 1e-30) < 1e-10);
+    }
+
+    #[test]
+    fn numeric_refactorization_matches_from_scratch_factorization() {
+        let a = laplacian_2d(8);
+        let mut sym = SymbolicLu::analyze(&a).unwrap();
+        sym.factor(&a).unwrap();
+        for shift in [0.5, -0.25, 3.0] {
+            let b_mat = shifted_laplacian(8, shift);
+            let lu = sym.factor(&b_mat).unwrap();
+            assert!(sym.has_structure(), "shift {shift} fell back to full");
+            let x_true: Vec<f64> = (0..b_mat.rows()).map(|i| (i as f64 * 0.4).cos()).collect();
+            let rhs = b_mat.matvec(&x_true);
+            let x = lu.solve(&rhs).unwrap();
+            let fresh = SparseLu::new(&b_mat).unwrap().solve(&rhs).unwrap();
+            assert!(
+                vecops::relative_diff(&x, &x_true, 1e-30) < 1e-10,
+                "shift {shift}"
+            );
+            assert!(
+                vecops::relative_diff(&x, &fresh, 1e-30) < 1e-10,
+                "shift {shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn entries_cancelling_in_the_first_factorization_survive_refactor() {
+        // In the first matrix the update 1·(1/2)·2 cancels A[2,1] exactly, so
+        // a value-pruned structure would drop that factor position; the
+        // second matrix needs it. The refactorization must stay exact.
+        let t1 = [
+            (0usize, 0usize, 2.0),
+            (0, 1, 2.0),
+            (1, 0, 1.0),
+            (1, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 1, 4.0),
+            (2, 2, 5.0),
+        ];
+        let a = CsrMatrix::from_triplets(3, 3, &t1);
+        let mut sym = SymbolicLu::analyze(&a).unwrap();
+        sym.factor(&a).unwrap();
+        let t2 = [
+            (0usize, 0usize, 2.0),
+            (0, 1, 2.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 1.0),
+            (2, 1, 4.0),
+            (2, 2, 5.0),
+        ];
+        let b_mat = CsrMatrix::from_triplets(3, 3, &t2);
+        let lu = sym.factor(&b_mat).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let rhs = b_mat.matvec(&x_true);
+        let x = lu.solve(&rhs).unwrap();
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-10);
+    }
+
+    #[test]
+    fn complex_refactorization_round_trips() {
+        let n = 40;
+        let build = |phase: f64| {
+            let mut t: Vec<(usize, usize, Complex64)> = Vec::new();
+            for i in 0..n {
+                t.push((i, i, Complex64::new(3.0, phase)));
+                if i > 0 {
+                    t.push((i, i - 1, Complex64::new(-1.0, 0.3 * phase)));
+                }
+                if i + 1 < n {
+                    t.push((i, i + 1, Complex64::new(-0.7, -0.2)));
+                }
+                if i + 6 < n {
+                    t.push((i, i + 6, Complex64::new(0.2, 0.1 * phase)));
+                }
+            }
+            CsrMatrix::from_triplets(n, n, &t)
+        };
+        let a = build(1.0);
+        let mut sym = SymbolicLu::analyze(&a).unwrap();
+        sym.factor(&a).unwrap();
+        let b_mat = build(2.5);
+        let x_true: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).cos(), (i as f64 * 0.15).sin()))
+            .collect();
+        let rhs = b_mat.matvec(&x_true);
+        let x = sym.factor(&b_mat).unwrap().solve(&rhs).unwrap();
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-9);
+    }
+
+    #[test]
+    fn stale_pivot_sequence_triggers_a_fresh_factorization() {
+        // First factor a diagonally dominant matrix, then hand in values
+        // that zero the previously chosen pivots; factor() must transparently
+        // re-pivot and still produce an accurate factorization.
+        let t1 = [
+            (0usize, 0usize, 10.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 10.0),
+        ];
+        let a = CsrMatrix::from_triplets(2, 2, &t1);
+        let mut sym = SymbolicLu::analyze(&a).unwrap();
+        sym.factor(&a).unwrap();
+        let t2 = [(0usize, 0usize, 0.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.0)];
+        let b_mat = CsrMatrix::from_triplets(2, 2, &t2);
+        let lu = sym.factor(&b_mat).unwrap();
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_pattern_is_rejected() {
+        let a = laplacian_2d(4);
+        let mut sym = SymbolicLu::analyze(&a).unwrap();
+        let other = laplacian_2d(5);
+        assert!(matches!(
+            sym.factor(&other),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+        // Same shape, different pattern.
+        let dense_row = CsrMatrix::from_triplets(
+            a.rows(),
+            a.cols(),
+            &(0..a.cols())
+                .map(|c| (0usize, c, 1.0))
+                .chain((1..a.rows()).map(|r| (r, r, 1.0)))
+                .collect::<Vec<_>>(),
+        );
+        assert!(matches!(
+            sym.factor(&dense_row),
+            Err(SparseError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn singular_matrix_reports_zero_pivot() {
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 0.0), (1, 1, 0.0)]);
+        let mut sym = SymbolicLu::analyze(&a).unwrap();
+        assert!(matches!(sym.factor(&a), Err(SparseError::ZeroPivot { .. })));
+    }
+
+    #[test]
+    fn rcm_ordering_is_a_permutation() {
+        let a = laplacian_2d(6);
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        let mut sorted = sym.ordering().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..a.rows()).collect::<Vec<_>>());
+        assert_eq!(sym.dim(), a.rows());
+    }
+}

@@ -1,0 +1,71 @@
+//! Tier-1 guarantee of the frequency-sweep engine:
+//! `VariationalAnalysis::run_frequency_sweep` must produce bit-for-bit
+//! identical spectra for any `VAEM_THREADS` value — each collocation sample
+//! owns its input slot and every per-sample sweep is a deterministic
+//! sequence of refactorized, warm-started solves.
+//!
+//! This file intentionally holds a single test: it mutates the process-wide
+//! `VAEM_THREADS` variable, so no other test may race on it in this binary
+//! (`tests/parallel_determinism.rs` covers the single-frequency run in its
+//! own binary for the same reason).
+
+use vaem::config::{AnalysisConfig, DopingVariationConfig, QuantitySet, VariationSpec};
+use vaem::{FrequencySweepResult, VariationalAnalysis};
+use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+
+fn tiny_analysis() -> VariationalAnalysis {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let mut config = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
+        terminal: "plug1".to_string(),
+    });
+    config.energy_fraction = 0.9;
+    config.max_reduced_per_group = 2;
+    config.variations = VariationSpec {
+        roughness: None,
+        doping: Some(DopingVariationConfig {
+            max_nodes: 10,
+            ..DopingVariationConfig::paper_default()
+        }),
+    };
+    VariationalAnalysis::new(structure, config)
+}
+
+/// Exact (bit-level) fingerprint of a sweep result: every nominal value and
+/// every SSCM moment at every grid point.
+fn fingerprint(result: &FrequencySweepResult) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for f in &result.frequencies {
+        bits.push(f.to_bits());
+    }
+    for q in &result.quantities {
+        for v in &q.nominal {
+            bits.push(v.to_bits());
+        }
+        for s in &q.sscm {
+            bits.push(s.mean.to_bits());
+            bits.push(s.std.to_bits());
+        }
+    }
+    bits.push(result.collocation_runs as u64);
+    bits
+}
+
+#[test]
+fn sweep_is_bit_identical_across_thread_counts() {
+    let frequencies = [1.0e8, 5.0e8, 1.0e9, 5.0e9];
+    std::env::set_var("VAEM_THREADS", "1");
+    let serial = tiny_analysis()
+        .run_frequency_sweep(&frequencies)
+        .expect("serial sweep");
+    std::env::set_var("VAEM_THREADS", "4");
+    let parallel = tiny_analysis()
+        .run_frequency_sweep(&frequencies)
+        .expect("parallel sweep");
+    std::env::remove_var("VAEM_THREADS");
+
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "frequency-sweep spectra changed with the thread count"
+    );
+}
