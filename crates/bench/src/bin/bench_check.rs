@@ -156,10 +156,12 @@ fn main() -> ExitCode {
     let baseline = parse_results(&baseline_text);
 
     let mut failed = false;
+    let mut summary: Vec<String> = Vec::new();
     for id in &args[2..] {
         let (tag, now, base, ratio) = match check_id(&current, &baseline, id, max_regression) {
             Verdict::Unusable { reason } => {
                 eprintln!("FAIL {id}: {reason}");
+                summary.push(format!("{id} unusable"));
                 failed = true;
                 continue;
             }
@@ -174,12 +176,26 @@ fn main() -> ExitCode {
             now / 1e6,
             base / 1e6
         );
+        summary.push(format!("{id} {}", speedup_label(ratio)));
     }
+    // One grep-able line with the per-key speedup/slowdown ratios vs the
+    // baseline (speedup = baseline/current, so >1.00x is an improvement).
+    println!(
+        "bench_check summary [{}]: {}",
+        if failed { "FAIL" } else { "ok" },
+        summary.join(", ")
+    );
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Renders a current/baseline time ratio as a speedup factor
+/// (`baseline / current`, so `1.25x` means 25 % faster than the baseline).
+fn speedup_label(time_ratio: f64) -> String {
+    format!("{:.2}x", 1.0 / time_ratio)
 }
 
 #[cfg(test)]
@@ -235,6 +251,13 @@ mod tests {
             check_id(&set(&[]), &some, "a", 1.2),
             Verdict::Unusable { reason } if reason.contains("current")
         ));
+    }
+
+    #[test]
+    fn speedup_labels_invert_the_time_ratio() {
+        assert_eq!(speedup_label(0.5), "2.00x"); // twice as fast as baseline
+        assert_eq!(speedup_label(1.0), "1.00x");
+        assert_eq!(speedup_label(2.0), "0.50x"); // twice as slow
     }
 
     #[test]

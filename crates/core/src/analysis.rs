@@ -15,7 +15,9 @@ use rand::SeedableRng;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
-use vaem_fvm::{postprocess, AcSolution, CoupledSolver, DcSolution, FvmError, SolverTopology};
+use vaem_fvm::{
+    postprocess, AcSolution, CoupledSolver, DcSolution, FvmError, SeedReuseStats, SolverTopology,
+};
 use vaem_mesh::{NodeId, Structure};
 use vaem_numeric::dense::DMatrix;
 use vaem_numeric::stats::RunningStats;
@@ -127,6 +129,11 @@ pub struct AnalysisResult {
     pub sscm_seconds: f64,
     /// Wall-clock seconds of the Monte-Carlo stage.
     pub mc_seconds: f64,
+    /// Cross-sample symbolic-reuse statistics: whether the nominal solve
+    /// published DC/AC donor factorizations and how many samples had to
+    /// re-pivot because the donor's pivot sequence went numerically stale
+    /// for their perturbed values.
+    pub seed_reuse: SeedReuseStats,
 }
 
 impl AnalysisResult {
@@ -177,6 +184,9 @@ pub struct FrequencySweepResult {
     pub collocation_runs: usize,
     /// Wall-clock seconds of the whole sweep (nominal + collocation).
     pub seconds: f64,
+    /// Cross-sample symbolic-reuse statistics (see
+    /// [`AnalysisResult::seed_reuse`]).
+    pub seed_reuse: SeedReuseStats,
 }
 
 impl FrequencySweepResult {
@@ -317,6 +327,18 @@ impl VariationalAnalysis {
         Ok((structure, doping))
     }
 
+    /// Solver options for the perturbed-sample workers: identical to the
+    /// configured options except that samples never *publish* symbolic
+    /// donors onto the shared topology. The nominal solve (run before the
+    /// fan-out) is the single designated donor, so which pivot sequence
+    /// seeds the sweep can never depend on worker timing.
+    fn sample_solver_options(&self) -> vaem_fvm::SolverOptions {
+        vaem_fvm::SolverOptions {
+            publish_symbolic: false,
+            ..self.config.solver.clone()
+        }
+    }
+
     /// [`VariationalAnalysis::evaluate_sample`] against a shared
     /// [`SolverTopology`] (terminal labelling, adjacency and sparsity
     /// patterns built once per analysis, not once per sample).
@@ -330,7 +352,7 @@ impl VariationalAnalysis {
         let solver = CoupledSolver::with_topology(
             &structure,
             &doping,
-            self.config.solver.clone(),
+            self.sample_solver_options(),
             topology.clone(),
         )?;
         let dc = solver.solve_dc()?;
@@ -354,7 +376,7 @@ impl VariationalAnalysis {
         let solver = CoupledSolver::with_topology(
             &structure,
             &doping,
-            self.config.solver.clone(),
+            self.sample_solver_options(),
             topology.clone(),
         )?;
         let dc = solver.solve_dc()?;
@@ -753,6 +775,7 @@ impl VariationalAnalysis {
             mc_runs: self.config.mc_runs,
             sscm_seconds,
             mc_seconds,
+            seed_reuse: topology.seed_stats(),
         })
     }
 
@@ -854,6 +877,7 @@ impl VariationalAnalysis {
             reductions: reduction_summary,
             collocation_runs: sscm.run_count(),
             seconds: start.elapsed().as_secs_f64(),
+            seed_reuse: topology.seed_stats(),
         })
     }
 }
@@ -961,6 +985,66 @@ mod tests {
             analysis.run_frequency_sweep(&[1.0e9, f64::NAN]),
             Err(AnalysisError::Configuration(_))
         ));
+    }
+
+    /// A sub-threshold-mesh analysis whose DC/AC systems take the direct-LU
+    /// strategy, so the cross-sample symbolic seeding actually engages.
+    fn tiny_direct_analysis(reuse_symbolic: bool) -> VariationalAnalysis {
+        let structure = build_metalplug_structure(&MetalPlugConfig::tiny());
+        let mut config = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
+            terminal: "plug1".to_string(),
+        });
+        config.mc_runs = 8;
+        config.energy_fraction = 0.85;
+        config.max_reduced_per_group = 2;
+        config.solver.reuse_symbolic = reuse_symbolic;
+        config.variations = VariationSpec {
+            roughness: None,
+            doping: Some(DopingVariationConfig {
+                max_nodes: 12,
+                ..DopingVariationConfig::paper_default()
+            }),
+        };
+        VariationalAnalysis::new(structure, config)
+    }
+
+    /// Bit-level fingerprint of everything statistical in a result.
+    fn result_bits(result: &AnalysisResult) -> Vec<u64> {
+        result
+            .quantities
+            .iter()
+            .flat_map(|q| {
+                [
+                    q.nominal,
+                    q.sscm.mean,
+                    q.sscm.std,
+                    q.monte_carlo.mean,
+                    q.monte_carlo.std,
+                ]
+            })
+            .map(f64::to_bits)
+            .collect()
+    }
+
+    #[test]
+    fn seeded_sample_sweep_is_bit_identical_to_the_unseeded_path() {
+        let seeded = tiny_direct_analysis(true).run().unwrap();
+        // The nominal solve published donors for both stages, and the
+        // doping perturbations stayed on the nominal pivot sequences.
+        assert!(seeded.seed_reuse.dc_seeded, "{:?}", seeded.seed_reuse);
+        assert!(seeded.seed_reuse.ac_seeded, "{:?}", seeded.seed_reuse);
+        assert_eq!(seeded.seed_reuse.dc_stale_refactorizations, 0);
+        assert_eq!(seeded.seed_reuse.ac_stale_refactorizations, 0);
+
+        let unseeded = tiny_direct_analysis(false).run().unwrap();
+        assert!(!unseeded.seed_reuse.dc_seeded);
+        assert_eq!(
+            result_bits(&seeded),
+            result_bits(&unseeded),
+            "cross-sample symbolic reuse changed the sweep results:\n\
+             seeded   = {seeded:?}\n\
+             unseeded = {unseeded:?}"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub use config::{
     VariationSpec,
 };
 pub use report::ComparisonTable;
+pub use vaem_fvm::SeedReuseStats;
 
 // Re-export the substrate crates for downstream users of the façade crate.
 pub use vaem_fvm as fvm;

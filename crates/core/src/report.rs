@@ -141,6 +141,7 @@ mod tests {
             mc_runs: 1000,
             sscm_seconds: 1.5,
             mc_seconds: 15.0,
+            seed_reuse: Default::default(),
         }
     }
 

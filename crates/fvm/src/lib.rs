@@ -61,5 +61,6 @@ pub use ac::AcSolution;
 pub use dc::DcSolution;
 pub use error::FvmError;
 pub use solver::{
-    AcOperator, AcSweepOperator, CoupledSolver, EmMode, SolverOptions, SolverTopology,
+    AcOperator, AcSweepOperator, CoupledSolver, EmMode, SeedReuseStats, SolverOptions,
+    SolverTopology,
 };

@@ -4,11 +4,14 @@ use crate::coefficients::{link_admittivity, link_permittivity, node_admittivity}
 use crate::terminals::{label_terminals, TerminalMap};
 use crate::{AcSolution, DcSolution, FvmError};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use vaem_mesh::{Axis, LinkId, Material, NodeId, Structure};
 use vaem_numeric::Complex64;
 use vaem_physics::{constants, DopingProfile, MaterialTable, SiliconParams};
-use vaem_sparse::{LinearSolver, PreparedSolver, SolverKind, SparsityPattern, TripletMatrix};
+use vaem_sparse::{
+    LinearSolver, PreparedSolver, SolverKind, SparsityPattern, SymbolicLu, TripletMatrix,
+};
 
 /// Electromagnetic modelling depth of the AC stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +43,27 @@ pub struct SolverOptions {
     pub newton_max_iterations: usize,
     /// Newton convergence tolerance on the potential update (V).
     pub newton_tolerance: f64,
+    /// Reuse the symbolic LU phase (ordering + pivot structure) published
+    /// on the shared [`SolverTopology`] by the first solve — normally the
+    /// nominal sample — so every later sample's direct factorizations are
+    /// numeric-only. On by default; turn off to force each solver through
+    /// its own full symbolic analysis (the results are bit-identical as
+    /// long as the perturbed pivots stay on the donor's sequence, which the
+    /// seeded refactorization verifies per column, re-pivoting locally when
+    /// they do not).
+    pub reuse_symbolic: bool,
+    /// Allow this solver to *publish* its symbolic phases as the shared
+    /// topology's donors. Publishing additionally requires `reuse_symbolic`
+    /// — turning reuse off disables the whole seeding path, donors
+    /// included. On by default so sequentially shared topologies
+    /// self-seed. When many solvers share a topology **concurrently**,
+    /// leave publishing on for exactly one designated donor (the nominal
+    /// sample, solved before the fan-out) and turn it off for the rest —
+    /// otherwise which solver's pivot sequence wins the publication race
+    /// depends on thread timing, and with it the (bitwise) results of
+    /// every later seeded solve. The analysis layer does exactly this for
+    /// its sample workers.
+    pub publish_symbolic: bool,
 }
 
 impl Default for SolverOptions {
@@ -51,6 +75,8 @@ impl Default for SolverOptions {
             linear_solver: SolverKind::Auto,
             newton_max_iterations: 60,
             newton_tolerance: 1e-9,
+            reuse_symbolic: true,
+            publish_symbolic: true,
         }
     }
 }
@@ -79,6 +105,36 @@ pub struct SolverTopology {
     dc_pattern: OnceLock<SparsityPattern>,
     /// Structural pattern of the AC (electro-quasi-static) operator.
     ac_pattern: OnceLock<SparsityPattern>,
+    /// Donor symbolic LU of the DC Jacobian: published (once) by the first
+    /// DC solve that prepares a direct factorization — the nominal sample,
+    /// when the analysis layer solves it before fanning the samples out —
+    /// and seeded into every later sample's Newton loop so their
+    /// factorizations are numeric-only from the first iteration.
+    dc_symbolic: OnceLock<SymbolicLu>,
+    /// Donor symbolic LU of the AC operator (pattern-only state is
+    /// scalar-agnostic, so one cache serves the complex operator).
+    ac_symbolic: OnceLock<SymbolicLu>,
+    /// How many times a (seeded or self-recorded) DC pivot sequence went
+    /// numerically stale and a sample re-pivoted from scratch.
+    dc_stale_refactorizations: AtomicU64,
+    /// Same, for the AC operators of the frequency sweeps.
+    ac_stale_refactorizations: AtomicU64,
+}
+
+/// Aggregate symbolic-reuse statistics of one shared [`SolverTopology`]
+/// (see [`SolverTopology::seed_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedReuseStats {
+    /// A DC donor symbolic phase has been published.
+    pub dc_seeded: bool,
+    /// An AC donor symbolic phase has been published.
+    pub ac_seeded: bool,
+    /// Total stale-pivot re-pivoting fallbacks across every DC solve that
+    /// reported into this topology.
+    pub dc_stale_refactorizations: u64,
+    /// Total stale-pivot re-pivoting fallbacks across every AC operator
+    /// that reported into this topology.
+    pub ac_stale_refactorizations: u64,
 }
 
 impl SolverTopology {
@@ -115,12 +171,69 @@ impl SolverTopology {
             link_count: mesh.link_count(),
             dc_pattern: OnceLock::new(),
             ac_pattern: OnceLock::new(),
+            dc_symbolic: OnceLock::new(),
+            ac_symbolic: OnceLock::new(),
+            dc_stale_refactorizations: AtomicU64::new(0),
+            ac_stale_refactorizations: AtomicU64::new(0),
         })
     }
 
     /// Terminal (conductor) labelling of the structure.
     pub fn terminals(&self) -> &TerminalMap {
         &self.terminals
+    }
+
+    /// Aggregate symbolic-reuse statistics: whether DC/AC donor symbolic
+    /// phases have been published, and how many stale-pivot re-pivots the
+    /// solvers sharing this topology have reported.
+    pub fn seed_stats(&self) -> SeedReuseStats {
+        SeedReuseStats {
+            dc_seeded: self.dc_symbolic.get().is_some(),
+            ac_seeded: self.ac_symbolic.get().is_some(),
+            dc_stale_refactorizations: self.dc_stale_refactorizations.load(Ordering::Relaxed),
+            ac_stale_refactorizations: self.ac_stale_refactorizations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publishes a donor symbolic phase / accumulates stale-refactorization
+    /// counts from a finished DC prepared solver. The first publisher wins
+    /// (deterministically the nominal sample when the analysis layer runs
+    /// it before the fan-out); later calls only add their counters.
+    fn note_dc_factorization(&self, prepared: &PreparedSolver<f64>, publish: bool) {
+        if publish {
+            if let Some(symbolic) = prepared.direct_symbolic() {
+                if symbolic.has_structure() && self.dc_symbolic.get().is_none() {
+                    let _ = self.dc_symbolic.set(symbolic.seed_from());
+                }
+            }
+        }
+        let stale = prepared.direct_stale_fallbacks();
+        if stale > 0 {
+            self.dc_stale_refactorizations
+                .fetch_add(stale, Ordering::Relaxed);
+        }
+    }
+
+    /// [`SolverTopology::note_dc_factorization`] for the complex AC
+    /// operator; `stale_delta` is the number of not-yet-reported fallbacks
+    /// (the sweep operator reports incrementally, once per frequency).
+    fn note_ac_factorization(
+        &self,
+        prepared: &PreparedSolver<Complex64>,
+        publish: bool,
+        stale_delta: u64,
+    ) {
+        if publish {
+            if let Some(symbolic) = prepared.direct_symbolic() {
+                if symbolic.has_structure() && self.ac_symbolic.get().is_none() {
+                    let _ = self.ac_symbolic.set(symbolic.seed_from());
+                }
+            }
+        }
+        if stale_delta > 0 {
+            self.ac_stale_refactorizations
+                .fetch_add(stale_delta, Ordering::Relaxed);
+        }
     }
 
     /// Number of mesh nodes the topology was built for.
@@ -424,7 +537,16 @@ impl<'a> CoupledSolver<'a> {
                     p.solve(&rhs)?
                 }
                 None => {
-                    let p = prepared.insert(linear.prepare(matrix)?);
+                    // First iteration: seed the direct factorization from
+                    // the topology-shared donor symbolic phase (published
+                    // by the nominal sample) so perturbed samples skip the
+                    // ordering/DFS/pivot-search work entirely.
+                    let seed = if self.options.reuse_symbolic {
+                        self.topology.dc_symbolic.get()
+                    } else {
+                        None
+                    };
+                    let p = prepared.insert(linear.prepare_seeded(matrix, seed)?);
                     p.solve(&rhs)?
                 }
             };
@@ -457,6 +579,16 @@ impl<'a> CoupledSolver<'a> {
                 iterations,
                 update_norm,
             });
+        }
+
+        // Publish this solve's symbolic phase for later samples (first
+        // publisher wins — the nominal, when the analysis pre-runs it) and
+        // report stale-pivot re-pivots into the shared statistics.
+        if let Some(p) = &prepared {
+            self.topology.note_dc_factorization(
+                p,
+                self.options.reuse_symbolic && self.options.publish_symbolic,
+            );
         }
 
         // Carrier densities from the converged potential.
@@ -621,6 +753,7 @@ impl<'a> CoupledSolver<'a> {
             triplets: TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7),
             matrix: None,
             prepared: None,
+            reported_stale: 0,
             omega: f64::NAN,
         })
     }
@@ -720,6 +853,9 @@ pub struct AcSweepOperator<'s, 'a> {
     matrix: Option<vaem_sparse::CsrMatrix<Complex64>>,
     /// Linear solver prepared at the first frequency, refactorized since.
     prepared: Option<PreparedSolver<Complex64>>,
+    /// Stale-pivot fallbacks already reported into the shared topology
+    /// statistics (the counter on the prepared solver is cumulative).
+    reported_stale: u64,
     /// Angular frequency of the current factorization (NaN before the first
     /// [`AcSweepOperator::set_frequency`]).
     omega: f64,
@@ -812,9 +948,32 @@ impl AcSweepOperator<'_, '_> {
         match self.prepared.as_mut() {
             Some(p) => p.refactor(matrix)?,
             None => {
+                // First frequency: seed the direct factorization from the
+                // topology-shared AC donor (published by the nominal
+                // sample's sweep), skipping this sample's symbolic phase.
                 let linear = LinearSolver::new(solver.options.linear_solver);
-                self.prepared = Some(linear.prepare(matrix)?);
+                let seed = if solver.options.reuse_symbolic {
+                    solver.topology.ac_symbolic.get()
+                } else {
+                    None
+                };
+                self.prepared = Some(linear.prepare_seeded(matrix, seed)?);
             }
+        }
+        // Publish the donor (first publisher wins) and report any new
+        // stale-pivot re-pivots into the shared statistics.
+        if let Some(p) = &self.prepared {
+            let total = p.direct_stale_fallbacks();
+            // `saturating_sub`: a replaced factorization (pattern change,
+            // Krylov rescue) starts a fresh counter below what was already
+            // reported — that must not wrap into a huge bogus delta.
+            let delta = total.saturating_sub(self.reported_stale);
+            solver.topology.note_ac_factorization(
+                p,
+                solver.options.reuse_symbolic && solver.options.publish_symbolic,
+                delta,
+            );
+            self.reported_stale = total;
         }
         self.omega = omega;
         Ok(())
@@ -1096,6 +1255,67 @@ mod tests {
             CoupledSolver::with_topology(&s, &doping, SolverOptions::default(), topology).unwrap();
         let dc_again = again.solve_dc().unwrap();
         assert_eq!(dc_shared.potential, dc_again.potential);
+    }
+
+    #[test]
+    fn topology_publishes_seeds_and_seeded_solves_match_unseeded_bits() {
+        // Coarse enough that both stages stay below the Auto direct-LU
+        // threshold (an iterative strategy has no symbolic phase to seed).
+        let s = parallel_plate(1.0);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let topology = Arc::new(SolverTopology::build(&s).unwrap());
+        assert!(!topology.seed_stats().dc_seeded);
+
+        // The first (donor) solver publishes its DC and AC symbolic phases.
+        let donor =
+            CoupledSolver::with_topology(&s, &doping, SolverOptions::default(), topology.clone())
+                .unwrap();
+        let dc_donor = donor.solve_dc().unwrap();
+        let _ = donor.solve_ac(&dc_donor, "top", 1.0e9).unwrap();
+        let stats = topology.seed_stats();
+        assert!(stats.dc_seeded && stats.ac_seeded, "stats {stats:?}");
+        assert_eq!(stats.dc_stale_refactorizations, 0);
+        assert_eq!(stats.ac_stale_refactorizations, 0);
+
+        // A second solver on the shared topology consumes the seeds...
+        let seeded =
+            CoupledSolver::with_topology(&s, &doping, SolverOptions::default(), topology.clone())
+                .unwrap();
+        let dc_seeded = seeded.solve_dc().unwrap();
+        let ac_seeded = seeded.solve_ac(&dc_seeded, "top", 1.0e9).unwrap();
+
+        // ...and must reproduce an unseeded solver bit for bit.
+        let unseeded_options = SolverOptions {
+            reuse_symbolic: false,
+            ..SolverOptions::default()
+        };
+        let private = CoupledSolver::new(&s, &doping, unseeded_options).unwrap();
+        let dc_ref = private.solve_dc().unwrap();
+        let ac_ref = private.solve_ac(&dc_ref, "top", 1.0e9).unwrap();
+        assert_eq!(
+            dc_seeded
+                .potential
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            dc_ref
+                .potential
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "seeded DC potentials diverged from the unseeded path"
+        );
+        let ac_bits = |ac: &AcSolution| {
+            ac.potential
+                .iter()
+                .flat_map(|v| [v.re.to_bits(), v.im.to_bits()])
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            ac_bits(&ac_seeded),
+            ac_bits(&ac_ref),
+            "seeded AC potentials diverged from the unseeded path"
+        );
     }
 
     #[test]

@@ -46,6 +46,17 @@ impl MetalPlugConfig {
         }
     }
 
+    /// An even coarser variant whose DC and AC systems stay below the
+    /// `Auto` direct-LU threshold, so the sample sweeps exercise the seeded
+    /// direct factorization path (cross-sample symbolic reuse). Used by the
+    /// `sample_sweep` benches and the seeded-reuse tests.
+    pub fn tiny() -> Self {
+        Self {
+            max_spacing: 2.5,
+            ..Self::default()
+        }
+    }
+
     /// Footprint `(min, max)` of plug 1 in the x–y plane.
     pub fn plug1_footprint(&self) -> ([f64; 2], [f64; 2]) {
         let x0 = self.plug_edge_margin;

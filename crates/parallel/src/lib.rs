@@ -14,11 +14,29 @@
 //! * **Bounded threads** — the thread count comes from the `VAEM_THREADS`
 //!   environment variable when set (clamped to [1, 512]), otherwise from
 //!   [`std::thread::available_parallelism`].
+//!
+//! Work is distributed through an atomic-index **work-stealing queue**
+//! rather than pre-cut contiguous chunks: each worker repeatedly claims the
+//! next unclaimed block of indices. Per-item costs in the sweeps are ragged
+//! (Newton iteration counts vary with the perturbation), so static chunking
+//! serializes behind the unluckiest chunk while the shared queue keeps every
+//! worker busy until the input is drained. The claim granularity is
+//! auto-tuned (small enough to balance, large enough to amortize the atomic)
+//! and can be pinned with the `VAEM_CHUNK` environment variable. Scheduling
+//! never affects *results* — only which worker computes an item — because
+//! every item still writes its own output slot.
 
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "VAEM_THREADS";
+
+/// Environment variable pinning the work-stealing claim granularity (number
+/// of consecutive items a worker claims per queue access). Unset or invalid
+/// values fall back to the auto-tuned size.
+pub const CHUNK_ENV: &str = "VAEM_CHUNK";
 
 /// Upper bound on the worker-thread count (guards against typos such as
 /// `VAEM_THREADS=40000`).
@@ -82,13 +100,43 @@ fn resolve_threads(setting: ThreadSetting, raw: Option<&str>) -> usize {
     }
 }
 
+/// Parses a `VAEM_CHUNK`-style value: a positive integer pins the claim
+/// granularity, anything else (including unset) asks for auto-tuning.
+fn parse_chunk(value: Option<&str>) -> Option<usize> {
+    value.and_then(|raw| raw.trim().parse::<usize>().ok().filter(|&n| n > 0))
+}
+
+/// The configured work-stealing claim granularity: `VAEM_CHUNK` when set to
+/// a positive integer, otherwise `None` (auto-tune per call).
+fn chunk_override() -> Option<usize> {
+    parse_chunk(std::env::var(CHUNK_ENV).ok().as_deref())
+}
+
+/// Auto-tuned claim granularity: aim for ~4 claims per worker so ragged
+/// per-item costs rebalance, without paying one atomic operation per item on
+/// huge inputs.
+fn auto_chunk(len: usize, threads: usize) -> usize {
+    (len / (threads * 4)).max(1)
+}
+
+/// A raw output-slot pointer that may cross the scoped-thread boundary.
+///
+/// Safety contract (upheld by [`par_map_with_chunk`]): every index in
+/// `0..len` is claimed by exactly one worker through the shared atomic
+/// cursor, so no two threads ever write the same slot and the parent does
+/// not touch the buffer until all workers have joined.
+struct SlotPtr<U>(*mut Option<U>);
+unsafe impl<U: Send> Send for SlotPtr<U> {}
+unsafe impl<U: Send> Sync for SlotPtr<U> {}
+
 /// Maps `f` over `items` on up to [`thread_count`] scoped threads.
 ///
 /// `f` receives `(index, &item)` and its results are returned in input
 /// order; the output is bit-for-bit independent of the thread count as long
-/// as `f` itself is a pure function of its arguments. Work is split into
-/// contiguous chunks, which fits the sample sweeps (every item costs roughly
-/// the same deterministic solve).
+/// as `f` itself is a pure function of its arguments. Work is claimed from a
+/// shared atomic-index queue (work stealing), so ragged per-item costs —
+/// samples whose Newton loops need more iterations than their neighbours' —
+/// do not serialize the sweep behind one unlucky contiguous chunk.
 ///
 /// # Panics
 /// Propagates a panic from any worker thread.
@@ -102,8 +150,22 @@ where
 }
 
 /// [`par_map`] with an explicit thread count (mainly for tests and for
-/// callers that manage their own thread budget).
+/// callers that manage their own thread budget). The claim granularity is
+/// auto-tuned unless `VAEM_CHUNK` pins it.
 pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let chunk = chunk_override().unwrap_or_else(|| auto_chunk(items.len(), threads.max(1)));
+    par_map_with_chunk(threads, chunk, items, f)
+}
+
+/// [`par_map_with`] with an explicit claim granularity, bypassing both the
+/// auto-tune and the `VAEM_CHUNK` override — the fully pinned variant used
+/// by the scheduler tests (no process-global environment involved).
+pub fn par_map_with_chunk<T, U, F>(threads: usize, chunk: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
@@ -113,18 +175,32 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let chunk = items.len().div_ceil(threads);
+    let chunk = chunk.max(1);
+    // No point spawning workers that could never win a claim.
+    let workers = threads.min(items.len().div_ceil(chunk));
     let mut out: Vec<Option<U>> = Vec::new();
     out.resize_with(items.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    let slots = SlotPtr(out.as_mut_ptr());
     std::thread::scope(|scope| {
         let f = &f;
-        for (ci, (in_chunk, out_chunk)) in
-            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
-        {
-            let base = ci * chunk;
-            scope.spawn(move || {
-                for (j, (item, slot)) in in_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
-                    *slot = Some(f(base + j, item));
+        let cursor = &cursor;
+        let slots = &slots;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + chunk).min(items.len());
+                for (i, item) in items[start..end].iter().enumerate() {
+                    let index = start + i;
+                    // SAFETY: `index` was claimed by this worker alone (the
+                    // fetch_add hands out disjoint ranges), it is in bounds,
+                    // and the buffer outlives the scope. Writing through the
+                    // reference drops the old value, which is always the
+                    // `None` the slot was initialized with.
+                    unsafe { *slots.0.add(index) = Some(f(index, item)) };
                 }
             });
         }
@@ -181,6 +257,66 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let items = [1u32, 2, 3];
         assert_eq!(par_map_with(100, &items, |_, &v| v * 2), vec![2, 4, 6]);
+    }
+
+    /// Adversarial cost skew: a handful of items are orders of magnitude
+    /// more expensive than the rest. The work-stealing queue must neither
+    /// lose nor reorder slots for any (thread count, claim granularity)
+    /// combination.
+    #[test]
+    fn skewed_item_costs_keep_results_deterministic() {
+        let items: Vec<u64> = (0..61).collect();
+        let f = |i: usize, &v: &u64| {
+            // Items 0, 20 and 40 spin ~1000x longer than the others, the
+            // worst case for contiguous chunking.
+            let spins = if v % 20 == 0 { 200_000 } else { 200 };
+            let mut acc = v;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            }
+            acc
+        };
+        let serial = par_map_with_chunk(1, 1, &items, f);
+        for threads in [2, 3, 4, 8] {
+            for chunk in [1, 2, 7, 64] {
+                let stolen = par_map_with_chunk(threads, chunk, &items, f);
+                assert_eq!(serial, stolen, "threads = {threads}, chunk = {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_index_is_claimed_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<usize> = (0..997).collect();
+        let hits: Vec<AtomicUsize> = (0..items.len()).map(|_| AtomicUsize::new(0)).collect();
+        let out = par_map_with_chunk(7, 3, &items, |i, &v| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            v * 2
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i));
+    }
+
+    #[test]
+    fn chunk_env_parsing_rules() {
+        assert_eq!(parse_chunk(None), None);
+        assert_eq!(parse_chunk(Some("")), None);
+        assert_eq!(parse_chunk(Some("0")), None);
+        assert_eq!(parse_chunk(Some("-4")), None);
+        assert_eq!(parse_chunk(Some("abc")), None);
+        assert_eq!(parse_chunk(Some("1")), Some(1));
+        assert_eq!(parse_chunk(Some(" 16 ")), Some(16));
+    }
+
+    #[test]
+    fn auto_chunk_balances_without_degenerating() {
+        // Small ragged inputs claim item-by-item; large inputs amortize the
+        // atomic over bigger blocks; the result is never zero.
+        assert_eq!(auto_chunk(10, 4), 1);
+        assert_eq!(auto_chunk(0, 1), 1);
+        assert_eq!(auto_chunk(1024, 4), 64);
+        assert!(auto_chunk(usize::MAX / 2, 2) >= 1);
     }
 
     #[test]

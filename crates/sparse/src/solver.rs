@@ -207,6 +207,30 @@ impl LinearSolver {
     /// # Errors
     /// Propagates factorization failures of the selected strategy.
     pub fn prepare<T: Scalar>(&self, a: &CsrMatrix<T>) -> Result<PreparedSolver<T>, SparseError> {
+        self.prepare_seeded(a, None)
+    }
+
+    /// [`LinearSolver::prepare`] with an optional **donor symbolic phase**
+    /// for the direct strategy.
+    ///
+    /// Variation-aware sweeps factorize many small perturbations of one
+    /// nominal operator: when `seed` holds a [`SymbolicLu`] whose pattern
+    /// matches `a` (after equilibration — scaling changes values, never the
+    /// pattern) and whose pivot structure is recorded, the direct
+    /// factorization starts from [`SymbolicLu::seed_from`] and pays only
+    /// the numeric phase — no RCM ordering, no reachability DFS, no pivot
+    /// search. A seed whose pivots are numerically stale for `a` re-pivots
+    /// transparently inside this solver's own handle (see
+    /// [`PreparedSolver::direct_stale_fallbacks`]); a seed with a foreign
+    /// pattern is ignored and the full analysis runs.
+    ///
+    /// # Errors
+    /// Propagates factorization failures of the selected strategy.
+    pub fn prepare_seeded<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        seed: Option<&SymbolicLu>,
+    ) -> Result<PreparedSolver<T>, SparseError> {
         if a.rows() != a.cols() {
             return Err(SparseError::DimensionMismatch {
                 detail: format!(
@@ -218,28 +242,28 @@ impl LinearSolver {
         }
         let (scaled, scaling) = RowColScaling::equilibrate(a);
         let factorization = match self.kind {
-            SolverKind::DirectLu => direct_factorization(&scaled)?,
+            SolverKind::DirectLu => direct_factorization(&scaled, seed)?,
             SolverKind::IluBiCgStab => Factorization::Ilu {
-                ilu: Ilu0::new(&scaled)?,
+                state: IluRefresh::build(&scaled)?,
                 gmres_fallback: false,
             },
-            SolverKind::IluGmres => Factorization::IluGmresOnly(Ilu0::new(&scaled)?),
+            SolverKind::IluGmres => Factorization::IluGmresOnly(IluRefresh::build(&scaled)?),
             SolverKind::Auto => {
                 if a.rows() <= self.direct_threshold {
-                    match direct_factorization(&scaled) {
+                    match direct_factorization(&scaled, seed) {
                         Ok(direct) => direct,
                         Err(_) => Factorization::Ilu {
-                            ilu: Ilu0::new(&scaled)?,
+                            state: IluRefresh::build(&scaled)?,
                             gmres_fallback: true,
                         },
                     }
                 } else {
-                    match Ilu0::new(&scaled) {
-                        Ok(ilu) => Factorization::Ilu {
-                            ilu,
+                    match IluRefresh::build(&scaled) {
+                        Ok(state) => Factorization::Ilu {
+                            state,
                             gmres_fallback: true,
                         },
-                        Err(_) => direct_factorization(&scaled)?,
+                        Err(_) => direct_factorization(&scaled, seed)?,
                     }
                 }
             }
@@ -255,6 +279,16 @@ impl LinearSolver {
     }
 }
 
+/// Iteration-count degradation ratio that retires a kept (stale) ILU(0):
+/// when a solve against a preconditioner built for *older* values needs
+/// more than `ILU_REFRESH_RATIO × baseline + ILU_REFRESH_SLACK` iterations,
+/// the preconditioner is rebuilt from the current values before the next
+/// solve. The additive slack keeps tiny baselines (1–3 iterations) from
+/// triggering rebuilds on noise.
+const ILU_REFRESH_RATIO: f64 = 2.0;
+/// See [`ILU_REFRESH_RATIO`].
+const ILU_REFRESH_SLACK: usize = 4;
+
 /// How a [`PreparedSolver`] applies its cached factorization.
 #[derive(Debug, Clone)]
 enum Factorization<T: Scalar> {
@@ -266,9 +300,12 @@ enum Factorization<T: Scalar> {
     /// set (`Auto` mode), a failing solve falls back to GMRES with the same
     /// preconditioner and finally to an on-demand direct LU that replaces
     /// this factorization.
-    Ilu { ilu: Ilu0<T>, gmres_fallback: bool },
+    Ilu {
+        state: IluRefresh<T>,
+        gmres_fallback: bool,
+    },
     /// ILU(0)-preconditioned GMRES only.
-    IluGmresOnly(Ilu0<T>),
+    IluGmresOnly(IluRefresh<T>),
 }
 
 /// A direct sparse LU kept together with its symbolic phase (boxed inside
@@ -279,9 +316,109 @@ struct DirectFactorization<T: Scalar> {
     numeric: SparseLu<T>,
 }
 
-/// Builds a symbolic+numeric direct factorization of an equilibrated matrix.
-fn direct_factorization<T: Scalar>(scaled: &CsrMatrix<T>) -> Result<Factorization<T>, SparseError> {
-    let mut symbolic = SymbolicLu::analyze(scaled)?;
+/// An ILU(0) preconditioner together with its lazy refresh policy.
+///
+/// [`PreparedSolver::refactor`] on an iterative strategy does **not**
+/// rebuild the factorization eagerly: for a dense frequency grid or a
+/// converging Newton tail the previous ILU(0) usually still clusters the
+/// spectrum well enough, so the rebuild is deferred until the observed
+/// Krylov iteration count degrades past
+/// `ILU_REFRESH_RATIO × baseline + ILU_REFRESH_SLACK` (or a solve with the
+/// stale factors fails outright).
+#[derive(Debug, Clone)]
+struct IluRefresh<T: Scalar> {
+    ilu: Ilu0<T>,
+    /// Iteration count of the first solve after the last (re)build — the
+    /// "healthy preconditioner" reference — tagged with the solver that
+    /// produced it. BiCGSTAB and GMRES counts are not commensurate (two
+    /// matvecs per BiCGSTAB iteration, restart cycles in GMRES), so a
+    /// degradation comparison only happens between counts of the same
+    /// solver.
+    baseline_iterations: Option<(usize, &'static str)>,
+    /// The operator values have changed since `ilu` was built.
+    stale: bool,
+    rebuilds: u64,
+}
+
+impl<T: Scalar> IluRefresh<T> {
+    fn build(scaled: &CsrMatrix<T>) -> Result<Self, SparseError> {
+        Ok(Self {
+            ilu: Ilu0::new(scaled)?,
+            baseline_iterations: None,
+            stale: false,
+            rebuilds: 0,
+        })
+    }
+
+    /// Rebuilds the preconditioner from the current values before a solve
+    /// when there is no healthy baseline to judge staleness against (the
+    /// caller refactored before ever solving, or the previous rebuild was
+    /// immediately followed by another refactor). Without this, the first
+    /// stale solve's (possibly degraded) iteration count would be recorded
+    /// as the "healthy" reference and inflate the refresh threshold for
+    /// the rest of the sweep. Rebuild failures are swallowed — the stale
+    /// ILU keeps answering (solves remain residual-verified).
+    fn ensure_baselined(&mut self, scaled: &CsrMatrix<T>) {
+        if self.stale && self.baseline_iterations.is_none() {
+            let _ = self.rebuild(scaled);
+        }
+    }
+
+    /// Records the outcome of one converged solve (`solver_tag` names the
+    /// Krylov method that produced `iterations`) and rebuilds the stale
+    /// preconditioner when the iteration count has degraded past the
+    /// threshold. The baseline is only ever taken from a solve with fresh
+    /// factors ([`IluRefresh::ensure_baselined`] guarantees one exists
+    /// before any stale solve), and only compared against counts from the
+    /// same solver — a BiCGSTAB observation judged against a GMRES
+    /// baseline (or vice versa) would skew the policy in either direction.
+    /// Rebuild failures are swallowed: the stale ILU keeps answering and
+    /// the next degraded solve retries.
+    fn observe(&mut self, iterations: usize, solver_tag: &'static str, scaled: &CsrMatrix<T>) {
+        if !self.stale {
+            if self.baseline_iterations.is_none() {
+                self.baseline_iterations = Some((iterations, solver_tag));
+            }
+            return;
+        }
+        if let Some((base, tag)) = self.baseline_iterations {
+            if tag != solver_tag {
+                return;
+            }
+            let threshold = ILU_REFRESH_RATIO * base as f64 + ILU_REFRESH_SLACK as f64;
+            if iterations as f64 > threshold {
+                if let Ok(fresh) = Ilu0::new(scaled) {
+                    self.ilu = fresh;
+                    self.stale = false;
+                    self.rebuilds += 1;
+                    self.baseline_iterations = None;
+                }
+            }
+        }
+    }
+
+    /// Forces a rebuild from the current values (used when a solve with
+    /// stale factors fails before escalating to the fallback chain).
+    fn rebuild(&mut self, scaled: &CsrMatrix<T>) -> Result<(), SparseError> {
+        self.ilu = Ilu0::new(scaled)?;
+        self.stale = false;
+        self.rebuilds += 1;
+        self.baseline_iterations = None;
+        Ok(())
+    }
+}
+
+/// Builds a symbolic+numeric direct factorization of an equilibrated
+/// matrix, starting from a donor symbolic phase when one with a matching
+/// pattern and recorded structure is supplied.
+fn direct_factorization<T: Scalar>(
+    scaled: &CsrMatrix<T>,
+    seed: Option<&SymbolicLu>,
+) -> Result<Factorization<T>, SparseError> {
+    let mut symbolic = match seed {
+        Some(donor) if donor.has_structure() && donor.matches(scaled) => donor.seed_from(),
+        _ => SymbolicLu::analyze(scaled)?,
+    };
     let numeric = symbolic.factor(scaled)?;
     Ok(Factorization::Direct(Box::new(DirectFactorization {
         symbolic,
@@ -320,6 +457,39 @@ impl<T: Scalar> PreparedSolver<T> {
         }
     }
 
+    /// The symbolic phase of the direct factorization, when the prepared
+    /// strategy is direct. This is the donor handle for
+    /// [`LinearSolver::prepare_seeded`]: cloning it (cheap, `Arc`-backed)
+    /// lets sibling solvers on the same sparsity pattern skip their own
+    /// symbolic analysis and pivot discovery.
+    pub fn direct_symbolic(&self) -> Option<&SymbolicLu> {
+        match &self.factorization {
+            Factorization::Direct(direct) => Some(&direct.symbolic),
+            _ => None,
+        }
+    }
+
+    /// How many times this solver's direct factorization abandoned a cached
+    /// pivot sequence (seeded or self-recorded) because it went numerically
+    /// stale, and re-pivoted from scratch. Zero for iterative strategies.
+    pub fn direct_stale_fallbacks(&self) -> u64 {
+        match &self.factorization {
+            Factorization::Direct(direct) => direct.symbolic.stale_fallback_count(),
+            _ => 0,
+        }
+    }
+
+    /// How many times the lazy ILU refresh policy rebuilt the
+    /// preconditioner after the iteration count degraded (zero for the
+    /// direct strategy).
+    pub fn ilu_rebuilds(&self) -> u64 {
+        match &self.factorization {
+            Factorization::Ilu { state, .. } => state.rebuilds,
+            Factorization::IluGmresOnly(state) => state.rebuilds,
+            Factorization::Direct(_) => 0,
+        }
+    }
+
     /// Re-equilibrates and refactorizes for a matrix with **new values on
     /// the same sparsity pattern** (a Newton update, the next point of a
     /// frequency sweep), keeping the symbolic analysis of the direct
@@ -329,6 +499,13 @@ impl<T: Scalar> PreparedSolver<T> {
     /// direct factorization whose cached pivot sequence has gone stale for
     /// the new values transparently re-pivots (see [`SymbolicLu::factor`]),
     /// and a pattern change falls back to a fresh symbolic analysis.
+    ///
+    /// Iterative strategies do **not** rebuild their ILU(0) here: the
+    /// previous preconditioner is kept (marked stale) until a solve's
+    /// iteration count degrades past the refresh threshold — for dense
+    /// frequency grids and Newton tails the old factors usually stay
+    /// effective, so the rebuild cost is paid only when it buys iterations
+    /// back.
     ///
     /// # Errors
     /// * [`SparseError::DimensionMismatch`] when the shape differs from the
@@ -356,12 +533,12 @@ impl<T: Scalar> PreparedSolver<T> {
                 Ok(lu) => direct.numeric = lu,
                 Err(SparseError::DimensionMismatch { .. }) => {
                     // The sparsity pattern itself changed: re-analyze.
-                    self.factorization = direct_factorization(&scaled)?;
+                    self.factorization = direct_factorization(&scaled, None)?;
                 }
                 Err(err) => return Err(err),
             },
-            Factorization::Ilu { ilu, .. } => *ilu = Ilu0::new(&scaled)?,
-            Factorization::IluGmresOnly(ilu) => *ilu = Ilu0::new(&scaled)?,
+            Factorization::Ilu { state, .. } => state.stale = true,
+            Factorization::IluGmresOnly(state) => state.stale = true,
         }
         self.scaled = scaled;
         self.scaling = scaling;
@@ -398,49 +575,91 @@ impl<T: Scalar> PreparedSolver<T> {
         // Auto mode" — rescued by the direct LU below, mirroring the
         // bicgstab → gmres → direct chain of [`LinearSolver::solve`].
         let mut outcome: Option<(Vec<T>, &'static str, usize)> = None;
-        match &self.factorization {
+        let Self {
+            scaled,
+            factorization,
+            options,
+            bicgstab_ws,
+            gmres_ws,
+            ..
+        } = &mut *self;
+        match factorization {
             Factorization::Direct(direct) => {
                 outcome = Some((direct.numeric.solve(&bs)?, "sparse-lu", 0))
             }
             Factorization::Ilu {
-                ilu,
+                state,
                 gmres_fallback,
             } => {
-                let solver = BiCgStab::new(self.options);
-                match solver.solve_with_workspace(
-                    &self.scaled,
+                state.ensure_baselined(scaled);
+                let solver = BiCgStab::new(*options);
+                let mut attempt = solver.solve_with_workspace(
+                    scaled,
                     &bs,
-                    Some(ilu),
+                    Some(&state.ilu),
                     guess_scaled.as_deref(),
-                    &mut self.bicgstab_ws,
-                ) {
-                    Ok((y, it)) => outcome = Some((y, "ilu0-bicgstab", it)),
+                    bicgstab_ws,
+                );
+                // A failure with stale factors may be the preconditioner's
+                // fault: rebuild from the current values and retry once
+                // before escalating through the fallback chain.
+                if attempt.is_err() && state.stale && state.rebuild(scaled).is_ok() {
+                    attempt = solver.solve_with_workspace(
+                        scaled,
+                        &bs,
+                        Some(&state.ilu),
+                        guess_scaled.as_deref(),
+                        bicgstab_ws,
+                    );
+                }
+                match attempt {
+                    Ok((y, it)) => {
+                        state.observe(it, "ilu0-bicgstab", scaled);
+                        outcome = Some((y, "ilu0-bicgstab", it));
+                    }
                     Err(err) => {
-                        if !gmres_fallback {
+                        if !*gmres_fallback {
                             return Err(err);
                         }
-                        let gmres = Gmres::new(self.options);
+                        let gmres = Gmres::new(*options);
                         if let Ok((y, it)) = gmres.solve_with_workspace(
-                            &self.scaled,
+                            scaled,
                             &bs,
-                            Some(ilu),
+                            Some(&state.ilu),
                             guess_scaled.as_deref(),
-                            &mut self.gmres_ws,
+                            gmres_ws,
                         ) {
+                            // Feed the refresh policy here too: without a
+                            // baseline, every later stale solve would
+                            // eagerly rebuild (ensure_baselined), turning
+                            // the lazy policy back into a per-point one.
+                            state.observe(it, "ilu0-gmres", scaled);
                             outcome = Some((y, "ilu0-gmres", it));
                         }
                     }
                 }
             }
-            Factorization::IluGmresOnly(ilu) => {
-                let gmres = Gmres::new(self.options);
-                let (y, it) = gmres.solve_with_workspace(
-                    &self.scaled,
+            Factorization::IluGmresOnly(state) => {
+                state.ensure_baselined(scaled);
+                let gmres = Gmres::new(*options);
+                let mut attempt = gmres.solve_with_workspace(
+                    scaled,
                     &bs,
-                    Some(ilu),
+                    Some(&state.ilu),
                     guess_scaled.as_deref(),
-                    &mut self.gmres_ws,
-                )?;
+                    gmres_ws,
+                );
+                if attempt.is_err() && state.stale && state.rebuild(scaled).is_ok() {
+                    attempt = gmres.solve_with_workspace(
+                        scaled,
+                        &bs,
+                        Some(&state.ilu),
+                        guess_scaled.as_deref(),
+                        gmres_ws,
+                    );
+                }
+                let (y, it) = attempt?;
+                state.observe(it, "ilu0-gmres", scaled);
                 outcome = Some((y, "ilu0-gmres", it));
             }
         }
@@ -451,7 +670,7 @@ impl<T: Scalar> PreparedSolver<T> {
                 // on this operator, so factor the direct LU once (with its
                 // symbolic phase, so later refactors stay cheap), keep it
                 // for every subsequent solve, and answer from it.
-                let direct = direct_factorization(&self.scaled)?;
+                let direct = direct_factorization(&self.scaled, None)?;
                 let y = match &direct {
                     Factorization::Direct(d) => d.numeric.solve(&bs)?,
                     _ => unreachable!("direct_factorization returns Direct"),
@@ -773,6 +992,181 @@ mod tests {
         assert_eq!(report.strategy, "ilu0-bicgstab");
         assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-7);
         assert!(report.residual_norm < 1e-8);
+    }
+
+    #[test]
+    fn prepare_seeded_skips_the_symbolic_phase_and_matches_the_unseeded_bits() {
+        let a = laplacian_2d(9);
+        let solver = LinearSolver::new(SolverKind::DirectLu);
+        let donor = solver.prepare(&a).unwrap();
+        let seed = donor.direct_symbolic().expect("direct keeps its symbolic");
+        assert!(seed.has_structure());
+
+        // A perturbed operator on the same pattern (diagonal shift keeps
+        // the pivot sequence of the diagonally dominant nominal).
+        let mut shifted = a.clone();
+        let triplets: Vec<(usize, usize, f64)> = (0..a.rows())
+            .flat_map(|r| {
+                a.row_entries(r)
+                    .map(move |(c, v)| (r, c, if r == c { v + 0.8 } else { v * 1.02 }))
+            })
+            .collect();
+        shifted.assemble_into(&triplets).unwrap();
+
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.23).sin()).collect();
+        let b = shifted.matvec(&x_true);
+
+        let mut seeded = solver.prepare_seeded(&shifted, Some(seed)).unwrap();
+        assert_eq!(seeded.strategy(), "sparse-lu");
+        assert_eq!(seeded.direct_stale_fallbacks(), 0);
+        let (x_seeded, report) = seeded.solve(&b).unwrap();
+        assert!(report.residual_norm < 1e-10);
+
+        // The numeric-only seeded factorization replays the donor's
+        // elimination order, so as long as the pivots stay on the nominal
+        // sequence the solution is bit-identical to the unseeded path.
+        let mut unseeded = solver.prepare(&shifted).unwrap();
+        let (x_unseeded, _) = unseeded.solve(&b).unwrap();
+        assert_eq!(
+            x_seeded.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x_unseeded.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn prepare_seeded_ignores_a_foreign_pattern_seed() {
+        let a = laplacian_2d(6);
+        let donor = LinearSolver::new(SolverKind::DirectLu)
+            .prepare(&laplacian_2d(8))
+            .unwrap();
+        let seed = donor.direct_symbolic().unwrap();
+        let mut prepared = LinearSolver::new(SolverKind::DirectLu)
+            .prepare_seeded(&a, Some(seed))
+            .unwrap();
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.4).cos()).collect();
+        let b = a.matvec(&x_true);
+        let (x, _) = prepared.solve(&b).unwrap();
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-9);
+    }
+
+    /// 2-D grid operator with per-link conductances spanning several orders
+    /// of magnitude (`contrast` = 0 gives the uniform laplacian). All
+    /// variants share one sparsity pattern.
+    fn varying_laplacian(nx: usize, contrast: f64, phase: f64) -> CsrMatrix<f64> {
+        let n = nx * nx;
+        let idx = |i: usize, j: usize| i * nx + j;
+        let weight =
+            |a: usize, b: usize| (contrast * ((a * 31 + b * 17) as f64 * 0.7 + phase).sin()).exp();
+        let mut t = Vec::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                let me = idx(i, j);
+                let mut diag = 0.0;
+                let mut neighbours = Vec::new();
+                if i > 0 {
+                    neighbours.push(idx(i - 1, j));
+                }
+                if i + 1 < nx {
+                    neighbours.push(idx(i + 1, j));
+                }
+                if j > 0 {
+                    neighbours.push(idx(i, j - 1));
+                }
+                if j + 1 < nx {
+                    neighbours.push(idx(i, j + 1));
+                }
+                for other in neighbours {
+                    let w = weight(me.min(other), me.max(other));
+                    t.push((me, other, -w));
+                    diag += w;
+                }
+                t.push((me, me, diag + 1e-3));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn stale_ilu_is_kept_until_iterations_degrade_then_rebuilt() {
+        let nominal = varying_laplacian(20, 0.0, 0.0);
+        let solver = LinearSolver::new(SolverKind::IluBiCgStab).with_options(KrylovOptions {
+            max_iterations: 10_000,
+            ..KrylovOptions::default()
+        });
+        let mut prepared = solver.prepare(&nominal).unwrap();
+        let x_true: Vec<f64> = (0..nominal.rows())
+            .map(|i| (i as f64 * 0.17).sin())
+            .collect();
+
+        // Baseline solve with the fresh preconditioner.
+        let (_, healthy) = prepared.solve(&nominal.matvec(&x_true)).unwrap();
+        assert!(healthy.iterations > 0);
+
+        // Mild value drift: the stale ILU stays effective, so no rebuild.
+        let mild = varying_laplacian(20, 0.05, 1.0);
+        prepared.refactor(&mild).unwrap();
+        let (x_mild, report_mild) = prepared.solve(&mild.matvec(&x_true)).unwrap();
+        assert!(vecops::relative_diff(&x_mild, &x_true, 1e-30) < 1e-7);
+        assert_eq!(
+            prepared.ilu_rebuilds(),
+            0,
+            "mild drift must not rebuild (took {} vs baseline {})",
+            report_mild.iterations,
+            healthy.iterations
+        );
+
+        // Violent value change on the same pattern: the iteration count
+        // degrades past the threshold and the policy rebuilds.
+        let harsh = varying_laplacian(20, 2.2, 2.5);
+        prepared.refactor(&harsh).unwrap();
+        let b_harsh = harsh.matvec(&x_true);
+        let (x_harsh, degraded) = prepared.solve(&b_harsh).unwrap();
+        assert!(vecops::relative_diff(&x_harsh, &x_true, 1e-30) < 1e-6);
+        assert_eq!(
+            prepared.ilu_rebuilds(),
+            1,
+            "degraded solve ({} its vs baseline {}) must trigger a rebuild",
+            degraded.iterations,
+            healthy.iterations
+        );
+
+        // The rebuilt preconditioner matches the harsh operator again.
+        let (x_fresh, recovered) = prepared.solve(&b_harsh).unwrap();
+        assert!(vecops::relative_diff(&x_fresh, &x_true, 1e-30) < 1e-6);
+        assert!(
+            recovered.iterations < degraded.iterations,
+            "rebuild must win iterations back: {} vs {}",
+            recovered.iterations,
+            degraded.iterations
+        );
+        assert_eq!(
+            prepared.ilu_rebuilds(),
+            1,
+            "recovered solve must not rebuild again"
+        );
+    }
+
+    #[test]
+    fn refactor_before_any_solve_rebuilds_instead_of_baselining_stale_factors() {
+        // prepare(&A) then refactor(&B) before the first solve: the solve
+        // must not record a stale-preconditioner iteration count as the
+        // "healthy" baseline (which would inflate the refresh threshold
+        // for the whole sweep) — it rebuilds from B's values up front.
+        let a = varying_laplacian(16, 0.0, 0.0);
+        let b_mat = varying_laplacian(16, 2.0, 1.7);
+        let solver = LinearSolver::new(SolverKind::IluBiCgStab);
+        let mut prepared = solver.prepare(&a).unwrap();
+        prepared.refactor(&b_mat).unwrap();
+        let x_true: Vec<f64> = (0..b_mat.rows()).map(|i| (i as f64 * 0.19).sin()).collect();
+        let (x, report) = prepared.solve(&b_mat.matvec(&x_true)).unwrap();
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-6);
+        assert_eq!(
+            prepared.ilu_rebuilds(),
+            1,
+            "unbaselined stale factors must be rebuilt before the solve \
+             (took {} iterations)",
+            report.iterations
+        );
     }
 
     #[test]

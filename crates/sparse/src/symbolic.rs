@@ -15,9 +15,23 @@
 //! a sparse triangular solve per column over a fixed pattern, with no DFS,
 //! no sorting and no pivot search. A cached pivot that becomes numerically
 //! unstable for the new values triggers a transparent fresh pivoting
-//! factorization (which also refreshes the cached structure).
+//! factorization (which also refreshes the cached structure); the number of
+//! such fallbacks is counted and surfaced through
+//! [`SymbolicLu::stale_fallback_count`].
+//!
+//! Variation-aware sweeps factorize many *perturbations of one nominal
+//! matrix* on worker threads, so the pattern-derived state (ordering, column
+//! map) and the recorded structure are both behind [`Arc`]s:
+//! [`SymbolicLu::seed_from`] hands each worker its own handle onto the
+//! donor's analysis and pivot structure for the cost of two reference-count
+//! bumps, and the worker's first `factor` call is already numeric-only. The
+//! numeric refactorization replays the donor's exact elimination order, so
+//! for the *same* values it reproduces the donor's factors bit for bit —
+//! which is what keeps a seeded sample sweep bit-identical to an unseeded
+//! one whenever the perturbed pivots stay on the nominal sequence.
 
 use crate::{ordering, CsrMatrix, SparseError, SparseLu, SparsityPattern};
+use std::sync::Arc;
 use vaem_numeric::Scalar;
 
 /// Relative pivot tolerance of the numeric-only refactorization: when the
@@ -53,6 +67,20 @@ const REFACTOR_PIVOT_TOL: f64 = 1e-10;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SymbolicLu {
+    /// Pattern-derived analysis, shared (read-only) by every seeded clone.
+    core: Arc<SymbolicCore>,
+    /// Pivot sequence + factor patterns recorded by the first numeric
+    /// factorization; `Arc`-shared so seeding a worker costs a refcount
+    /// bump, replaced wholesale when a fallback re-pivots.
+    structure: Option<Arc<LuStructure>>,
+    /// How many times a cached pivot sequence went numerically stale and
+    /// `factor` fell back to a fresh pivoting factorization.
+    stale_fallbacks: u64,
+}
+
+/// The immutable pattern-only half of the analysis.
+#[derive(Debug)]
+struct SymbolicCore {
     n: usize,
     pattern: SparsityPattern,
     /// Fill-reducing (RCM) ordering, `perm[new] = old`.
@@ -64,9 +92,6 @@ pub struct SymbolicLu {
     col_ptr: Vec<usize>,
     col_rows: Vec<usize>,
     col_src: Vec<usize>,
-    /// Pivot sequence + factor patterns recorded by the first numeric
-    /// factorization.
-    structure: Option<LuStructure>,
 }
 
 /// Structural output of one pivoting factorization, all row indices in pivot
@@ -84,6 +109,14 @@ struct LuStructure {
     /// Upper rows per column, sorted ascending; the diagonal (`== column`)
     /// is therefore the last entry.
     u_rows: Vec<usize>,
+    /// Per column, the positions (indices into `u_rows`/`u_vals`) of the
+    /// off-diagonal U entries in the exact order the recording
+    /// factorization eliminated them (its topological DFS order).
+    /// Replaying this order makes the numeric refactorization perform the
+    /// same floating-point operations in the same sequence as the pivoting
+    /// factorization, so identical values reproduce identical factor bits.
+    elim_ptr: Vec<usize>,
+    elim_pos: Vec<usize>,
 }
 
 impl SymbolicLu {
@@ -131,13 +164,16 @@ impl SymbolicLu {
             }
         }
         Ok(Self {
-            n,
-            pattern: pattern.clone(),
-            perm,
-            col_ptr,
-            col_rows,
-            col_src,
+            core: Arc::new(SymbolicCore {
+                n,
+                pattern: pattern.clone(),
+                perm,
+                col_ptr,
+                col_rows,
+                col_src,
+            }),
             structure: None,
+            stale_fallbacks: 0,
         })
     }
 
@@ -149,20 +185,55 @@ impl SymbolicLu {
         Self::new(&SparsityPattern::of(a))
     }
 
+    /// A cheap independent handle onto this analysis: the new `SymbolicLu`
+    /// shares the (immutable) ordering, column map and — when already
+    /// recorded — the pivot structure through `Arc`s, so the clone costs
+    /// reference-count bumps instead of re-running RCM and the first
+    /// pivoting factorization.
+    ///
+    /// This is the cross-sample reuse path of the variation-aware sweeps:
+    /// the nominal sample donates its symbolic phase and every perturbed
+    /// sample (on its own worker thread) starts numeric-only. A seed whose
+    /// pivots go stale for some perturbation re-pivots locally, replacing
+    /// only its own structure handle; the donor and the other workers are
+    /// unaffected. The stale-fallback counter of the new handle starts at
+    /// zero.
+    pub fn seed_from(&self) -> Self {
+        Self {
+            core: Arc::clone(&self.core),
+            structure: self.structure.clone(),
+            stale_fallbacks: 0,
+        }
+    }
+
     /// Dimension of the analyzed pattern.
     pub fn dim(&self) -> usize {
-        self.n
+        self.core.n
     }
 
     /// The fill-reducing ordering (`perm[new] = old`).
     pub fn ordering(&self) -> &[usize] {
-        &self.perm
+        &self.core.perm
     }
 
     /// `true` once a factorization has recorded the pivot sequence, i.e.
     /// subsequent [`SymbolicLu::factor`] calls take the numeric-only path.
     pub fn has_structure(&self) -> bool {
         self.structure.is_some()
+    }
+
+    /// `true` when `a` has exactly the analyzed sparsity pattern, i.e.
+    /// [`SymbolicLu::factor`] would accept it.
+    pub fn matches<T: Scalar>(&self, a: &CsrMatrix<T>) -> bool {
+        self.core.pattern.matches(a)
+    }
+
+    /// How many times a cached pivot sequence went numerically stale for
+    /// the handed-in values and [`SymbolicLu::factor`] fell back to a fresh
+    /// pivoting factorization. Seeded handles start at zero, so for a
+    /// per-sample seed this counts exactly the samples' re-pivots.
+    pub fn stale_fallback_count(&self) -> u64 {
+        self.stale_fallbacks
     }
 
     /// Factorizes a matrix with the analyzed pattern.
@@ -178,7 +249,7 @@ impl SymbolicLu {
     /// * [`SparseError::ZeroPivot`] when the matrix is (numerically)
     ///   singular even under fresh pivoting.
     pub fn factor<T: Scalar>(&mut self, a: &CsrMatrix<T>) -> Result<SparseLu<T>, SparseError> {
-        if !self.pattern.matches(a) {
+        if !self.core.pattern.matches(a) {
             return Err(SparseError::DimensionMismatch {
                 detail: format!(
                     "matrix ({}x{}, {} nnz) does not share the analyzed sparsity pattern \
@@ -186,18 +257,22 @@ impl SymbolicLu {
                     a.rows(),
                     a.cols(),
                     a.nnz(),
-                    self.pattern.rows(),
-                    self.pattern.cols(),
-                    self.pattern.nnz()
+                    self.core.pattern.rows(),
+                    self.core.pattern.cols(),
+                    self.core.pattern.nnz()
                 ),
             });
         }
-        if let Some(structure) = &self.structure {
-            match self.refactor_numeric(a, structure) {
+        if let Some(structure) = self.structure.clone() {
+            match self.refactor_numeric(a, &structure) {
                 Ok(lu) => return Ok(lu),
                 // Stale pivot sequence — fall through to a fresh pivoting
-                // factorization, which also refreshes the structure.
-                Err(_) => self.structure = None,
+                // factorization, which also refreshes (this handle's)
+                // structure; shared donors keep theirs.
+                Err(_) => {
+                    self.structure = None;
+                    self.stale_fallbacks += 1;
+                }
             }
         }
         self.factor_full(a)
@@ -208,7 +283,11 @@ impl SymbolicLu {
     /// of every column so the numeric refactorization stays exact even when
     /// entries that cancelled here become non-zero later.
     fn factor_full<T: Scalar>(&mut self, a: &CsrMatrix<T>) -> Result<SparseLu<T>, SparseError> {
-        let n = self.n;
+        // Own a handle so the pattern data stays readable while
+        // `self.structure` is replaced at the end.
+        let core = Arc::clone(&self.core);
+        let core = &*core;
+        let n = core.n;
         let vals = a.values();
 
         let mut pinv = vec![usize::MAX; n];
@@ -221,6 +300,11 @@ impl SymbolicLu {
         let mut u_colptr = vec![0usize];
         let mut u_rows: Vec<usize> = Vec::new();
         let mut u_vals: Vec<T> = Vec::new();
+        // Off-diagonal U rows in elimination (topological) order, recorded
+        // so the numeric refactorization can replay the same operation
+        // sequence (see `LuStructure::elim_pos`).
+        let mut elim_ptr = vec![0usize];
+        let mut elim_rows: Vec<usize> = Vec::new();
 
         let mut x = vec![T::zero(); n];
         let mut mark = vec![usize::MAX; n];
@@ -230,8 +314,8 @@ impl SymbolicLu {
         for j in 0..n {
             // ---- symbolic: reach of Ap[:, j] through the L columns ----
             topo.clear();
-            for t in self.col_ptr[j]..self.col_ptr[j + 1] {
-                let row = self.col_rows[t];
+            for t in core.col_ptr[j]..core.col_ptr[j + 1] {
+                let row = core.col_rows[t];
                 if mark[row] == j {
                     continue;
                 }
@@ -263,14 +347,15 @@ impl SymbolicLu {
             for &r in &topo {
                 x[r] = T::zero();
             }
-            for t in self.col_ptr[j]..self.col_ptr[j + 1] {
-                x[self.col_rows[t]] = vals[self.col_src[t]];
+            for t in core.col_ptr[j]..core.col_ptr[j + 1] {
+                x[core.col_rows[t]] = vals[core.col_src[t]];
             }
             for &r in &topo {
                 let k = pinv[r];
                 if k == usize::MAX {
                     continue;
                 }
+                elim_rows.push(k);
                 let xr = x[r];
                 if xr.modulus() == 0.0 {
                     continue;
@@ -279,6 +364,7 @@ impl SymbolicLu {
                     x[l_rows[idx]] -= xr * l_vals[idx];
                 }
             }
+            elim_ptr.push(elim_rows.len());
 
             // ---- pivot selection among non-pivotal rows ----
             let mut piv_row = usize::MAX;
@@ -325,7 +411,7 @@ impl SymbolicLu {
 
         // Remap L rows to pivot coordinates, then sort every factor column
         // ascending (the U diagonal lands last automatically) so the numeric
-        // refactorization can eliminate in plain index order.
+        // refactorization can zero/scatter in plain index order.
         for r in &mut l_rows {
             *r = pinv[*r];
         }
@@ -334,16 +420,34 @@ impl SymbolicLu {
             sort_column(&mut u_rows, &mut u_vals, u_colptr[j], u_colptr[j + 1]);
         }
 
-        self.structure = Some(LuStructure {
+        // Convert the recorded elimination order from pivot indices to
+        // positions in the (now sorted) U columns: `elim_rows` for column j
+        // holds exactly the off-diagonal rows of U[:, j] in topological
+        // order, so each lookup is a binary search in the sorted slice.
+        let mut elim_pos = vec![0usize; elim_rows.len()];
+        for j in 0..n {
+            let (lo, hi) = (u_colptr[j], u_colptr[j + 1]);
+            let sorted = &u_rows[lo..hi];
+            for e in elim_ptr[j]..elim_ptr[j + 1] {
+                let at = sorted
+                    .binary_search(&elim_rows[e])
+                    .expect("eliminated row is a recorded U entry");
+                elim_pos[e] = lo + at;
+            }
+        }
+
+        self.structure = Some(Arc::new(LuStructure {
             prow: prow.clone(),
             pinv,
             l_colptr: l_colptr.clone(),
             l_rows: l_rows.clone(),
             u_colptr: u_colptr.clone(),
             u_rows: u_rows.clone(),
-        });
+            elim_ptr,
+            elim_pos,
+        }));
 
-        let prow_orig: Vec<usize> = prow.iter().map(|&r| self.perm[r]).collect();
+        let prow_orig: Vec<usize> = prow.iter().map(|&r| core.perm[r]).collect();
         Ok(SparseLu::from_parts(
             n,
             l_colptr,
@@ -353,19 +457,23 @@ impl SymbolicLu {
             u_rows,
             u_vals,
             prow_orig,
-            Some(self.perm.clone()),
+            Some(core.perm.clone()),
         ))
     }
 
     /// Numeric-only refactorization against a cached pivot sequence and
-    /// factor structure: per column, scatter, eliminate in ascending pivot
-    /// order, divide — no reachability DFS, no sorting, no pivot search.
+    /// factor structure: per column, scatter, eliminate replaying the
+    /// recorded topological order, divide — no reachability DFS, no
+    /// sorting, no pivot search. Because the elimination replays the
+    /// recording factorization's exact operation sequence, handing in the
+    /// same values reproduces the same factor bits.
     fn refactor_numeric<T: Scalar>(
         &self,
         a: &CsrMatrix<T>,
         st: &LuStructure,
     ) -> Result<SparseLu<T>, SparseError> {
-        let n = self.n;
+        let core = &*self.core;
+        let n = core.n;
         let vals = a.values();
         let mut l_vals = vec![T::zero(); st.l_rows.len()];
         let mut u_vals = vec![T::zero(); st.u_rows.len()];
@@ -380,13 +488,11 @@ impl SymbolicLu {
             for idx in st.l_colptr[j]..st.l_colptr[j + 1] {
                 x[st.l_rows[idx]] = T::zero();
             }
-            for t in self.col_ptr[j]..self.col_ptr[j + 1] {
-                x[st.pinv[self.col_rows[t]]] = vals[self.col_src[t]];
+            for t in core.col_ptr[j]..core.col_ptr[j + 1] {
+                x[st.pinv[core.col_rows[t]]] = vals[core.col_src[t]];
             }
 
-            let u_lo = st.u_colptr[j];
-            let u_hi = st.u_colptr[j + 1];
-            for idx in u_lo..(u_hi - 1) {
+            for &idx in &st.elim_pos[st.elim_ptr[j]..st.elim_ptr[j + 1]] {
                 let k = st.u_rows[idx];
                 let xk = x[k];
                 u_vals[idx] = xk;
@@ -397,6 +503,7 @@ impl SymbolicLu {
                 }
             }
 
+            let u_hi = st.u_colptr[j + 1];
             let piv = x[j];
             let l_lo = st.l_colptr[j];
             let l_hi = st.l_colptr[j + 1];
@@ -413,7 +520,7 @@ impl SymbolicLu {
             }
         }
 
-        let prow_orig: Vec<usize> = st.prow.iter().map(|&r| self.perm[r]).collect();
+        let prow_orig: Vec<usize> = st.prow.iter().map(|&r| core.perm[r]).collect();
         Ok(SparseLu::from_parts(
             n,
             st.l_colptr.clone(),
@@ -423,7 +530,7 @@ impl SymbolicLu {
             st.u_rows.clone(),
             u_vals,
             prow_orig,
-            Some(self.perm.clone()),
+            Some(core.perm.clone()),
         ))
     }
 }
@@ -644,6 +751,76 @@ mod tests {
             CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 0.0), (1, 1, 0.0)]);
         let mut sym = SymbolicLu::analyze(&a).unwrap();
         assert!(matches!(sym.factor(&a), Err(SparseError::ZeroPivot { .. })));
+    }
+
+    #[test]
+    fn seeded_handle_is_numeric_only_and_bitwise_matches_the_donor() {
+        let a = laplacian_2d(8);
+        let mut donor = SymbolicLu::analyze(&a).unwrap();
+        let donor_lu = donor.factor(&a).unwrap();
+        // Seeding shares the recorded structure: the clone starts with the
+        // numeric-only path available and a fresh fallback counter.
+        let mut seeded = donor.seed_from();
+        assert!(seeded.has_structure());
+        assert_eq!(seeded.stale_fallback_count(), 0);
+        assert!(seeded.matches(&a));
+        // Same values through the seeded handle reproduce the donor's
+        // factorization bit for bit (the refactorization replays the
+        // recorded elimination order).
+        let rhs: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.31).sin()).collect();
+        let x_donor = donor_lu.solve(&rhs).unwrap();
+        let x_seeded = seeded.factor(&a).unwrap().solve(&rhs).unwrap();
+        let donor_bits: Vec<u64> = x_donor.iter().map(|v| v.to_bits()).collect();
+        let seeded_bits: Vec<u64> = x_seeded.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(donor_bits, seeded_bits);
+        // Perturbed values still solve accurately through the seed.
+        let b_mat = shifted_laplacian(8, 0.75);
+        let x_true: Vec<f64> = (0..b_mat.rows()).map(|i| (i as f64 * 0.12).cos()).collect();
+        let b_rhs = b_mat.matvec(&x_true);
+        let x = seeded.factor(&b_mat).unwrap().solve(&b_rhs).unwrap();
+        assert!(vecops::relative_diff(&x, &x_true, 1e-30) < 1e-10);
+        assert_eq!(seeded.stale_fallback_count(), 0);
+    }
+
+    #[test]
+    fn numeric_refactorization_of_identical_values_is_bitwise_stable() {
+        // factor() twice on the same matrix: the second call replays the
+        // recorded elimination order and must reproduce the first (full,
+        // pivoting) factorization's solve bits exactly.
+        let a = laplacian_2d(11);
+        let rhs: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut sym = SymbolicLu::analyze(&a).unwrap();
+        let full = sym.factor(&a).unwrap().solve(&rhs).unwrap();
+        let replay = sym.factor(&a).unwrap().solve(&rhs).unwrap();
+        assert_eq!(
+            full.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            replay.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn stale_seed_falls_back_locally_and_counts_it() {
+        let t1 = [
+            (0usize, 0usize, 10.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 10.0),
+        ];
+        let a = CsrMatrix::from_triplets(2, 2, &t1);
+        let mut donor = SymbolicLu::analyze(&a).unwrap();
+        donor.factor(&a).unwrap();
+        let mut seeded = donor.seed_from();
+        // Values that zero the donor's pivots: the seeded handle re-pivots
+        // locally (counted), the donor's structure is untouched.
+        let t2 = [(0usize, 0usize, 0.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 0.0)];
+        let b_mat = CsrMatrix::from_triplets(2, 2, &t2);
+        let x = seeded.factor(&b_mat).unwrap().solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+        assert_eq!(seeded.stale_fallback_count(), 1);
+        assert_eq!(donor.stale_fallback_count(), 0);
+        // The donor still factors its own matrix numerically afterwards.
+        donor.factor(&a).unwrap();
+        assert_eq!(donor.stale_fallback_count(), 0);
     }
 
     #[test]
