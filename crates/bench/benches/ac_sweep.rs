@@ -14,7 +14,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vaem::config::{AnalysisConfig, DopingVariationConfig, QuantitySet, VariationSpec};
-use vaem::VariationalAnalysis;
+use vaem::{AdaptiveSweepOptions, VariationalAnalysis};
 use vaem_bench::log_grid;
 use vaem_fvm::{CoupledSolver, SolverOptions};
 use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
@@ -37,6 +37,18 @@ fn sweep_analysis() -> VariationalAnalysis {
         }),
     };
     VariationalAnalysis::new(structure, config)
+}
+
+/// [`sweep_analysis`] on lightly doped silicon: the conduction→displacement
+/// transition lands inside [0.1, 10] GHz, so the spectrum has a knee for
+/// the adaptive refinement to chase (the nominal doping of the quick
+/// experiment leaves it flat and the adaptive sweep trivially keeps the
+/// coarse grid).
+fn curved_sweep_analysis() -> VariationalAnalysis {
+    let analysis = sweep_analysis();
+    let mut config = analysis.config().clone();
+    config.nominal_donor = 2.0e1;
+    VariationalAnalysis::new(analysis.structure().clone(), config)
 }
 
 fn bench_ac_sweep(c: &mut Criterion) {
@@ -73,6 +85,49 @@ fn bench_ac_sweep(c: &mut Criterion) {
             });
         });
     }
+
+    // Adaptive vs dense on the curved (lightly doped) spectrum, pinned to
+    // one worker so the recording is stable on single-CPU runners:
+    // `ac_sweep_adaptive` starts from a 9-point coarse grid and refines
+    // under a 6 % tolerance; `ac_sweep_adaptive_dense64` is the fixed
+    // 64-point reference on the same analysis. The point budget sits above
+    // the dense count, so the >=2x solve saving asserted inside the bench
+    // is earned by indicator convergence (28 points measured), never by
+    // the cap clamping the grid.
+    std::env::set_var("VAEM_THREADS", "1");
+    let coarse = log_grid(9, 1.0e8, 1.0e10);
+    let options = AdaptiveSweepOptions {
+        rel_tolerance: 0.06,
+        max_points: 96,
+        max_depth: 6,
+    };
+    group.bench_function("ac_sweep_adaptive", |b| {
+        let analysis = curved_sweep_analysis();
+        b.iter(|| {
+            let result = analysis
+                .run_adaptive_frequency_sweep(&coarse, &options)
+                .expect("adaptive sweep");
+            assert!(
+                !result.budget_exhausted,
+                "the solve-count comparison is meaningless if the budget clamped the grid"
+            );
+            assert!(
+                2 * result.ac_solve_count() <= (result.sweep.collocation_runs + 1) * 64,
+                "adaptive sweep lost its >=2x solve advantage: {} points",
+                result.sweep.frequencies.len()
+            );
+            result.ac_solve_count()
+        });
+    });
+    group.bench_function("ac_sweep_adaptive_dense64", |b| {
+        let analysis = curved_sweep_analysis();
+        b.iter(|| {
+            analysis
+                .run_frequency_sweep(&frequencies)
+                .expect("dense reference sweep")
+                .ac_solve_count()
+        });
+    });
     std::env::remove_var("VAEM_THREADS");
     group.finish();
 }

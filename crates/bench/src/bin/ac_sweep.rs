@@ -1,28 +1,29 @@
 //! Swept-frequency experiment: interface-current spectrum of the metal-plug
-//! structure (SSCM statistics per frequency point) plus the nominal input
-//! impedance spectrum of the driven plug.
+//! structure (SSCM statistics per frequency point), the nominal input
+//! impedance spectrum of the driven plug, and the error-controlled
+//! **adaptive** sweep over the same band.
 //!
 //! Every collocation sample performs one DC solve and one sweep-aware AC
 //! pass over the whole grid (one assembly + one symbolic factorization, a
 //! numeric refactorization and a warm-started solve per point); samples fan
 //! out over `VAEM_THREADS` worker threads with bit-identical results for
-//! any thread count.
+//! any thread count. The adaptive pass keeps per-sample state across
+//! refinement waves, so each refined point costs the same as a grid point.
 //!
 //! Environment:
-//! * `VAEM_SWEEP_POINTS=<n>` — number of grid points (default 16; the CI
-//!   quick job runs a 4-point smoke).
+//! * `VAEM_SWEEP_POINTS=<n>` — number of fixed-grid points (default 16; the
+//!   CI quick job runs a 4-point smoke). Invalid/zero/negative values clamp
+//!   to a 1-point sweep with a warning instead of panicking.
+//! * `VAEM_SWEEP_TOL=<t>` — adaptive refinement tolerance (default 0.02).
 //! * `VAEM_THREADS=<n>` — worker threads of the sample fan-out.
 
 use vaem::experiments::metalplug::{MetalPlugExperiment, TableOneRow};
-use vaem_bench::{format_seconds, log_grid};
+use vaem::{AdaptiveSweepOptions, PointOrigin};
+use vaem_bench::{format_seconds, log_grid, sweep_points, sweep_tolerance};
 use vaem_fvm::{postprocess, CoupledSolver};
 
 fn main() {
-    let points: usize = std::env::var("VAEM_SWEEP_POINTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(16);
+    let points = sweep_points(16);
     let frequencies = log_grid(points, 1.0e8, 1.0e10);
 
     // Doping-only quick setup: a small reduced dimension keeps the
@@ -59,6 +60,66 @@ fn main() {
             q.sscm[fi].mean,
             q.sscm[fi].std
         );
+    }
+
+    // Adaptive sweep over the same band: a coarse quarter-density grid,
+    // refined where the spectra (nominal, SSCM mean, SSCM std) curve away
+    // from their log-frequency interpolation.
+    let tolerance = sweep_tolerance(0.02);
+    let coarse_points = (points / 4).clamp(3, points.max(3));
+    let coarse = log_grid(coarse_points, 1.0e8, 1.0e10);
+    let options = AdaptiveSweepOptions {
+        rel_tolerance: tolerance,
+        max_points: points.max(coarse_points),
+        ..AdaptiveSweepOptions::default()
+    };
+    println!();
+    println!(
+        "== Adaptive sweep: {coarse_points}-point coarse grid, tolerance {tolerance}, \
+         budget {} points ==",
+        options.max_points
+    );
+    match analysis.run_adaptive_frequency_sweep(&coarse, &options) {
+        Ok(adaptive) => {
+            let sweep = &adaptive.sweep;
+            println!(
+                "   ({} points after {} refinement wave(s), {} AC solves vs {} on the \
+                 fixed grid{}, wall clock {})",
+                sweep.frequencies.len(),
+                adaptive.waves,
+                adaptive.ac_solve_count(),
+                result.ac_solve_count(),
+                if adaptive.budget_exhausted {
+                    ", budget exhausted"
+                } else {
+                    ""
+                },
+                format_seconds(sweep.seconds)
+            );
+            let aq = &sweep.quantities[0];
+            println!(
+                "{:>12}  {:>14}  {:>14}  {:>12}  {:>8}",
+                "f [GHz]", "nominal [uA]", "SSCM mean", "SSCM std", "origin"
+            );
+            for (fi, f) in sweep.frequencies.iter().enumerate() {
+                let origin = match adaptive.origins[fi] {
+                    PointOrigin::Coarse => "coarse".to_string(),
+                    PointOrigin::Refined { wave, depth } => format!("w{wave}/d{depth}"),
+                };
+                println!(
+                    "{:>12.4}  {:>14.6}  {:>14.6}  {:>12.6}  {:>8}",
+                    f / 1e9,
+                    aq.nominal[fi],
+                    aq.sscm[fi].mean,
+                    aq.sscm[fi].std,
+                    origin
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("adaptive frequency sweep failed: {e}");
+            std::process::exit(1);
+        }
     }
 
     // Nominal impedance spectrum off the same sweep machinery.

@@ -15,6 +15,100 @@ pub fn full_scale() -> bool {
         .unwrap_or(false)
 }
 
+/// Environment variable selecting the number of sweep grid points.
+pub const SWEEP_POINTS_ENV: &str = "VAEM_SWEEP_POINTS";
+
+/// Environment variable overriding the adaptive-sweep indicator tolerance.
+pub const SWEEP_TOL_ENV: &str = "VAEM_SWEEP_TOL";
+
+/// Smallest grid the sweep binaries will run; unusable
+/// `VAEM_SWEEP_POINTS` values clamp here (with a warning) instead of
+/// panicking in `log_grid` or silently producing an empty sweep.
+pub const MIN_SWEEP_POINTS: usize = 1;
+
+/// Upper bound on the sweep point count (guards against typos such as
+/// `VAEM_SWEEP_POINTS=1e9`, which would otherwise queue a multi-day run).
+pub const MAX_SWEEP_POINTS: usize = 100_000;
+
+/// How a `VAEM_SWEEP_POINTS`-style value parsed (mirrors the
+/// `VAEM_THREADS` handling in `vaem_parallel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepPointSetting {
+    /// Variable not set: use the binary's default.
+    Unset,
+    /// Set but unusable (garbage, zero or negative): clamp to
+    /// [`MIN_SWEEP_POINTS`] and warn, so a typo degrades to a tiny sweep
+    /// instead of a panic or an empty grid.
+    Invalid,
+    /// A usable point count, capped at [`MAX_SWEEP_POINTS`].
+    Count(usize),
+}
+
+/// Parses a `VAEM_SWEEP_POINTS`-style value.
+fn parse_sweep_points(value: Option<&str>) -> SweepPointSetting {
+    let Some(raw) = value else {
+        return SweepPointSetting::Unset;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => SweepPointSetting::Invalid,
+        Ok(n) => SweepPointSetting::Count(n.min(MAX_SWEEP_POINTS)),
+    }
+}
+
+/// The configured sweep point count: `VAEM_SWEEP_POINTS` when set to a
+/// positive integer (capped at [`MAX_SWEEP_POINTS`]), `default` when
+/// unset, and [`MIN_SWEEP_POINTS`] — with a one-time warning on stderr —
+/// when the variable is set to zero, a negative number or garbage
+/// (previously those either panicked inside `log_grid` or silently fell
+/// back to the default).
+pub fn sweep_points(default: usize) -> usize {
+    let value = std::env::var(SWEEP_POINTS_ENV).ok();
+    match parse_sweep_points(value.as_deref()) {
+        SweepPointSetting::Count(n) => n,
+        SweepPointSetting::Unset => default,
+        SweepPointSetting::Invalid => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: {SWEEP_POINTS_ENV}={:?} is not a positive integer; \
+                     running a {MIN_SWEEP_POINTS}-point sweep",
+                    value.as_deref().unwrap_or_default()
+                );
+            });
+            MIN_SWEEP_POINTS
+        }
+    }
+}
+
+/// Parses a `VAEM_SWEEP_TOL`-style value: a finite, positive relative
+/// tolerance, `None` otherwise.
+fn parse_sweep_tolerance(value: Option<&str>) -> Option<f64> {
+    value
+        .and_then(|raw| raw.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t > 0.0)
+}
+
+/// The configured adaptive-sweep tolerance: `VAEM_SWEEP_TOL` when set to a
+/// finite positive number, `default` when unset, and `default` — with a
+/// one-time warning on stderr — when the variable holds garbage.
+pub fn sweep_tolerance(default: f64) -> f64 {
+    let value = std::env::var(SWEEP_TOL_ENV).ok();
+    match (parse_sweep_tolerance(value.as_deref()), value.as_deref()) {
+        (Some(tol), _) => tol,
+        (None, None) => default,
+        (None, Some(raw)) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: {SWEEP_TOL_ENV}={raw:?} is not a positive finite number; \
+                     using the default tolerance {default}"
+                );
+            });
+            default
+        }
+    }
+}
+
 /// Monte-Carlo run count override, if any.
 pub fn mc_runs_override() -> Option<usize> {
     std::env::var("VAEM_MC_RUNS")
@@ -56,6 +150,42 @@ mod tests {
     fn seconds_formatting() {
         assert_eq!(format_seconds(12.3456), "12.35 s");
         assert_eq!(format_seconds(120.0), "2.0 min");
+    }
+
+    #[test]
+    fn sweep_points_parsing_rules() {
+        use SweepPointSetting::*;
+        // Unset: fall back to the binary's default.
+        assert_eq!(parse_sweep_points(None), Unset);
+        // Garbage, zero and negative values clamp to the minimum (with a
+        // warning) instead of panicking in log_grid or silently producing
+        // an empty sweep.
+        assert_eq!(parse_sweep_points(Some("")), Invalid);
+        assert_eq!(parse_sweep_points(Some("abc")), Invalid);
+        assert_eq!(parse_sweep_points(Some("0")), Invalid);
+        assert_eq!(parse_sweep_points(Some("-4")), Invalid);
+        assert_eq!(parse_sweep_points(Some("2.5")), Invalid);
+        assert_eq!(parse_sweep_points(Some("16 points")), Invalid);
+        // Valid values pass through, capped at MAX_SWEEP_POINTS.
+        assert_eq!(parse_sweep_points(Some("1")), Count(1));
+        assert_eq!(parse_sweep_points(Some(" 64 ")), Count(64));
+        assert_eq!(
+            parse_sweep_points(Some("999999999")),
+            Count(MAX_SWEEP_POINTS)
+        );
+    }
+
+    #[test]
+    fn sweep_tolerance_parsing_rules() {
+        assert_eq!(parse_sweep_tolerance(None), None);
+        assert_eq!(parse_sweep_tolerance(Some("")), None);
+        assert_eq!(parse_sweep_tolerance(Some("abc")), None);
+        assert_eq!(parse_sweep_tolerance(Some("0")), None);
+        assert_eq!(parse_sweep_tolerance(Some("-0.1")), None);
+        assert_eq!(parse_sweep_tolerance(Some("inf")), None);
+        assert_eq!(parse_sweep_tolerance(Some("NaN")), None);
+        assert_eq!(parse_sweep_tolerance(Some("0.05")), Some(0.05));
+        assert_eq!(parse_sweep_tolerance(Some(" 1e-3 ")), Some(1e-3));
     }
 
     #[test]

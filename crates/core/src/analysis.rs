@@ -22,7 +22,7 @@ use vaem_mesh::{NodeId, Structure};
 use vaem_numeric::dense::DMatrix;
 use vaem_numeric::stats::RunningStats;
 use vaem_numeric::NumericError;
-use vaem_parallel::{par_map, par_map_indices};
+use vaem_parallel::{par_map, par_map_indices, par_map_mut};
 use vaem_physics::DopingProfile;
 use vaem_stochastic::{SparseCollocation, SummaryStats};
 use vaem_variation::{
@@ -194,6 +194,188 @@ impl FrequencySweepResult {
     /// (`(collocation runs + nominal) × grid points`).
     pub fn ac_solve_count(&self) -> usize {
         (self.collocation_runs + 1) * self.frequencies.len()
+    }
+}
+
+/// Options of the error-controlled adaptive frequency sweep
+/// ([`VariationalAnalysis::run_adaptive_frequency_sweep`]).
+#[derive(Debug, Clone)]
+pub struct AdaptiveSweepOptions {
+    /// Relative tolerance of the refinement indicator: an interior grid
+    /// point whose computed spectra (nominal, SSCM mean **and** SSCM std)
+    /// deviate from the log-frequency interpolation of its neighbours by
+    /// more than this fraction of the local spectrum scale flags both
+    /// adjacent intervals for bisection. Overridable from the `ac_sweep`
+    /// binary via `VAEM_SWEEP_TOL`.
+    pub rel_tolerance: f64,
+    /// Hard ceiling on the total number of grid points (coarse + refined).
+    /// When a wave would exceed it, only the worst-indicator midpoints are
+    /// inserted and the result is marked
+    /// [`AdaptiveSweepResult::budget_exhausted`].
+    pub max_points: usize,
+    /// Maximum bisection generations per initial coarse interval.
+    pub max_depth: usize,
+}
+
+impl Default for AdaptiveSweepOptions {
+    fn default() -> Self {
+        Self {
+            rel_tolerance: 0.02,
+            max_points: 96,
+            max_depth: 6,
+        }
+    }
+}
+
+/// Where one grid point of an adaptive sweep came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointOrigin {
+    /// Member of the caller-supplied coarse grid.
+    Coarse,
+    /// Midpoint inserted by refinement wave `wave` (1-based), `depth`
+    /// bisection generations below the coarse grid.
+    Refined {
+        /// Refinement wave (1-based) that inserted the point.
+        wave: usize,
+        /// Bisection depth of the point (coarse points are depth 0).
+        depth: usize,
+    },
+}
+
+impl PointOrigin {
+    /// Bisection depth of the point (0 for coarse grid members).
+    pub fn depth(&self) -> usize {
+        match self {
+            PointOrigin::Coarse => 0,
+            PointOrigin::Refined { depth, .. } => *depth,
+        }
+    }
+}
+
+/// Result of an adaptive frequency sweep: a [`FrequencySweepResult`] over
+/// the refined grid (frequencies ascending) plus per-point provenance.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSweepResult {
+    /// The spectra over the final (refined) grid, ascending in frequency.
+    pub sweep: FrequencySweepResult,
+    /// Provenance of each grid point, parallel to `sweep.frequencies`.
+    pub origins: Vec<PointOrigin>,
+    /// Number of refinement waves that inserted points.
+    pub waves: usize,
+    /// The point budget cut refinement short: some flagged intervals were
+    /// left unsplit.
+    pub budget_exhausted: bool,
+}
+
+impl AdaptiveSweepResult {
+    /// Number of points the refinement added on top of the coarse grid.
+    pub fn refined_point_count(&self) -> usize {
+        self.origins
+            .iter()
+            .filter(|o| matches!(o, PointOrigin::Refined { .. }))
+            .count()
+    }
+
+    /// Total number of deterministic linear AC solves performed (see
+    /// [`FrequencySweepResult::ac_solve_count`]); refinement points cost
+    /// exactly as much as coarse grid points.
+    pub fn ac_solve_count(&self) -> usize {
+        self.sweep.ac_solve_count()
+    }
+}
+
+/// Persistent per-sample solver state of an adaptive sweep: the perturbed
+/// problem is built once and the DC operating point is solved once (first
+/// wave); every later refinement wave only re-prepares the AC sweep
+/// operator against the shared topology and pays a numeric refactorization
+/// plus a warm-started solve per new point.
+struct SampleState {
+    structure: Structure,
+    doping: DopingProfile,
+    dc: Option<DcSolution>,
+}
+
+/// One grid point of the adaptive refinement loop (the bisection depth
+/// lives on the origin).
+struct PointRecord {
+    frequency: f64,
+    origin: PointOrigin,
+    /// Nominal outputs, one per quantity.
+    nominal: Vec<f64>,
+    /// SSCM means, one per quantity.
+    mean: Vec<f64>,
+    /// SSCM standard deviations, one per quantity.
+    std: Vec<f64>,
+}
+
+/// Monotone interpolation coordinate of the refinement indicator:
+/// logarithmic above 1 Hz, linear below, continuous at the seam — so grids
+/// that include the DC point stay usable.
+fn freq_coord(f: f64) -> f64 {
+    if f > 1.0 {
+        1.0 + f.ln()
+    } else {
+        f
+    }
+}
+
+/// Geometric midpoint for positive endpoints (log-uniform bisection),
+/// arithmetic when the interval touches f = 0.
+fn midpoint_frequency(lo: f64, hi: f64) -> f64 {
+    if lo > 0.0 {
+        (lo * hi).sqrt()
+    } else {
+        0.5 * (lo + hi)
+    }
+}
+
+/// Interpolation-defect refinement indicator at the middle of three
+/// neighbouring grid points: how far the computed nominal spectrum, the
+/// SSCM mean and the SSCM std at `mid` deviate from the log-frequency
+/// linear interpolation between `lo` and `hi`, relative to the local
+/// spectrum scale, worst case over the quantities. The std term weights
+/// the indicator by the per-point PCE uncertainty: where the variation
+/// band itself curves, the grid refines even if the nominal curve looks
+/// smooth.
+fn refinement_indicator(lo: &PointRecord, mid: &PointRecord, hi: &PointRecord) -> f64 {
+    let (xl, xm, xh) = (
+        freq_coord(lo.frequency),
+        freq_coord(mid.frequency),
+        freq_coord(hi.frequency),
+    );
+    // Grid frequencies are validated finite and strictly increasing, so
+    // the coordinate span is finite; a degenerate one yields no indicator.
+    let span = xh - xl;
+    if span <= 0.0 {
+        return 0.0;
+    }
+    let t = (xm - xl) / span;
+    let lerp = |a: f64, b: f64| a + t * (b - a);
+    let mut worst = 0.0_f64;
+    for q in 0..mid.nominal.len() {
+        let scale = lo.nominal[q]
+            .abs()
+            .max(mid.nominal[q].abs())
+            .max(hi.nominal[q].abs())
+            .max(lo.mean[q].abs())
+            .max(mid.mean[q].abs())
+            .max(hi.mean[q].abs())
+            .max(1e-300);
+        let defect = (mid.nominal[q] - lerp(lo.nominal[q], hi.nominal[q])).abs()
+            + (mid.mean[q] - lerp(lo.mean[q], hi.mean[q])).abs()
+            + (mid.std[q] - lerp(lo.std[q], hi.std[q])).abs();
+        worst = worst.max(defect / scale);
+    }
+    worst
+}
+
+/// Accumulates a flagged interval (identified by the index of its left
+/// endpoint), keeping the worst indicator that flagged it.
+fn flag_interval(flagged: &mut Vec<(usize, f64)>, left: usize, indicator: f64) {
+    if let Some(slot) = flagged.iter_mut().find(|(l, _)| *l == left) {
+        slot.1 = slot.1.max(indicator);
+    } else {
+        flagged.push((left, indicator));
     }
 }
 
@@ -387,6 +569,168 @@ impl VariationalAnalysis {
             out.extend(self.extract_outputs_from(&solver, ac)?);
         }
         Ok(out)
+    }
+
+    /// Evaluates one persistent sample state over a list of frequencies
+    /// (one refinement wave): the DC operating point is solved on the first
+    /// call and cached; every call re-prepares the AC sweep operator
+    /// against the shared topology (seeded symbolic phase) and pays a
+    /// numeric refactorization plus a warm-started solve per point.
+    ///
+    /// Returns the outputs flattened frequency-major, like
+    /// [`VariationalAnalysis::evaluate_spectrum_with`]; for a fresh state
+    /// and the same grid the two paths produce bit-identical outputs.
+    fn evaluate_state(
+        &self,
+        topology: &Arc<SolverTopology>,
+        state: &mut SampleState,
+        frequencies: &[f64],
+    ) -> Result<Vec<f64>, AnalysisError> {
+        let solver = CoupledSolver::with_topology(
+            &state.structure,
+            &state.doping,
+            self.sample_solver_options(),
+            topology.clone(),
+        )?;
+        if state.dc.is_none() {
+            state.dc = Some(solver.solve_dc()?);
+        }
+        let dc = state.dc.as_ref().expect("DC operating point just cached");
+        let mut operator = solver.prepare_ac_sweep(dc)?;
+        let mut out = Vec::with_capacity(frequencies.len() * self.config.quantities.len());
+        for &frequency in frequencies {
+            let ac = operator.solve_at(frequency, self.driven_terminal())?;
+            out.extend(self.extract_outputs_from(&solver, &ac)?);
+        }
+        Ok(out)
+    }
+
+    /// Squared magnitude of one sample's variation inputs — the
+    /// deterministic "how far from nominal" measure used to pick the donor
+    /// republishing representative.
+    fn excursion_magnitude(input: &SampleInput) -> f64 {
+        let geometry: f64 = input
+            .facet_offsets
+            .iter()
+            .flat_map(|(_, offsets)| offsets.iter())
+            .map(|x| x * x)
+            .sum();
+        let doping: f64 = input.doping_deltas.iter().map(|(_, d)| d * d).sum();
+        geometry + doping
+    }
+
+    /// The collocation input with the widest excursion (strictly greatest
+    /// magnitude wins, earliest index breaks ties) — deterministic in the
+    /// input order, never in worker timing.
+    fn widest_excursion(inputs: &[SampleInput]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, input) in inputs.iter().enumerate() {
+            let magnitude = Self::excursion_magnitude(input);
+            if best.is_none_or(|(_, b)| magnitude > b) {
+                best = Some((i, magnitude));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Re-solves one representative sample with publishing enabled so that
+    /// donor slots cleared by the refresh policy are refilled with pivot
+    /// structures recorded from the current excursion, with the AC donor
+    /// recorded at `ac_frequency` — the operating point the upcoming stage
+    /// actually solves at, not the (documented-as-unused) single-point
+    /// configuration frequency. Called only at deterministic barriers
+    /// (between sweep stages / refinement waves), never from worker
+    /// threads.
+    fn republish_donors_from(
+        &self,
+        topology: &Arc<SolverTopology>,
+        input: &SampleInput,
+        ac_frequency: f64,
+    ) -> Result<(), AnalysisError> {
+        let (structure, doping) =
+            self.sample_problem(&input.facet_offsets, &input.doping_deltas)?;
+        let solver = CoupledSolver::with_topology(
+            &structure,
+            &doping,
+            self.config.solver.clone(),
+            topology.clone(),
+        )?;
+        let dc = solver.solve_dc()?;
+        // One AC prepare republishes the AC donor alongside the DC one.
+        let _ = solver.prepare_ac(&dc, ac_frequency)?;
+        Ok(())
+    }
+
+    /// [`VariationalAnalysis::republish_donors_from`] against an adaptive
+    /// sweep's persistent [`SampleState`]: the state's cached DC operating
+    /// point is reused (solved only if a prior wave has not already), so a
+    /// mid-refinement AC-donor refresh costs one AC prepare instead of a
+    /// full Newton solve.
+    fn republish_ac_donor_from_state(
+        &self,
+        topology: &Arc<SolverTopology>,
+        state: &mut SampleState,
+        ac_frequency: f64,
+    ) -> Result<(), AnalysisError> {
+        let solver = CoupledSolver::with_topology(
+            &state.structure,
+            &state.doping,
+            self.config.solver.clone(),
+            topology.clone(),
+        )?;
+        if state.dc.is_none() {
+            state.dc = Some(solver.solve_dc()?);
+        }
+        let dc = state.dc.as_ref().expect("DC operating point just cached");
+        let _ = solver.prepare_ac(dc, ac_frequency)?;
+        Ok(())
+    }
+
+    /// Validates a frequency grid for this analysis: finite, non-negative
+    /// entries, and no DC point when the configured quantities divide by ω
+    /// — failing up front instead of after the whole nominal grid has been
+    /// solved and the extraction hits the `capacitance_column_from` guard.
+    fn validate_grid(&self, frequencies: &[f64]) -> Result<(), AnalysisError> {
+        if frequencies.iter().any(|f| !f.is_finite() || *f < 0.0) {
+            return Err(AnalysisError::Configuration(
+                "frequency sweep grid must be finite and non-negative".to_string(),
+            ));
+        }
+        if matches!(
+            self.config.quantities,
+            QuantitySet::CapacitanceColumn { .. }
+        ) && frequencies.contains(&0.0)
+        {
+            return Err(AnalysisError::Configuration(
+                "capacitance sweeps need strictly positive frequencies: \
+                 C = Im(I)/ω is undefined at the 0 Hz point"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// A well-formed zero-point sweep result (labelled quantities with
+    /// empty spectra) for callers handing in an empty grid.
+    fn empty_sweep_result(&self, start: Instant) -> FrequencySweepResult {
+        FrequencySweepResult {
+            frequencies: Vec::new(),
+            quantities: self
+                .config
+                .quantities
+                .labels()
+                .into_iter()
+                .map(|label| SweepQuantity {
+                    label,
+                    nominal: Vec::new(),
+                    sscm: Vec::new(),
+                })
+                .collect(),
+            reductions: Vec::new(),
+            collocation_runs: 0,
+            seconds: start.elapsed().as_secs_f64(),
+            seed_reuse: SeedReuseStats::default(),
+        }
     }
 
     /// The terminal driven with 1 V by the AC stage of every evaluation.
@@ -721,6 +1065,31 @@ impl VariationalAnalysis {
         let pces = sscm.fit(&outputs)?;
         let sscm_seconds = sscm_start.elapsed().as_secs_f64();
 
+        // --- Donor refresh barrier: if the SSCM fan-out re-pivoted often
+        // enough that the nominal donor is evidently stale for this
+        // parameter spread, drop it and republish from the widest
+        // collocation excursion before the Monte-Carlo fan-out. The
+        // decision runs at this single-threaded barrier on counters that
+        // are sums of per-sample deterministic counts, so neither the
+        // decision nor the new donor depends on worker timing.
+        if self.config.solver.reuse_symbolic {
+            let rate = self.config.solver.donor_refresh_stale_rate;
+            let dc_cleared = topology.clear_dc_donor_if_stale(rate);
+            let ac_cleared = topology.clear_ac_donor_if_stale(rate);
+            if dc_cleared || ac_cleared {
+                if let Some(widest) = Self::widest_excursion(&sample_inputs) {
+                    // The MC stage solves at the configured single-point
+                    // frequency, so that is where the new AC donor is
+                    // recorded.
+                    self.republish_donors_from(
+                        &topology,
+                        &sample_inputs[widest],
+                        self.config.frequency,
+                    )?;
+                }
+            }
+        }
+
         // --- Monte-Carlo reference (full-rank sampling of every group).
         // Each run draws from its own `(seed, run)` stream, so the sweep is
         // deterministic for any thread count.
@@ -795,23 +1164,19 @@ impl VariationalAnalysis {
     /// configured single-point `frequency` is not used.
     ///
     /// # Errors
-    /// Propagates solver, reduction and fitting failures; an empty or
-    /// non-finite grid is a configuration error.
+    /// Propagates solver, reduction and fitting failures; a non-finite or
+    /// negative grid entry is a configuration error. An empty grid returns
+    /// a well-formed zero-point result (no solves run), and a single-point
+    /// grid degenerates to the single-frequency analysis.
     pub fn run_frequency_sweep(
         &self,
         frequencies: &[f64],
     ) -> Result<FrequencySweepResult, AnalysisError> {
-        if frequencies.is_empty() {
-            return Err(AnalysisError::Configuration(
-                "frequency sweep needs a non-empty grid".to_string(),
-            ));
-        }
-        if frequencies.iter().any(|f| !f.is_finite() || *f < 0.0) {
-            return Err(AnalysisError::Configuration(
-                "frequency sweep grid must be finite and non-negative".to_string(),
-            ));
-        }
+        self.validate_grid(frequencies)?;
         let start = Instant::now();
+        if frequencies.is_empty() {
+            return Ok(self.empty_sweep_result(start));
+        }
         let groups = self.build_groups()?;
         let topology = Arc::new(SolverTopology::build(&self.structure)?);
 
@@ -878,6 +1243,269 @@ impl VariationalAnalysis {
             collocation_runs: sscm.run_count(),
             seconds: start.elapsed().as_secs_f64(),
             seed_reuse: topology.seed_stats(),
+        })
+    }
+
+    /// Runs the swept-frequency experiment on an **error-controlled
+    /// adaptive grid**: the spectra are evaluated on the caller's coarse
+    /// grid first, then intervals whose interior points deviate from the
+    /// log-frequency interpolation of their neighbours — nominal curve,
+    /// SSCM mean or SSCM std — by more than `options.rel_tolerance` are
+    /// recursively bisected, down to `options.max_depth` generations and at
+    /// most `options.max_points` total points. Flat stretches of the
+    /// spectrum keep the coarse resolution; resonant/transition regions get
+    /// dense points, so a wide-band extraction reaches dense-grid accuracy
+    /// with a fraction of the solves.
+    ///
+    /// Every collocation sample keeps a persistent state across the
+    /// refinement waves: the perturbed problem is built once, the DC
+    /// operating point is solved once, and each refinement point costs one
+    /// numeric refactorization plus one warm-started solve
+    /// ([`AcSweepOperator::solve_at`](vaem_fvm::AcSweepOperator::solve_at))
+    /// — exactly as much as a point of a fixed-grid sweep. Waves fan out
+    /// over the `vaem_parallel` workers with slot-per-input determinism,
+    /// and all refinement decisions are made between waves from
+    /// thread-count-independent data, so the refined grid and the spectra
+    /// are bit-identical for any `VAEM_THREADS` value. With a tolerance
+    /// loose enough that no refinement triggers, the result is
+    /// bit-identical to [`VariationalAnalysis::run_frequency_sweep`] on the
+    /// coarse grid.
+    ///
+    /// # Errors
+    /// Propagates solver, reduction and fitting failures. The coarse grid
+    /// must be finite, non-negative and strictly increasing (an empty grid
+    /// returns a well-formed zero-point result; fewer than three points
+    /// leave nothing to refine and return the coarse sweep). The options
+    /// must hold a positive finite tolerance and a point budget of at
+    /// least the coarse grid size.
+    pub fn run_adaptive_frequency_sweep(
+        &self,
+        coarse_frequencies: &[f64],
+        options: &AdaptiveSweepOptions,
+    ) -> Result<AdaptiveSweepResult, AnalysisError> {
+        if !options.rel_tolerance.is_finite() || options.rel_tolerance <= 0.0 {
+            return Err(AnalysisError::Configuration(format!(
+                "adaptive sweep tolerance must be finite and positive, got {}",
+                options.rel_tolerance
+            )));
+        }
+        self.validate_grid(coarse_frequencies)?;
+        if coarse_frequencies.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(AnalysisError::Configuration(
+                "adaptive sweep needs a strictly increasing coarse grid".to_string(),
+            ));
+        }
+        if options.max_points < coarse_frequencies.len() {
+            return Err(AnalysisError::Configuration(format!(
+                "adaptive sweep point budget {} is below the {}-point coarse grid",
+                options.max_points,
+                coarse_frequencies.len()
+            )));
+        }
+        let start = Instant::now();
+        if coarse_frequencies.is_empty() {
+            return Ok(AdaptiveSweepResult {
+                sweep: self.empty_sweep_result(start),
+                origins: Vec::new(),
+                waves: 0,
+                budget_exhausted: false,
+            });
+        }
+
+        let groups = self.build_groups()?;
+        let topology = Arc::new(SolverTopology::build(&self.structure)?);
+        let n_q = self.config.quantities.len();
+
+        // --- Nominal coarse sweep: per-point nominal outputs, wPFA weights
+        // (first grid point) and the donor symbolic phases, published
+        // before any worker starts.
+        let nominal_doping = self.nominal_doping();
+        let nominal_solver = CoupledSolver::with_topology(
+            &self.structure,
+            &nominal_doping,
+            self.config.solver.clone(),
+            topology.clone(),
+        )?;
+        let nominal_dc = nominal_solver.solve_dc()?;
+        let mut nominal_operator = nominal_solver.prepare_ac_sweep(&nominal_dc)?;
+        let nominal_sweep =
+            nominal_operator.sweep_terminal(coarse_frequencies, self.driven_terminal())?;
+        let node_weights = self.nominal_weights(&nominal_sweep[0])?;
+        let mut nominal_flat = Vec::with_capacity(coarse_frequencies.len() * n_q);
+        for ac in &nominal_sweep {
+            nominal_flat.extend(self.extract_outputs_from(&nominal_solver, ac)?);
+        }
+        drop(nominal_operator);
+
+        // --- Reduction + persistent sample states. ---
+        let (reductions, reduction_summary) = self.build_reductions(&groups, &node_weights)?;
+        let total_dim: usize = reductions.iter().map(|r| r.reduced_dim()).sum();
+        let sscm = SparseCollocation::new(total_dim);
+        let sample_inputs = self.collocation_inputs(&sscm, &groups, &reductions);
+        let mut states: Vec<SampleState> = sample_inputs
+            .iter()
+            .map(|input| {
+                let (structure, doping) =
+                    self.sample_problem(&input.facet_offsets, &input.doping_deltas)?;
+                Ok(SampleState {
+                    structure,
+                    doping,
+                    dc: None,
+                })
+            })
+            .collect::<Result<_, AnalysisError>>()?;
+        // The nominal joins later waves as a persistent state of its own
+        // (publishing stays off there — its donors are already out).
+        let mut nominal_state = SampleState {
+            structure: self.structure.clone(),
+            doping: nominal_doping,
+            dc: Some(nominal_dc),
+        };
+
+        // --- Wave 0: every sample over the coarse grid. ---
+        let sample_outputs: Vec<Vec<f64>> = par_map_mut(&mut states, |_, state| {
+            self.evaluate_state(&topology, state, coarse_frequencies)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+        let fit_point = |point_outputs: &[Vec<f64>], at: usize| -> Result<_, AnalysisError> {
+            let per_sample: Vec<Vec<f64>> = point_outputs
+                .iter()
+                .map(|o| o[at * n_q..(at + 1) * n_q].to_vec())
+                .collect();
+            Ok(sscm.fit(&per_sample)?)
+        };
+        let mut grid: Vec<PointRecord> = Vec::with_capacity(coarse_frequencies.len());
+        for (fi, &frequency) in coarse_frequencies.iter().enumerate() {
+            let pces = fit_point(&sample_outputs, fi)?;
+            grid.push(PointRecord {
+                frequency,
+                origin: PointOrigin::Coarse,
+                nominal: nominal_flat[fi * n_q..(fi + 1) * n_q].to_vec(),
+                mean: pces.iter().map(|p| p.mean()).collect(),
+                std: pces.iter().map(|p| p.std()).collect(),
+            });
+        }
+
+        // --- Refinement waves: flag, bisect, evaluate, refit. ---
+        let mut waves = 0usize;
+        let mut budget_exhausted = false;
+        loop {
+            let mut flagged: Vec<(usize, f64)> = Vec::new();
+            for i in 1..grid.len().saturating_sub(1) {
+                let indicator = refinement_indicator(&grid[i - 1], &grid[i], &grid[i + 1]);
+                if indicator > options.rel_tolerance {
+                    flag_interval(&mut flagged, i - 1, indicator);
+                    flag_interval(&mut flagged, i, indicator);
+                }
+            }
+            // (midpoint frequency, depth, indicator) per splittable interval.
+            let mut candidates: Vec<(f64, usize, f64)> = flagged
+                .into_iter()
+                .filter_map(|(left, indicator)| {
+                    let (lo, hi) = (&grid[left], &grid[left + 1]);
+                    let depth = lo.origin.depth().max(hi.origin.depth());
+                    if depth >= options.max_depth {
+                        return None;
+                    }
+                    let mid = midpoint_frequency(lo.frequency, hi.frequency);
+                    // Floating-point exhaustion: the midpoint no longer
+                    // separates the endpoints.
+                    if !(mid > lo.frequency && mid < hi.frequency) {
+                        return None;
+                    }
+                    Some((mid, depth + 1, indicator))
+                })
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let allowed = options.max_points.saturating_sub(grid.len());
+            if allowed == 0 {
+                budget_exhausted = true;
+                break;
+            }
+            if candidates.len() > allowed {
+                // Spend the remaining budget on the worst offenders.
+                budget_exhausted = true;
+                candidates.sort_by(|a, b| {
+                    b.2.partial_cmp(&a.2)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.total_cmp(&b.0))
+                });
+                candidates.truncate(allowed);
+            }
+            // Evaluate ascending in frequency: deterministic, and the
+            // warm starts walk the spectrum monotonically.
+            candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+            waves += 1;
+
+            let wave_freqs: Vec<f64> = candidates.iter().map(|c| c.0).collect();
+
+            // Donor refresh barrier (AC side — no DC solves happen after
+            // wave 0): if the previous wave re-pivoted past the threshold,
+            // republish from the widest collocation excursion so the
+            // refinement waves re-seed from pivots that fit the spread.
+            // The new donor is recorded at this wave's first midpoint —
+            // an in-band operating point — reusing the state's cached DC
+            // solution, so the refresh costs one AC prepare.
+            if self.config.solver.reuse_symbolic
+                && topology.clear_ac_donor_if_stale(self.config.solver.donor_refresh_stale_rate)
+            {
+                if let Some(widest) = Self::widest_excursion(&sample_inputs) {
+                    self.republish_ac_donor_from_state(
+                        &topology,
+                        &mut states[widest],
+                        wave_freqs[0],
+                    )?;
+                }
+            }
+            let nominal_new = self.evaluate_state(&topology, &mut nominal_state, &wave_freqs)?;
+            let sample_new: Vec<Vec<f64>> = par_map_mut(&mut states, |_, state| {
+                self.evaluate_state(&topology, state, &wave_freqs)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+            for (ci, &(frequency, depth, _)) in candidates.iter().enumerate() {
+                let pces = fit_point(&sample_new, ci)?;
+                let record = PointRecord {
+                    frequency,
+                    origin: PointOrigin::Refined { wave: waves, depth },
+                    nominal: nominal_new[ci * n_q..(ci + 1) * n_q].to_vec(),
+                    mean: pces.iter().map(|p| p.mean()).collect(),
+                    std: pces.iter().map(|p| p.std()).collect(),
+                };
+                let at = grid.partition_point(|p| p.frequency < frequency);
+                grid.insert(at, record);
+            }
+        }
+
+        // --- Assemble the refined-grid result. ---
+        let labels = self.config.quantities.labels();
+        let quantities = labels
+            .into_iter()
+            .enumerate()
+            .map(|(q, label)| SweepQuantity {
+                label,
+                nominal: grid.iter().map(|p| p.nominal[q]).collect(),
+                sscm: grid
+                    .iter()
+                    .map(|p| SummaryStats::new(p.mean[q], p.std[q]))
+                    .collect(),
+            })
+            .collect();
+        Ok(AdaptiveSweepResult {
+            sweep: FrequencySweepResult {
+                frequencies: grid.iter().map(|p| p.frequency).collect(),
+                quantities,
+                reductions: reduction_summary,
+                collocation_runs: sscm.run_count(),
+                seconds: start.elapsed().as_secs_f64(),
+                seed_reuse: topology.seed_stats(),
+            },
+            origins: grid.iter().map(|p| p.origin).collect(),
+            waves,
+            budget_exhausted,
         })
     }
 }
@@ -975,16 +1603,219 @@ mod tests {
     }
 
     #[test]
-    fn empty_or_invalid_frequency_grid_is_rejected() {
+    fn empty_grid_returns_a_well_formed_result_and_invalid_grids_are_rejected() {
         let analysis = tiny_analysis(false, true);
-        assert!(matches!(
-            analysis.run_frequency_sweep(&[]),
-            Err(AnalysisError::Configuration(_))
-        ));
+        // An empty grid is a degenerate but well-formed request: no solves,
+        // labelled quantities with empty spectra, zero AC solve count —
+        // previously this was rejected (and the assembly would have
+        // panicked on `nominal_sweep[0]` without the guard).
+        let empty = analysis.run_frequency_sweep(&[]).unwrap();
+        assert!(empty.frequencies.is_empty());
+        assert_eq!(empty.quantities.len(), analysis.config().quantities.len());
+        assert!(empty
+            .quantities
+            .iter()
+            .all(|q| q.nominal.is_empty() && q.sscm.is_empty() && !q.label.is_empty()));
+        assert_eq!(empty.collocation_runs, 0);
+        assert_eq!(empty.ac_solve_count(), 0);
+        // Non-finite or negative entries stay hard errors.
         assert!(matches!(
             analysis.run_frequency_sweep(&[1.0e9, f64::NAN]),
             Err(AnalysisError::Configuration(_))
         ));
+        assert!(matches!(
+            analysis.run_frequency_sweep(&[-1.0]),
+            Err(AnalysisError::Configuration(_))
+        ));
+    }
+
+    #[test]
+    fn capacitance_sweep_rejects_the_dc_point_up_front() {
+        // C = Im(I)/ω is undefined at 0 Hz; a capacitance sweep whose grid
+        // contains the DC point must fail at validation time, not after the
+        // whole nominal grid has been solved and the extraction trips over
+        // the postprocess guard.
+        let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+        let mut config = AnalysisConfig::new(QuantitySet::CapacitanceColumn {
+            driven: "plug1".to_string(),
+            terminals: vec!["plug1".to_string(), "plug2".to_string()],
+        });
+        config.variations = VariationSpec {
+            roughness: None,
+            doping: Some(DopingVariationConfig {
+                max_nodes: 12,
+                ..DopingVariationConfig::paper_default()
+            }),
+        };
+        let analysis = VariationalAnalysis::new(structure, config);
+        for run in [
+            analysis.run_frequency_sweep(&[0.0, 1.0e9]),
+            analysis
+                .run_adaptive_frequency_sweep(
+                    &[0.0, 1.0e9, 1.0e10],
+                    &AdaptiveSweepOptions::default(),
+                )
+                .map(|a| a.sweep),
+        ] {
+            match run {
+                Err(AnalysisError::Configuration(msg)) => {
+                    assert!(msg.contains("0 Hz"), "unexpected message: {msg}")
+                }
+                other => panic!("expected up-front configuration error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_sweep_matches_the_single_frequency_run() {
+        let analysis = tiny_analysis(false, true);
+        let result = analysis.run_frequency_sweep(&[1.0e9]).unwrap();
+        assert_eq!(result.frequencies, [1.0e9]);
+        let q = &result.quantities[0];
+        assert_eq!(q.nominal.len(), 1);
+        assert_eq!(q.sscm.len(), 1);
+        assert!(q.nominal[0].is_finite() && q.nominal[0] > 0.0);
+        let mut config = analysis.config().clone();
+        config.frequency = 1.0e9;
+        let single = VariationalAnalysis::new(analysis.structure().clone(), config)
+            .run()
+            .unwrap();
+        let rel = (single.quantities[0].nominal - q.nominal[0]).abs() / q.nominal[0];
+        assert!(rel < 1e-9, "nominal mismatch vs single-point run: {rel}");
+    }
+
+    #[test]
+    fn adaptive_sweep_rejects_bad_options_and_grids() {
+        let analysis = tiny_analysis(false, true);
+        let grid = [1.0e8, 1.0e9, 1.0e10];
+        for tol in [0.0, -1.0, f64::NAN] {
+            let options = AdaptiveSweepOptions {
+                rel_tolerance: tol,
+                ..AdaptiveSweepOptions::default()
+            };
+            assert!(matches!(
+                analysis.run_adaptive_frequency_sweep(&grid, &options),
+                Err(AnalysisError::Configuration(_))
+            ));
+        }
+        let options = AdaptiveSweepOptions::default();
+        // Unsorted / duplicated coarse grids are rejected.
+        assert!(matches!(
+            analysis.run_adaptive_frequency_sweep(&[1.0e9, 1.0e8], &options),
+            Err(AnalysisError::Configuration(_))
+        ));
+        assert!(matches!(
+            analysis.run_adaptive_frequency_sweep(&[1.0e8, 1.0e8], &options),
+            Err(AnalysisError::Configuration(_))
+        ));
+        // A budget below the coarse grid cannot hold even wave 0.
+        let tight = AdaptiveSweepOptions {
+            max_points: 2,
+            ..AdaptiveSweepOptions::default()
+        };
+        assert!(matches!(
+            analysis.run_adaptive_frequency_sweep(&grid, &tight),
+            Err(AnalysisError::Configuration(_))
+        ));
+        // An empty coarse grid is a well-formed zero-point result.
+        let empty = analysis
+            .run_adaptive_frequency_sweep(&[], &options)
+            .unwrap();
+        assert!(empty.sweep.frequencies.is_empty());
+        assert_eq!(empty.waves, 0);
+        assert!(!empty.budget_exhausted);
+    }
+
+    /// Bit-level fingerprint of a sweep result (frequencies + all moments).
+    fn sweep_bits(result: &FrequencySweepResult) -> Vec<u64> {
+        let mut bits: Vec<u64> = result.frequencies.iter().map(|f| f.to_bits()).collect();
+        for q in &result.quantities {
+            bits.extend(q.nominal.iter().map(|v| v.to_bits()));
+            for s in &q.sscm {
+                bits.push(s.mean.to_bits());
+                bits.push(s.std.to_bits());
+            }
+        }
+        bits
+    }
+
+    #[test]
+    fn adaptive_sweep_with_loose_tolerance_is_bit_identical_to_the_fixed_sweep() {
+        let analysis = tiny_analysis(false, true);
+        let grid = [1.0e8, 1.0e9, 5.0e9];
+        let fixed = analysis.run_frequency_sweep(&grid).unwrap();
+        // A tolerance no spectrum can violate: wave 0 only, no refinement —
+        // and the persistent-state path must reproduce the fixed-grid
+        // engine bit for bit.
+        let loose = AdaptiveSweepOptions {
+            rel_tolerance: 1.0e9,
+            ..AdaptiveSweepOptions::default()
+        };
+        let adaptive = analysis
+            .run_adaptive_frequency_sweep(&grid, &loose)
+            .unwrap();
+        assert_eq!(adaptive.waves, 0);
+        assert!(!adaptive.budget_exhausted);
+        assert_eq!(adaptive.refined_point_count(), 0);
+        assert!(adaptive.origins.iter().all(|o| *o == PointOrigin::Coarse));
+        assert_eq!(
+            sweep_bits(&fixed),
+            sweep_bits(&adaptive.sweep),
+            "adaptive wave 0 diverged from the fixed-grid sweep"
+        );
+    }
+
+    #[test]
+    fn adaptive_sweep_refines_where_the_spectrum_curves() {
+        // Lightly doped silicon puts the conduction→displacement transition
+        // inside the band, so the interface-current spectrum sweeps two
+        // decades instead of sitting flat and the indicator has curvature
+        // to find.
+        let mut analysis = tiny_analysis(false, true);
+        analysis.config.nominal_donor = 2.0e1;
+        let analysis = analysis;
+        // A deliberately coarse grid over the transition region with a
+        // tight tolerance: refinement must engage, stay within budget and
+        // keep the grid sorted with consistent provenance.
+        let grid = [1.0e8, 1.0e9, 1.0e10];
+        let options = AdaptiveSweepOptions {
+            rel_tolerance: 1.0e-4,
+            max_points: 12,
+            max_depth: 4,
+        };
+        let adaptive = analysis
+            .run_adaptive_frequency_sweep(&grid, &options)
+            .unwrap();
+        let frequencies = &adaptive.sweep.frequencies;
+        assert!(adaptive.waves >= 1, "refinement never engaged");
+        assert!(adaptive.refined_point_count() >= 1);
+        assert!(frequencies.len() <= options.max_points);
+        assert!(
+            frequencies.windows(2).all(|w| w[1] > w[0]),
+            "refined grid must stay strictly increasing: {frequencies:?}"
+        );
+        assert_eq!(adaptive.origins.len(), frequencies.len());
+        // Coarse points survive refinement.
+        for f in grid {
+            assert!(
+                frequencies.iter().any(|g| (g - f).abs() < 1e-6 * f),
+                "coarse point {f} lost"
+            );
+        }
+        // Every refined point respects the depth cap and its wave index.
+        for origin in &adaptive.origins {
+            if let PointOrigin::Refined { wave, depth } = origin {
+                assert!(*depth >= 1 && *depth <= options.max_depth);
+                assert!(*wave >= 1 && *wave <= adaptive.waves);
+            }
+        }
+        // All spectra stay finite and positive on this structure.
+        let q = &adaptive.sweep.quantities[0];
+        for fi in 0..frequencies.len() {
+            assert!(q.nominal[fi].is_finite() && q.nominal[fi] > 0.0);
+            assert!(q.sscm[fi].mean.is_finite());
+            assert!(q.sscm[fi].std.is_finite() && q.sscm[fi].std >= 0.0);
+        }
     }
 
     /// A sub-threshold-mesh analysis whose DC/AC systems take the direct-LU

@@ -42,8 +42,8 @@ pub mod experiments;
 pub mod report;
 
 pub use analysis::{
-    AnalysisError, AnalysisResult, FrequencySweepResult, QuantityResult, SweepQuantity,
-    VariationalAnalysis,
+    AdaptiveSweepOptions, AdaptiveSweepResult, AnalysisError, AnalysisResult, FrequencySweepResult,
+    PointOrigin, QuantityResult, SweepQuantity, VariationalAnalysis,
 };
 pub use config::{
     AnalysisConfig, DopingVariationConfig, QuantitySet, ReductionMethod, RoughnessConfig,

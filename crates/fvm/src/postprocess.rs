@@ -112,11 +112,23 @@ pub fn capacitance_column(
 /// the output extraction and the wPFA weights).
 ///
 /// # Errors
-/// Propagates terminal-lookup failures.
+/// Propagates terminal-lookup failures. Returns
+/// [`FvmError::Configuration`] for a DC solution (`ω = 0`): `C = Im(I)/ω`
+/// is undefined there, and the former `0/0 = NaN` silently poisoned every
+/// downstream PCE moment of a sweep that included the DC point.
 pub fn capacitance_column_from(
     solver: &CoupledSolver<'_>,
     ac: &crate::AcSolution,
 ) -> Result<BTreeMap<String, f64>, FvmError> {
+    if ac.omega <= 0.0 || !ac.omega.is_finite() {
+        return Err(FvmError::Configuration {
+            detail: format!(
+                "capacitance extraction needs ω > 0, got {} Hz — the DC point \
+                 carries no displacement current to divide by",
+                ac.frequency()
+            ),
+        });
+    }
     let mut out = BTreeMap::new();
     for k in 0..solver.terminals().terminal_count() {
         let name = solver.terminals().name(k).to_string();
@@ -163,8 +175,12 @@ pub fn capacitance_matrix(
 /// conduction-dominated regime that the TSV coupling studies sweep for.
 ///
 /// # Errors
-/// Returns [`FvmError::Configuration`] for an unknown terminal or a terminal
-/// whose current is identically zero (no impedance is defined).
+/// Returns [`FvmError::Configuration`] for an unknown terminal, or for a
+/// sweep point where the terminal behaves as an open circuit — the current
+/// is identically zero (e.g. a purely capacitive terminal at `f = 0`) or so
+/// small that `V / I` overflows to a non-finite impedance. Both used to
+/// propagate silently (`∞`/NaN) into the PCE moments of the statistical
+/// sweeps; they now fail with the offending frequency in the message.
 pub fn impedance_spectrum(
     solver: &CoupledSolver<'_>,
     sweep: &[AcSolution],
@@ -190,13 +206,25 @@ pub fn impedance_spectrum(
             if current.abs() == 0.0 {
                 return Err(FvmError::Configuration {
                     detail: format!(
-                        "terminal '{terminal}' carries no current at {} Hz",
+                        "terminal '{terminal}' carries no current at {} Hz \
+                         (open circuit / DC point): no impedance is defined",
                         ac.frequency()
                     ),
                 });
             }
             let voltage = ac.potential_at(drive_node);
-            Ok((ac.frequency(), voltage / current))
+            let z = voltage / current;
+            if !z.re.is_finite() || !z.im.is_finite() {
+                return Err(FvmError::Configuration {
+                    detail: format!(
+                        "terminal '{terminal}' is effectively open-circuit at {} Hz \
+                         (|I| = {:.3e} A): impedance overflows",
+                        ac.frequency(),
+                        current.abs()
+                    ),
+                });
+            }
+            Ok((ac.frequency(), z))
         })
         .collect()
 }
@@ -385,6 +413,66 @@ mod tests {
         );
         let unknown = impedance_spectrum(&solver, &sweep, "nope");
         assert!(unknown.is_err());
+    }
+
+    #[test]
+    fn dc_point_is_a_clear_error_for_capacitance_and_impedance() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        // A solution tagged ω = 0 (DC point of a sweep): the capacitance
+        // entry Im(I)/ω is undefined there — it must be an error, not a
+        // silent NaN poisoning the PCE moments downstream.
+        let mut ac0 = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+        ac0.omega = 0.0;
+        match capacitance_column_from(&solver, &ac0) {
+            Err(FvmError::Configuration { detail }) => {
+                assert!(detail.contains("ω > 0"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected configuration error, got {other:?}"),
+        }
+        // A healthy frequency still works.
+        let ac = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+        assert!(capacitance_column_from(&solver, &ac).is_ok());
+    }
+
+    #[test]
+    fn open_circuit_sweep_points_fail_instead_of_propagating_non_finite_z() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let ac = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+
+        // Zero current: every link admittance zeroed out.
+        let mut open = ac.clone();
+        for y in &mut open.link_admittance {
+            *y = Complex64::ZERO;
+        }
+        match impedance_spectrum(&solver, std::slice::from_ref(&open), "plug1") {
+            Err(FvmError::Configuration { detail }) => {
+                assert!(detail.contains("no current"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected configuration error, got {other:?}"),
+        }
+
+        // Sub-normal current: V / I overflows to a non-finite impedance
+        // that used to slip through as `inf` — now a clear error.
+        let mut tiny = ac.clone();
+        for y in &mut tiny.link_admittance {
+            *y = y.scale(1e-320 / y.abs().max(1e-300));
+        }
+        let z = impedance_spectrum(&solver, std::slice::from_ref(&tiny), "plug1");
+        match z {
+            Err(FvmError::Configuration { detail }) => assert!(
+                detail.contains("open-circuit") || detail.contains("no current"),
+                "unexpected detail: {detail}"
+            ),
+            Ok(z) => assert!(
+                z.iter().all(|(_, v)| v.re.is_finite() && v.im.is_finite()),
+                "non-finite impedance slipped through: {z:?}"
+            ),
+            Err(other) => panic!("expected configuration error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::terminals::{label_terminals, TerminalMap};
 use crate::{AcSolution, DcSolution, FvmError};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use vaem_mesh::{Axis, LinkId, Material, NodeId, Structure};
 use vaem_numeric::Complex64;
 use vaem_physics::{constants, DopingProfile, MaterialTable, SiliconParams};
@@ -64,6 +64,17 @@ pub struct SolverOptions {
     /// every later seeded solve. The analysis layer does exactly this for
     /// its sample workers.
     pub publish_symbolic: bool,
+    /// Stale-refactorization rate (stale reports per factorization report,
+    /// both counted since the current donor was published) above which a
+    /// *publishing* solver that itself just re-pivoted replaces the shared
+    /// donor with its own freshly recorded symbolic phase. The first donor
+    /// (normally the nominal sample) is a good seed for small excursions,
+    /// but on wide parameter excursions every sample can end up re-pivoting
+    /// from scratch while the topology still hands out the stale donor; the
+    /// refresh policy swaps in a pivot sequence recorded from the current
+    /// excursion instead. Set to `f64::INFINITY` to pin the first donor
+    /// forever (the pre-refresh behaviour).
+    pub donor_refresh_stale_rate: f64,
 }
 
 impl Default for SolverOptions {
@@ -77,7 +88,142 @@ impl Default for SolverOptions {
             newton_tolerance: 1e-9,
             reuse_symbolic: true,
             publish_symbolic: true,
+            donor_refresh_stale_rate: 0.5,
         }
+    }
+}
+
+/// A republishable donor symbolic phase plus its health bookkeeping.
+///
+/// The first publisher fills the slot (for the analysis fan-outs that is
+/// deterministically the nominal sample, solved before the workers start).
+/// Afterwards the slot tracks how the donor performs: every *counted*
+/// factorization report bumps `window_reports` (one per seed consumer —
+/// a DC solve or an AC operator's first frequency, NOT every grid point of
+/// a sweep, which would dilute the rate below any threshold), every
+/// stale-pivot re-pivot bumps `window_stale`, and both windows reset when
+/// a new donor lands. When the windowed stale rate crosses the configured
+/// threshold and a *publishing* solver reports a re-pivot, its freshly
+/// recorded pivot structure replaces the donor — see
+/// [`SolverOptions::donor_refresh_stale_rate`].
+///
+/// The window counters are plain atomics updated outside the donor lock:
+/// under concurrent reporting a handful of counts can land between a
+/// publisher's rate check and its window reset and be dropped from the new
+/// donor's window. The rate is a refresh heuristic, never a correctness
+/// input, and the deterministic orchestration (workers don't publish;
+/// refresh decisions happen at single-threaded barriers) doesn't hit the
+/// race at all — so the approximation is accepted rather than paid for
+/// with a write-lock on every report.
+#[derive(Debug, Default)]
+struct DonorSlot {
+    donor: RwLock<Option<SymbolicLu>>,
+    /// Counted factorization reports (seed consumers) since the current
+    /// donor was published.
+    window_reports: AtomicU64,
+    /// Stale re-pivots since the current donor was published.
+    window_stale: AtomicU64,
+    /// Cumulative stale re-pivots (never reset; surfaced in the stats).
+    total_stale: AtomicU64,
+    /// How many times the refresh policy replaced (or dropped) the donor.
+    refreshes: AtomicU64,
+}
+
+impl DonorSlot {
+    /// A cheap seeding handle onto the current donor, if one is published.
+    fn seed(&self) -> Option<SymbolicLu> {
+        self.donor
+            .read()
+            .expect("donor slot lock poisoned")
+            .as_ref()
+            .map(SymbolicLu::seed_from)
+    }
+
+    fn is_published(&self) -> bool {
+        self.donor
+            .read()
+            .expect("donor slot lock poisoned")
+            .is_some()
+    }
+
+    /// Stale re-pivots per counted factorization report (seed consumer)
+    /// since the current donor was published (0 when nothing went stale).
+    fn stale_rate(&self) -> f64 {
+        let stale = self.window_stale.load(Ordering::Relaxed);
+        if stale == 0 {
+            return 0.0;
+        }
+        stale as f64 / self.window_reports.load(Ordering::Relaxed).max(1) as f64
+    }
+
+    /// Records one factorization report: `stale_delta` not-yet-reported
+    /// re-pivots, `count_report` whether this report represents a new seed
+    /// consumer (an AC sweep reports once per grid point but consumes the
+    /// donor only at its first frequency — counting every point would
+    /// dilute the stale rate with the sweep length), and — when `publish`
+    /// allows it and `symbolic` carries a recorded structure — publishes
+    /// the first donor or, if this report itself re-pivoted while the
+    /// windowed stale rate exceeds `refresh_rate`, republishes a fresher
+    /// one.
+    fn note(
+        &self,
+        symbolic: Option<&SymbolicLu>,
+        publish: bool,
+        stale_delta: u64,
+        count_report: bool,
+        refresh_rate: f64,
+    ) {
+        let reports = if count_report {
+            self.window_reports.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.window_reports.load(Ordering::Relaxed).max(1)
+        };
+        let stale = if stale_delta > 0 {
+            self.total_stale.fetch_add(stale_delta, Ordering::Relaxed);
+            self.window_stale.fetch_add(stale_delta, Ordering::Relaxed) + stale_delta
+        } else {
+            self.window_stale.load(Ordering::Relaxed)
+        };
+        if !publish {
+            return;
+        }
+        let Some(symbolic) = symbolic.filter(|s| s.has_structure()) else {
+            return;
+        };
+        let mut slot = self.donor.write().expect("donor slot lock poisoned");
+        if slot.is_none() {
+            *slot = Some(symbolic.seed_from());
+            self.reset_window();
+        } else if stale_delta > 0 && stale as f64 > refresh_rate * reports as f64 {
+            // This publisher's cached pivots went stale and re-pivoted from
+            // scratch, so its recorded structure reflects the *current*
+            // excursion — swap it in for the worn-out donor.
+            *slot = Some(symbolic.seed_from());
+            self.refreshes.fetch_add(1, Ordering::Relaxed);
+            self.reset_window();
+        }
+    }
+
+    /// Drops the donor when its windowed stale rate exceeds the threshold,
+    /// so the next publishing solve re-donates from its own (fresh)
+    /// symbolic analysis. Returns `true` when a donor was dropped.
+    fn clear_if_stale(&self, rate_threshold: f64) -> bool {
+        if self.window_stale.load(Ordering::Relaxed) == 0 || self.stale_rate() <= rate_threshold {
+            return false;
+        }
+        let mut slot = self.donor.write().expect("donor slot lock poisoned");
+        if slot.is_none() {
+            return false;
+        }
+        *slot = None;
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.reset_window();
+        true
+    }
+
+    fn reset_window(&self) {
+        self.window_reports.store(0, Ordering::Relaxed);
+        self.window_stale.store(0, Ordering::Relaxed);
     }
 }
 
@@ -105,20 +251,18 @@ pub struct SolverTopology {
     dc_pattern: OnceLock<SparsityPattern>,
     /// Structural pattern of the AC (electro-quasi-static) operator.
     ac_pattern: OnceLock<SparsityPattern>,
-    /// Donor symbolic LU of the DC Jacobian: published (once) by the first
-    /// DC solve that prepares a direct factorization — the nominal sample,
+    /// Donor symbolic LU of the DC Jacobian: published by the first DC
+    /// solve that prepares a direct factorization — the nominal sample,
     /// when the analysis layer solves it before fanning the samples out —
     /// and seeded into every later sample's Newton loop so their
-    /// factorizations are numeric-only from the first iteration.
-    dc_symbolic: OnceLock<SymbolicLu>,
+    /// factorizations are numeric-only from the first iteration. The slot
+    /// is refreshable: when the stale rate crosses the configured
+    /// threshold a fresher donor replaces it (see
+    /// [`SolverOptions::donor_refresh_stale_rate`]).
+    dc_donor: DonorSlot,
     /// Donor symbolic LU of the AC operator (pattern-only state is
     /// scalar-agnostic, so one cache serves the complex operator).
-    ac_symbolic: OnceLock<SymbolicLu>,
-    /// How many times a (seeded or self-recorded) DC pivot sequence went
-    /// numerically stale and a sample re-pivoted from scratch.
-    dc_stale_refactorizations: AtomicU64,
-    /// Same, for the AC operators of the frequency sweeps.
-    ac_stale_refactorizations: AtomicU64,
+    ac_donor: DonorSlot,
 }
 
 /// Aggregate symbolic-reuse statistics of one shared [`SolverTopology`]
@@ -135,6 +279,11 @@ pub struct SeedReuseStats {
     /// Total stale-pivot re-pivoting fallbacks across every AC operator
     /// that reported into this topology.
     pub ac_stale_refactorizations: u64,
+    /// How many times the donor-refresh policy replaced (or dropped) the
+    /// published DC donor because its stale rate crossed the threshold.
+    pub dc_donor_refreshes: u64,
+    /// Same, for the AC donor.
+    pub ac_donor_refreshes: u64,
 }
 
 impl SolverTopology {
@@ -171,10 +320,8 @@ impl SolverTopology {
             link_count: mesh.link_count(),
             dc_pattern: OnceLock::new(),
             ac_pattern: OnceLock::new(),
-            dc_symbolic: OnceLock::new(),
-            ac_symbolic: OnceLock::new(),
-            dc_stale_refactorizations: AtomicU64::new(0),
-            ac_stale_refactorizations: AtomicU64::new(0),
+            dc_donor: DonorSlot::default(),
+            ac_donor: DonorSlot::default(),
         })
     }
 
@@ -184,56 +331,91 @@ impl SolverTopology {
     }
 
     /// Aggregate symbolic-reuse statistics: whether DC/AC donor symbolic
-    /// phases have been published, and how many stale-pivot re-pivots the
-    /// solvers sharing this topology have reported.
+    /// phases have been published, how many stale-pivot re-pivots the
+    /// solvers sharing this topology have reported, and how many times the
+    /// refresh policy swapped in a fresher donor.
     pub fn seed_stats(&self) -> SeedReuseStats {
         SeedReuseStats {
-            dc_seeded: self.dc_symbolic.get().is_some(),
-            ac_seeded: self.ac_symbolic.get().is_some(),
-            dc_stale_refactorizations: self.dc_stale_refactorizations.load(Ordering::Relaxed),
-            ac_stale_refactorizations: self.ac_stale_refactorizations.load(Ordering::Relaxed),
+            dc_seeded: self.dc_donor.is_published(),
+            ac_seeded: self.ac_donor.is_published(),
+            dc_stale_refactorizations: self.dc_donor.total_stale.load(Ordering::Relaxed),
+            ac_stale_refactorizations: self.ac_donor.total_stale.load(Ordering::Relaxed),
+            dc_donor_refreshes: self.dc_donor.refreshes.load(Ordering::Relaxed),
+            ac_donor_refreshes: self.ac_donor.refreshes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Stale re-pivots per DC factorization report since the current DC
+    /// donor was published.
+    pub fn dc_stale_rate(&self) -> f64 {
+        self.dc_donor.stale_rate()
+    }
+
+    /// Stale re-pivots per AC refactorization report since the current AC
+    /// donor was published.
+    pub fn ac_stale_rate(&self) -> f64 {
+        self.ac_donor.stale_rate()
+    }
+
+    /// Drops the published DC donor when its observed stale rate exceeds
+    /// `rate_threshold`, so the next *publishing* DC solve re-donates from
+    /// its own fresh symbolic analysis. Returns `true` when a donor was
+    /// dropped. Orchestration layers call this at deterministic barriers
+    /// (between sweep stages) — the workers themselves never publish, so a
+    /// mid-fan-out refresh cannot depend on thread timing.
+    pub fn clear_dc_donor_if_stale(&self, rate_threshold: f64) -> bool {
+        self.dc_donor.clear_if_stale(rate_threshold)
+    }
+
+    /// [`SolverTopology::clear_dc_donor_if_stale`] for the AC donor.
+    pub fn clear_ac_donor_if_stale(&self, rate_threshold: f64) -> bool {
+        self.ac_donor.clear_if_stale(rate_threshold)
     }
 
     /// Publishes a donor symbolic phase / accumulates stale-refactorization
     /// counts from a finished DC prepared solver. The first publisher wins
     /// (deterministically the nominal sample when the analysis layer runs
-    /// it before the fan-out); later calls only add their counters.
-    fn note_dc_factorization(&self, prepared: &PreparedSolver<f64>, publish: bool) {
-        if publish {
-            if let Some(symbolic) = prepared.direct_symbolic() {
-                if symbolic.has_structure() && self.dc_symbolic.get().is_none() {
-                    let _ = self.dc_symbolic.set(symbolic.seed_from());
-                }
-            }
-        }
-        let stale = prepared.direct_stale_fallbacks();
-        if stale > 0 {
-            self.dc_stale_refactorizations
-                .fetch_add(stale, Ordering::Relaxed);
-        }
+    /// it before the fan-out); later publishing reports can *replace* the
+    /// donor when the stale rate crossed `refresh_rate`, and non-publishing
+    /// ones only add their counters.
+    fn note_dc_factorization(
+        &self,
+        prepared: &PreparedSolver<f64>,
+        publish: bool,
+        refresh_rate: f64,
+    ) {
+        // One DC solve = one seed consumer: every report counts.
+        self.dc_donor.note(
+            prepared.direct_symbolic(),
+            publish,
+            prepared.direct_stale_fallbacks(),
+            true,
+            refresh_rate,
+        );
     }
 
     /// [`SolverTopology::note_dc_factorization`] for the complex AC
     /// operator; `stale_delta` is the number of not-yet-reported fallbacks
-    /// (the sweep operator reports incrementally, once per frequency).
+    /// (the sweep operator reports incrementally, once per frequency) and
+    /// `count_report` marks the operator's first report — the one where
+    /// the donor was actually consumed. Later grid points only deliver
+    /// stale deltas, so a long sweep cannot dilute the stale rate below
+    /// the refresh threshold.
     fn note_ac_factorization(
         &self,
         prepared: &PreparedSolver<Complex64>,
         publish: bool,
         stale_delta: u64,
+        count_report: bool,
+        refresh_rate: f64,
     ) {
-        if publish {
-            if let Some(symbolic) = prepared.direct_symbolic() {
-                if symbolic.has_structure() && self.ac_symbolic.get().is_none() {
-                    let _ = self.ac_symbolic.set(symbolic.seed_from());
-                }
-            }
-        }
-        if stale_delta > 0 {
-            self.ac_stale_refactorizations
-                .fetch_add(stale_delta, Ordering::Relaxed);
-        }
+        self.ac_donor.note(
+            prepared.direct_symbolic(),
+            publish,
+            stale_delta,
+            count_report,
+            refresh_rate,
+        );
     }
 
     /// Number of mesh nodes the topology was built for.
@@ -542,11 +724,11 @@ impl<'a> CoupledSolver<'a> {
                     // by the nominal sample) so perturbed samples skip the
                     // ordering/DFS/pivot-search work entirely.
                     let seed = if self.options.reuse_symbolic {
-                        self.topology.dc_symbolic.get()
+                        self.topology.dc_donor.seed()
                     } else {
                         None
                     };
-                    let p = prepared.insert(linear.prepare_seeded(matrix, seed)?);
+                    let p = prepared.insert(linear.prepare_seeded(matrix, seed.as_ref())?);
                     p.solve(&rhs)?
                 }
             };
@@ -588,6 +770,7 @@ impl<'a> CoupledSolver<'a> {
             self.topology.note_dc_factorization(
                 p,
                 self.options.reuse_symbolic && self.options.publish_symbolic,
+                self.options.donor_refresh_stale_rate,
             );
         }
 
@@ -754,6 +937,7 @@ impl<'a> CoupledSolver<'a> {
             matrix: None,
             prepared: None,
             reported_stale: 0,
+            warm: None,
             omega: f64::NAN,
         })
     }
@@ -856,6 +1040,9 @@ pub struct AcSweepOperator<'s, 'a> {
     /// Stale-pivot fallbacks already reported into the shared topology
     /// statistics (the counter on the prepared solver is cumulative).
     reported_stale: u64,
+    /// Solution (on the unknown nodes) of the most recent
+    /// [`AcSweepOperator::solve_at`], used to warm-start the next one.
+    warm: Option<Vec<Complex64>>,
     /// Angular frequency of the current factorization (NaN before the first
     /// [`AcSweepOperator::set_frequency`]).
     omega: f64,
@@ -945,6 +1132,7 @@ impl AcSweepOperator<'_, '_> {
             }
         };
 
+        let first_frequency = self.prepared.is_none();
         match self.prepared.as_mut() {
             Some(p) => p.refactor(matrix)?,
             None => {
@@ -953,15 +1141,18 @@ impl AcSweepOperator<'_, '_> {
                 // sample's sweep), skipping this sample's symbolic phase.
                 let linear = LinearSolver::new(solver.options.linear_solver);
                 let seed = if solver.options.reuse_symbolic {
-                    solver.topology.ac_symbolic.get()
+                    solver.topology.ac_donor.seed()
                 } else {
                     None
                 };
-                self.prepared = Some(linear.prepare_seeded(matrix, seed)?);
+                self.prepared = Some(linear.prepare_seeded(matrix, seed.as_ref())?);
             }
         }
         // Publish the donor (first publisher wins) and report any new
-        // stale-pivot re-pivots into the shared statistics.
+        // stale-pivot re-pivots into the shared statistics. Only the first
+        // frequency counts into the donor's health window — that is where
+        // the seed was consumed; later points merely refactor this
+        // operator's own (possibly re-recorded) structure.
         if let Some(p) = &self.prepared {
             let total = p.direct_stale_fallbacks();
             // `saturating_sub`: a replaced factorization (pattern change,
@@ -972,6 +1163,8 @@ impl AcSweepOperator<'_, '_> {
                 p,
                 solver.options.reuse_symbolic && solver.options.publish_symbolic,
                 delta,
+                first_frequency,
+                solver.options.donor_refresh_stale_rate,
             );
             self.reported_stale = total;
         }
@@ -1019,18 +1212,42 @@ impl AcSweepOperator<'_, '_> {
         frequencies: &[f64],
         driven_terminal: &str,
     ) -> Result<Vec<AcSolution>, FvmError> {
-        let mut excitations = BTreeMap::new();
-        excitations.insert(driven_terminal.to_string(), Complex64::ONE);
+        // Each grid walk starts cold, so back-to-back sweeps of the same
+        // operator reproduce each other exactly.
+        self.warm = None;
         let mut out = Vec::with_capacity(frequencies.len());
-        let mut guess: Option<Vec<Complex64>> = None;
         for &frequency in frequencies {
-            self.set_frequency(frequency)?;
-            let (ac, solution) =
-                self.solve_inner(&excitations, driven_terminal, guess.as_deref())?;
-            guess = Some(solution);
-            out.push(ac);
+            out.push(self.solve_at(frequency, driven_terminal)?);
         }
         Ok(out)
+    }
+
+    /// Out-of-order single-point solve for adaptive refinement: re-targets
+    /// the operator to `frequency` (values rebuilt into the cached CSR
+    /// pattern, numeric refactorization against the cached/seeded symbolic
+    /// phase) and solves for a 1 V excitation on `driven_terminal`,
+    /// warm-starting from the most recent `solve_at` solution.
+    ///
+    /// Unlike [`AcSweepOperator::sweep_terminal`] the points may arrive in
+    /// any order — a refinement wave inserts midpoints between already
+    /// solved frequencies — and each point costs the same as one grid point
+    /// of a dense sweep.
+    ///
+    /// # Errors
+    /// Same conditions as [`AcSweepOperator::set_frequency`] and
+    /// [`AcSweepOperator::solve`].
+    pub fn solve_at(
+        &mut self,
+        frequency: f64,
+        driven_terminal: &str,
+    ) -> Result<AcSolution, FvmError> {
+        self.set_frequency(frequency)?;
+        let mut excitations = BTreeMap::new();
+        excitations.insert(driven_terminal.to_string(), Complex64::ONE);
+        let guess = self.warm.take();
+        let (ac, solution) = self.solve_inner(&excitations, driven_terminal, guess.as_deref())?;
+        self.warm = Some(solution);
+        Ok(ac)
     }
 
     /// Shared solve path; returns the solution restricted to the unknown
@@ -1351,6 +1568,199 @@ mod tests {
             fresh.solve_terminal("top"),
             Err(FvmError::Configuration { .. })
         ));
+    }
+
+    #[test]
+    fn solve_at_matches_set_frequency_plus_solve() {
+        let s = parallel_plate(0.5);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        // Out-of-order refinement pattern: jump around the grid.
+        let mut adaptive = solver.prepare_ac_sweep(&dc).unwrap();
+        for freq in [1.0e9, 1.0e7, 3.0e8, 1.0e8] {
+            let ac = adaptive.solve_at(freq, "top").unwrap();
+            let mut reference_op = solver.prepare_ac(&dc, freq).unwrap();
+            let reference = reference_op.solve_terminal("top").unwrap();
+            assert_eq!(ac.omega, reference.omega);
+            let mut max_diff = 0.0_f64;
+            let mut max_ref = 0.0_f64;
+            for (a, b) in ac.potential.iter().zip(reference.potential.iter()) {
+                max_diff = max_diff.max((*a - *b).abs());
+                max_ref = max_ref.max(b.abs());
+            }
+            assert!(
+                max_diff <= 1e-8 * max_ref.max(1e-30),
+                "solve_at diverged at {freq} Hz: {max_diff:.3e} vs scale {max_ref:.3e}"
+            );
+        }
+    }
+
+    /// 2×2 with a donor-friendly diagonal: the published pivot sequence is
+    /// the diagonal one.
+    fn donor_matrix() -> vaem_sparse::CsrMatrix<f64> {
+        vaem_sparse::CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 10.0)],
+        )
+    }
+
+    /// Same pattern, anti-diagonally dominant values: the donor's diagonal
+    /// pivots fall below the refactorization tolerance, so every seeded
+    /// consumer re-pivots from scratch.
+    fn hostile_matrix() -> vaem_sparse::CsrMatrix<f64> {
+        vaem_sparse::CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0e-14), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0e-14)],
+        )
+    }
+
+    #[test]
+    fn stale_donor_is_republished_once_the_stale_rate_crosses_the_threshold() {
+        // Regression test for the stale-donor lock-in: the topology used to
+        // keep the first published donor forever, so a wide parameter
+        // excursion re-pivoted every sample while `seed_reuse` still
+        // reported a healthy donor. The slot must swap in the publisher's
+        // freshly re-pivoted structure once the stale rate crosses the
+        // threshold.
+        let s = parallel_plate(1.0);
+        let topology = SolverTopology::build(&s).unwrap();
+        let linear = LinearSolver::new(SolverKind::DirectLu);
+        let refresh_rate = 0.5;
+
+        // The nominal publisher donates the diagonal pivot sequence.
+        let donor = linear.prepare(&donor_matrix()).unwrap();
+        topology.note_dc_factorization(&donor, true, refresh_rate);
+        let stats = topology.seed_stats();
+        assert!(stats.dc_seeded);
+        assert_eq!(stats.dc_donor_refreshes, 0);
+
+        // A publishing consumer hits the excursion: its seeded
+        // factorization goes stale, re-pivots locally, and — with the stale
+        // rate now above the threshold — replaces the donor.
+        let seed = topology.dc_donor.seed();
+        let stale = linear
+            .prepare_seeded(&hostile_matrix(), seed.as_ref())
+            .unwrap();
+        assert_eq!(stale.direct_stale_fallbacks(), 1);
+        topology.note_dc_factorization(&stale, true, refresh_rate);
+        let stats = topology.seed_stats();
+        assert_eq!(stats.dc_donor_refreshes, 1, "{stats:?}");
+        assert_eq!(stats.dc_stale_refactorizations, 1);
+
+        // The refreshed donor was recorded from the excursion's values, so
+        // the next consumer stays on the numeric-only path.
+        let seed = topology.dc_donor.seed();
+        let fresh = linear
+            .prepare_seeded(&hostile_matrix(), seed.as_ref())
+            .unwrap();
+        assert_eq!(
+            fresh.direct_stale_fallbacks(),
+            0,
+            "refreshed donor must fit the excursion"
+        );
+        topology.note_dc_factorization(&fresh, true, refresh_rate);
+        assert_eq!(topology.seed_stats().dc_donor_refreshes, 1);
+    }
+
+    #[test]
+    fn non_publishing_reports_never_replace_the_donor_and_barrier_clear_engages() {
+        // The analysis fan-out: samples report staleness but must not
+        // republish (publish = false keeps the donor identity independent
+        // of worker timing). The orchestration layer then clears the
+        // worn-out donor at a deterministic barrier instead.
+        let s = parallel_plate(1.0);
+        let topology = SolverTopology::build(&s).unwrap();
+        let linear = LinearSolver::new(SolverKind::DirectLu);
+        let donor = linear.prepare(&donor_matrix()).unwrap();
+        topology.note_dc_factorization(&donor, true, 0.5);
+
+        for _ in 0..4 {
+            let seed = topology.dc_donor.seed();
+            let stale = linear
+                .prepare_seeded(&hostile_matrix(), seed.as_ref())
+                .unwrap();
+            assert_eq!(stale.direct_stale_fallbacks(), 1);
+            topology.note_dc_factorization(&stale, false, 0.5);
+        }
+        let stats = topology.seed_stats();
+        assert!(stats.dc_seeded, "non-publishers must not touch the donor");
+        assert_eq!(stats.dc_donor_refreshes, 0);
+        assert_eq!(stats.dc_stale_refactorizations, 4);
+        assert!(topology.dc_stale_rate() > 0.5);
+
+        // Barrier refresh: below the observed rate nothing happens; at a
+        // lower threshold the donor is dropped (and counted) so the next
+        // publisher re-donates.
+        assert!(!topology.clear_dc_donor_if_stale(1.0));
+        assert!(topology.clear_dc_donor_if_stale(0.5));
+        let stats = topology.seed_stats();
+        assert!(!stats.dc_seeded);
+        assert_eq!(stats.dc_donor_refreshes, 1);
+        // Re-clearing without new staleness is a no-op.
+        assert!(!topology.clear_dc_donor_if_stale(0.5));
+
+        // The next publisher fills the empty slot with excursion-fresh
+        // pivots and consumers stop re-pivoting.
+        let republished = linear.prepare(&hostile_matrix()).unwrap();
+        topology.note_dc_factorization(&republished, true, 0.5);
+        assert!(topology.seed_stats().dc_seeded);
+        let seed = topology.dc_donor.seed();
+        let consumer = linear
+            .prepare_seeded(&hostile_matrix(), seed.as_ref())
+            .unwrap();
+        assert_eq!(consumer.direct_stale_fallbacks(), 0);
+    }
+
+    #[test]
+    fn sweep_length_does_not_dilute_the_stale_rate() {
+        // An AC operator reports once per grid point but consumes the donor
+        // only at its first frequency; if every report counted into the
+        // denominator, a 9-point sweep would pin the stale rate at ~1/9 per
+        // stale sample and the 0.5 threshold would be unreachable.
+        let slot = DonorSlot::default();
+        let mut donor_sym = SymbolicLu::analyze(&donor_matrix()).unwrap();
+        donor_sym.factor(&donor_matrix()).unwrap();
+        slot.note(Some(&donor_sym), true, 0, true, 0.5);
+        assert!(slot.is_published());
+
+        // Eight later grid points of a sweeping consumer: stale-free,
+        // non-counting — the window must stay empty.
+        for _ in 0..8 {
+            slot.note(None, false, 0, false, 0.5);
+        }
+        assert_eq!(slot.stale_rate(), 0.0);
+        assert_eq!(slot.window_reports.load(Ordering::Relaxed), 0);
+
+        // The consumer's first (seed-consuming) report went stale: one
+        // stale over one counted report crosses the threshold even though
+        // nine reports arrived in total, and a publishing consumer
+        // replaces the donor.
+        let mut fresh = SymbolicLu::analyze(&hostile_matrix()).unwrap();
+        fresh.factor(&hostile_matrix()).unwrap();
+        slot.note(Some(&fresh), true, 1, true, 0.5);
+        assert_eq!(slot.refreshes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn infinite_refresh_rate_pins_the_first_donor() {
+        let s = parallel_plate(1.0);
+        let topology = SolverTopology::build(&s).unwrap();
+        let linear = LinearSolver::new(SolverKind::DirectLu);
+        let donor = linear.prepare(&donor_matrix()).unwrap();
+        topology.note_dc_factorization(&donor, true, f64::INFINITY);
+        for _ in 0..3 {
+            let seed = topology.dc_donor.seed();
+            let stale = linear
+                .prepare_seeded(&hostile_matrix(), seed.as_ref())
+                .unwrap();
+            topology.note_dc_factorization(&stale, true, f64::INFINITY);
+        }
+        let stats = topology.seed_stats();
+        assert_eq!(stats.dc_donor_refreshes, 0);
+        assert_eq!(stats.dc_stale_refactorizations, 3);
     }
 
     #[test]

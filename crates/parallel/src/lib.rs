@@ -121,13 +121,50 @@ fn auto_chunk(len: usize, threads: usize) -> usize {
 
 /// A raw output-slot pointer that may cross the scoped-thread boundary.
 ///
-/// Safety contract (upheld by [`par_map_with_chunk`]): every index in
-/// `0..len` is claimed by exactly one worker through the shared atomic
-/// cursor, so no two threads ever write the same slot and the parent does
-/// not touch the buffer until all workers have joined.
+/// Safety contract (upheld by [`steal_indices`]): every index in `0..len`
+/// is claimed by exactly one worker through the shared atomic cursor, so no
+/// two threads ever write the same slot and the parent does not touch the
+/// buffer until all workers have joined.
 struct SlotPtr<U>(*mut Option<U>);
 unsafe impl<U: Send> Send for SlotPtr<U> {}
 unsafe impl<U: Send> Sync for SlotPtr<U> {}
+
+/// The single work-stealing engine behind every fan-out in this crate:
+/// spawns up to `threads` scoped workers that repeatedly claim the next
+/// unclaimed block of `chunk` indices off a shared atomic cursor and invoke
+/// `body` once per claimed index. Returns when every index in `0..len` has
+/// been processed (a worker panic propagates out of the scope).
+///
+/// Guarantee the callers' unsafe slot/item writes rely on: each index in
+/// `0..len` is passed to **exactly one** `body` invocation — the
+/// `fetch_add` hands out disjoint ranges, and the scope joins all workers
+/// before returning. Keeping this loop in one place means there is exactly
+/// one claiming discipline to audit for both the shared-input and the
+/// mutable-input fan-out.
+fn steal_indices<F>(threads: usize, chunk: usize, len: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    // No point spawning workers that could never win a claim.
+    let workers = threads.min(len.div_ceil(chunk));
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let body = &body;
+        let cursor = &cursor;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                for index in start..end {
+                    body(index);
+                }
+            });
+        }
+    });
+}
 
 /// Maps `f` over `items` on up to [`thread_count`] scoped threads.
 ///
@@ -175,34 +212,91 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let chunk = chunk.max(1);
-    // No point spawning workers that could never win a claim.
-    let workers = threads.min(items.len().div_ceil(chunk));
     let mut out: Vec<Option<U>> = Vec::new();
     out.resize_with(items.len(), || None);
-    let cursor = AtomicUsize::new(0);
     let slots = SlotPtr(out.as_mut_ptr());
-    std::thread::scope(|scope| {
-        let f = &f;
-        let cursor = &cursor;
-        let slots = &slots;
-        for _ in 0..workers {
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= items.len() {
-                    break;
-                }
-                let end = (start + chunk).min(items.len());
-                for (i, item) in items[start..end].iter().enumerate() {
-                    let index = start + i;
-                    // SAFETY: `index` was claimed by this worker alone (the
-                    // fetch_add hands out disjoint ranges), it is in bounds,
-                    // and the buffer outlives the scope. Writing through the
-                    // reference drops the old value, which is always the
-                    // `None` the slot was initialized with.
-                    unsafe { *slots.0.add(index) = Some(f(index, item)) };
-                }
-            });
+    // Capture the `Sync` wrapper by reference — a disjoint field capture
+    // of the raw pointer would sidestep its Send/Sync impls.
+    let slots = &slots;
+    steal_indices(threads, chunk.max(1), items.len(), |index| {
+        // SAFETY: `steal_indices` hands `index` to exactly one invocation,
+        // it is in bounds, and the buffer outlives the call. Writing
+        // through the pointer drops the old value, which is always the
+        // `None` the slot was initialized with.
+        unsafe { *slots.0.add(index) = Some(f(index, &items[index])) };
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every slot is filled by exactly one worker"))
+        .collect()
+}
+
+/// A raw input-slot pointer for the mutable fan-out.
+///
+/// Safety contract (upheld by [`par_map_mut_with_chunk`]): every index in
+/// `0..len` is claimed by exactly one worker, so no two threads ever hold a
+/// mutable reference to the same element, and the parent does not touch the
+/// slice until all workers have joined.
+struct ItemPtr<T>(*mut T);
+unsafe impl<T: Send> Send for ItemPtr<T> {}
+unsafe impl<T: Send> Sync for ItemPtr<T> {}
+
+/// [`par_map`] over **mutable** items: `f` receives `(index, &mut item)` and
+/// may update the item in place while producing an output.
+///
+/// This is the fan-out primitive of the adaptive frequency sweeps: each
+/// collocation sample owns a persistent state (perturbed structure, cached
+/// DC operating point) that every refinement wave reuses and may extend.
+/// Item `i` still writes output slot `i` and is claimed by exactly one
+/// worker per call, so the results — and the mutated states — are
+/// bit-for-bit independent of the thread count as long as `f` is a pure
+/// function of `(index, item)`.
+///
+/// # Panics
+/// Propagates a panic from any worker thread.
+pub fn par_map_mut<T, U, F>(items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let threads = thread_count();
+    let chunk = chunk_override().unwrap_or_else(|| auto_chunk(items.len(), threads.max(1)));
+    par_map_mut_with_chunk(threads, chunk, items, f)
+}
+
+/// [`par_map_mut`] with explicit thread count and claim granularity (the
+/// fully pinned variant used by the scheduler tests).
+pub fn par_map_mut_with_chunk<T, U, F>(
+    threads: usize,
+    chunk: usize,
+    items: &mut [T],
+    f: F,
+) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let len = items.len();
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(len, || None);
+    let slots = SlotPtr(out.as_mut_ptr());
+    let inputs = ItemPtr(items.as_mut_ptr());
+    // Capture the `Sync` wrappers by reference — disjoint field captures
+    // of the raw pointers would sidestep their Send/Sync impls.
+    let (slots, inputs) = (&slots, &inputs);
+    steal_indices(threads, chunk.max(1), len, |index| {
+        // SAFETY: `steal_indices` hands `index` to exactly one invocation
+        // and it is in bounds, so the item reference is exclusive and the
+        // output slot is written exactly once (dropping the `None` it was
+        // initialized with).
+        unsafe {
+            let item = &mut *inputs.0.add(index);
+            *slots.0.add(index) = Some(f(index, item));
         }
     });
     out.into_iter()
@@ -317,6 +411,45 @@ mod tests {
         assert_eq!(auto_chunk(0, 1), 1);
         assert_eq!(auto_chunk(1024, 4), 64);
         assert!(auto_chunk(usize::MAX / 2, 2) >= 1);
+    }
+
+    #[test]
+    fn mutable_fan_out_updates_every_item_and_keeps_slot_order() {
+        // Persistent per-item state (the adaptive-sweep pattern): each call
+        // appends to its item's history and returns a value derived from
+        // the accumulated state.
+        let mut states: Vec<Vec<u64>> = (0..37).map(|i| vec![i as u64]).collect();
+        let serial_expect: Vec<u64> = (0..37u64).map(|i| i + 100).collect();
+        for (threads, chunk) in [(1, 1), (3, 2), (8, 1), (4, 64)] {
+            let mut fresh = states.clone();
+            let out = par_map_mut_with_chunk(threads, chunk, &mut fresh, |i, state| {
+                state.push(state.last().unwrap() + 100);
+                *state.last().unwrap() + i as u64 - state[0]
+            });
+            assert_eq!(out, serial_expect, "threads {threads}, chunk {chunk}");
+            for (i, state) in fresh.iter().enumerate() {
+                assert_eq!(state, &[i as u64, i as u64 + 100]);
+            }
+        }
+        // Repeated waves over the same mutable states accumulate.
+        let _ = par_map_mut_with_chunk(4, 1, &mut states, |_, s| s.push(1));
+        let _ = par_map_mut_with_chunk(2, 3, &mut states, |_, s| s.push(2));
+        assert!(states.iter().all(|s| s.len() == 3));
+    }
+
+    #[test]
+    fn mutable_fan_out_handles_empty_and_single_inputs() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(par_map_mut(&mut empty, |_, v| *v).is_empty());
+        let mut one = [41u32];
+        assert_eq!(
+            par_map_mut(&mut one, |_, v| {
+                *v += 1;
+                *v
+            }),
+            vec![42]
+        );
+        assert_eq!(one[0], 42);
     }
 
     #[test]

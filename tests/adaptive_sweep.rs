@@ -1,0 +1,140 @@
+//! Tier-1 guarantee of the adaptive frequency-sweep engine: starting from a
+//! coarse grid, the error-controlled refinement must reproduce a dense
+//! fixed-grid reference spectrum within the configured tolerance while
+//! spending a fraction (at least 2x fewer) of the deterministic AC solves.
+//!
+//! The fixture puts the conduction→displacement transition of the doped
+//! substrate inside the swept band (lightly doped silicon), so the
+//! interface-current spectrum sweeps roughly two decades and the refinement
+//! has real curvature to chase.
+
+use vaem::config::{AnalysisConfig, DopingVariationConfig, QuantitySet, VariationSpec};
+use vaem::{AdaptiveSweepOptions, PointOrigin, VariationalAnalysis};
+use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
+
+/// Logarithmic grid from `lo` to `hi`, inclusive.
+fn log_grid(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let span = (hi / lo).ln();
+    (0..n)
+        .map(|i| lo * (span * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// A small doping-only analysis whose spectrum has a transition knee in
+/// [0.1, 10] GHz. One reduced variable keeps the collocation count at 6, so
+/// the dense reference sweep stays affordable in a tier-1 test.
+fn curved_analysis() -> VariationalAnalysis {
+    let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
+    let mut config = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
+        terminal: "plug1".to_string(),
+    });
+    config.energy_fraction = 0.85;
+    config.max_reduced_per_group = 1;
+    config.nominal_donor = 2.0e1;
+    config.variations = VariationSpec {
+        roughness: None,
+        doping: Some(DopingVariationConfig {
+            max_nodes: 10,
+            ..DopingVariationConfig::paper_default()
+        }),
+    };
+    VariationalAnalysis::new(structure, config)
+}
+
+/// Log-frequency linear interpolation of `(f, v)` samples at `f_at`.
+fn interp_log(frequencies: &[f64], values: &[f64], f_at: f64) -> f64 {
+    let x_at = f_at.ln();
+    let hi = frequencies.partition_point(|f| *f < f_at);
+    if hi == 0 {
+        return values[0];
+    }
+    if hi >= frequencies.len() {
+        return *values.last().unwrap();
+    }
+    let (xl, xh) = (frequencies[hi - 1].ln(), frequencies[hi].ln());
+    let t = (x_at - xl) / (xh - xl);
+    values[hi - 1] + t * (values[hi] - values[hi - 1])
+}
+
+#[test]
+fn adaptive_sweep_matches_a_dense_reference_with_at_least_2x_fewer_solves() {
+    let analysis = curved_analysis();
+    let (f_lo, f_hi) = (1.0e8, 1.0e10);
+
+    // Dense fixed-grid reference: 64 points across two decades.
+    let dense_grid = log_grid(64, f_lo, f_hi);
+    let dense = analysis.run_frequency_sweep(&dense_grid).unwrap();
+
+    // Adaptive: a 7-point coarse grid refined under a 5 % indicator
+    // tolerance. The point budget is deliberately set ABOVE the dense
+    // point count so the >=2x solve saving below can only come from the
+    // indicator converging, never from the budget clamping the grid.
+    let coarse = log_grid(7, f_lo, f_hi);
+    let options = AdaptiveSweepOptions {
+        rel_tolerance: 0.05,
+        max_points: 96,
+        max_depth: 6,
+    };
+    let adaptive = analysis
+        .run_adaptive_frequency_sweep(&coarse, &options)
+        .unwrap();
+
+    // Refinement engaged (the knee forces it) and *converged* — the
+    // budget must not be what stopped it.
+    assert!(adaptive.waves >= 1, "refinement never engaged");
+    assert!(adaptive.refined_point_count() >= 1);
+    assert!(
+        !adaptive.budget_exhausted,
+        "refinement only stopped because the budget ran out"
+    );
+    assert!(adaptive.sweep.frequencies.len() <= options.max_points);
+    assert!(adaptive
+        .origins
+        .iter()
+        .any(|o| matches!(o, PointOrigin::Refined { .. })));
+
+    // >= 2x fewer deterministic AC solves than the dense reference —
+    // earned by convergence (budget_exhausted is false above), not
+    // imposed by the point cap.
+    assert_eq!(adaptive.sweep.collocation_runs, dense.collocation_runs);
+    assert!(
+        2 * adaptive.ac_solve_count() <= dense.ac_solve_count(),
+        "adaptive sweep used {} AC solves vs dense {} — less than a 2x saving",
+        adaptive.ac_solve_count(),
+        dense.ac_solve_count()
+    );
+
+    // The refined spectrum, log-interpolated onto the dense grid, matches
+    // the dense reference within a small multiple of the indicator
+    // tolerance — nominal curve, SSCM mean and (scale-relative) std alike.
+    let aq = &adaptive.sweep.quantities[0];
+    let dq = &dense.quantities[0];
+    let a_freqs = &adaptive.sweep.frequencies;
+    let a_nominal: Vec<f64> = aq.nominal.clone();
+    let a_mean: Vec<f64> = aq.sscm.iter().map(|s| s.mean).collect();
+    let a_std: Vec<f64> = aq.sscm.iter().map(|s| s.std).collect();
+    let mut worst = 0.0_f64;
+    for (fi, &f) in dense_grid.iter().enumerate() {
+        let scale = dq.nominal[fi].abs().max(1e-30);
+        let nominal_err = (interp_log(a_freqs, &a_nominal, f) - dq.nominal[fi]).abs() / scale;
+        let mean_err = (interp_log(a_freqs, &a_mean, f) - dq.sscm[fi].mean).abs() / scale;
+        let std_err = (interp_log(a_freqs, &a_std, f) - dq.sscm[fi].std).abs() / scale;
+        worst = worst.max(nominal_err).max(mean_err).max(std_err);
+    }
+    assert!(
+        worst <= 3.0 * options.rel_tolerance,
+        "refined spectrum deviates from the dense reference by {worst:.4} \
+         (allowed {})",
+        3.0 * options.rel_tolerance
+    );
+
+    // At frequencies the two grids share (the coarse points are dense-grid
+    // bracketing-free evaluations of the same engine), the spectra agree to
+    // solver precision.
+    for (ai, &f) in a_freqs.iter().enumerate() {
+        if let Some(di) = dense_grid.iter().position(|g| (g - f).abs() < 1e-9 * f) {
+            let rel = (a_nominal[ai] - dq.nominal[di]).abs() / dq.nominal[di].abs().max(1e-30);
+            assert!(rel < 1e-9, "shared point {f} Hz diverged: {rel}");
+        }
+    }
+}

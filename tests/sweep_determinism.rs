@@ -1,8 +1,10 @@
-//! Tier-1 guarantee of the frequency-sweep engine:
-//! `VariationalAnalysis::run_frequency_sweep` must produce bit-for-bit
-//! identical spectra for any `VAEM_THREADS` value — each collocation sample
-//! owns its input slot and every per-sample sweep is a deterministic
-//! sequence of refactorized, warm-started solves.
+//! Tier-1 guarantee of the frequency-sweep engines:
+//! `VariationalAnalysis::run_frequency_sweep` **and**
+//! `run_adaptive_frequency_sweep` must produce bit-for-bit identical spectra
+//! for any `VAEM_THREADS` value — each collocation sample owns its input
+//! slot, every per-sample sweep is a deterministic sequence of refactorized,
+//! warm-started solves, and all refinement decisions are made between waves
+//! from thread-count-independent data.
 //!
 //! This file intentionally holds a single test: it mutates the process-wide
 //! `VAEM_THREADS` variable, so no other test may race on it in this binary
@@ -10,9 +12,11 @@
 //! own binary for the same reason).
 
 use vaem::config::{AnalysisConfig, DopingVariationConfig, QuantitySet, VariationSpec};
-use vaem::{FrequencySweepResult, VariationalAnalysis};
+use vaem::{AdaptiveSweepOptions, AdaptiveSweepResult, FrequencySweepResult, VariationalAnalysis};
 use vaem_mesh::structures::metalplug::{build_metalplug_structure, MetalPlugConfig};
 
+/// A doping-only analysis; the light doping puts a transition knee inside
+/// the band so the adaptive variant actually refines.
 fn tiny_analysis() -> VariationalAnalysis {
     let structure = build_metalplug_structure(&MetalPlugConfig::coarse());
     let mut config = AnalysisConfig::new(QuantitySet::InterfaceCurrent {
@@ -20,6 +24,7 @@ fn tiny_analysis() -> VariationalAnalysis {
     });
     config.energy_fraction = 0.9;
     config.max_reduced_per_group = 2;
+    config.nominal_donor = 2.0e1;
     config.variations = VariationSpec {
         roughness: None,
         doping: Some(DopingVariationConfig {
@@ -30,8 +35,8 @@ fn tiny_analysis() -> VariationalAnalysis {
     VariationalAnalysis::new(structure, config)
 }
 
-/// Exact (bit-level) fingerprint of a sweep result: every nominal value and
-/// every SSCM moment at every grid point.
+/// Exact (bit-level) fingerprint of a sweep result: every frequency, every
+/// nominal value and every SSCM moment at every grid point.
 fn fingerprint(result: &FrequencySweepResult) -> Vec<u64> {
     let mut bits = Vec::new();
     for f in &result.frequencies {
@@ -50,22 +55,57 @@ fn fingerprint(result: &FrequencySweepResult) -> Vec<u64> {
     bits
 }
 
+/// Adaptive fingerprint: the refined-grid sweep plus the provenance and
+/// loop diagnostics (a thread-count-dependent refinement order would show
+/// up here even if the final spectra happened to agree).
+fn adaptive_fingerprint(result: &AdaptiveSweepResult) -> (Vec<u64>, String) {
+    (
+        fingerprint(&result.sweep),
+        format!(
+            "origins={:?} waves={} budget_exhausted={}",
+            result.origins, result.waves, result.budget_exhausted
+        ),
+    )
+}
+
 #[test]
-fn sweep_is_bit_identical_across_thread_counts() {
+fn sweeps_are_bit_identical_across_thread_counts() {
     let frequencies = [1.0e8, 5.0e8, 1.0e9, 5.0e9];
+    let coarse = [1.0e8, 1.0e9, 1.0e10];
+    let adaptive_options = AdaptiveSweepOptions {
+        rel_tolerance: 1.0e-3,
+        max_points: 16,
+        max_depth: 3,
+    };
+
     std::env::set_var("VAEM_THREADS", "1");
     let serial = tiny_analysis()
         .run_frequency_sweep(&frequencies)
         .expect("serial sweep");
+    let serial_adaptive = tiny_analysis()
+        .run_adaptive_frequency_sweep(&coarse, &adaptive_options)
+        .expect("serial adaptive sweep");
     std::env::set_var("VAEM_THREADS", "4");
     let parallel = tiny_analysis()
         .run_frequency_sweep(&frequencies)
         .expect("parallel sweep");
+    let parallel_adaptive = tiny_analysis()
+        .run_adaptive_frequency_sweep(&coarse, &adaptive_options)
+        .expect("parallel adaptive sweep");
     std::env::remove_var("VAEM_THREADS");
 
     assert_eq!(
         fingerprint(&serial),
         fingerprint(&parallel),
         "frequency-sweep spectra changed with the thread count"
+    );
+    assert!(
+        serial_adaptive.refined_point_count() >= 1,
+        "adaptive fixture must actually refine to make this test meaningful"
+    );
+    assert_eq!(
+        adaptive_fingerprint(&serial_adaptive),
+        adaptive_fingerprint(&parallel_adaptive),
+        "adaptive sweep refinement changed with the thread count"
     );
 }
