@@ -35,6 +35,7 @@ fn sweep_analysis() -> VariationalAnalysis {
             max_nodes: 10,
             ..DopingVariationConfig::paper_default()
         }),
+        via_params: None,
     };
     VariationalAnalysis::new(structure, config)
 }

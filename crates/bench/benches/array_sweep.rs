@@ -1,0 +1,40 @@
+//! Criterion bench: the TSV-array nominal coupling extraction at 2×2 and
+//! 3×3 — the first workload whose AC systems are large enough to pressure
+//! the direct-LU wall (ROADMAP item 2).
+//!
+//! Each iteration solves the DC operating point, extracts the full K×K
+//! coupling-capacitance matrix through one shared AC factorization, and
+//! runs the aggressor/victim frequency sweep — the deterministic path of
+//! the `tsv_array` binary, with the stochastic stage excluded so the
+//! timings isolate the per-mesh solver cost from sampling noise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vaem::experiments::tsv_array::TsvArrayExperiment;
+use vaem_mesh::structures::tsv_array::TsvArrayConfig;
+
+fn nominal(experiment: &TsvArrayExperiment) -> f64 {
+    let report = experiment.nominal_report().expect("nominal array report");
+    assert!(
+        report.reciprocity_defect() < 0.05,
+        "coupling matrix lost reciprocity"
+    );
+    report.coupling[0][0]
+}
+
+fn bench_array_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_sweep");
+    group.sample_size(2);
+
+    let quick = TsvArrayExperiment::quick();
+    group.bench_function("array_sweep_2x2", |b| b.iter(|| nominal(&quick)));
+
+    let mut three = TsvArrayExperiment::quick();
+    three.geometry = TsvArrayConfig::coarse(3, 3);
+    three.aggressor = (1, 1);
+    group.bench_function("array_sweep_3x3", |b| b.iter(|| nominal(&three)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_array_sweep);
+criterion_main!(benches);

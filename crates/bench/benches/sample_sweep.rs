@@ -36,6 +36,7 @@ fn sweep_analysis(reuse_symbolic: bool) -> VariationalAnalysis {
             max_nodes: 10,
             ..DopingVariationConfig::paper_default()
         }),
+        via_params: None,
     };
     VariationalAnalysis::new(structure, config)
 }

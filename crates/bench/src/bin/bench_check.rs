@@ -180,9 +180,12 @@ fn main() -> ExitCode {
     }
     // One grep-able line with the per-key speedup/slowdown ratios vs the
     // baseline (speedup = baseline/current, so >1.00x is an improvement).
+    // Names the baseline file so interleaved multi-baseline CI logs stay
+    // attributable.
     println!(
-        "bench_check summary [{}]: {}",
+        "bench_check summary [{}] vs {}: {}",
         if failed { "FAIL" } else { "ok" },
+        baseline_name(&args[1]),
         summary.join(", ")
     );
     if failed {
@@ -196,6 +199,11 @@ fn main() -> ExitCode {
 /// (`baseline / current`, so `1.25x` means 25 % faster than the baseline).
 fn speedup_label(time_ratio: f64) -> String {
     format!("{:.2}x", 1.0 / time_ratio)
+}
+
+/// File name of the baseline path, for the summary line.
+fn baseline_name(path: &str) -> &str {
+    path.rsplit(['/', '\\']).next().unwrap_or(path)
 }
 
 #[cfg(test)]
@@ -258,6 +266,13 @@ mod tests {
         assert_eq!(speedup_label(0.5), "2.00x"); // twice as fast as baseline
         assert_eq!(speedup_label(1.0), "1.00x");
         assert_eq!(speedup_label(2.0), "0.50x"); // twice as slow
+    }
+
+    #[test]
+    fn baseline_names_strip_directories() {
+        assert_eq!(baseline_name("BENCH_pr6.json"), "BENCH_pr6.json");
+        assert_eq!(baseline_name("/tmp/ci/BENCH_pr6.json"), "BENCH_pr6.json");
+        assert_eq!(baseline_name("a\\b\\BENCH_x.json"), "BENCH_x.json");
     }
 
     #[test]

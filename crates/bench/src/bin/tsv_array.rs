@@ -1,0 +1,126 @@
+//! TSV-array coupling experiment: the full K×K coupling-capacitance and
+//! crosstalk matrices of an N×M via grid, an aggressor/victim frequency
+//! sweep, and variation-aware crosstalk statistics over per-via
+//! radius/position parameters.
+//!
+//! Environment:
+//! * `VAEM_FULL=1` — paper-scale 3×3 array on the fine mesh.
+//! * `VAEM_ARRAY_ROWS` / `VAEM_ARRAY_COLS` — grid dimensions override.
+//! * `VAEM_MC_RUNS` — Monte-Carlo sample count of the statistics stage.
+//! * `VAEM_SWEEP_POINTS` — aggressor/victim sweep point count.
+//! * `VAEM_THREADS` / `VAEM_CHUNK` — worker threads / scheduling chunk.
+//!
+//! Flags:
+//! * `--digest` — append a stable `digest: <16 hex>` line hashing every
+//!   result value bit-for-bit, for the CI thread-determinism matrix.
+//! * `--no-stats` — skip the SSCM/MC statistics stage (nominal only).
+
+use vaem::experiments::tsv_array::TsvArrayExperiment;
+use vaem::result_digest;
+use vaem_bench::{array_dims, format_seconds, full_scale, mc_runs_override, sweep_points};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let digest = args.iter().any(|a| a == "--digest");
+    let stats = !args.iter().any(|a| a == "--no-stats");
+    if let Some(unknown) = args.iter().find(|a| *a != "--digest" && *a != "--no-stats") {
+        eprintln!("unknown flag {unknown:?}; supported: --digest, --no-stats");
+        std::process::exit(2);
+    }
+
+    let mut experiment = if full_scale() {
+        TsvArrayExperiment::paper()
+    } else {
+        TsvArrayExperiment::quick()
+    };
+    let (rows, cols) = array_dims(experiment.geometry.rows, experiment.geometry.cols);
+    experiment.geometry.rows = rows;
+    experiment.geometry.cols = cols;
+    // Grid overrides can invalidate the default aggressor position; clamp it
+    // into the grid so `VAEM_ARRAY_ROWS=1` still drives a valid via.
+    experiment.aggressor = (
+        experiment.aggressor.0.min(rows - 1),
+        experiment.aggressor.1.min(cols - 1),
+    );
+    if let Some(n) = mc_runs_override() {
+        experiment = experiment.with_mc_runs(n);
+    }
+    experiment.sweep_points = sweep_points(experiment.sweep_points);
+
+    println!(
+        "== TSV array: {rows}x{cols} grid, pitch {} um, aggressor {} ({} mode) ==",
+        experiment.geometry.pitch,
+        experiment.aggressor_name(),
+        if full_scale() { "paper-scale" } else { "quick" }
+    );
+    println!();
+
+    let report = match experiment.nominal_report() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("tsv_array nominal stage failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.render());
+
+    let mut digest_values: Vec<f64> = report
+        .coupling
+        .iter()
+        .flatten()
+        .copied()
+        .chain(
+            report
+                .victims
+                .iter()
+                .flat_map(|v| v.spectrum.iter().map(|&(_, r)| r)),
+        )
+        .collect();
+
+    if stats {
+        match experiment.run() {
+            Ok(result) => {
+                println!(
+                    "== variation statistics: sigma_r {} um, sigma_p {} um, MC {} runs ==",
+                    experiment.sigma_radius, experiment.sigma_position, result.mc_runs
+                );
+                println!();
+                println!("{}", result.table().render());
+                println!(
+                    "SSCM solves: {}  reduced variables: {}  wall clock: SSCM {} vs MC {}",
+                    result.collocation_runs,
+                    result.total_reduced_dim(),
+                    format_seconds(result.sscm_seconds),
+                    format_seconds(result.mc_seconds)
+                );
+                println!();
+                println!("dominant variation source per matrix entry (first-order Sobol):");
+                for (q, quantity) in result.quantities.iter().enumerate() {
+                    let mut effects = result.group_main_effects(q);
+                    effects.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    let top: Vec<String> = effects
+                        .iter()
+                        .take(3)
+                        .map(|(name, share)| format!("{name} {:.1}%", 100.0 * share))
+                        .collect();
+                    println!("  {:<24} {}", quantity.label, top.join(", "));
+                }
+                for quantity in &result.quantities {
+                    digest_values.push(quantity.sscm.mean);
+                    digest_values.push(quantity.sscm.std);
+                    digest_values.push(quantity.monte_carlo.mean);
+                    digest_values.push(quantity.monte_carlo.std);
+                    digest_values.extend_from_slice(&quantity.main_effects);
+                }
+            }
+            Err(e) => {
+                eprintln!("tsv_array statistics stage failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if digest {
+        println!("digest: {}", result_digest(digest_values));
+    }
+}

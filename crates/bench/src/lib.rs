@@ -116,6 +116,33 @@ pub fn mc_runs_override() -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Upper bound per axis for `VAEM_ARRAY_ROWS`/`VAEM_ARRAY_COLS` (a 8×8
+/// array is already a 64-terminal extraction; anything bigger is a typo).
+pub const MAX_ARRAY_DIM: usize = 8;
+
+/// TSV-array grid override: `(VAEM_ARRAY_ROWS, VAEM_ARRAY_COLS)` when set
+/// to positive integers (each capped at [`MAX_ARRAY_DIM`]), the defaults
+/// otherwise. Unusable values fall back to the default for that axis with
+/// a warning on stderr.
+pub fn array_dims(default_rows: usize, default_cols: usize) -> (usize, usize) {
+    let parse = |env: &str, default: usize| -> usize {
+        match std::env::var(env) {
+            Err(_) => default,
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n.min(MAX_ARRAY_DIM),
+                _ => {
+                    eprintln!("warning: {env}={raw:?} is not a positive integer; using {default}");
+                    default
+                }
+            },
+        }
+    };
+    (
+        parse("VAEM_ARRAY_ROWS", default_rows),
+        parse("VAEM_ARRAY_COLS", default_cols),
+    )
+}
+
 /// Logarithmic frequency grid from `lo` to `hi` (inclusive); a single-point
 /// grid collapses to `lo`.
 ///

@@ -89,6 +89,11 @@ pub struct QuantityResult {
     pub sscm: SummaryStats,
     /// Monte-Carlo reference.
     pub monte_carlo: SummaryStats,
+    /// First-order Sobol main effect of every reduced dimension (in
+    /// reduction order, concatenated over the groups): the fraction of this
+    /// quantity's PCE variance explained by that dimension alone. Empty when
+    /// the quantity was not produced by the SSCM stage.
+    pub main_effects: Vec<f64>,
 }
 
 impl QuantityResult {
@@ -154,6 +159,24 @@ impl AnalysisResult {
     /// Total number of reduced random variables.
     pub fn total_reduced_dim(&self) -> usize {
         self.reductions.iter().map(|g| g.reduced_dim).sum()
+    }
+
+    /// Sums one quantity's first-order main effects over the reduced
+    /// dimensions of each variation group, answering "which variation source
+    /// dominates this output". Returns `(group name, summed Sobol fraction)`
+    /// in group order; fractions below 1 leave room for higher-order and
+    /// cross-group interaction terms.
+    pub fn group_main_effects(&self, quantity: usize) -> Vec<(String, f64)> {
+        let effects = &self.quantities[quantity].main_effects;
+        let mut out = Vec::with_capacity(self.reductions.len());
+        let mut offset = 0;
+        for group in &self.reductions {
+            let end = (offset + group.reduced_dim).min(effects.len());
+            let sum = effects[offset.min(end)..end].iter().sum();
+            out.push((group.name.clone(), sum));
+            offset += group.reduced_dim;
+        }
+        out
     }
 }
 
@@ -407,6 +430,14 @@ enum GroupKind {
     },
     /// Doping group over the listed semiconductor nodes.
     Doping { nodes: Vec<NodeId> },
+    /// Scalar per-via parameter group (TSV-array radius/position): each of
+    /// the few Gaussian parameters moves whole wall facets rigidly. Per
+    /// facet: name, node count, and the signed weight every parameter
+    /// contributes to the wall's uniform normal offset.
+    ViaParams {
+        facets: Vec<(String, usize, Vec<f64>)>,
+        params: usize,
+    },
 }
 
 impl VariationGroup {
@@ -414,6 +445,7 @@ impl VariationGroup {
         match &self.kind {
             GroupKind::Geometry { nodes, .. } => nodes.len(),
             GroupKind::Doping { nodes } => nodes.len(),
+            GroupKind::ViaParams { params, .. } => *params,
         }
     }
 
@@ -421,6 +453,10 @@ impl VariationGroup {
         match &self.kind {
             GroupKind::Geometry { nodes, .. } => nodes,
             GroupKind::Doping { nodes } => nodes,
+            // Scalar parameters have no per-node influence weights: the
+            // reduction falls back to plain PFA, which is exact for the
+            // tiny diagonal covariance of the group.
+            GroupKind::ViaParams { .. } => &[],
         }
     }
 }
@@ -878,6 +914,62 @@ impl VariationalAnalysis {
             });
         }
 
+        if let Some(via) = &self.config.variations.via_params {
+            if via.vias.is_empty() {
+                return Err(AnalysisError::Configuration(
+                    "via-parameter variation requested but no vias were listed".to_string(),
+                ));
+            }
+            // Parameter layout per via: [δr][δx][δy], keeping only the
+            // parameters with a positive sigma. The signs express how each
+            // parameter displaces the four walls (in +x, -x, +y, -y order)
+            // along their normal axes: a radius increase moves opposite
+            // walls apart, a centre offset moves both walls of its axis the
+            // same way.
+            let mut sigmas: Vec<f64> = Vec::new();
+            let mut wall_signs: [Vec<f64>; 4] = Default::default();
+            let mut push_param = |sigma: f64, signs: [f64; 4], wall_signs: &mut [Vec<f64>; 4]| {
+                sigmas.push(sigma);
+                for (w, s) in signs.into_iter().enumerate() {
+                    wall_signs[w].push(s);
+                }
+            };
+            if via.sigma_radius > 0.0 {
+                push_param(via.sigma_radius, [1.0, -1.0, 1.0, -1.0], &mut wall_signs);
+            }
+            if via.sigma_position > 0.0 {
+                push_param(via.sigma_position, [1.0, 1.0, 0.0, 0.0], &mut wall_signs);
+                push_param(via.sigma_position, [0.0, 0.0, 1.0, 1.0], &mut wall_signs);
+            }
+            if sigmas.is_empty() {
+                return Err(AnalysisError::Configuration(
+                    "via-parameter variation needs a positive sigma_radius or sigma_position"
+                        .to_string(),
+                ));
+            }
+            let mut covariance = DMatrix::zeros(sigmas.len(), sigmas.len());
+            for (i, sigma) in sigmas.iter().enumerate() {
+                covariance[(i, i)] = sigma * sigma;
+            }
+            for via_walls in &via.vias {
+                let mut facets = Vec::with_capacity(4);
+                for (w, name) in via_walls.facets.iter().enumerate() {
+                    let facet = self.structure.facet(name).ok_or_else(|| {
+                        AnalysisError::Configuration(format!("unknown facet '{name}'"))
+                    })?;
+                    facets.push((name.clone(), facet.nodes.len(), wall_signs[w].clone()));
+                }
+                groups.push(VariationGroup {
+                    name: format!("{}#params", via_walls.name),
+                    kind: GroupKind::ViaParams {
+                        facets,
+                        params: sigmas.len(),
+                    },
+                    covariance: covariance.clone(),
+                });
+            }
+        }
+
         if groups.is_empty() {
             return Err(AnalysisError::Configuration(
                 "no variation source is enabled".to_string(),
@@ -966,6 +1058,12 @@ impl VariationalAnalysis {
             GroupKind::Doping { nodes } => {
                 for (&node, &delta) in nodes.iter().zip(xi.iter()) {
                     doping_deltas.push((node, delta));
+                }
+            }
+            GroupKind::ViaParams { facets, .. } => {
+                for (name, node_count, signs) in facets {
+                    let offset: f64 = signs.iter().zip(xi.iter()).map(|(s, x)| s * x).sum();
+                    facet_offsets.push((name.clone(), vec![offset; *node_count]));
                 }
             }
         }
@@ -1134,6 +1232,7 @@ impl VariationalAnalysis {
                 nominal: nominal_outputs[q],
                 sscm: SummaryStats::new(pces[q].mean(), pces[q].std()),
                 monte_carlo: SummaryStats::new(mc_stats[q].mean(), mc_stats[q].sample_std()),
+                main_effects: (0..total_dim).map(|d| pces[q].main_effect(d)).collect(),
             })
             .collect();
 
@@ -1534,6 +1633,7 @@ mod tests {
                 max_nodes: 12,
                 ..DopingVariationConfig::paper_default()
             }),
+            via_params: None,
         };
         VariationalAnalysis::new(structure, config)
     }
@@ -1646,6 +1746,7 @@ mod tests {
                 max_nodes: 12,
                 ..DopingVariationConfig::paper_default()
             }),
+            via_params: None,
         };
         let analysis = VariationalAnalysis::new(structure, config);
         for run in [
@@ -1835,6 +1936,7 @@ mod tests {
                 max_nodes: 12,
                 ..DopingVariationConfig::paper_default()
             }),
+            via_params: None,
         };
         VariationalAnalysis::new(structure, config)
     }

@@ -65,13 +65,45 @@ impl DopingVariationConfig {
     }
 }
 
-/// Which variation classes are active (the three rows of Table I).
+/// One via of a TSV array, described by the four lateral-wall facets the
+/// scalar radius/position parameters move together.
+#[derive(Debug, Clone)]
+pub struct ViaWalls {
+    /// Terminal name of the via (used for group labels, e.g. `via_0_1`).
+    pub name: String,
+    /// Its four lateral-wall facet names, in `+x, -x, +y, -y` order (see
+    /// `TsvArrayConfig::via_wall_facets`).
+    pub facets: [String; 4],
+}
+
+/// Per-via scalar parameter variation of a TSV array: each via carries an
+/// independent radius deviation δr (all four walls move outward together)
+/// and an in-plane position deviation (δx, δy) — the "per-via pitch and
+/// radius" knobs of the array coupling study. One variation group per via,
+/// at most three Gaussian parameters each.
+#[derive(Debug, Clone)]
+pub struct ViaArrayVariationConfig {
+    /// Standard deviation of the via radius (half-size) deviation (µm);
+    /// 0 disables the radius parameter.
+    pub sigma_radius: f64,
+    /// Standard deviation of each in-plane centre-offset component (µm);
+    /// 0 disables the position parameters. Offsetting a via centre is the
+    /// local expression of pitch variation between neighbours.
+    pub sigma_position: f64,
+    /// The vias to perturb, with their wall facets.
+    pub vias: Vec<ViaWalls>,
+}
+
+/// Which variation classes are active (the three rows of Table I, plus the
+/// per-via parameter class of the TSV-array study).
 #[derive(Debug, Clone, Default)]
 pub struct VariationSpec {
     /// Surface-roughness settings; `None` disables geometric variation.
     pub roughness: Option<RoughnessConfig>,
     /// RDF settings; `None` disables doping variation.
     pub doping: Option<DopingVariationConfig>,
+    /// Per-via scalar radius/position settings; `None` disables them.
+    pub via_params: Option<ViaArrayVariationConfig>,
 }
 
 /// Variable-reduction scheme used before the collocation step.

@@ -125,14 +125,17 @@ impl MetalPlugExperiment {
             TableOneRow::GeometryOnly => VariationSpec {
                 roughness: Some(roughness),
                 doping: None,
+                via_params: None,
             },
             TableOneRow::DopingOnly => VariationSpec {
                 roughness: None,
                 doping: Some(doping),
+                via_params: None,
             },
             TableOneRow::Both => VariationSpec {
                 roughness: Some(roughness),
                 doping: Some(doping),
+                via_params: None,
             },
         };
         VariationalAnalysis::new(structure, config)

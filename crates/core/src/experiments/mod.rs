@@ -4,6 +4,10 @@
 //!   structure under surface roughness and RDF.
 //! * [`tsv`] — Example B / Table II: TSV capacitances under lateral-wall
 //!   roughness and substrate RDF.
+//! * [`tsv_array`] — the N×M TSV-array coupling workload: full
+//!   coupling-capacitance / crosstalk matrices, aggressor/victim sweeps and
+//!   per-via parameter statistics.
 
 pub mod metalplug;
 pub mod tsv;
+pub mod tsv_array;

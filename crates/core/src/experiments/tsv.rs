@@ -99,6 +99,7 @@ impl TsvExperiment {
         config.variations = VariationSpec {
             roughness: Some(roughness),
             doping: Some(doping),
+            via_params: None,
         };
         VariationalAnalysis::new(structure, config)
     }

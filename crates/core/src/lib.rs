@@ -47,9 +47,9 @@ pub use analysis::{
 };
 pub use config::{
     AnalysisConfig, DopingVariationConfig, QuantitySet, ReductionMethod, RoughnessConfig,
-    VariationSpec,
+    VariationSpec, ViaArrayVariationConfig, ViaWalls,
 };
-pub use report::ComparisonTable;
+pub use report::{result_digest, ComparisonTable};
 pub use vaem_fvm::SeedReuseStats;
 
 // Re-export the substrate crates for downstream users of the façade crate.

@@ -118,6 +118,24 @@ fn format_value(v: f64) -> String {
     }
 }
 
+/// Stable FNV-1a digest over the exact bit patterns of a value sequence.
+///
+/// Used by the determinism smoke (`tsv_array --digest`, the CI thread
+/// matrix, the tier-1 determinism tests) to compare results across thread
+/// counts: two runs print the same digest if and only if every `f64` is
+/// bit-for-bit identical, and the 16-hex-digit line is cheap to diff in a
+/// shell. NaNs hash by their bit pattern like any other value.
+pub fn result_digest(values: impl IntoIterator<Item = f64>) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +149,7 @@ mod tests {
                 nominal: 0.0078,
                 sscm: SummaryStats::new(0.0089, 7.9078e-4),
                 monte_carlo: SummaryStats::new(0.0089, 7.9023e-4),
+                main_effects: vec![0.4, 0.3, 0.1, 0.05, 0.03, 0.02],
             }],
             reductions: vec![GroupReduction {
                 name: "plug1_interface".to_string(),
@@ -169,5 +188,17 @@ mod tests {
     fn display_matches_render() {
         let table = ComparisonTable::from_result(&fake_result());
         assert_eq!(format!("{table}"), table.render());
+    }
+
+    #[test]
+    fn digest_is_stable_and_bit_sensitive() {
+        let base = result_digest([1.0, 2.5, -0.125]);
+        assert_eq!(base.len(), 16);
+        assert_eq!(base, result_digest([1.0, 2.5, -0.125]));
+        // One ULP flips the digest.
+        assert_ne!(base, result_digest([1.0, 2.5, -0.125_f64.next_up()]));
+        // Signed zero and NaN payloads are distinguished by bit pattern.
+        assert_ne!(result_digest([0.0]), result_digest([-0.0]));
+        assert_eq!(result_digest([f64::NAN]), result_digest([f64::NAN]));
     }
 }

@@ -115,7 +115,10 @@ pub fn capacitance_column(
 /// Propagates terminal-lookup failures. Returns
 /// [`FvmError::Configuration`] for a DC solution (`ω = 0`): `C = Im(I)/ω`
 /// is undefined there, and the former `0/0 = NaN` silently poisoned every
-/// downstream PCE moment of a sweep that included the DC point.
+/// downstream PCE moment of a sweep that included the DC point. Also fails
+/// fast — naming the offending terminal and its index — when a terminal's
+/// current sum is non-finite; array meshes multiply the terminal count, and
+/// a silent NaN column poisons every matrix entry of that terminal.
 pub fn capacitance_column_from(
     solver: &CoupledSolver<'_>,
     ac: &crate::AcSolution,
@@ -133,6 +136,16 @@ pub fn capacitance_column_from(
     for k in 0..solver.terminals().terminal_count() {
         let name = solver.terminals().name(k).to_string();
         let current = terminal_current(solver, ac, &name)?;
+        if !current.re.is_finite() || !current.im.is_finite() {
+            return Err(FvmError::Configuration {
+                detail: format!(
+                    "terminal '{name}' (index {k}) sums to a non-finite current \
+                     {current:?} at {} Hz: its capacitance column would silently \
+                     poison the whole matrix",
+                    ac.frequency()
+                ),
+            });
+        }
         out.insert(name, current.im / ac.omega);
     }
     Ok(out)
@@ -225,6 +238,64 @@ pub fn impedance_spectrum(
                 });
             }
             Ok((ac.frequency(), z))
+        })
+        .collect()
+}
+
+/// Aggressor→victim coupling-ratio spectrum over a frequency sweep.
+///
+/// For each swept [`AcSolution`] (the aggressor terminal driven with 1 V, as
+/// produced by [`crate::AcSweepOperator::sweep_terminal`]), returns
+/// `(frequency_Hz, |I_victim| / |I_aggressor|)` — the fraction of the
+/// aggressor's drive current induced at the grounded victim terminal. This is
+/// the S-curve-style crosstalk-vs-frequency quantity the TSV-array coupling
+/// studies sweep for: flat and capacitive at low frequency, rising once
+/// substrate conduction takes over.
+///
+/// # Errors
+/// Returns [`FvmError::Configuration`] for an unknown terminal, for a sweep
+/// point where the aggressor carries no current (the ratio is undefined), or
+/// when either current sums to a non-finite value — each with the offending
+/// frequency in the message.
+pub fn coupling_ratio_spectrum(
+    solver: &CoupledSolver<'_>,
+    sweep: &[AcSolution],
+    aggressor: &str,
+    victim: &str,
+) -> Result<Vec<(f64, f64)>, FvmError> {
+    for terminal in [aggressor, victim] {
+        if solver.terminals().index_of(terminal).is_none() {
+            return Err(FvmError::Configuration {
+                detail: format!("unknown terminal '{terminal}'"),
+            });
+        }
+    }
+    sweep
+        .iter()
+        .map(|ac| {
+            let i_aggr = terminal_current(solver, ac, aggressor)?;
+            let i_victim = terminal_current(solver, ac, victim)?;
+            for (name, i) in [(aggressor, i_aggr), (victim, i_victim)] {
+                if !i.re.is_finite() || !i.im.is_finite() {
+                    return Err(FvmError::Configuration {
+                        detail: format!(
+                            "terminal '{name}' sums to a non-finite current at \
+                             {} Hz: no coupling ratio is defined",
+                            ac.frequency()
+                        ),
+                    });
+                }
+            }
+            if i_aggr.abs() == 0.0 {
+                return Err(FvmError::Configuration {
+                    detail: format!(
+                        "aggressor '{aggressor}' carries no current at {} Hz \
+                         (open circuit / DC point): no coupling ratio is defined",
+                        ac.frequency()
+                    ),
+                });
+            }
+            Ok((ac.frequency(), i_victim.abs() / i_aggr.abs()))
         })
         .collect()
 }
@@ -472,6 +543,62 @@ mod tests {
                 "non-finite impedance slipped through: {z:?}"
             ),
             Err(other) => panic!("expected configuration error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_terminal_current_names_the_terminal_and_index() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let mut ac = solver.solve_ac(&dc, "plug1", 1.0e9).unwrap();
+        // Poison one potential: every terminal touching it sums to NaN.
+        ac.potential[0] = Complex64::new(f64::NAN, 0.0);
+        for y in &mut ac.link_admittance {
+            *y = Complex64::new(f64::NAN, f64::NAN);
+        }
+        match capacitance_column_from(&solver, &ac) {
+            Err(FvmError::Configuration { detail }) => {
+                assert!(
+                    detail.contains("non-finite current") && detail.contains("index"),
+                    "unexpected detail: {detail}"
+                );
+                assert!(
+                    detail.contains('\''),
+                    "terminal name missing from: {detail}"
+                );
+            }
+            other => panic!("expected configuration error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coupling_ratio_spectrum_is_bounded_and_guarded() {
+        let (s, doping) = coarse_setup();
+        let solver = CoupledSolver::new(&s, &doping, SolverOptions::default()).unwrap();
+        let dc = solver.solve_dc().unwrap();
+        let frequencies = [1.0e8, 1.0e9, 1.0e10];
+        let mut op = solver.prepare_ac_sweep(&dc).unwrap();
+        let sweep = op.sweep_terminal(&frequencies, "plug1").unwrap();
+        let ratios = coupling_ratio_spectrum(&solver, &sweep, "plug1", "plug2").unwrap();
+        assert_eq!(ratios.len(), frequencies.len());
+        for ((f, r), freq) in ratios.iter().zip(frequencies.iter()) {
+            assert!((f - freq).abs() < 1e-3 * freq);
+            assert!(r.is_finite() && *r > 0.0, "ratio {r} at {f} Hz");
+            assert!(*r < 1.5, "victim cannot out-carry the aggressor: {r}");
+        }
+        assert!(coupling_ratio_spectrum(&solver, &sweep, "plug1", "nope").is_err());
+
+        // A dead sweep point (zero currents) is an error, not a 0/0 NaN.
+        let mut open = sweep[0].clone();
+        for y in &mut open.link_admittance {
+            *y = Complex64::ZERO;
+        }
+        match coupling_ratio_spectrum(&solver, std::slice::from_ref(&open), "plug1", "plug2") {
+            Err(FvmError::Configuration { detail }) => {
+                assert!(detail.contains("no current"), "unexpected detail: {detail}")
+            }
+            other => panic!("expected configuration error, got {other:?}"),
         }
     }
 

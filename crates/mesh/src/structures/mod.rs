@@ -5,6 +5,9 @@
 //! * [`tsv`] — Example B (Section IV.B / Fig. 3): two TSVs through a silicon
 //!   substrate with surrounding metal traces, used for the capacitance study
 //!   of Table II.
+//! * [`tsv_array`] — N×M TSV-array workload: a grid of vias through a shared
+//!   substrate, used for the coupling-capacitance / crosstalk-matrix study.
 
 pub mod metalplug;
 pub mod tsv;
+pub mod tsv_array;

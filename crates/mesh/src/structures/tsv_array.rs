@@ -1,0 +1,349 @@
+//! N×M TSV-array structure: a grid of vias through a shared silicon
+//! substrate, the multi-via coupling workload of the 3D-IC crosstalk
+//! literature (TSV-to-TSV coupling in CMOS stacks, 3DCAM crosstalk
+//! avoidance).
+//!
+//! Every via is a square metal barrel with a dielectric liner, placed on a
+//! regular `rows × cols` grid at a configurable pitch; the whole array
+//! penetrates one silicon substrate slab, so every via couples to every
+//! other through the semiconductor. Each via is a terminal of its own
+//! (`via_{row}_{col}`), and each of its four lateral walls is a rough facet
+//! (`via_{row}_{col}+x`, …) — the handle the variation machinery uses both
+//! for surface roughness and for the scalar per-via radius/position
+//! parameters of the array experiment.
+
+use crate::{Axis, BoxRegion, FacetSide, Material, Structure, StructureBuilder};
+
+/// Geometric parameters of the N×M TSV array (all lengths in µm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsvArrayConfig {
+    /// Number of via rows (y direction).
+    pub rows: usize,
+    /// Number of via columns (x direction).
+    pub cols: usize,
+    /// Centre-to-centre pitch between neighbouring vias (both directions).
+    pub pitch: f64,
+    /// Via metal cross-section side length (the "radius" knob of the
+    /// variation study perturbs the four walls around this nominal size).
+    pub via_size: f64,
+    /// Via height (z extent of the metal barrel = domain height).
+    pub via_height: f64,
+    /// Dielectric liner thickness around each via.
+    pub liner_thickness: f64,
+    /// Thickness of the shared silicon substrate crossed by the array.
+    pub substrate_thickness: f64,
+    /// Clearance between the outermost liners and the domain boundary.
+    pub margin: f64,
+    /// Maximum mesh spacing.
+    pub max_spacing: f64,
+}
+
+impl Default for TsvArrayConfig {
+    fn default() -> Self {
+        Self {
+            rows: 3,
+            cols: 3,
+            pitch: 10.0,
+            via_size: 5.0,
+            via_height: 20.0,
+            liner_thickness: 0.5,
+            substrate_thickness: 5.0,
+            margin: 2.5,
+            max_spacing: 1.25,
+        }
+    }
+}
+
+impl TsvArrayConfig {
+    /// A coarse `rows × cols` array for fast tests and quick-mode binaries.
+    pub fn coarse(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            max_spacing: 2.5,
+            ..Self::default()
+        }
+    }
+
+    /// Number of vias (terminals) in the array.
+    pub fn via_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Domain size `(x, y, z)`.
+    pub fn domain(&self) -> [f64; 3] {
+        let body = self.via_size + 2.0 * (self.liner_thickness + self.margin);
+        [
+            (self.cols.saturating_sub(1)) as f64 * self.pitch + body,
+            (self.rows.saturating_sub(1)) as f64 * self.pitch + body,
+            self.via_height,
+        ]
+    }
+
+    /// Centre `(x, y)` of the via at grid position `(row, col)`.
+    pub fn via_center(&self, row: usize, col: usize) -> [f64; 2] {
+        let edge = self.via_size / 2.0 + self.liner_thickness + self.margin;
+        [
+            edge + col as f64 * self.pitch,
+            edge + row as f64 * self.pitch,
+        ]
+    }
+
+    /// Terminal name of the via at `(row, col)`.
+    pub fn via_name(row: usize, col: usize) -> String {
+        format!("via_{row}_{col}")
+    }
+
+    /// Terminal names of all vias, row-major (`via_0_0`, `via_0_1`, …).
+    pub fn via_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(self.via_count());
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                names.push(Self::via_name(r, c));
+            }
+        }
+        names
+    }
+
+    /// The four lateral-wall facet names of one via, in `+x, -x, +y, -y`
+    /// order — the order the per-via parameter variation expects.
+    pub fn via_wall_facets(row: usize, col: usize) -> [String; 4] {
+        let name = Self::via_name(row, col);
+        [
+            format!("{name}+x"),
+            format!("{name}-x"),
+            format!("{name}+y"),
+            format!("{name}-y"),
+        ]
+    }
+
+    /// Grid distance (in pitch units) between two vias given row-major
+    /// indices — 1.0 for nearest neighbours, √2 for diagonals.
+    pub fn grid_distance(&self, a: usize, b: usize) -> f64 {
+        let (ra, ca) = (a / self.cols, a % self.cols);
+        let (rb, cb) = (b / self.cols, b % self.cols);
+        let dr = ra.abs_diff(rb) as f64;
+        let dc = ca.abs_diff(cb) as f64;
+        (dr * dr + dc * dc).sqrt()
+    }
+}
+
+/// Builds the N×M TSV-array structure.
+///
+/// Terminals: `via_{row}_{col}` for every grid position, row-major. Rough
+/// facets: the four lateral walls of every via
+/// (`via_{row}_{col}±x`, `via_{row}_{col}±y`), perturbed along their
+/// normals with the interior side pointing into the metal barrel.
+///
+/// # Panics
+/// Panics if `rows` or `cols` is zero, or if the liner would overlap a
+/// neighbouring via (`pitch ≤ via_size + 2·liner_thickness`).
+///
+/// # Example
+/// ```
+/// use vaem_mesh::structures::tsv_array::{build_tsv_array_structure, TsvArrayConfig};
+/// let s = build_tsv_array_structure(&TsvArrayConfig::coarse(2, 2));
+/// assert_eq!(s.contacts.len(), 4);
+/// assert_eq!(s.rough_facets.len(), 16);
+/// assert!(s.contact("via_1_1").is_some());
+/// ```
+pub fn build_tsv_array_structure(config: &TsvArrayConfig) -> Structure {
+    assert!(
+        config.rows > 0 && config.cols > 0,
+        "TSV array needs at least one row and one column"
+    );
+    assert!(
+        config.pitch > config.via_size + 2.0 * config.liner_thickness,
+        "via pitch {} leaves no substrate between the liners (via {} + 2×liner {})",
+        config.pitch,
+        config.via_size,
+        config.liner_thickness
+    );
+    let [dx, dy, dz] = config.domain();
+    let half = config.via_size / 2.0;
+    let liner = config.liner_thickness;
+
+    // Shared substrate slab in the middle of the stack.
+    let sub_z0 = (dz - config.substrate_thickness) / 2.0;
+    let sub_z1 = sub_z0 + config.substrate_thickness;
+
+    let mut builder = StructureBuilder::new(Material::Insulator)
+        .with_max_spacing(config.max_spacing)
+        .add_box(BoxRegion::new(
+            [0.0, 0.0, sub_z0],
+            [dx, dy, sub_z1],
+            Material::Semiconductor,
+        ));
+
+    // Vias with liners, contacts and lateral-wall facets.
+    for r in 0..config.rows {
+        for c in 0..config.cols {
+            let [cx, cy] = config.via_center(r, c);
+            let name = TsvArrayConfig::via_name(r, c);
+            builder = builder
+                .add_box(BoxRegion::new(
+                    [cx - half - liner, cy - half - liner, 0.0],
+                    [cx + half + liner, cy + half + liner, dz],
+                    Material::Insulator,
+                ))
+                .add_box(BoxRegion::new(
+                    [cx - half, cy - half, 0.0],
+                    [cx + half, cy + half, dz],
+                    Material::Metal,
+                ))
+                .add_contact_box(
+                    &name,
+                    [cx - half, cy - half, 0.0],
+                    [cx + half, cy + half, dz],
+                )
+                .add_rough_facet_with_side(
+                    &format!("{name}+x"),
+                    Axis::X,
+                    cx + half,
+                    [cy - half, cy + half],
+                    [0.0, dz],
+                    FacetSide::Negative,
+                )
+                .add_rough_facet_with_side(
+                    &format!("{name}-x"),
+                    Axis::X,
+                    cx - half,
+                    [cy - half, cy + half],
+                    [0.0, dz],
+                    FacetSide::Positive,
+                )
+                .add_rough_facet_with_side(
+                    &format!("{name}+y"),
+                    Axis::Y,
+                    cy + half,
+                    [cx - half, cx + half],
+                    [0.0, dz],
+                    FacetSide::Negative,
+                )
+                .add_rough_facet_with_side(
+                    &format!("{name}-y"),
+                    Axis::Y,
+                    cy - half,
+                    [cx - half, cx + half],
+                    [0.0, dz],
+                    FacetSide::Positive,
+                );
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn contact_and_facet_counts_scale_with_the_grid() {
+        for (rows, cols) in [(1, 1), (2, 2), (2, 3), (3, 3)] {
+            let cfg = TsvArrayConfig::coarse(rows, cols);
+            let s = build_tsv_array_structure(&cfg);
+            assert_eq!(s.contacts.len(), rows * cols, "{rows}x{cols} contacts");
+            assert_eq!(
+                s.rough_facets.len(),
+                4 * rows * cols,
+                "{rows}x{cols} facets"
+            );
+            for name in cfg.via_names() {
+                let contact = s.contact(&name).unwrap_or_else(|| panic!("missing {name}"));
+                assert!(!contact.nodes.is_empty(), "{name} has no nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn node_count_grows_with_the_array() {
+        let small = build_tsv_array_structure(&TsvArrayConfig::coarse(2, 2));
+        let large = build_tsv_array_structure(&TsvArrayConfig::coarse(3, 3));
+        assert!(
+            large.mesh.node_count() > small.mesh.node_count(),
+            "3x3 ({}) must out-mesh 2x2 ({})",
+            large.mesh.node_count(),
+            small.mesh.node_count()
+        );
+    }
+
+    #[test]
+    fn terminals_are_disjoint_metal_node_sets() {
+        let s = build_tsv_array_structure(&TsvArrayConfig::coarse(2, 2));
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for contact in &s.contacts {
+            for &n in &contact.nodes {
+                assert!(
+                    seen.insert(n.index()),
+                    "contact {} overlaps another via",
+                    contact.name
+                );
+                assert!(
+                    s.materials.material(n).is_metal(),
+                    "contact {} holds a non-metal node",
+                    contact.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn substrate_band_holds_semiconductor_nodes() {
+        let cfg = TsvArrayConfig::coarse(2, 2);
+        let s = build_tsv_array_structure(&cfg);
+        let semis = s.semiconductor_nodes();
+        assert!(!semis.is_empty());
+        let sub_z0 = (cfg.domain()[2] - cfg.substrate_thickness) / 2.0;
+        let sub_z1 = sub_z0 + cfg.substrate_thickness;
+        for &n in &semis {
+            let z = s.mesh.position(n)[2];
+            assert!(z >= sub_z0 - 1e-9 && z <= sub_z1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wall_facets_lie_on_their_via() {
+        let cfg = TsvArrayConfig::coarse(2, 3);
+        let s = build_tsv_array_structure(&cfg);
+        let [cx, _] = cfg.via_center(1, 2);
+        let facet = s.facet("via_1_2+x").expect("wall facet exists");
+        assert!(!facet.nodes.is_empty());
+        for &n in &facet.nodes {
+            let p = s.mesh.position(n);
+            assert!((p[0] - (cx + cfg.via_size / 2.0)).abs() < 1e-9);
+        }
+        assert_eq!(facet.normal, Axis::X);
+        assert_eq!(facet.interior_side, FacetSide::Negative);
+    }
+
+    #[test]
+    fn geometry_helpers_are_consistent() {
+        let cfg = TsvArrayConfig::coarse(2, 3);
+        assert_eq!(cfg.via_count(), 6);
+        assert_eq!(cfg.via_names().len(), 6);
+        assert_eq!(cfg.via_names()[0], "via_0_0");
+        assert_eq!(cfg.via_names()[5], "via_1_2");
+        // Pitch separates neighbouring centres exactly.
+        let a = cfg.via_center(0, 0);
+        let b = cfg.via_center(0, 1);
+        assert!((b[0] - a[0] - cfg.pitch).abs() < 1e-12);
+        assert_eq!(a[1], b[1]);
+        // Row-major grid distances: neighbour 1, diagonal sqrt(2).
+        assert!((cfg.grid_distance(0, 1) - 1.0).abs() < 1e-12);
+        assert!((cfg.grid_distance(0, 4) - 2.0_f64.sqrt()).abs() < 1e-12);
+        let walls = TsvArrayConfig::via_wall_facets(1, 0);
+        assert_eq!(walls[0], "via_1_0+x");
+        assert_eq!(walls[3], "via_1_0-y");
+    }
+
+    #[test]
+    #[should_panic(expected = "no substrate between the liners")]
+    fn overlapping_liners_panic() {
+        build_tsv_array_structure(&TsvArrayConfig {
+            pitch: 5.5,
+            ..TsvArrayConfig::coarse(2, 2)
+        });
+    }
+}

@@ -37,6 +37,7 @@ fn curved_analysis() -> VariationalAnalysis {
             max_nodes: 10,
             ..DopingVariationConfig::paper_default()
         }),
+        via_params: None,
     };
     VariationalAnalysis::new(structure, config)
 }

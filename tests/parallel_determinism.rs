@@ -31,6 +31,7 @@ fn tiny_analysis() -> VariationalAnalysis {
             max_nodes: 10,
             ..DopingVariationConfig::paper_default()
         }),
+        via_params: None,
     };
     VariationalAnalysis::new(structure, config)
 }

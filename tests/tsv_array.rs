@@ -1,0 +1,114 @@
+//! Tier-1 guarantees of the TSV-array experiment that need no environment
+//! mutation: the mesh scales with the grid, and the nominal K×K coupling
+//! matrix is physically sane — reciprocal (the AC operator is symmetric,
+//! so C[i][j] = C[j][i] up to solver tolerance) with negative couplings
+//! that decay with grid distance.
+//!
+//! The thread-determinism guarantee lives in `tests/tsv_array_determinism.rs`
+//! (it mutates `VAEM_THREADS`, so it owns its test binary).
+
+use vaem::experiments::tsv_array::TsvArrayExperiment;
+use vaem_mesh::structures::tsv_array::{build_tsv_array_structure, TsvArrayConfig};
+
+#[test]
+fn contacts_and_facets_scale_with_the_grid() {
+    let mut last_nodes = 0;
+    for (rows, cols) in [(1, 2), (2, 2), (2, 3)] {
+        let cfg = TsvArrayConfig::coarse(rows, cols);
+        let s = build_tsv_array_structure(&cfg);
+        assert_eq!(
+            s.contacts.len(),
+            rows * cols,
+            "{rows}x{cols} must expose one terminal per via"
+        );
+        assert_eq!(
+            s.rough_facets.len(),
+            4 * rows * cols,
+            "{rows}x{cols} must expose four wall facets per via"
+        );
+        for name in cfg.via_names() {
+            assert!(
+                s.contact(&name).is_some_and(|c| !c.nodes.is_empty()),
+                "terminal {name} missing or empty"
+            );
+        }
+        assert!(
+            s.mesh.node_count() > last_nodes,
+            "node count must grow with the array ({rows}x{cols}: {})",
+            s.mesh.node_count()
+        );
+        last_nodes = s.mesh.node_count();
+    }
+}
+
+#[test]
+fn nominal_coupling_matrix_is_reciprocal_and_distance_ordered() {
+    let experiment = TsvArrayExperiment::quick();
+    let report = experiment.nominal_report().expect("nominal 2x2 report");
+    let k = report.via_names.len();
+    assert_eq!(k, 4);
+
+    // Reciprocity: each column is extracted from an independent driven
+    // solve, so C[i][j] ≈ C[j][i] only if the discretization and the shared
+    // factorization are consistent. 1% of the largest self capacitance is
+    // far above solver noise (measured defect ~1e-7) but catches any sign
+    // or indexing slip.
+    assert!(
+        report.reciprocity_defect() < 1e-2,
+        "reciprocity defect {:.3e} exceeds 1%",
+        report.reciprocity_defect()
+    );
+
+    for i in 0..k {
+        assert!(
+            report.coupling[i][i] > 0.0,
+            "self capacitance of {} must be positive",
+            report.via_names[i]
+        );
+        for j in 0..k {
+            if i != j {
+                assert!(
+                    report.coupling[i][j] < 0.0,
+                    "coupling C[{i}][{j}] = {} must be negative",
+                    report.coupling[i][j]
+                );
+            }
+        }
+    }
+
+    // In the 2x2 grid the diagonal pair (distance √2) must couple more
+    // weakly than a nearest-neighbour pair (distance 1).
+    let neighbour = report.coupling[0][1].abs();
+    let diagonal = report.coupling[0][3].abs();
+    assert!(
+        diagonal < neighbour,
+        "diagonal coupling {diagonal} must be below nearest-neighbour {neighbour}"
+    );
+
+    // The crosstalk matrix is the positive, victim-normalised view.
+    let x = report.crosstalk();
+    for i in 0..k {
+        assert_eq!(x[i][i], 0.0);
+        for j in 0..k {
+            if i != j {
+                assert!(x[i][j] > 0.0 && x[i][j] < 1.0, "X[{i}][{j}] = {}", x[i][j]);
+            }
+        }
+    }
+
+    // Victim spectra cover every non-aggressor via, tagged with the right
+    // grid distances, and every induced-current ratio is finite and positive.
+    assert_eq!(report.victims.len(), k - 1);
+    for victim in &report.victims {
+        assert!(victim.grid_distance >= 1.0);
+        assert_eq!(victim.spectrum.len(), experiment.sweep_points);
+        for &(f, ratio) in &victim.spectrum {
+            assert!(f > 0.0);
+            assert!(
+                ratio.is_finite() && ratio > 0.0,
+                "victim {} ratio {ratio} at {f} Hz",
+                victim.victim
+            );
+        }
+    }
+}

@@ -28,6 +28,7 @@ fn tiny_config(reduction: ReductionMethod) -> AnalysisConfig {
             max_nodes: 16,
             ..DopingVariationConfig::paper_default()
         }),
+        via_params: None,
     };
     config
 }
