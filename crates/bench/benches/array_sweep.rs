@@ -1,6 +1,8 @@
-//! Criterion bench: the TSV-array nominal coupling extraction at 2×2 and
-//! 3×3 — the first workload whose AC systems are large enough to pressure
-//! the direct-LU wall (ROADMAP item 2).
+//! Criterion bench: the TSV-array nominal coupling extraction at 2×2,
+//! 3×3 and 4×4 — the workloads whose AC systems are large enough to
+//! pressure the direct-LU wall (ROADMAP item 2). Larger grids (e.g. 5×5)
+//! can be requested with `VAEM_ARRAY_ROWS`/`VAEM_ARRAY_COLS`, which add
+//! one extra `array_sweep_{rows}x{cols}` entry.
 //!
 //! Each iteration solves the DC operating point, extracts the full K×K
 //! coupling-capacitance matrix through one shared AC factorization, and
@@ -21,6 +23,16 @@ fn nominal(experiment: &TsvArrayExperiment) -> f64 {
     report.coupling[0][0]
 }
 
+/// A quick-mode experiment on an `rows`×`cols` coarse grid with the
+/// aggressor pinned near the grid center, so every victim via has a
+/// non-trivial coupling path.
+fn grid_experiment(rows: usize, cols: usize) -> TsvArrayExperiment {
+    let mut experiment = TsvArrayExperiment::quick();
+    experiment.geometry = TsvArrayConfig::coarse(rows, cols);
+    experiment.aggressor = (rows / 2, cols / 2);
+    experiment
+}
+
 fn bench_array_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("array_sweep");
     group.sample_size(2);
@@ -28,10 +40,23 @@ fn bench_array_sweep(c: &mut Criterion) {
     let quick = TsvArrayExperiment::quick();
     group.bench_function("array_sweep_2x2", |b| b.iter(|| nominal(&quick)));
 
-    let mut three = TsvArrayExperiment::quick();
-    three.geometry = TsvArrayConfig::coarse(3, 3);
-    three.aggressor = (1, 1);
-    group.bench_function("array_sweep_3x3", |b| b.iter(|| nominal(&three)));
+    for dims in [(3usize, 3usize), (4, 4)] {
+        let experiment = grid_experiment(dims.0, dims.1);
+        group.bench_function(format!("array_sweep_{}x{}", dims.0, dims.1), |b| {
+            b.iter(|| nominal(&experiment))
+        });
+    }
+
+    // Optional extra size (5×5 and beyond) via the same environment knobs
+    // the `tsv_array` binary honours. Defaults of 0 mean "not requested".
+    let (rows, cols) = vaem_bench::array_dims(0, 0);
+    let builtin = [(2, 2), (3, 3), (4, 4)];
+    if rows >= 2 && cols >= 2 && !builtin.contains(&(rows, cols)) {
+        let experiment = grid_experiment(rows, cols);
+        group.bench_function(format!("array_sweep_{rows}x{cols}"), |b| {
+            b.iter(|| nominal(&experiment))
+        });
+    }
 
     group.finish();
 }

@@ -10,7 +10,7 @@ use vaem_mesh::{Axis, LinkId, Material, NodeId, Structure};
 use vaem_numeric::Complex64;
 use vaem_physics::{constants, DopingProfile, MaterialTable, SiliconParams};
 use vaem_sparse::{
-    LinearSolver, PreparedSolver, SolverKind, SparsityPattern, SymbolicLu, TripletMatrix,
+    IluSeed, LinearSolver, PreparedSolver, SolverKind, SparsityPattern, SymbolicLu, TripletMatrix,
 };
 
 /// Electromagnetic modelling depth of the AC stage.
@@ -43,14 +43,17 @@ pub struct SolverOptions {
     pub newton_max_iterations: usize,
     /// Newton convergence tolerance on the potential update (V).
     pub newton_tolerance: f64,
-    /// Reuse the symbolic LU phase (ordering + pivot structure) published
-    /// on the shared [`SolverTopology`] by the first solve — normally the
-    /// nominal sample — so every later sample's direct factorizations are
-    /// numeric-only. On by default; turn off to force each solver through
-    /// its own full symbolic analysis (the results are bit-identical as
-    /// long as the perturbed pivots stay on the donor's sequence, which the
-    /// seeded refactorization verifies per column, re-pivoting locally when
-    /// they do not).
+    /// Reuse the solver state published on the shared [`SolverTopology`]
+    /// by the first solve — normally the nominal sample: the symbolic LU
+    /// phase (ordering selection + pivot structure) so every later sample's
+    /// direct factorizations are numeric-only, and the ILU(0) values so
+    /// samples on iterative strategies start from the nominal's
+    /// preconditioner (their lazy refresh policy rebuilding only when it
+    /// degrades). On by default; turn off to force each solver through its
+    /// own full analysis (the direct results are bit-identical as long as
+    /// the perturbed pivots stay on the donor's sequence, which the seeded
+    /// refactorization verifies per column, re-pivoting locally when they
+    /// do not).
     pub reuse_symbolic: bool,
     /// Allow this solver to *publish* its symbolic phases as the shared
     /// topology's donors. Publishing additionally requires `reuse_symbolic`
@@ -263,6 +266,16 @@ pub struct SolverTopology {
     /// Donor symbolic LU of the AC operator (pattern-only state is
     /// scalar-agnostic, so one cache serves the complex operator).
     ac_donor: DonorSlot,
+    /// Donor ILU(0) values of the DC Jacobian — the Krylov-side mirror of
+    /// `dc_donor`, for meshes where the solvers prepare an iterative
+    /// strategy. First publisher wins (the nominal sample under the
+    /// analysis orchestration); each recipient's lazy refresh policy then
+    /// decides locally if and when to rebuild from its own values, so a
+    /// worn donation self-corrects without any shared health window.
+    dc_ilu_donor: RwLock<Option<IluSeed<f64>>>,
+    /// Donor ILU(0) values of the AC operator (complex-valued, so typed
+    /// separately from the DC slot).
+    ac_ilu_donor: RwLock<Option<IluSeed<Complex64>>>,
 }
 
 /// Aggregate symbolic-reuse statistics of one shared [`SolverTopology`]
@@ -273,6 +286,10 @@ pub struct SeedReuseStats {
     pub dc_seeded: bool,
     /// An AC donor symbolic phase has been published.
     pub ac_seeded: bool,
+    /// A DC donor ILU(0) (Krylov-side seed) has been published.
+    pub dc_ilu_seeded: bool,
+    /// An AC donor ILU(0) has been published.
+    pub ac_ilu_seeded: bool,
     /// Total stale-pivot re-pivoting fallbacks across every DC solve that
     /// reported into this topology.
     pub dc_stale_refactorizations: u64,
@@ -322,6 +339,8 @@ impl SolverTopology {
             ac_pattern: OnceLock::new(),
             dc_donor: DonorSlot::default(),
             ac_donor: DonorSlot::default(),
+            dc_ilu_donor: RwLock::new(None),
+            ac_ilu_donor: RwLock::new(None),
         })
     }
 
@@ -338,6 +357,16 @@ impl SolverTopology {
         SeedReuseStats {
             dc_seeded: self.dc_donor.is_published(),
             ac_seeded: self.ac_donor.is_published(),
+            dc_ilu_seeded: self
+                .dc_ilu_donor
+                .read()
+                .expect("ilu donor lock poisoned")
+                .is_some(),
+            ac_ilu_seeded: self
+                .ac_ilu_donor
+                .read()
+                .expect("ilu donor lock poisoned")
+                .is_some(),
             dc_stale_refactorizations: self.dc_donor.total_stale.load(Ordering::Relaxed),
             ac_stale_refactorizations: self.ac_donor.total_stale.load(Ordering::Relaxed),
             dc_donor_refreshes: self.dc_donor.refreshes.load(Ordering::Relaxed),
@@ -392,6 +421,9 @@ impl SolverTopology {
             true,
             refresh_rate,
         );
+        if publish {
+            publish_ilu_donor(&self.dc_ilu_donor, prepared);
+        }
     }
 
     /// [`SolverTopology::note_dc_factorization`] for the complex AC
@@ -416,6 +448,25 @@ impl SolverTopology {
             count_report,
             refresh_rate,
         );
+        if publish {
+            publish_ilu_donor(&self.ac_ilu_donor, prepared);
+        }
+    }
+
+    /// A cheap clone of the published DC ILU(0) donation, if any.
+    fn dc_ilu_seed(&self) -> Option<IluSeed<f64>> {
+        self.dc_ilu_donor
+            .read()
+            .expect("ilu donor lock poisoned")
+            .clone()
+    }
+
+    /// A cheap clone of the published AC ILU(0) donation, if any.
+    fn ac_ilu_seed(&self) -> Option<IluSeed<Complex64>> {
+        self.ac_ilu_donor
+            .read()
+            .expect("ilu donor lock poisoned")
+            .clone()
     }
 
     /// Number of mesh nodes the topology was built for.
@@ -426,6 +477,22 @@ impl SolverTopology {
     /// Number of mesh links the topology was built for.
     pub fn link_count(&self) -> usize {
         self.link_count
+    }
+}
+
+/// Publishes a solver's ILU(0) factors (plus its healthy iteration
+/// baseline) into a shared donation slot — first publisher wins, solvers
+/// that prepared the direct strategy have nothing to donate.
+fn publish_ilu_donor<T: vaem_numeric::Scalar>(
+    slot: &RwLock<Option<IluSeed<T>>>,
+    prepared: &PreparedSolver<T>,
+) {
+    let Some(donation) = prepared.ilu_donor() else {
+        return;
+    };
+    let mut slot = slot.write().expect("ilu donor lock poisoned");
+    if slot.is_none() {
+        *slot = Some(donation);
     }
 }
 
@@ -722,13 +789,20 @@ impl<'a> CoupledSolver<'a> {
                     // First iteration: seed the direct factorization from
                     // the topology-shared donor symbolic phase (published
                     // by the nominal sample) so perturbed samples skip the
-                    // ordering/DFS/pivot-search work entirely.
-                    let seed = if self.options.reuse_symbolic {
-                        self.topology.dc_donor.seed()
+                    // ordering/DFS/pivot-search work entirely — and, on
+                    // meshes where the strategy comes out iterative, start
+                    // from the nominal's donated ILU(0) values instead of
+                    // building a preconditioner from scratch.
+                    let (seed, ilu_seed) = if self.options.reuse_symbolic {
+                        (self.topology.dc_donor.seed(), self.topology.dc_ilu_seed())
                     } else {
-                        None
+                        (None, None)
                     };
-                    let p = prepared.insert(linear.prepare_seeded(matrix, seed.as_ref())?);
+                    let p = prepared.insert(linear.prepare_seeded_with(
+                        matrix,
+                        seed.as_ref(),
+                        ilu_seed.as_ref(),
+                    )?);
                     p.solve(&rhs)?
                 }
             };
@@ -1138,14 +1212,20 @@ impl AcSweepOperator<'_, '_> {
             None => {
                 // First frequency: seed the direct factorization from the
                 // topology-shared AC donor (published by the nominal
-                // sample's sweep), skipping this sample's symbolic phase.
+                // sample's sweep), skipping this sample's symbolic phase;
+                // iterative strategies start from the donated ILU(0)
+                // values, with the lazy refresh policy deciding rebuilds.
                 let linear = LinearSolver::new(solver.options.linear_solver);
-                let seed = if solver.options.reuse_symbolic {
-                    solver.topology.ac_donor.seed()
+                let (seed, ilu_seed) = if solver.options.reuse_symbolic {
+                    (
+                        solver.topology.ac_donor.seed(),
+                        solver.topology.ac_ilu_seed(),
+                    )
                 } else {
-                    None
+                    (None, None)
                 };
-                self.prepared = Some(linear.prepare_seeded(matrix, seed.as_ref())?);
+                self.prepared =
+                    Some(linear.prepare_seeded_with(matrix, seed.as_ref(), ilu_seed.as_ref())?);
             }
         }
         // Publish the donor (first publisher wins) and report any new
@@ -1533,6 +1613,46 @@ mod tests {
             ac_bits(&ac_ref),
             "seeded AC potentials diverged from the unseeded path"
         );
+    }
+
+    #[test]
+    fn iterative_strategies_publish_and_consume_ilu_donations() {
+        // Force the Krylov path so the topology shares ILU(0) values
+        // instead of symbolic LU phases.
+        let s = parallel_plate(0.5);
+        let doping = DopingProfile::undoped(s.mesh.node_count());
+        let options = SolverOptions {
+            linear_solver: SolverKind::IluBiCgStab,
+            ..SolverOptions::default()
+        };
+        let topology = Arc::new(SolverTopology::build(&s).unwrap());
+        assert!(!topology.seed_stats().dc_ilu_seeded);
+
+        let donor =
+            CoupledSolver::with_topology(&s, &doping, options.clone(), topology.clone()).unwrap();
+        let dc_donor = donor.solve_dc().unwrap();
+        let ac_donor = donor.solve_ac(&dc_donor, "top", 1.0e9).unwrap();
+        let stats = topology.seed_stats();
+        assert!(
+            stats.dc_ilu_seeded && stats.ac_ilu_seeded,
+            "iterative solves must donate their ILU(0): {stats:?}"
+        );
+        // The direct donors stay empty — there was no symbolic phase.
+        assert!(!stats.dc_seeded && !stats.ac_seeded, "stats {stats:?}");
+
+        // A sibling on the shared topology starts from the donated
+        // preconditioner and reproduces the physics.
+        let seeded = CoupledSolver::with_topology(&s, &doping, options, topology.clone()).unwrap();
+        let dc_seeded = seeded.solve_dc().unwrap();
+        let ac_seeded = seeded.solve_ac(&dc_seeded, "top", 1.0e9).unwrap();
+        for (a, b) in dc_seeded.potential.iter().zip(dc_donor.potential.iter()) {
+            assert!((a - b).abs() < 1e-7, "seeded DC diverged: {a} vs {b}");
+        }
+        let mut max_diff = 0.0_f64;
+        for (a, b) in ac_seeded.potential.iter().zip(ac_donor.potential.iter()) {
+            max_diff = max_diff.max((*a - *b).abs());
+        }
+        assert!(max_diff < 1e-7, "seeded AC diverged by {max_diff:.3e}");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 pub mod complex;
 pub mod dense;
 pub mod error;
+pub mod panel;
 pub mod poly;
 pub mod scalar;
 pub mod stats;

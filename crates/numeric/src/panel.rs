@@ -1,0 +1,237 @@
+//! Dense panel micro-kernels for the supernode-blocked sparse factorization.
+//!
+//! A supernodal numeric LU phase eliminates a *run* of consecutive pivot
+//! columns with identical sub-diagonal structure against one target column:
+//! per tail row `t` the scatter target `x[rows[t]]` receives one subtracted
+//! product per run member. The hot loop is therefore a fused multi-column
+//! scatter `x[rows[t]] -= Σᵢ coeffs[i]·cols[i][t]`, which this module
+//! provides for panel widths 1–4.
+//!
+//! Bitwise contract (what the factorization's determinism rests on): for
+//! every target element the products are subtracted **one at a time, in
+//! member order** — `((x − c₀·v₀) − c₁·v₁) − …` — exactly the operation
+//! sequence a scalar member-by-member elimination performs on that element.
+//! Fusing only changes *when* the intermediate value sits in a register
+//! instead of memory, never the sequence of floating-point operations, so
+//! the fused kernel is bit-identical to the scalar one. The (default-on)
+//! `fast-vecops` feature selects a variant that additionally unrolls four
+//! independent *rows* per iteration; distinct rows are independent scatter
+//! targets, so that reordering is bitwise-neutral too (the property tests
+//! below pin both claims).
+
+use crate::Scalar;
+
+/// Fused multi-column scatter-subtract `x[rows[t]] -= Σᵢ coeffs[i]·cols[i][t]`
+/// for a panel of 1–4 coefficient/column pairs.
+///
+/// Per target element the member products are subtracted sequentially in
+/// slice order, which keeps the result bit-identical to applying the
+/// members one column at a time (see the module docs).
+///
+/// `rows` must not contain duplicate indices: the row-unrolled variant
+/// keeps four targets in registers at once, so aliased targets would drop
+/// updates. Factor-column structures (sorted, strictly increasing rows)
+/// satisfy this by construction.
+///
+/// # Panics
+/// Panics when `coeffs` and `cols` differ in length, when the panel width
+/// is outside `1..=4`, when any column's length differs from `rows`, or
+/// when a row index is out of bounds for `x`.
+pub fn scatter_fused_sub<T: Scalar>(x: &mut [T], rows: &[usize], coeffs: &[T], cols: &[&[T]]) {
+    assert_eq!(
+        coeffs.len(),
+        cols.len(),
+        "scatter_fused_sub: one coefficient per column"
+    );
+    assert!(
+        (1..=4).contains(&coeffs.len()),
+        "scatter_fused_sub: panel width {} outside 1..=4",
+        coeffs.len()
+    );
+    for col in cols {
+        assert_eq!(
+            col.len(),
+            rows.len(),
+            "scatter_fused_sub: column/row length mismatch"
+        );
+    }
+    #[cfg(feature = "fast-vecops")]
+    {
+        match coeffs.len() {
+            1 => kernels::fused_unrolled::<T, 1>(x, rows, coeffs, cols),
+            2 => kernels::fused_unrolled::<T, 2>(x, rows, coeffs, cols),
+            3 => kernels::fused_unrolled::<T, 3>(x, rows, coeffs, cols),
+            _ => kernels::fused_unrolled::<T, 4>(x, rows, coeffs, cols),
+        }
+    }
+    #[cfg(not(feature = "fast-vecops"))]
+    {
+        kernels::fused_scalar(x, rows, coeffs, cols);
+    }
+}
+
+/// The scalar and row-unrolled implementations behind [`scatter_fused_sub`].
+/// Both variants are always compiled (the property tests compare them
+/// directly); the feature flag only selects which one the public function
+/// dispatches to, hence the `dead_code` allowance on the de-selected half.
+#[allow(dead_code)]
+mod kernels {
+    use crate::Scalar;
+
+    pub fn fused_scalar<T: Scalar>(x: &mut [T], rows: &[usize], coeffs: &[T], cols: &[&[T]]) {
+        for (t, &r) in rows.iter().enumerate() {
+            let mut acc = x[r];
+            for (c, col) in coeffs.iter().zip(cols.iter()) {
+                acc -= *c * col[t];
+            }
+            x[r] = acc;
+        }
+    }
+
+    /// Four independent row targets per iteration; per target the member
+    /// subtractions stay in slice order, so each element sees the same
+    /// floating-point sequence as [`fused_scalar`].
+    pub fn fused_unrolled<T: Scalar, const W: usize>(
+        x: &mut [T],
+        rows: &[usize],
+        coeffs: &[T],
+        cols: &[&[T]],
+    ) {
+        let c: [T; W] = std::array::from_fn(|i| coeffs[i]);
+        let n = rows.len();
+        let main = n - n % 4;
+        let mut t = 0;
+        while t < main {
+            let (r0, r1, r2, r3) = (rows[t], rows[t + 1], rows[t + 2], rows[t + 3]);
+            let mut a0 = x[r0];
+            let mut a1 = x[r1];
+            let mut a2 = x[r2];
+            let mut a3 = x[r3];
+            for (i, &ci) in c.iter().enumerate() {
+                let col = cols[i];
+                a0 -= ci * col[t];
+                a1 -= ci * col[t + 1];
+                a2 -= ci * col[t + 2];
+                a3 -= ci * col[t + 3];
+            }
+            x[r0] = a0;
+            x[r1] = a1;
+            x[r2] = a2;
+            x[r3] = a3;
+            t += 4;
+        }
+        for t in main..n {
+            let mut acc = x[rows[t]];
+            for (i, &ci) in c.iter().enumerate() {
+                acc -= ci * cols[i][t];
+            }
+            x[rows[t]] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+    use proptest::prelude::*;
+
+    /// Reference: apply the members one column at a time, the way a scalar
+    /// column-by-column elimination would.
+    fn member_major<T: Scalar>(x: &mut [T], rows: &[usize], coeffs: &[T], cols: &[&[T]]) {
+        for (c, col) in coeffs.iter().zip(cols.iter()) {
+            for (t, &r) in rows.iter().enumerate() {
+                x[r] -= *c * col[t];
+            }
+        }
+    }
+
+    fn vector(seed: u64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| (seed as f64 * 0.61 + i as f64 * 1.37).sin() * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn width_one_matches_a_plain_scatter_axpy() {
+        let rows = [4usize, 1, 7, 2, 9, 0];
+        let col: Vec<f64> = (0..6).map(|i| i as f64 + 0.5).collect();
+        let mut x = vec![1.0f64; 10];
+        let mut expect = x.clone();
+        scatter_fused_sub(&mut x, &rows, &[2.0], &[&col]);
+        for (t, &r) in rows.iter().enumerate() {
+            expect[r] -= 2.0 * col[t];
+        }
+        assert_eq!(x, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "panel width")]
+    fn zero_width_panics() {
+        let mut x = vec![0.0f64; 2];
+        scatter_fused_sub::<f64>(&mut x, &[], &[], &[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Both kernel variants, at every width, are bit-identical to the
+        /// member-major scalar elimination they replace.
+        #[test]
+        fn fused_variants_are_bitwise_identical_to_member_major(
+            seed in 0u64..10_000,
+            len in 0usize..33,
+            width in 1usize..5,
+        ) {
+            // Distinct target rows in scattered order.
+            let n_x = 4 * len.max(1) + 1;
+            let rows: Vec<usize> = (0..len).map(|t| (t * 7 + seed as usize) % n_x).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+            let len = rows.len();
+            let coeffs: Vec<f64> = (0..width).map(|i| vector(seed.wrapping_add(i as u64), 1)[0]).collect();
+            let col_data: Vec<Vec<f64>> =
+                (0..width).map(|i| vector(seed.wrapping_mul(3).wrapping_add(i as u64), len)).collect();
+            let cols: Vec<&[f64]> = col_data.iter().map(|c| c.as_slice()).collect();
+            let base = vector(seed.wrapping_add(99), n_x);
+
+            let mut reference = base.clone();
+            member_major(&mut reference, &rows, &coeffs, &cols);
+            let mut scalar = base.clone();
+            kernels::fused_scalar(&mut scalar, &rows, &coeffs, &cols);
+            let mut unrolled = base.clone();
+            match width {
+                1 => kernels::fused_unrolled::<f64, 1>(&mut unrolled, &rows, &coeffs, &cols),
+                2 => kernels::fused_unrolled::<f64, 2>(&mut unrolled, &rows, &coeffs, &cols),
+                3 => kernels::fused_unrolled::<f64, 3>(&mut unrolled, &rows, &coeffs, &cols),
+                _ => kernels::fused_unrolled::<f64, 4>(&mut unrolled, &rows, &coeffs, &cols),
+            }
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&scalar), bits(&reference));
+            prop_assert_eq!(bits(&unrolled), bits(&reference));
+        }
+
+        /// Same pinning for complex panels (the AC-path scalar type).
+        #[test]
+        fn complex_fused_variants_match_member_major(
+            seed in 0u64..10_000,
+            len in 0usize..21,
+            width in 1usize..5,
+        ) {
+            let rows: Vec<usize> = (0..len).collect();
+            let cvec = |s: u64| -> Vec<Complex64> {
+                vector(s, len).into_iter().zip(vector(s.wrapping_add(5), len)).map(|(a, b)| Complex64::new(a, b)).collect()
+            };
+            let coeffs: Vec<Complex64> = (0..width).map(|i| Complex64::new(
+                (seed as f64 + i as f64).sin(), (seed as f64 - i as f64).cos())).collect();
+            let col_data: Vec<Vec<Complex64>> = (0..width).map(|i| cvec(seed.wrapping_add(31 * i as u64))).collect();
+            let cols: Vec<&[Complex64]> = col_data.iter().map(|c| c.as_slice()).collect();
+            let base = cvec(seed.wrapping_add(77));
+
+            let mut reference = base.clone();
+            member_major(&mut reference, &rows, &coeffs, &cols);
+            let mut fused = base.clone();
+            scatter_fused_sub(&mut fused, &rows, &coeffs, &cols);
+            let bits = |v: &[Complex64]| v.iter().flat_map(|x| [x.re.to_bits(), x.im.to_bits()]).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&fused), bits(&reference));
+        }
+    }
+}

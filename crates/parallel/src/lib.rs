@@ -304,6 +304,60 @@ where
         .collect()
 }
 
+/// Fans the indices `0..len` out over up to `threads` workers, each owning a
+/// private scratch state created by `init` — the primitive behind the
+/// level-scheduled parallel numeric factorization, where every worker needs
+/// its own dense scatter vector but the columns of one elimination level are
+/// otherwise independent.
+///
+/// `body` receives `(&mut state, index)`; every index is claimed by exactly
+/// one worker through the same atomic-cursor discipline as [`par_map`], and
+/// the call returns only after all workers have joined — so writes made by
+/// `body` happen-before everything after the call. With `threads <= 1` (or a
+/// single index) no thread is spawned and one state processes all indices in
+/// ascending order; callers whose `body` is a pure function of `index` and
+/// of data fixed before the call therefore get results that are independent
+/// of the thread count, since per-index outputs never depend on which
+/// worker's scratch computed them.
+///
+/// # Panics
+/// Propagates a panic from any worker thread.
+pub fn par_for_with<S, I, F>(threads: usize, chunk: usize, len: usize, init: I, body: F)
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        let mut state = init();
+        for index in 0..len {
+            body(&mut state, index);
+        }
+        return;
+    }
+    let chunk = chunk.max(1);
+    let workers = threads.min(len.div_ceil(chunk));
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (body, init, cursor) = (&body, &init, &cursor);
+        for _ in 0..workers {
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk).min(len);
+                    for index in start..end {
+                        body(&mut state, index);
+                    }
+                }
+            });
+        }
+    });
+}
+
 /// Runs `f` for every index in `0..count` (no input slice) and collects the
 /// results in index order — convenience wrapper for seed-indexed sweeps like
 /// the Monte-Carlo reference.
@@ -450,6 +504,60 @@ mod tests {
             vec![42]
         );
         assert_eq!(one[0], 42);
+    }
+
+    #[test]
+    fn per_worker_state_fan_out_visits_every_index_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let len = 503;
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        let states_created = AtomicUsize::new(0);
+        for (threads, chunk) in [(1, 1), (3, 2), (8, 1), (4, 64)] {
+            for h in &hits {
+                h.store(0, Ordering::Relaxed);
+            }
+            states_created.store(0, Ordering::Relaxed);
+            par_for_with(
+                threads,
+                chunk,
+                len,
+                || {
+                    states_created.fetch_add(1, Ordering::Relaxed);
+                    vec![0u8; 16]
+                },
+                |scratch, index| {
+                    scratch[index % 16] ^= 1;
+                    hits[index].fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads {threads}, chunk {chunk}"
+            );
+            let created = states_created.load(Ordering::Relaxed);
+            assert!(
+                (1..=threads).contains(&created),
+                "threads {threads}: {created} states"
+            );
+        }
+    }
+
+    #[test]
+    fn per_worker_state_fan_out_handles_empty_and_serial_inputs() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let touched = AtomicBool::new(false);
+        par_for_with(4, 1, 0, || (), |_, _| unreachable!("no indices"));
+        par_for_with(
+            1,
+            1,
+            3,
+            || touched.store(true, Ordering::Relaxed),
+            |_, _| {},
+        );
+        assert!(
+            touched.load(Ordering::Relaxed),
+            "serial path still creates its one state"
+        );
     }
 
     #[test]

@@ -18,10 +18,13 @@
 //! * [`SparseLu`] — a left-looking (Gilbert–Peierls style) direct sparse LU
 //!   with partial pivoting, used as a robust fallback and for smaller meshes.
 //! * [`SymbolicLu`] — the symbolic phase of the direct LU cached per
-//!   [`SparsityPattern`] (RCM ordering, pivot sequence, factor structure) so
-//!   repeated factorizations on one pattern pay only the numeric cost.
-//! * [`rcm`] — reverse Cuthill–McKee ordering to improve ILU quality and LU
-//!   fill.
+//!   [`SparsityPattern`] (fill-reducing ordering, pivot sequence, factor
+//!   structure, supernode partition and elimination-level schedule) so
+//!   repeated factorizations on one pattern pay only a supernode-blocked,
+//!   optionally tree-parallel numeric cost.
+//! * [`rcm`] and [`amd`] — reverse Cuthill–McKee and approximate minimum
+//!   degree orderings; [`SymbolicLu`] keeps whichever [`predicted_fill`]
+//!   scores better for the pattern at hand.
 //! * [`LinearSolver`] — a front-end that picks a strategy and reports
 //!   [`SolveReport`] statistics.
 //!
@@ -74,8 +77,8 @@ pub use error::SparseError;
 pub use gmres::{Gmres, GmresWorkspace};
 pub use ilu::Ilu0;
 pub use lu::SparseLu;
-pub use ordering::rcm;
+pub use ordering::{amd, predicted_fill, rcm, OrderingKind};
 pub use scaling::RowColScaling;
-pub use solver::{LinearSolver, PreparedSolver, SolveReport, SolverKind};
+pub use solver::{IluSeed, LinearSolver, PreparedSolver, SolveReport, SolverKind};
 pub use symbolic::SymbolicLu;
 pub use triplet::TripletMatrix;

@@ -7,17 +7,36 @@
 //! change the *values*, so [`SymbolicLu`] caches everything that depends on
 //! the pattern alone:
 //!
-//! * the reverse Cuthill–McKee ordering of the pattern (fill reduction),
-//! * after the first numeric factorization: the pivot sequence and the full
-//!   structural patterns of `L` and `U`.
+//! * the better of two fill-reducing orderings — reverse Cuthill–McKee and
+//!   approximate minimum degree — selected per pattern by exact predicted
+//!   factor size ([`crate::ordering::predicted_fill`]) and recorded in the
+//!   shared analysis so every seeded clone replays the same choice,
+//! * after the first numeric factorization: the pivot sequence, the full
+//!   structural patterns of `L` and `U`, the supernode partition of the
+//!   factor columns and a level schedule of the column dependency DAG.
 //!
-//! Subsequent [`SymbolicLu::factor`] calls then pay only the numeric phase —
-//! a sparse triangular solve per column over a fixed pattern, with no DFS,
-//! no sorting and no pivot search. A cached pivot that becomes numerically
-//! unstable for the new values triggers a transparent fresh pivoting
-//! factorization (which also refreshes the cached structure); the number of
-//! such fallbacks is counted and surfaced through
-//! [`SymbolicLu::stale_fallback_count`].
+//! Subsequent [`SymbolicLu::factor`] calls then pay only the numeric phase,
+//! and that phase is **supernode-blocked**: runs of consecutive pivot
+//! columns with identical sub-diagonal structure are eliminated through the
+//! fused panel kernels of [`vaem_numeric::panel`] instead of one scalar
+//! column update at a time. Per scatter target the fused kernel performs
+//! the same floating-point operations in the same order as the scalar
+//! elimination, so blocking changes throughput, never bits.
+//!
+//! The numeric phase can also run **in parallel across the elimination
+//! tree**: columns are scheduled level by level (a column's dependencies —
+//! the pivots appearing in its `U` column — always sit in strictly earlier
+//! levels), with the fan-out going through [`vaem_parallel::par_for_with`]
+//! so each worker owns a private dense scratch column. Every column's
+//! factor values are a pure function of the matrix values and of its
+//! dependencies' finished columns, so the factors are **bit-identical at
+//! any thread count** (including the serial path, which just walks columns
+//! in ascending order — itself a valid topological order).
+//!
+//! A cached pivot that becomes numerically unstable for the new values
+//! triggers a transparent fresh pivoting factorization (which also
+//! refreshes the cached structure); the number of such fallbacks is counted
+//! and surfaced through [`SymbolicLu::stale_fallback_count`].
 //!
 //! Variation-aware sweeps factorize many *perturbations of one nominal
 //! matrix* on worker threads, so the pattern-derived state (ordering, column
@@ -25,20 +44,28 @@
 //! [`SymbolicLu::seed_from`] hands each worker its own handle onto the
 //! donor's analysis and pivot structure for the cost of two reference-count
 //! bumps, and the worker's first `factor` call is already numeric-only. The
-//! numeric refactorization replays the donor's exact elimination order, so
-//! for the *same* values it reproduces the donor's factors bit for bit —
-//! which is what keeps a seeded sample sweep bit-identical to an unseeded
-//! one whenever the perturbed pivots stay on the nominal sequence.
+//! numeric refactorization eliminates in ascending pivot order — the exact
+//! order the recording factorization used — so for the *same* values it
+//! reproduces the donor's factors bit for bit, which is what keeps a seeded
+//! sample sweep bit-identical to an unseeded one whenever the perturbed
+//! pivots stay on the nominal sequence.
 
-use crate::{ordering, CsrMatrix, SparseError, SparseLu, SparsityPattern};
+use crate::ordering::{self, OrderingKind};
+use crate::{CsrMatrix, SparseError, SparseLu, SparsityPattern};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
-use vaem_numeric::Scalar;
+use vaem_numeric::{panel, Scalar};
 
 /// Relative pivot tolerance of the numeric-only refactorization: when the
 /// cached pivot falls below this fraction of the magnitude of its column the
 /// cached pivot sequence is considered stale and the factorization restarts
 /// with fresh partial pivoting.
 const REFACTOR_PIVOT_TOL: f64 = 1e-10;
+
+/// Minimum number of columns in one elimination level before the parallel
+/// numeric phase fans the level out to worker threads; narrower levels run
+/// on the calling thread (spawning would cost more than it saves).
+const PAR_MIN_LEVEL_COLS: usize = 16;
 
 /// The reusable symbolic phase of the sparse LU for one sparsity pattern.
 ///
@@ -83,7 +110,10 @@ pub struct SymbolicLu {
 struct SymbolicCore {
     n: usize,
     pattern: SparsityPattern,
-    /// Fill-reducing (RCM) ordering, `perm[new] = old`.
+    /// Which fill-reducing ordering won the per-pattern selection; recorded
+    /// here so seeded clones replay the identical choice.
+    kind: OrderingKind,
+    /// The selected fill-reducing ordering, `perm[new] = old`.
     perm: Vec<usize>,
     /// Column access of the permuted matrix `Ap = A(p, p)`: per permuted
     /// column, the permuted row indices and the positions of the values in
@@ -107,25 +137,67 @@ struct LuStructure {
     l_rows: Vec<usize>,
     u_colptr: Vec<usize>,
     /// Upper rows per column, sorted ascending; the diagonal (`== column`)
-    /// is therefore the last entry.
+    /// is therefore the last entry, and the off-diagonal entries walk the
+    /// column's dependencies in ascending pivot order — which is exactly
+    /// the elimination order both the recording factorization and the
+    /// numeric refactorization use (ascending pivot index is always a
+    /// valid topological order: a row of `L(:, k)` that later becomes
+    /// pivotal gets a pivot index above `k`).
     u_rows: Vec<usize>,
-    /// Per column, the positions (indices into `u_rows`/`u_vals`) of the
-    /// off-diagonal U entries in the exact order the recording
-    /// factorization eliminated them (its topological DFS order).
-    /// Replaying this order makes the numeric refactorization perform the
-    /// same floating-point operations in the same sequence as the pivoting
-    /// factorization, so identical values reproduce identical factor bits.
-    elim_ptr: Vec<usize>,
-    elim_pos: Vec<usize>,
+    /// `sn_start[j]` = first column of the supernode containing column `j`.
+    /// Supernodes are maximal runs of consecutive columns where each column
+    /// `j` satisfies `L(:, j-1) = {j} ∪ L(:, j)` — identical sub-diagonal
+    /// structure — so a run of members inside one supernode updates a
+    /// target column through one fused dense panel.
+    sn_start: Vec<usize>,
+    /// Level schedule of the column dependency DAG: `level_cols[level_ptr
+    /// [l]..level_ptr[l + 1]]` lists (ascending) the columns whose
+    /// dependencies all sit in levels `< l`. Columns of one level are
+    /// independent and can be factorized concurrently.
+    level_ptr: Vec<usize>,
+    level_cols: Vec<usize>,
 }
 
+/// A raw factor-value pointer that may cross the scoped-thread boundary of
+/// the parallel numeric phase.
+///
+/// Safety contract (upheld by [`SymbolicLu::refactor_numeric`]): workers
+/// write only the disjoint `l_vals`/`u_vals` ranges of the columns they
+/// claimed, read only ranges of columns finished in earlier levels (the
+/// per-level join provides the happens-before edge), and the parent does
+/// not touch the buffers until every worker has joined.
+struct ValsPtr<T>(*mut T);
+unsafe impl<T: Send> Send for ValsPtr<T> {}
+unsafe impl<T: Send> Sync for ValsPtr<T> {}
+
 impl SymbolicLu {
-    /// Analyzes a sparsity pattern: computes the fill-reducing ordering and
+    /// Analyzes a sparsity pattern: computes both candidate fill-reducing
+    /// orderings (RCM and AMD), keeps whichever predicts the smaller factor
+    /// ([`crate::ordering::predicted_fill`], ties favour RCM), and builds
     /// the permuted column-access map.
     ///
     /// # Errors
     /// Returns [`SparseError::DimensionMismatch`] for a non-square pattern.
     pub fn new(pattern: &SparsityPattern) -> Result<Self, SparseError> {
+        Self::with_ordering(pattern, None)
+    }
+
+    /// [`SymbolicLu::new`] with the ordering forced instead of selected —
+    /// for tests and benchmarks that pin one side of the comparison.
+    ///
+    /// # Errors
+    /// Same conditions as [`SymbolicLu::new`].
+    pub fn new_with_ordering(
+        pattern: &SparsityPattern,
+        kind: OrderingKind,
+    ) -> Result<Self, SparseError> {
+        Self::with_ordering(pattern, Some(kind))
+    }
+
+    fn with_ordering(
+        pattern: &SparsityPattern,
+        forced: Option<OrderingKind>,
+    ) -> Result<Self, SparseError> {
         let n = pattern.rows();
         if pattern.cols() != n {
             return Err(SparseError::DimensionMismatch {
@@ -136,7 +208,22 @@ impl SymbolicLu {
                 ),
             });
         }
-        let perm = ordering::rcm(&pattern.zeros::<f64>());
+        let zeros = pattern.zeros::<f64>();
+        let (kind, perm) = match forced {
+            Some(OrderingKind::Rcm) => (OrderingKind::Rcm, ordering::rcm(&zeros)),
+            Some(OrderingKind::Amd) => (OrderingKind::Amd, ordering::amd(&zeros)),
+            None => {
+                let rcm_perm = ordering::rcm(&zeros);
+                let amd_perm = ordering::amd(&zeros);
+                let rcm_fill = ordering::predicted_fill(&zeros, &rcm_perm);
+                let amd_fill = ordering::predicted_fill(&zeros, &amd_perm);
+                if amd_fill < rcm_fill {
+                    (OrderingKind::Amd, amd_perm)
+                } else {
+                    (OrderingKind::Rcm, rcm_perm)
+                }
+            }
+        };
         let mut inv = vec![0usize; n];
         for (new, &old) in perm.iter().enumerate() {
             inv[old] = new;
@@ -167,6 +254,7 @@ impl SymbolicLu {
             core: Arc::new(SymbolicCore {
                 n,
                 pattern: pattern.clone(),
+                kind,
                 perm,
                 col_ptr,
                 col_rows,
@@ -188,8 +276,8 @@ impl SymbolicLu {
     /// A cheap independent handle onto this analysis: the new `SymbolicLu`
     /// shares the (immutable) ordering, column map and — when already
     /// recorded — the pivot structure through `Arc`s, so the clone costs
-    /// reference-count bumps instead of re-running RCM and the first
-    /// pivoting factorization.
+    /// reference-count bumps instead of re-running the ordering selection
+    /// and the first pivoting factorization.
     ///
     /// This is the cross-sample reuse path of the variation-aware sweeps:
     /// the nominal sample donates its symbolic phase and every perturbed
@@ -216,6 +304,11 @@ impl SymbolicLu {
         &self.core.perm
     }
 
+    /// Which fill-reducing ordering the per-pattern selection kept.
+    pub fn ordering_kind(&self) -> OrderingKind {
+        self.core.kind
+    }
+
     /// `true` once a factorization has recorded the pivot sequence, i.e.
     /// subsequent [`SymbolicLu::factor`] calls take the numeric-only path.
     pub fn has_structure(&self) -> bool {
@@ -240,8 +333,11 @@ impl SymbolicLu {
     ///
     /// The first call runs the full pivoting factorization and records the
     /// pivot sequence and factor structure; later calls redo only the
-    /// numeric phase against that structure, restarting with fresh pivoting
-    /// when a cached pivot becomes numerically unusable for the new values.
+    /// (supernode-blocked) numeric phase against that structure, restarting
+    /// with fresh pivoting when a cached pivot becomes numerically unusable
+    /// for the new values. The numeric phase fans out across elimination
+    /// levels on up to [`vaem_parallel::thread_count`] worker threads; the
+    /// factors are bit-identical at any thread count.
     ///
     /// # Errors
     /// * [`SparseError::DimensionMismatch`] when `a` does not have exactly
@@ -249,6 +345,21 @@ impl SymbolicLu {
     /// * [`SparseError::ZeroPivot`] when the matrix is (numerically)
     ///   singular even under fresh pivoting.
     pub fn factor<T: Scalar>(&mut self, a: &CsrMatrix<T>) -> Result<SparseLu<T>, SparseError> {
+        self.factor_with_threads(a, vaem_parallel::thread_count())
+    }
+
+    /// [`SymbolicLu::factor`] with an explicit worker-thread count for the
+    /// parallel numeric phase (mainly for tests and callers that manage
+    /// their own thread budget; `threads <= 1` runs serially). The factor
+    /// bits do not depend on `threads`.
+    ///
+    /// # Errors
+    /// Same conditions as [`SymbolicLu::factor`].
+    pub fn factor_with_threads<T: Scalar>(
+        &mut self,
+        a: &CsrMatrix<T>,
+        threads: usize,
+    ) -> Result<SparseLu<T>, SparseError> {
         if !self.core.pattern.matches(a) {
             return Err(SparseError::DimensionMismatch {
                 detail: format!(
@@ -264,7 +375,7 @@ impl SymbolicLu {
             });
         }
         if let Some(structure) = self.structure.clone() {
-            match self.refactor_numeric(a, &structure) {
+            match self.refactor_numeric(a, &structure, threads) {
                 Ok(lu) => return Ok(lu),
                 // Stale pivot sequence — fall through to a fresh pivoting
                 // factorization, which also refreshes (this handle's)
@@ -279,9 +390,15 @@ impl SymbolicLu {
     }
 
     /// Full left-looking Gilbert–Peierls factorization with partial pivoting
-    /// on the RCM-permuted matrix; records the (unpruned) structural reach
-    /// of every column so the numeric refactorization stays exact even when
+    /// on the permuted matrix; records the (unpruned) structural reach of
+    /// every column so the numeric refactorization stays exact even when
     /// entries that cancelled here become non-zero later.
+    ///
+    /// The numeric elimination runs in ascending pivot order (a valid
+    /// topological order of the column dependencies) and applies every
+    /// update unconditionally — the same operation sequence the blocked
+    /// refactorization replays, so a replay with identical values
+    /// reproduces identical factor bits.
     fn factor_full<T: Scalar>(&mut self, a: &CsrMatrix<T>) -> Result<SparseLu<T>, SparseError> {
         // Own a handle so the pattern data stays readable while
         // `self.structure` is replaced at the end.
@@ -300,15 +417,11 @@ impl SymbolicLu {
         let mut u_colptr = vec![0usize];
         let mut u_rows: Vec<usize> = Vec::new();
         let mut u_vals: Vec<T> = Vec::new();
-        // Off-diagonal U rows in elimination (topological) order, recorded
-        // so the numeric refactorization can replay the same operation
-        // sequence (see `LuStructure::elim_pos`).
-        let mut elim_ptr = vec![0usize];
-        let mut elim_rows: Vec<usize> = Vec::new();
 
         let mut x = vec![T::zero(); n];
         let mut mark = vec![usize::MAX; n];
         let mut topo: Vec<usize> = Vec::with_capacity(n);
+        let mut pivotal: Vec<(usize, usize)> = Vec::new();
         let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
 
         for j in 0..n {
@@ -341,30 +454,27 @@ impl SymbolicLu {
                     }
                 }
             }
-            topo.reverse();
 
-            // ---- numeric: sparse triangular solve ----
+            // ---- numeric: sparse triangular solve, eliminating in
+            // ascending pivot order ----
             for &r in &topo {
                 x[r] = T::zero();
             }
             for t in core.col_ptr[j]..core.col_ptr[j + 1] {
                 x[core.col_rows[t]] = vals[core.col_src[t]];
             }
-            for &r in &topo {
+            pivotal.clear();
+            pivotal.extend(topo.iter().filter_map(|&r| {
                 let k = pinv[r];
-                if k == usize::MAX {
-                    continue;
-                }
-                elim_rows.push(k);
+                (k != usize::MAX).then_some((k, r))
+            }));
+            pivotal.sort_unstable_by_key(|&(k, _)| k);
+            for &(k, r) in &pivotal {
                 let xr = x[r];
-                if xr.modulus() == 0.0 {
-                    continue;
-                }
                 for idx in l_colptr[k]..l_colptr[k + 1] {
                     x[l_rows[idx]] -= xr * l_vals[idx];
                 }
             }
-            elim_ptr.push(elim_rows.len());
 
             // ---- pivot selection among non-pivotal rows ----
             let mut piv_row = usize::MAX;
@@ -386,12 +496,9 @@ impl SymbolicLu {
             // ---- store U[:, j] and L[:, j]; keep the whole reach, even
             // numerically zero entries, so the cached structure stays a
             // superset for any values on this pattern ----
-            for &r in &topo {
-                let k = pinv[r];
-                if k != usize::MAX {
-                    u_rows.push(k);
-                    u_vals.push(x[r]);
-                }
+            for &(k, r) in &pivotal {
+                u_rows.push(k);
+                u_vals.push(x[r]);
             }
             u_rows.push(j);
             u_vals.push(piv_val);
@@ -420,20 +527,43 @@ impl SymbolicLu {
             sort_column(&mut u_rows, &mut u_vals, u_colptr[j], u_colptr[j + 1]);
         }
 
-        // Convert the recorded elimination order from pivot indices to
-        // positions in the (now sorted) U columns: `elim_rows` for column j
-        // holds exactly the off-diagonal rows of U[:, j] in topological
-        // order, so each lookup is a binary search in the sorted slice.
-        let mut elim_pos = vec![0usize; elim_rows.len()];
+        // ---- supernode partition: column j extends the supernode of
+        // j−1 iff L(:, j−1) = {j} ∪ L(:, j) ----
+        let mut sn_start = vec![0usize; n];
+        for j in 1..n {
+            let (plo, phi, chi) = (l_colptr[j - 1], l_colptr[j], l_colptr[j + 1]);
+            let joins = phi > plo
+                && phi - plo == chi - phi + 1
+                && l_rows[plo] == j
+                && l_rows[plo + 1..phi] == l_rows[phi..chi];
+            sn_start[j] = if joins { sn_start[j - 1] } else { j };
+        }
+
+        // ---- level schedule: a column's dependencies are the pivots of
+        // its off-diagonal U entries, so level(j) = 1 + max level over
+        // them (0 for columns with no dependencies) ----
+        let mut level = vec![0usize; n];
+        let mut nlev = 0usize;
         for j in 0..n {
-            let (lo, hi) = (u_colptr[j], u_colptr[j + 1]);
-            let sorted = &u_rows[lo..hi];
-            for e in elim_ptr[j]..elim_ptr[j + 1] {
-                let at = sorted
-                    .binary_search(&elim_rows[e])
-                    .expect("eliminated row is a recorded U entry");
-                elim_pos[e] = lo + at;
+            let mut lv = 0usize;
+            for idx in u_colptr[j]..u_colptr[j + 1] - 1 {
+                lv = lv.max(level[u_rows[idx]] + 1);
             }
+            level[j] = lv;
+            nlev = nlev.max(lv + 1);
+        }
+        let mut level_ptr = vec![0usize; nlev + 1];
+        for &lv in &level {
+            level_ptr[lv + 1] += 1;
+        }
+        for l in 0..nlev {
+            level_ptr[l + 1] += level_ptr[l];
+        }
+        let mut next = level_ptr.clone();
+        let mut level_cols = vec![0usize; n];
+        for j in 0..n {
+            level_cols[next[level[j]]] = j;
+            next[level[j]] += 1;
         }
 
         self.structure = Some(Arc::new(LuStructure {
@@ -443,8 +573,9 @@ impl SymbolicLu {
             l_rows: l_rows.clone(),
             u_colptr: u_colptr.clone(),
             u_rows: u_rows.clone(),
-            elim_ptr,
-            elim_pos,
+            sn_start,
+            level_ptr,
+            level_cols,
         }));
 
         let prow_orig: Vec<usize> = prow.iter().map(|&r| core.perm[r]).collect();
@@ -462,61 +593,99 @@ impl SymbolicLu {
     }
 
     /// Numeric-only refactorization against a cached pivot sequence and
-    /// factor structure: per column, scatter, eliminate replaying the
-    /// recorded topological order, divide — no reachability DFS, no
-    /// sorting, no pivot search. Because the elimination replays the
-    /// recording factorization's exact operation sequence, handing in the
-    /// same values reproduces the same factor bits.
+    /// factor structure: per column, scatter, eliminate supernode runs in
+    /// ascending pivot order through the fused panel kernels, divide — no
+    /// reachability DFS, no sorting, no pivot search. With `threads > 1`
+    /// the columns fan out level by level over worker threads; every
+    /// column is a pure function of the matrix values and its finished
+    /// dependencies, so the factor bits are independent of the thread
+    /// count and — for identical values — identical to the recording
+    /// factorization's.
     fn refactor_numeric<T: Scalar>(
         &self,
         a: &CsrMatrix<T>,
         st: &LuStructure,
+        threads: usize,
     ) -> Result<SparseLu<T>, SparseError> {
         let core = &*self.core;
         let n = core.n;
         let vals = a.values();
         let mut l_vals = vec![T::zero(); st.l_rows.len()];
         let mut u_vals = vec![T::zero(); st.u_rows.len()];
-        let mut x = vec![T::zero(); n];
 
-        for j in 0..n {
-            // The column pattern is exactly U[:, j] ∪ L[:, j] (the diagonal
-            // is the last U entry); zero it, then scatter Ap[:, j].
-            for idx in st.u_colptr[j]..st.u_colptr[j + 1] {
-                x[st.u_rows[idx]] = T::zero();
+        if threads <= 1 || n <= 1 {
+            // Serial path: ascending column order is a valid topological
+            // order of the dependency DAG.
+            let mut x = vec![T::zero(); n];
+            let (lv, uv) = (l_vals.as_mut_ptr(), u_vals.as_mut_ptr());
+            for j in 0..n {
+                // SAFETY: single-threaded — this loop is the only accessor
+                // of `l_vals`/`u_vals`, and dependencies of column j are
+                // columns < j, already finished.
+                unsafe { refactor_column(core, st, vals, &mut x, lv, uv, j) }
+                    .map_err(|index| SparseError::ZeroPivot { index })?;
             }
-            for idx in st.l_colptr[j]..st.l_colptr[j + 1] {
-                x[st.l_rows[idx]] = T::zero();
-            }
-            for t in core.col_ptr[j]..core.col_ptr[j + 1] {
-                x[st.pinv[core.col_rows[t]]] = vals[core.col_src[t]];
-            }
-
-            for &idx in &st.elim_pos[st.elim_ptr[j]..st.elim_ptr[j + 1]] {
-                let k = st.u_rows[idx];
-                let xk = x[k];
-                u_vals[idx] = xk;
-                if xk.modulus() != 0.0 {
-                    for li in st.l_colptr[k]..st.l_colptr[k + 1] {
-                        x[st.l_rows[li]] -= xk * l_vals[li];
+        } else {
+            // Level-parallel path. The first failing column (smallest
+            // index) is reported; any later garbage it propagates only
+            // reaches higher-indexed columns, so the minimum is the same
+            // failure the serial walk would hit first.
+            let failed = AtomicUsize::new(usize::MAX);
+            let lptr = ValsPtr(l_vals.as_mut_ptr());
+            let uptr = ValsPtr(u_vals.as_mut_ptr());
+            // Capture the wrappers by reference — disjoint field captures
+            // of the raw pointers would sidestep their Send/Sync impls.
+            let (lptr, uptr, failed_ref) = (&lptr, &uptr, &failed);
+            let mut serial_x = vec![T::zero(); n];
+            for lev in 0..st.level_ptr.len().saturating_sub(1) {
+                let cols = &st.level_cols[st.level_ptr[lev]..st.level_ptr[lev + 1]];
+                if cols.len() < PAR_MIN_LEVEL_COLS.max(threads) {
+                    for &j in cols {
+                        if failed_ref.load(AtomicOrdering::Relaxed) != usize::MAX {
+                            break;
+                        }
+                        // SAFETY: no workers are live (par_for_with joins
+                        // before returning), this thread has exclusive
+                        // access, and the column's dependencies finished in
+                        // earlier levels.
+                        if let Err(index) = unsafe {
+                            refactor_column(core, st, vals, &mut serial_x, lptr.0, uptr.0, j)
+                        } {
+                            failed_ref.fetch_min(index, AtomicOrdering::Relaxed);
+                        }
                     }
+                } else {
+                    let chunk = (cols.len() / (threads * 4)).max(1);
+                    vaem_parallel::par_for_with(
+                        threads,
+                        chunk,
+                        cols.len(),
+                        || vec![T::zero(); n],
+                        |x, i| {
+                            if failed_ref.load(AtomicOrdering::Relaxed) != usize::MAX {
+                                return;
+                            }
+                            let j = cols[i];
+                            // SAFETY: each column is claimed by exactly one
+                            // worker and writes only its own (disjoint)
+                            // `l_vals`/`u_vals` ranges; reads touch columns
+                            // of earlier levels, finished before this
+                            // level's fan-out began (the per-level join is
+                            // the happens-before edge).
+                            if let Err(index) =
+                                unsafe { refactor_column(core, st, vals, x, lptr.0, uptr.0, j) }
+                            {
+                                failed_ref.fetch_min(index, AtomicOrdering::Relaxed);
+                            }
+                        },
+                    );
                 }
             }
-
-            let u_hi = st.u_colptr[j + 1];
-            let piv = x[j];
-            let l_lo = st.l_colptr[j];
-            let l_hi = st.l_colptr[j + 1];
-            let mut colmax = piv.modulus();
-            for idx in l_lo..l_hi {
-                colmax = colmax.max(x[st.l_rows[idx]].modulus());
-            }
-            if piv.modulus() == 0.0 || piv.modulus() < REFACTOR_PIVOT_TOL * colmax {
-                return Err(SparseError::ZeroPivot { index: j });
-            }
-            u_vals[u_hi - 1] = piv;
-            for idx in l_lo..l_hi {
-                l_vals[idx] = x[st.l_rows[idx]] / piv;
+            let first_failed = failed.load(AtomicOrdering::Relaxed);
+            if first_failed != usize::MAX {
+                return Err(SparseError::ZeroPivot {
+                    index: first_failed,
+                });
             }
         }
 
@@ -533,6 +702,124 @@ impl SymbolicLu {
             Some(core.perm.clone()),
         ))
     }
+}
+
+/// Factorizes one column of the numeric refactorization: zero the column's
+/// pattern in the scratch `x`, scatter `Ap[:, j]`, eliminate the
+/// dependencies in ascending pivot order — supernode runs through the fused
+/// panel kernels, their intra-run updates scalar — then check the pivot and
+/// divide `L`.
+///
+/// Per scatter target the fused tail pass subtracts the run members'
+/// products one at a time in member order, i.e. the exact floating-point
+/// sequence of a scalar member-by-member elimination, so the blocked column
+/// is bit-identical to the scalar one (see [`vaem_numeric::panel`]).
+///
+/// Returns `Err(j)` when the cached pivot is numerically unusable.
+///
+/// # Safety
+/// `lv`/`uv` must point at the factor value buffers (lengths `st.l_rows
+/// .len()`/`st.u_rows.len()`). The caller must guarantee exclusive access
+/// to column `j`'s value ranges and that every dependency column (the
+/// off-diagonal pivots of `U[:, j]`) has been fully written and is not
+/// written concurrently.
+unsafe fn refactor_column<T: Scalar>(
+    core: &SymbolicCore,
+    st: &LuStructure,
+    avals: &[T],
+    x: &mut [T],
+    lv: *mut T,
+    uv: *mut T,
+    j: usize,
+) -> Result<(), usize> {
+    // The column pattern is exactly U[:, j] ∪ L[:, j] (the diagonal is the
+    // last U entry); zero it, then scatter Ap[:, j]. Elimination only ever
+    // writes inside the pattern (the recorded reach is closed), so stale
+    // scratch entries outside it are never read.
+    for idx in st.u_colptr[j]..st.u_colptr[j + 1] {
+        x[st.u_rows[idx]] = T::zero();
+    }
+    for idx in st.l_colptr[j]..st.l_colptr[j + 1] {
+        x[st.l_rows[idx]] = T::zero();
+    }
+    for t in core.col_ptr[j]..core.col_ptr[j + 1] {
+        x[st.pinv[core.col_rows[t]]] = avals[core.col_src[t]];
+    }
+
+    // Eliminate the off-diagonal U entries (sorted ascending = elimination
+    // order), grouped into maximal runs of consecutive columns within one
+    // supernode.
+    let off_lo = st.u_colptr[j];
+    let off_hi = st.u_colptr[j + 1] - 1; // diagonal sits at off_hi
+    let mut idx = off_lo;
+    while idx < off_hi {
+        let k0 = st.u_rows[idx];
+        let mut run = 1usize;
+        while idx + run < off_hi
+            && st.u_rows[idx + run] == k0 + run
+            && st.sn_start[k0 + run] == st.sn_start[k0]
+        {
+            run += 1;
+        }
+        let k1 = k0 + run - 1;
+        // Inside the supernode, L(:, m) = {m+1, …, k1} ∪ L(:, k1): the
+        // first (k1 − m) entries are the intra-run rows, the remaining
+        // `tail_len` entries align element-for-element with L(:, k1).
+        let tail_len = st.l_colptr[k1 + 1] - st.l_colptr[k1];
+        for (off, m) in (k0..=k1).enumerate() {
+            let xm = x[m];
+            // SAFETY: idx + off indexes U[:, j], owned by this call.
+            unsafe { *uv.add(idx + off) = xm };
+            let lo = st.l_colptr[m];
+            for li in lo..lo + (k1 - m) {
+                // SAFETY: dependency column m finished earlier (caller
+                // contract).
+                let lval = unsafe { *lv.add(li) };
+                x[st.l_rows[li]] -= xm * lval;
+            }
+        }
+        if tail_len > 0 {
+            let rows = &st.l_rows[st.l_colptr[k1]..st.l_colptr[k1 + 1]];
+            let mut m = k0;
+            while m <= k1 {
+                let w = (k1 - m + 1).min(4);
+                let mut coeffs = [T::zero(); 4];
+                let mut cols: [&[T]; 4] = [&[]; 4];
+                for i in 0..w {
+                    // x[m + i] still holds the recorded U value: only
+                    // intra-run updates touch it, and they all happened in
+                    // the member loop above.
+                    coeffs[i] = x[m + i];
+                    let lo = st.l_colptr[m + i + 1] - tail_len;
+                    // SAFETY: the dependency column's tail values are
+                    // finished and not written concurrently (caller
+                    // contract), so a shared slice over them is valid for
+                    // the duration of the kernel call.
+                    cols[i] = unsafe { std::slice::from_raw_parts(lv.add(lo), tail_len) };
+                }
+                panel::scatter_fused_sub(x, rows, &coeffs[..w], &cols[..w]);
+                m += w;
+            }
+        }
+        idx += run;
+    }
+
+    // Pivot check and division of L.
+    let piv = x[j];
+    let (l_lo, l_hi) = (st.l_colptr[j], st.l_colptr[j + 1]);
+    let mut colmax = piv.modulus();
+    for idx in l_lo..l_hi {
+        colmax = colmax.max(x[st.l_rows[idx]].modulus());
+    }
+    if piv.modulus() == 0.0 || piv.modulus() < REFACTOR_PIVOT_TOL * colmax {
+        return Err(j);
+    }
+    // SAFETY: the diagonal U slot and L[:, j] belong to column j.
+    unsafe { *uv.add(st.u_colptr[j + 1] - 1) = piv };
+    for idx in l_lo..l_hi {
+        unsafe { *lv.add(idx) = x[st.l_rows[idx]] / piv };
+    }
+    Ok(())
 }
 
 /// Sorts the `(row, value)` pairs of one factor column by row index.
@@ -764,6 +1051,7 @@ mod tests {
         assert!(seeded.has_structure());
         assert_eq!(seeded.stale_fallback_count(), 0);
         assert!(seeded.matches(&a));
+        assert_eq!(seeded.ordering_kind(), donor.ordering_kind());
         // Same values through the seeded handle reproduce the donor's
         // factorization bit for bit (the refactorization replays the
         // recorded elimination order).
@@ -785,8 +1073,9 @@ mod tests {
     #[test]
     fn numeric_refactorization_of_identical_values_is_bitwise_stable() {
         // factor() twice on the same matrix: the second call replays the
-        // recorded elimination order and must reproduce the first (full,
-        // pivoting) factorization's solve bits exactly.
+        // recorded elimination order (ascending pivots, supernode-blocked)
+        // and must reproduce the first (full, pivoting) factorization's
+        // solve bits exactly.
         let a = laplacian_2d(11);
         let rhs: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.7).sin()).collect();
         let mut sym = SymbolicLu::analyze(&a).unwrap();
@@ -796,6 +1085,102 @@ mod tests {
             full.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             replay.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn forced_orderings_both_factor_and_differ_in_fill() {
+        let a = laplacian_2d(12);
+        let pattern = SparsityPattern::of(&a);
+        let x_true: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.13).sin()).collect();
+        let rhs = a.matvec(&x_true);
+        let mut nnz = Vec::new();
+        for kind in [OrderingKind::Rcm, OrderingKind::Amd] {
+            let mut sym = SymbolicLu::new_with_ordering(&pattern, kind).unwrap();
+            assert_eq!(sym.ordering_kind(), kind);
+            let lu = sym.factor(&a).unwrap();
+            let x = lu.solve(&rhs).unwrap();
+            assert!(
+                vecops::relative_diff(&x, &x_true, 1e-30) < 1e-10,
+                "{kind:?}"
+            );
+            nnz.push(lu.factor_nnz());
+            // The refactorization reproduces the recorded factorization
+            // under either ordering.
+            let again = sym.factor(&a).unwrap();
+            assert_eq!(again.factor_nnz(), lu.factor_nnz());
+        }
+        assert_ne!(nnz[0], nnz[1], "orderings should produce different fill");
+    }
+
+    #[test]
+    fn auto_selection_matches_the_predicted_fill_winner() {
+        let a = laplacian_2d(10);
+        let pattern = SparsityPattern::of(&a);
+        let sym = SymbolicLu::new(&pattern).unwrap();
+        let rcm_fill = ordering::predicted_fill(&a, &ordering::rcm(&a));
+        let amd_fill = ordering::predicted_fill(&a, &ordering::amd(&a));
+        let expect = if amd_fill < rcm_fill {
+            OrderingKind::Amd
+        } else {
+            OrderingKind::Rcm
+        };
+        assert_eq!(sym.ordering_kind(), expect);
+    }
+
+    #[test]
+    fn parallel_refactorization_is_bitwise_identical_to_serial() {
+        // Large enough that several elimination levels clear the
+        // PAR_MIN_LEVEL_COLS fan-out threshold.
+        let a = laplacian_2d(16);
+        let mut sym = SymbolicLu::analyze(&a).unwrap();
+        sym.factor(&a).unwrap();
+        let b_mat = shifted_laplacian(16, 0.4);
+        let rhs: Vec<f64> = (0..b_mat.rows()).map(|i| (i as f64 * 0.9).cos()).collect();
+        let serial_bits: Vec<u64> = sym
+            .factor_with_threads(&b_mat, 1)
+            .unwrap()
+            .solve(&rhs)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        for threads in [2, 4, 8] {
+            let bits: Vec<u64> = sym
+                .factor_with_threads(&b_mat, threads)
+                .unwrap()
+                .solve(&rhs)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(serial_bits, bits, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_refactorization_reports_stale_pivots() {
+        let a = laplacian_2d(16);
+        let mut donor = SymbolicLu::analyze(&a).unwrap();
+        donor.factor(&a).unwrap();
+        // Zero out the matrix: every cached pivot is numerically unusable,
+        // and the parallel path must fall back exactly like the serial one.
+        let zeros: Vec<(usize, usize, f64)> = (0..a.rows())
+            .flat_map(|r| {
+                a.row_entries(r)
+                    .map(move |(c, _)| (r, c, 0.0))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut z = laplacian_2d(16);
+        z.assemble_into(&zeros).unwrap();
+        for threads in [1, 4] {
+            let mut seeded = donor.seed_from();
+            assert!(matches!(
+                seeded.factor_with_threads(&z, threads),
+                Err(SparseError::ZeroPivot { .. })
+            ));
+            assert_eq!(seeded.stale_fallback_count(), 1, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -824,7 +1209,7 @@ mod tests {
     }
 
     #[test]
-    fn rcm_ordering_is_a_permutation() {
+    fn selected_ordering_is_a_permutation() {
         let a = laplacian_2d(6);
         let sym = SymbolicLu::analyze(&a).unwrap();
         let mut sorted = sym.ordering().to_vec();
