@@ -134,11 +134,11 @@ fn main() -> ExitCode {
         eprintln!("usage: bench_check <current.jsonl> <baseline.json> <bench-id> [<bench-id>...]");
         return ExitCode::FAILURE;
     }
-    let max_regression: f64 = std::env::var("VAEM_BENCH_MAX_REGRESSION")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|m: &f64| m.is_finite() && *m > 0.0)
-        .unwrap_or(1.20);
+    let max_regression = vaem_parallel::env::positive_f64(
+        "VAEM_BENCH_MAX_REGRESSION",
+        1.20,
+        "using the default 1.20 regression gate",
+    );
 
     let read = |path: &str| -> Option<String> {
         match std::fs::read_to_string(path) {

@@ -8,11 +8,11 @@
 //!   that the whole harness completes in minutes.
 //! * `VAEM_MC_RUNS=<n>` — override the Monte-Carlo sample count.
 
+use vaem_parallel::env;
+
 /// Returns `true` when the harness should run at paper scale.
 pub fn full_scale() -> bool {
-    std::env::var("VAEM_FULL")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    env::flag("VAEM_FULL")
 }
 
 /// Environment variable selecting the number of sweep grid points.
@@ -30,31 +30,6 @@ pub const MIN_SWEEP_POINTS: usize = 1;
 /// `VAEM_SWEEP_POINTS=1e9`, which would otherwise queue a multi-day run).
 pub const MAX_SWEEP_POINTS: usize = 100_000;
 
-/// How a `VAEM_SWEEP_POINTS`-style value parsed (mirrors the
-/// `VAEM_THREADS` handling in `vaem_parallel`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SweepPointSetting {
-    /// Variable not set: use the binary's default.
-    Unset,
-    /// Set but unusable (garbage, zero or negative): clamp to
-    /// [`MIN_SWEEP_POINTS`] and warn, so a typo degrades to a tiny sweep
-    /// instead of a panic or an empty grid.
-    Invalid,
-    /// A usable point count, capped at [`MAX_SWEEP_POINTS`].
-    Count(usize),
-}
-
-/// Parses a `VAEM_SWEEP_POINTS`-style value.
-fn parse_sweep_points(value: Option<&str>) -> SweepPointSetting {
-    let Some(raw) = value else {
-        return SweepPointSetting::Unset;
-    };
-    match raw.trim().parse::<usize>() {
-        Ok(0) | Err(_) => SweepPointSetting::Invalid,
-        Ok(n) => SweepPointSetting::Count(n.min(MAX_SWEEP_POINTS)),
-    }
-}
-
 /// The configured sweep point count: `VAEM_SWEEP_POINTS` when set to a
 /// positive integer (capped at [`MAX_SWEEP_POINTS`]), `default` when
 /// unset, and [`MIN_SWEEP_POINTS`] — with a one-time warning on stderr —
@@ -62,58 +37,25 @@ fn parse_sweep_points(value: Option<&str>) -> SweepPointSetting {
 /// (previously those either panicked inside `log_grid` or silently fell
 /// back to the default).
 pub fn sweep_points(default: usize) -> usize {
-    let value = std::env::var(SWEEP_POINTS_ENV).ok();
-    match parse_sweep_points(value.as_deref()) {
-        SweepPointSetting::Count(n) => n,
-        SweepPointSetting::Unset => default,
-        SweepPointSetting::Invalid => {
-            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-            WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "warning: {SWEEP_POINTS_ENV}={:?} is not a positive integer; \
-                     running a {MIN_SWEEP_POINTS}-point sweep",
-                    value.as_deref().unwrap_or_default()
-                );
-            });
-            MIN_SWEEP_POINTS
-        }
-    }
-}
-
-/// Parses a `VAEM_SWEEP_TOL`-style value: a finite, positive relative
-/// tolerance, `None` otherwise.
-fn parse_sweep_tolerance(value: Option<&str>) -> Option<f64> {
-    value
-        .and_then(|raw| raw.trim().parse::<f64>().ok())
-        .filter(|t| t.is_finite() && *t > 0.0)
+    env::positive_usize(
+        SWEEP_POINTS_ENV,
+        MAX_SWEEP_POINTS,
+        || default,
+        MIN_SWEEP_POINTS,
+        "running a 1-point sweep",
+    )
 }
 
 /// The configured adaptive-sweep tolerance: `VAEM_SWEEP_TOL` when set to a
 /// finite positive number, `default` when unset, and `default` — with a
 /// one-time warning on stderr — when the variable holds garbage.
 pub fn sweep_tolerance(default: f64) -> f64 {
-    let value = std::env::var(SWEEP_TOL_ENV).ok();
-    match (parse_sweep_tolerance(value.as_deref()), value.as_deref()) {
-        (Some(tol), _) => tol,
-        (None, None) => default,
-        (None, Some(raw)) => {
-            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-            WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "warning: {SWEEP_TOL_ENV}={raw:?} is not a positive finite number; \
-                     using the default tolerance {default}"
-                );
-            });
-            default
-        }
-    }
+    env::positive_f64(SWEEP_TOL_ENV, default, "using the default tolerance")
 }
 
 /// Monte-Carlo run count override, if any.
 pub fn mc_runs_override() -> Option<usize> {
-    std::env::var("VAEM_MC_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    env::opt_usize("VAEM_MC_RUNS")
 }
 
 /// Upper bound per axis for `VAEM_ARRAY_ROWS`/`VAEM_ARRAY_COLS` (a 8×8
@@ -125,21 +67,18 @@ pub const MAX_ARRAY_DIM: usize = 8;
 /// otherwise. Unusable values fall back to the default for that axis with
 /// a warning on stderr.
 pub fn array_dims(default_rows: usize, default_cols: usize) -> (usize, usize) {
-    let parse = |env: &str, default: usize| -> usize {
-        match std::env::var(env) {
-            Err(_) => default,
-            Ok(raw) => match raw.trim().parse::<usize>() {
-                Ok(n) if n > 0 => n.min(MAX_ARRAY_DIM),
-                _ => {
-                    eprintln!("warning: {env}={raw:?} is not a positive integer; using {default}");
-                    default
-                }
-            },
-        }
+    let read = |name: &str, default: usize| -> usize {
+        env::positive_usize(
+            name,
+            MAX_ARRAY_DIM,
+            || default,
+            default,
+            "using the default grid dimension",
+        )
     };
     (
-        parse("VAEM_ARRAY_ROWS", default_rows),
-        parse("VAEM_ARRAY_COLS", default_cols),
+        read("VAEM_ARRAY_ROWS", default_rows),
+        read("VAEM_ARRAY_COLS", default_cols),
     )
 }
 
@@ -180,39 +119,23 @@ mod tests {
     }
 
     #[test]
-    fn sweep_points_parsing_rules() {
-        use SweepPointSetting::*;
-        // Unset: fall back to the binary's default.
-        assert_eq!(parse_sweep_points(None), Unset);
-        // Garbage, zero and negative values clamp to the minimum (with a
-        // warning) instead of panicking in log_grid or silently producing
-        // an empty sweep.
-        assert_eq!(parse_sweep_points(Some("")), Invalid);
-        assert_eq!(parse_sweep_points(Some("abc")), Invalid);
-        assert_eq!(parse_sweep_points(Some("0")), Invalid);
-        assert_eq!(parse_sweep_points(Some("-4")), Invalid);
-        assert_eq!(parse_sweep_points(Some("2.5")), Invalid);
-        assert_eq!(parse_sweep_points(Some("16 points")), Invalid);
-        // Valid values pass through, capped at MAX_SWEEP_POINTS.
-        assert_eq!(parse_sweep_points(Some("1")), Count(1));
-        assert_eq!(parse_sweep_points(Some(" 64 ")), Count(64));
+    fn sweep_knob_parsing_rules() {
+        use env::Parsed::*;
+        // The sweep knobs share the vaem_parallel::env parsers; pin the
+        // rules that matter to the sweep binaries here. Unusable point
+        // counts clamp to MIN_SWEEP_POINTS (with a warning) instead of
+        // panicking in log_grid or silently producing an empty sweep.
+        assert_eq!(env::parse_positive_usize(None, MAX_SWEEP_POINTS), Unset);
         assert_eq!(
-            parse_sweep_points(Some("999999999")),
-            Count(MAX_SWEEP_POINTS)
+            env::parse_positive_usize(Some("16 points"), MAX_SWEEP_POINTS),
+            Invalid
         );
-    }
-
-    #[test]
-    fn sweep_tolerance_parsing_rules() {
-        assert_eq!(parse_sweep_tolerance(None), None);
-        assert_eq!(parse_sweep_tolerance(Some("")), None);
-        assert_eq!(parse_sweep_tolerance(Some("abc")), None);
-        assert_eq!(parse_sweep_tolerance(Some("0")), None);
-        assert_eq!(parse_sweep_tolerance(Some("-0.1")), None);
-        assert_eq!(parse_sweep_tolerance(Some("inf")), None);
-        assert_eq!(parse_sweep_tolerance(Some("NaN")), None);
-        assert_eq!(parse_sweep_tolerance(Some("0.05")), Some(0.05));
-        assert_eq!(parse_sweep_tolerance(Some(" 1e-3 ")), Some(1e-3));
+        assert_eq!(
+            env::parse_positive_usize(Some("999999999"), MAX_SWEEP_POINTS),
+            Value(MAX_SWEEP_POINTS)
+        );
+        assert_eq!(env::parse_positive_f64(Some("NaN")), Invalid);
+        assert_eq!(env::parse_positive_f64(Some(" 1e-3 ")), Value(1e-3));
     }
 
     #[test]

@@ -1133,7 +1133,7 @@ impl VariationalAnalysis {
 
         // --- Nominal solve (also provides the wPFA weights). One AC solve
         // covers both the nominal outputs and the influence weights.
-        let sscm_start = Instant::now();
+        let sscm_start = Instant::now(); // vaem-lint: allow(D6) wall-clock reporting metadata only; never feeds numeric results
         let nominal_doping = self.nominal_doping();
         let nominal_solver = CoupledSolver::with_topology(
             &self.structure,
@@ -1191,7 +1191,7 @@ impl VariationalAnalysis {
         // --- Monte-Carlo reference (full-rank sampling of every group).
         // Each run draws from its own `(seed, run)` stream, so the sweep is
         // deterministic for any thread count.
-        let mc_start = Instant::now();
+        let mc_start = Instant::now(); // vaem-lint: allow(D6) wall-clock reporting metadata only; never feeds numeric results
         let full_rank: Vec<FullRankGaussian> = groups
             .iter()
             .map(|g| FullRankGaussian::new(&g.covariance))
@@ -1272,7 +1272,7 @@ impl VariationalAnalysis {
         frequencies: &[f64],
     ) -> Result<FrequencySweepResult, AnalysisError> {
         self.validate_grid(frequencies)?;
-        let start = Instant::now();
+        let start = Instant::now(); // vaem-lint: allow(D6) wall-clock reporting metadata only; never feeds numeric results
         if frequencies.is_empty() {
             return Ok(self.empty_sweep_result(start));
         }
@@ -1401,7 +1401,7 @@ impl VariationalAnalysis {
                 coarse_frequencies.len()
             )));
         }
-        let start = Instant::now();
+        let start = Instant::now(); // vaem-lint: allow(D6) wall-clock reporting metadata only; never feeds numeric results
         if coarse_frequencies.is_empty() {
             return Ok(AdaptiveSweepResult {
                 sweep: self.empty_sweep_result(start),

@@ -1028,7 +1028,7 @@ impl<'a> CoupledSolver<'a> {
         omega: f64,
     ) -> Result<Vec<Complex64>, FvmError> {
         // Lookup from (axis, from-node) to link id for neighbour search.
-        let mut by_from: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut by_from: HashMap<(usize, usize), usize> = HashMap::new(); // vaem-lint: allow(D1) lookup-only: filled once, then queried via .get(); never iterated, so no order dependence
         for lid in mesh.link_ids() {
             let link = mesh.link(lid);
             by_from.insert((link.axis.as_usize(), link.from.index()), lid.index());

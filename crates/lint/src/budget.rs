@@ -1,0 +1,168 @@
+//! The D5 panic-path budget ratchet (`lint_budget.toml`).
+//!
+//! Rule D5 does not demand zero `unwrap()`/`expect()`/`panic!` sites in the
+//! solver library crates — the tree has hundreds of justified ones (pivot
+//! invariants, slice-length contracts). Instead each file's count is
+//! recorded here and may **only ratchet down**: a PR that adds a panic path
+//! to a library file fails the gate until the site is removed or waived,
+//! and a PR that removes panic paths updates the recording via
+//! `vaem-lint --update-budget` (which refuses to raise any entry).
+//!
+//! The file is a deliberately tiny TOML subset — one `[d5]` table of
+//! `"path" = count` pairs — parsed by hand because the workspace has no
+//! crates.io access and no TOML dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-file D5 budgets, keyed by workspace-relative path.
+pub type Budget = BTreeMap<String, usize>;
+
+/// Parses the budget file contents.
+///
+/// # Errors
+/// Returns a message naming the offending line for anything that is not a
+/// comment, a blank line, the `[d5]` header, or a `"path" = count` pair.
+pub fn parse(text: &str) -> Result<Budget, String> {
+    let mut budget = Budget::new();
+    let mut in_d5 = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_d5 = line == "[d5]";
+            if !in_d5 {
+                return Err(format!(
+                    "lint_budget.toml:{}: unknown section {line}",
+                    idx + 1
+                ));
+            }
+            continue;
+        }
+        if !in_d5 {
+            return Err(format!(
+                "lint_budget.toml:{}: entry outside the [d5] section",
+                idx + 1
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "lint_budget.toml:{}: expected `\"path\" = count`",
+                idx + 1
+            ));
+        };
+        let key = key.trim();
+        let Some(path) = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .filter(|p| !p.is_empty())
+        else {
+            return Err(format!(
+                "lint_budget.toml:{}: path must be double-quoted",
+                idx + 1
+            ));
+        };
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("lint_budget.toml:{}: count must be an integer", idx + 1))?;
+        if budget.insert(path.to_string(), count).is_some() {
+            return Err(format!(
+                "lint_budget.toml:{}: duplicate entry for {path}",
+                idx + 1
+            ));
+        }
+    }
+    Ok(budget)
+}
+
+/// Renders a budget back to the canonical file format (sorted, zero-count
+/// entries dropped).
+pub fn render(budget: &Budget) -> String {
+    let mut out = String::from(
+        "# vaem-lint rule D5 budget: unwrap()/expect()/panic! sites per solver-library\n\
+         # file. Counts may only ratchet DOWN. Regenerate with `vaem-lint\n\
+         # --update-budget` after removing panic paths; adding one requires an inline\n\
+         # `vaem-lint: allow(D5) <reason>` waiver instead.\n\n[d5]\n",
+    );
+    for (path, count) in budget {
+        if *count > 0 {
+            let _ = writeln!(out, "\"{path}\" = {count}");
+        }
+    }
+    out
+}
+
+/// Computes the ratcheted-down successor of `old` given the observed
+/// `counts`.
+///
+/// # Errors
+/// Refuses (naming the files) when any observed count exceeds its recorded
+/// budget — the ratchet only ever lowers recorded counts; new debt must be
+/// removed or waived, not recorded.
+pub fn ratchet(old: &Budget, counts: &Budget) -> Result<Budget, String> {
+    let raised: Vec<String> = counts
+        .iter()
+        .filter(|(path, &count)| count > old.get(*path).copied().unwrap_or(0))
+        .map(|(path, &count)| format!("{path}: {count} > {}", old.get(path).copied().unwrap_or(0)))
+        .collect();
+    if !raised.is_empty() {
+        return Err(format!(
+            "refusing to raise D5 budgets (the ratchet only goes down):\n  {}",
+            raised.join("\n  ")
+        ));
+    }
+    Ok(counts
+        .iter()
+        .filter(|(_, &c)| c > 0)
+        .map(|(p, &c)| (p.clone(), c))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Budget::new();
+        b.insert("crates/core/src/analysis.rs".into(), 7);
+        b.insert("crates/fvm/src/solver.rs".into(), 2);
+        let text = render(&b);
+        assert_eq!(parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("[d5]\nnot a pair\n").is_err());
+        assert!(parse("[other]\n").is_err());
+        assert!(parse("\"a.rs\" = 3\n").is_err(), "entry before section");
+        assert!(parse("[d5]\n\"a.rs\" = x\n").is_err());
+        assert!(parse("[d5]\n\"a.rs\" = 1\n\"a.rs\" = 2\n").is_err());
+        assert!(parse("[d5]\na.rs = 1\n").is_err(), "unquoted path");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let b = parse("# header\n\n[d5]\n# entry comment\n\"a.rs\" = 3\n").unwrap();
+        assert_eq!(b.get("a.rs"), Some(&3));
+    }
+
+    #[test]
+    fn ratchet_lowers_and_drops_but_never_raises() {
+        let old = parse("[d5]\n\"a.rs\" = 5\n\"b.rs\" = 2\n").unwrap();
+        // Lower + drop-to-zero are fine.
+        let counts: Budget = [("a.rs".to_string(), 3usize)].into_iter().collect();
+        let next = ratchet(&old, &counts).unwrap();
+        assert_eq!(next.get("a.rs"), Some(&3));
+        assert!(!next.contains_key("b.rs"));
+        // Raising an entry is refused.
+        let worse: Budget = [("a.rs".to_string(), 6usize)].into_iter().collect();
+        assert!(ratchet(&old, &worse).is_err());
+        // A new file with sites is also a raise (implicit budget 0).
+        let fresh: Budget = [("c.rs".to_string(), 1usize)].into_iter().collect();
+        assert!(ratchet(&old, &fresh).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: D2 (env read), D3 (thread creation) and D6 (wall clock)
+//! violations, one each, plus a standalone-comment waiver for a second
+//! env read.
+
+use std::time::Instant;
+
+fn misconfigured() -> Option<String> {
+    std::env::var("VAEM_ROGUE_KNOB").ok()
+}
+
+fn waived_env() -> Option<String> {
+    // vaem-lint: allow(D2) fixture exercising the standalone waiver form
+    std::env::var("VAEM_WAIVED_KNOB").ok()
+}
+
+fn rogue_thread() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}
+
+fn timed() -> std::time::Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

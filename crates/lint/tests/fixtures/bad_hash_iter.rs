@@ -1,0 +1,27 @@
+//! Fixture: D1 violations — hash collections and iteration over them.
+//! CI runs the lint binary on this path and expects a nonzero exit.
+
+use std::collections::HashMap;
+
+fn build() -> usize {
+    let table: HashMap<String, usize> = HashMap::new();
+    let mut total = 0;
+    for key in table.keys() {
+        total += key.len();
+    }
+    for (_k, v) in &table {
+        total += v;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_in_tests_is_fine() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

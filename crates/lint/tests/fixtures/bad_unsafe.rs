@@ -1,0 +1,17 @@
+//! Fixture: D4 violations. Linted under an allowlisted fake path the file
+//! has one commented (clean) unsafe block and one bare (violating) one;
+//! under its real path every `unsafe` token violates the allowlist.
+
+fn commented(values: &[f64]) -> f64 {
+    // SAFETY: index 0 exists — the caller guarantees a non-empty slice.
+    unsafe { *values.get_unchecked(0) }
+}
+
+fn bare(values: &[f64]) -> f64 {
+    unsafe { *values.get_unchecked(1) }
+}
+
+struct Wrapper(*mut f64);
+// SAFETY: fixture impl; the pointee is never shared across threads here.
+unsafe impl Send for Wrapper {}
+unsafe impl Sync for Wrapper {}

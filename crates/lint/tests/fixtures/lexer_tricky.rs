@@ -1,0 +1,40 @@
+//! Fixture: adversarial lexing. Everything that *looks* like a violation
+//! below lives inside strings, comments, raw strings or char literals, so
+//! a correct lexer reports zero findings.
+
+/* std::env::var("IN_A_BLOCK_COMMENT")
+   /* nested: HashMap::new() and thread::spawn(|| ()) */
+   Instant::now() */
+
+// std::env::var("IN_A_LINE_COMMENT"); HashMap::new();
+
+fn strings() -> Vec<String> {
+    let cooked = "std::env::var(\"X\") and HashMap::new()".to_string();
+    let raw = r#"thread::spawn(|| Instant::now()) and "quoted" text"#.to_string();
+    let fenced = r##"a raw string with r#"an inner fence"# inside"##.to_string();
+    let bytes = b"HashMap::iter()".to_vec();
+    let escaped = "backslash \\ then \"quote\" then HashSet".to_string();
+    vec![
+        cooked,
+        raw,
+        fenced,
+        String::from_utf8_lossy(&bytes).into_owned(),
+        escaped,
+    ]
+}
+
+fn chars_and_lifetimes<'a>(input: &'a [char]) -> (&'a [char], usize) {
+    let quote = '"';
+    let escaped_quote = '\'';
+    let newline = '\n';
+    let count = input
+        .iter()
+        .filter(|&&c| c == quote || c == escaped_quote || c == newline)
+        .count();
+    (input, count)
+}
+
+fn raw_identifiers() -> usize {
+    let r#match = 3usize;
+    r#match
+}

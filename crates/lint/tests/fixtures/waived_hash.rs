@@ -1,0 +1,14 @@
+//! Fixture: one waived and one unwaived D1 finding. The waiver must
+//! suppress exactly the finding on its own line, nothing else.
+
+use std::collections::HashMap;
+
+fn lookup_only() -> Option<usize> {
+    let table: HashMap<usize, usize> = HashMap::new(); // vaem-lint: allow(D1) lookup-only map, never iterated
+    table.get(&3).copied()
+}
+
+fn unwaived() -> bool {
+    let other: HashMap<usize, usize> = HashMap::new();
+    other.is_empty()
+}

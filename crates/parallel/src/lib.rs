@@ -28,6 +28,8 @@
 
 #![warn(missing_docs)]
 
+pub mod env;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the worker-thread count.
@@ -42,30 +44,6 @@ pub const CHUNK_ENV: &str = "VAEM_CHUNK";
 /// `VAEM_THREADS=40000`).
 pub const MAX_THREADS: usize = 512;
 
-/// How a `VAEM_THREADS`-style value parsed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ThreadSetting {
-    /// Variable not set: use the detected hardware parallelism.
-    Unset,
-    /// Set but unusable (garbage, zero or negative): clamp to 1 worker and
-    /// warn, so a typo degrades to a serial run instead of silently
-    /// mis-sizing the pool.
-    Invalid,
-    /// A positive worker count, capped at [`MAX_THREADS`].
-    Count(usize),
-}
-
-/// Parses a `VAEM_THREADS`-style value.
-fn parse_threads(value: Option<&str>) -> ThreadSetting {
-    let Some(raw) = value else {
-        return ThreadSetting::Unset;
-    };
-    match raw.trim().parse::<usize>() {
-        Ok(0) | Err(_) => ThreadSetting::Invalid,
-        Ok(n) => ThreadSetting::Count(n.min(MAX_THREADS)),
-    }
-}
-
 /// The configured worker-thread count: `VAEM_THREADS` when set to a positive
 /// integer (capped at [`MAX_THREADS`]), the detected hardware parallelism
 /// when unset (at least 1), and 1 — with a one-time warning on stderr — when
@@ -74,42 +52,28 @@ fn parse_threads(value: Option<&str>) -> ThreadSetting {
 /// Read on every call (not cached) so tests and harnesses can switch the
 /// variable between runs within one process.
 pub fn thread_count() -> usize {
-    let value = std::env::var(THREADS_ENV).ok();
-    resolve_threads(parse_threads(value.as_deref()), value.as_deref())
-}
-
-/// Maps a parsed setting to the live worker count, warning (once per
-/// process) about unusable values before clamping them to one worker.
-fn resolve_threads(setting: ThreadSetting, raw: Option<&str>) -> usize {
-    match setting {
-        ThreadSetting::Count(n) => n,
-        ThreadSetting::Unset => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        ThreadSetting::Invalid => {
-            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-            WARN_ONCE.call_once(|| {
-                eprintln!(
-                    "warning: {THREADS_ENV}={:?} is not a positive integer; \
-                     running with 1 worker thread",
-                    raw.unwrap_or_default()
-                );
-            });
-            1
-        }
-    }
-}
-
-/// Parses a `VAEM_CHUNK`-style value: a positive integer pins the claim
-/// granularity, anything else (including unset) asks for auto-tuning.
-fn parse_chunk(value: Option<&str>) -> Option<usize> {
-    value.and_then(|raw| raw.trim().parse::<usize>().ok().filter(|&n| n > 0))
+    env::positive_usize(
+        THREADS_ENV,
+        MAX_THREADS,
+        || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        },
+        1,
+        "running with 1 worker thread",
+    )
 }
 
 /// The configured work-stealing claim granularity: `VAEM_CHUNK` when set to
-/// a positive integer, otherwise `None` (auto-tune per call).
+/// a positive integer, otherwise `None` (auto-tune per call; unusable
+/// values silently fall back to the auto-tune — the granularity never
+/// changes results, only scheduling).
 fn chunk_override() -> Option<usize> {
-    parse_chunk(std::env::var(CHUNK_ENV).ok().as_deref())
+    match env::parse_positive_usize(env::raw(CHUNK_ENV).as_deref(), usize::MAX) {
+        env::Parsed::Value(n) => Some(n),
+        _ => None,
+    }
 }
 
 /// Auto-tuned claim granularity: aim for ~4 claims per worker so ragged
@@ -126,7 +90,13 @@ fn auto_chunk(len: usize, threads: usize) -> usize {
 /// two threads ever write the same slot and the parent does not touch the
 /// buffer until all workers have joined.
 struct SlotPtr<U>(*mut Option<U>);
+// SAFETY: sending the pointer is sound because the slot values are `Send`
+// and the buffer outlives the scope that carries the pointer across
+// threads (the parent owns it and joins every worker before reading).
 unsafe impl<U: Send> Send for SlotPtr<U> {}
+// SAFETY: shared access is sound because workers write disjoint slots —
+// `steal_indices` hands each index to exactly one claimant — so no slot is
+// ever aliased mutably; `&self` itself only exposes the raw pointer.
 unsafe impl<U: Send> Sync for SlotPtr<U> {}
 
 /// The single work-stealing engine behind every fan-out in this crate:
@@ -237,7 +207,12 @@ where
 /// mutable reference to the same element, and the parent does not touch the
 /// slice until all workers have joined.
 struct ItemPtr<T>(*mut T);
+// SAFETY: sending the pointer is sound because the items are `Send` and
+// the parent-owned slice outlives the scope carrying the pointer.
 unsafe impl<T: Send> Send for ItemPtr<T> {}
+// SAFETY: shared access is sound because each index — and therefore each
+// `&mut` item projected from the pointer — is claimed by exactly one
+// worker, so no element is aliased; `&self` only exposes the raw pointer.
 unsafe impl<T: Send> Sync for ItemPtr<T> {}
 
 /// [`par_map`] over **mutable** items: `f` receives `(index, &mut item)` and
@@ -448,13 +423,24 @@ mod tests {
 
     #[test]
     fn chunk_env_parsing_rules() {
-        assert_eq!(parse_chunk(None), None);
-        assert_eq!(parse_chunk(Some("")), None);
-        assert_eq!(parse_chunk(Some("0")), None);
-        assert_eq!(parse_chunk(Some("-4")), None);
-        assert_eq!(parse_chunk(Some("abc")), None);
-        assert_eq!(parse_chunk(Some("1")), Some(1));
-        assert_eq!(parse_chunk(Some(" 16 ")), Some(16));
+        // The chunk override shares the positive-integer policy of the
+        // central knob module: unset or unusable asks for auto-tuning.
+        use env::{parse_positive_usize, Parsed};
+        for bad in [Some(""), Some("0"), Some("-4"), Some("abc"), None] {
+            assert_ne!(parse_positive_usize(bad, usize::MAX), Parsed::Value(0));
+            assert!(!matches!(
+                parse_positive_usize(bad, usize::MAX),
+                Parsed::Value(_)
+            ));
+        }
+        assert_eq!(
+            parse_positive_usize(Some("1"), usize::MAX),
+            Parsed::Value(1)
+        );
+        assert_eq!(
+            parse_positive_usize(Some(" 16 "), usize::MAX),
+            Parsed::Value(16)
+        );
     }
 
     #[test]
@@ -569,40 +555,30 @@ mod tests {
 
     #[test]
     fn env_parsing_rules() {
-        // Unset: fall back to the hardware parallelism.
-        assert_eq!(parse_threads(None), ThreadSetting::Unset);
-        // Garbage, zero and negative values clamp to one worker (with a
-        // warning) instead of panicking or silently mis-sizing the pool.
-        assert_eq!(parse_threads(Some("")), ThreadSetting::Invalid);
-        assert_eq!(parse_threads(Some("abc")), ThreadSetting::Invalid);
-        assert_eq!(parse_threads(Some("0")), ThreadSetting::Invalid);
-        assert_eq!(parse_threads(Some("-3")), ThreadSetting::Invalid);
-        assert_eq!(parse_threads(Some("2.5")), ThreadSetting::Invalid);
-        assert_eq!(parse_threads(Some("4 threads")), ThreadSetting::Invalid);
-        // Valid values pass through, capped at MAX_THREADS.
-        assert_eq!(parse_threads(Some("1")), ThreadSetting::Count(1));
-        assert_eq!(parse_threads(Some("4")), ThreadSetting::Count(4));
-        assert_eq!(parse_threads(Some(" 8 ")), ThreadSetting::Count(8));
-        assert_eq!(
-            parse_threads(Some("99999")),
-            ThreadSetting::Count(MAX_THREADS)
-        );
-    }
-
-    #[test]
-    fn resolution_clamps_invalid_settings_to_one_worker() {
-        // Tested through `resolve_threads` (the pure half of
-        // `thread_count`) so no test in this binary has to mutate the
-        // process-wide environment variable under the concurrent harness.
-        for bad in ["0", "-2", "garbage", "1e3"] {
+        // The thread-count policy (unset → hardware, garbage/zero → clamp
+        // to 1 with a warning, valid → capped) now lives in the central
+        // knob module; this pins the parse half against MAX_THREADS so no
+        // test has to mutate the process-wide environment under the
+        // concurrent harness.
+        use env::{parse_positive_usize, Parsed};
+        assert_eq!(parse_positive_usize(None, MAX_THREADS), Parsed::Unset);
+        for bad in ["", "abc", "0", "-3", "2.5", "4 threads"] {
             assert_eq!(
-                resolve_threads(parse_threads(Some(bad)), Some(bad)),
-                1,
+                parse_positive_usize(Some(bad), MAX_THREADS),
+                Parsed::Invalid,
                 "VAEM_THREADS={bad}"
             );
         }
-        assert_eq!(resolve_threads(ThreadSetting::Count(3), Some("3")), 3);
-        assert!(resolve_threads(ThreadSetting::Unset, None) >= 1);
+        assert_eq!(
+            parse_positive_usize(Some(" 8 "), MAX_THREADS),
+            Parsed::Value(8)
+        );
+        assert_eq!(
+            parse_positive_usize(Some("99999"), MAX_THREADS),
+            Parsed::Value(MAX_THREADS)
+        );
+        // The live reader never yields fewer than one worker.
+        assert!(thread_count() >= 1);
     }
 
     #[test]

@@ -167,7 +167,13 @@ struct LuStructure {
 /// per-level join provides the happens-before edge), and the parent does
 /// not touch the buffers until every worker has joined.
 struct ValsPtr<T>(*mut T);
+// SAFETY: the pointee buffers (`l_vals`/`u_vals`) outlive the scoped-thread
+// region, and the contract above guarantees every write targets a column
+// range owned by exactly one worker.
 unsafe impl<T: Send> Send for ValsPtr<T> {}
+// SAFETY: shared references only hand out the raw pointer; all dereferences
+// go through `refactor_column`, which touches disjoint column ranges per
+// worker and reads only columns sealed by an earlier level's join.
 unsafe impl<T: Send> Sync for ValsPtr<T> {}
 
 impl SymbolicLu {
@@ -666,15 +672,15 @@ impl SymbolicLu {
                                 return;
                             }
                             let j = cols[i];
+                            let (lp, up) = (lptr.0, uptr.0);
                             // SAFETY: each column is claimed by exactly one
                             // worker and writes only its own (disjoint)
                             // `l_vals`/`u_vals` ranges; reads touch columns
                             // of earlier levels, finished before this
                             // level's fan-out began (the per-level join is
                             // the happens-before edge).
-                            if let Err(index) =
-                                unsafe { refactor_column(core, st, vals, x, lptr.0, uptr.0, j) }
-                            {
+                            let outcome = unsafe { refactor_column(core, st, vals, x, lp, up, j) };
+                            if let Err(index) = outcome {
                                 failed_ref.fetch_min(index, AtomicOrdering::Relaxed);
                             }
                         },
@@ -817,6 +823,8 @@ unsafe fn refactor_column<T: Scalar>(
     // SAFETY: the diagonal U slot and L[:, j] belong to column j.
     unsafe { *uv.add(st.u_colptr[j + 1] - 1) = piv };
     for idx in l_lo..l_hi {
+        // SAFETY: every slot in L[:, j]'s value range belongs to column j,
+        // which this call owns exclusively.
         unsafe { *lv.add(idx) = x[st.l_rows[idx]] / piv };
     }
     Ok(())

@@ -1,0 +1,18 @@
+//! Tier-1 gate: the whole workspace must be vaem-lint clean.
+//!
+//! This is the in-tree mirror of the CI `lint` job — it fails `cargo test`
+//! the moment a nondeterminism or safety rule regresses, without waiting
+//! for the standalone binary run. Budget staleness is deliberately NOT
+//! checked here (that is the CI job's `--strict-budget` duty), so removing
+//! panic paths never breaks the local test loop.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = vaem_lint::lint_workspace(root, false).expect("lint run failed");
+    assert!(
+        report.is_clean(),
+        "vaem-lint violations:\n{}",
+        vaem_lint::render_text(&report)
+    );
+}
