@@ -105,6 +105,8 @@ fn main() {
                         .collect();
                     println!("  {:<24} {}", quantity.label, top.join(", "));
                 }
+                println!();
+                println!("health: {}", result.health.summary());
                 for quantity in &result.quantities {
                     digest_values.push(quantity.sscm.mean);
                     digest_values.push(quantity.sscm.std);
@@ -112,6 +114,7 @@ fn main() {
                     digest_values.push(quantity.monte_carlo.std);
                     digest_values.extend_from_slice(&quantity.main_effects);
                 }
+                digest_values.extend(result.health.digest_values());
             }
             Err(e) => {
                 eprintln!("tsv_array statistics stage failed: {e}");

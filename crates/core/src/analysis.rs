@@ -9,6 +9,7 @@
 //! any thread count.
 
 use crate::config::{AnalysisConfig, QuantitySet, ReductionMethod};
+use crate::health::{classify, HealthReport, QuarantinedSample, RecoveredSample, SampleStage};
 use crate::report::ComparisonTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,14 +17,17 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 use vaem_fvm::{
-    postprocess, AcSolution, CoupledSolver, DcSolution, FvmError, SeedReuseStats, SolverTopology,
+    postprocess, AcSolution, CoupledSolver, DcSolution, FvmError, SeedReuseStats, SolverOptions,
+    SolverTopology,
 };
-use vaem_mesh::{NodeId, Structure};
+use vaem_mesh::{MeshError, NodeId, Structure};
 use vaem_numeric::dense::DMatrix;
 use vaem_numeric::stats::RunningStats;
 use vaem_numeric::NumericError;
+use vaem_parallel::faults::{self, FaultPlan, FaultSite, FaultStage};
 use vaem_parallel::{par_map, par_map_indices, par_map_mut};
 use vaem_physics::DopingProfile;
+use vaem_sparse::SolverKind;
 use vaem_stochastic::{SparseCollocation, SummaryStats};
 use vaem_variation::{
     apply_roughness, covariance_matrix, standard_normal_vector, CorrelationKernel,
@@ -51,6 +55,19 @@ pub enum AnalysisError {
     Numeric(NumericError),
     /// The configuration references missing facets/terminals or is empty.
     Configuration(String),
+    /// A (perturbed) sample geometry was impossible to mesh.
+    Mesh(MeshError),
+    /// More samples were quarantined than
+    /// [`AnalysisConfig::quarantine_budget`] tolerates; the surviving
+    /// statistics would no longer be trustworthy.
+    QuarantineExceeded {
+        /// Samples whose recovery retry also failed.
+        quarantined: usize,
+        /// Total samples attempted (nominal + collocation + Monte Carlo).
+        total: usize,
+        /// The configured budget (fraction of `total`).
+        budget: f64,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -59,6 +76,16 @@ impl fmt::Display for AnalysisError {
             AnalysisError::Solver(e) => write!(f, "deterministic solver failed: {e}"),
             AnalysisError::Numeric(e) => write!(f, "numerical kernel failed: {e}"),
             AnalysisError::Configuration(d) => write!(f, "configuration error: {d}"),
+            AnalysisError::Mesh(e) => write!(f, "sample geometry failed: {e}"),
+            AnalysisError::QuarantineExceeded {
+                quarantined,
+                total,
+                budget,
+            } => write!(
+                f,
+                "quarantined {quarantined} of {total} samples, exceeding the budget of {:.0}%",
+                budget * 100.0
+            ),
         }
     }
 }
@@ -74,6 +101,12 @@ impl From<FvmError> for AnalysisError {
 impl From<NumericError> for AnalysisError {
     fn from(e: NumericError) -> Self {
         AnalysisError::Numeric(e)
+    }
+}
+
+impl From<MeshError> for AnalysisError {
+    fn from(e: MeshError) -> Self {
+        AnalysisError::Mesh(e)
     }
 }
 
@@ -139,6 +172,9 @@ pub struct AnalysisResult {
     /// re-pivot because the donor's pivot sequence went numerically stale
     /// for their perturbed values.
     pub seed_reuse: SeedReuseStats,
+    /// Containment record of the run: quarantined/recovered samples and the
+    /// failure taxonomy counts. All-empty for a fully healthy run.
+    pub health: HealthReport,
 }
 
 impl AnalysisResult {
@@ -210,6 +246,8 @@ pub struct FrequencySweepResult {
     /// Cross-sample symbolic-reuse statistics (see
     /// [`AnalysisResult::seed_reuse`]).
     pub seed_reuse: SeedReuseStats,
+    /// Containment record of the sweep (see [`AnalysisResult::health`]).
+    pub health: HealthReport,
 }
 
 impl FrequencySweepResult {
@@ -508,7 +546,12 @@ impl VariationalAnalysis {
         doping_deltas: &[(NodeId, f64)],
     ) -> Result<Vec<f64>, AnalysisError> {
         let topology = Arc::new(SolverTopology::build(&self.structure)?);
-        self.evaluate_sample_with(&topology, facet_offsets, doping_deltas)
+        self.evaluate_sample_with(
+            &topology,
+            facet_offsets,
+            doping_deltas,
+            self.sample_solver_options(),
+        )
     }
 
     /// Builds the perturbed structure and doping profile of one sample.
@@ -517,6 +560,11 @@ impl VariationalAnalysis {
         facet_offsets: &[(String, Vec<f64>)],
         doping_deltas: &[(NodeId, f64)],
     ) -> Result<(Structure, DopingProfile), AnalysisError> {
+        if faults::armed(FaultSite::Mesh) {
+            return Err(AnalysisError::Mesh(MeshError::DegenerateConfig {
+                detail: "injected fault at site 'mesh'".to_string(),
+            }));
+        }
         // Perturbed geometry (positions only — the mesh topology is
         // invariant, which is what lets samples share a `SolverTopology`).
         let mut structure = self.structure.clone();
@@ -550,9 +598,24 @@ impl VariationalAnalysis {
     /// donors onto the shared topology. The nominal solve (run before the
     /// fan-out) is the single designated donor, so which pivot sequence
     /// seeds the sweep can never depend on worker timing.
-    fn sample_solver_options(&self) -> vaem_fvm::SolverOptions {
-        vaem_fvm::SolverOptions {
+    fn sample_solver_options(&self) -> SolverOptions {
+        SolverOptions {
             publish_symbolic: false,
+            ..self.config.solver.clone()
+        }
+    }
+
+    /// Solver options of the single deterministic recovery retry a failed
+    /// sample gets before being quarantined: escalate to the direct LU
+    /// strategy and drop the donor factorizations, removing every
+    /// optimization that can itself be the failure (stale pivots, a broken
+    /// ILU, a non-converging Krylov chain). Publishing stays off — a
+    /// recovery solve must never become the donor for healthy samples.
+    fn recovery_solver_options(&self) -> SolverOptions {
+        SolverOptions {
+            publish_symbolic: false,
+            reuse_symbolic: false,
+            linear_solver: SolverKind::DirectLu,
             ..self.config.solver.clone()
         }
     }
@@ -565,14 +628,10 @@ impl VariationalAnalysis {
         topology: &Arc<SolverTopology>,
         facet_offsets: &[(String, Vec<f64>)],
         doping_deltas: &[(NodeId, f64)],
+        options: SolverOptions,
     ) -> Result<Vec<f64>, AnalysisError> {
         let (structure, doping) = self.sample_problem(facet_offsets, doping_deltas)?;
-        let solver = CoupledSolver::with_topology(
-            &structure,
-            &doping,
-            self.sample_solver_options(),
-            topology.clone(),
-        )?;
+        let solver = CoupledSolver::with_topology(&structure, &doping, options, topology.clone())?;
         let dc = solver.solve_dc()?;
         self.extract_outputs(&solver, &dc)
     }
@@ -589,14 +648,10 @@ impl VariationalAnalysis {
         facet_offsets: &[(String, Vec<f64>)],
         doping_deltas: &[(NodeId, f64)],
         frequencies: &[f64],
+        options: SolverOptions,
     ) -> Result<Vec<f64>, AnalysisError> {
         let (structure, doping) = self.sample_problem(facet_offsets, doping_deltas)?;
-        let solver = CoupledSolver::with_topology(
-            &structure,
-            &doping,
-            self.sample_solver_options(),
-            topology.clone(),
-        )?;
+        let solver = CoupledSolver::with_topology(&structure, &doping, options, topology.clone())?;
         let dc = solver.solve_dc()?;
         let mut operator = solver.prepare_ac_sweep(&dc)?;
         let sweep = operator.sweep_terminal(frequencies, self.driven_terminal())?;
@@ -621,24 +676,209 @@ impl VariationalAnalysis {
         topology: &Arc<SolverTopology>,
         state: &mut SampleState,
         frequencies: &[f64],
+        options: SolverOptions,
     ) -> Result<Vec<f64>, AnalysisError> {
         let solver = CoupledSolver::with_topology(
             &state.structure,
             &state.doping,
-            self.sample_solver_options(),
+            options,
             topology.clone(),
         )?;
-        if state.dc.is_none() {
-            state.dc = Some(solver.solve_dc()?);
-        }
-        let dc = state.dc.as_ref().expect("DC operating point just cached");
-        let mut operator = solver.prepare_ac_sweep(dc)?;
+        // Take the cached DC operating point (solving it on the first call)
+        // and put it back once the sweep operator holds its own data; a
+        // failed DC solve leaves the cache empty, so a recovery retry
+        // re-solves instead of trusting a poisoned operating point.
+        let dc = match state.dc.take() {
+            Some(dc) => dc,
+            None => solver.solve_dc()?,
+        };
+        let operator = solver.prepare_ac_sweep(&dc);
+        state.dc = Some(dc);
+        let mut operator = operator?;
         let mut out = Vec::with_capacity(frequencies.len() * self.config.quantities.len());
         for &frequency in frequencies {
             let ac = operator.solve_at(frequency, self.driven_terminal())?;
             out.extend(self.extract_outputs_from(&solver, &ac)?);
         }
         Ok(out)
+    }
+
+    /// Installs the fault-injection scope for one per-sample evaluation
+    /// when a plan is active (`None` plan → no scope, zero overhead). The
+    /// guard is created inside the worker closure keyed by the sample
+    /// index, so injection is independent of worker timing.
+    fn fault_scope(
+        plan: &Option<Arc<FaultPlan>>,
+        stage: FaultStage,
+        index: usize,
+        attempt: u32,
+    ) -> Option<faults::ScopeGuard> {
+        plan.as_ref()
+            .map(|p| faults::scope(p.clone(), stage, index, attempt))
+    }
+
+    /// Runs the nominal evaluation with containment: one recovery retry
+    /// with the escalated solver options on failure. A nominal failure that
+    /// survives the retry is fatal — every downstream stage (weights,
+    /// reduction, quarantine patching) needs the nominal solution.
+    fn contain_nominal<T>(
+        &self,
+        health: &mut HealthReport,
+        plan: &Option<Arc<FaultPlan>>,
+        first_options: SolverOptions,
+        mut eval: impl FnMut(SolverOptions) -> Result<T, AnalysisError>,
+    ) -> Result<T, AnalysisError> {
+        let first = {
+            let _guard = Self::fault_scope(plan, FaultStage::Nominal, 0, 0);
+            eval(first_options)
+        };
+        match first {
+            Ok(value) => Ok(value),
+            Err(first) => {
+                let kind = classify(&first);
+                health.counts.record(kind);
+                let retry = {
+                    let _guard = Self::fault_scope(plan, FaultStage::Nominal, 0, 1);
+                    eval(self.recovery_solver_options())
+                };
+                match retry {
+                    Ok(value) => {
+                        health.recovered.push(RecoveredSample {
+                            stage: SampleStage::Nominal,
+                            index: 0,
+                            kind,
+                        });
+                        Ok(value)
+                    }
+                    Err(second) => Err(second),
+                }
+            }
+        }
+    }
+
+    /// Resolves one fan-out's per-sample outcomes at its deterministic
+    /// barrier: every failed sample gets a single serial recovery retry
+    /// (the `retry` closure — escalated solver, fresh fault scope at
+    /// attempt 1); samples whose retry also fails are quarantined and
+    /// yield `None`. Quarantines, recoveries and taxonomy counts land on
+    /// `health` in ascending sample order — never in worker-timing order —
+    /// so the report is bit-identical for any thread count.
+    fn contain_stage(
+        health: &mut HealthReport,
+        stage: SampleStage,
+        attempts: Vec<Result<Vec<f64>, AnalysisError>>,
+        mut retry: impl FnMut(usize) -> Result<Vec<f64>, AnalysisError>,
+    ) -> Vec<Option<Vec<f64>>> {
+        attempts
+            .into_iter()
+            .enumerate()
+            .map(|(index, attempt)| match attempt {
+                Ok(outputs) => Some(outputs),
+                Err(first) => {
+                    let kind = classify(&first);
+                    health.counts.record(kind);
+                    match retry(index) {
+                        Ok(outputs) => {
+                            health
+                                .recovered
+                                .push(RecoveredSample { stage, index, kind });
+                            Some(outputs)
+                        }
+                        Err(second) => {
+                            health.quarantined.push(QuarantinedSample {
+                                stage,
+                                index,
+                                kind: classify(&second),
+                                detail: second.to_string(),
+                            });
+                            None
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Fails the run once the quarantine count exceeds the configured
+    /// fraction of the attempted samples. Checked at the stage barriers —
+    /// quarantine counts only grow, so the first check that trips aborts.
+    fn check_quarantine_budget(&self, health: &HealthReport) -> Result<(), AnalysisError> {
+        let quarantined = health.quarantined.len();
+        let allowed = self.config.quarantine_budget * health.samples_total as f64;
+        if quarantined > 0 && quarantined as f64 > allowed {
+            return Err(AnalysisError::QuarantineExceeded {
+                quarantined,
+                total: health.samples_total,
+                budget: self.config.quarantine_budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`VariationalAnalysis::contain_stage`] for one adaptive-sweep wave:
+    /// failed samples get their serial recovery retry against the
+    /// persistent [`SampleState`] and are **escalated** — all later waves
+    /// evaluate them with the recovery solver at attempt 1, so a recovered
+    /// sample cannot oscillate between the fast path and the rescue.
+    /// Samples whose retry also fails are quarantined: this wave's outputs
+    /// are patched with the nominal spectrum (`nominal_wave`) and later
+    /// waves fast-path them without solving.
+    #[allow(clippy::too_many_arguments)]
+    fn contain_wave(
+        &self,
+        health: &mut HealthReport,
+        plan: &Option<Arc<FaultPlan>>,
+        topology: &Arc<SolverTopology>,
+        states: &mut [SampleState],
+        escalated: &mut [bool],
+        quarantined: &mut [bool],
+        wave_freqs: &[f64],
+        nominal_wave: &[f64],
+        attempts: Vec<Result<Vec<f64>, AnalysisError>>,
+    ) -> Vec<Vec<f64>> {
+        attempts
+            .into_iter()
+            .enumerate()
+            .map(|(i, attempt)| match attempt {
+                Ok(outputs) => outputs,
+                Err(first) => {
+                    let kind = classify(&first);
+                    health.counts.record(kind);
+                    // The failed attempt may have consumed the cached DC
+                    // operating point; `evaluate_state` re-solves it then.
+                    let retry = {
+                        let _guard = Self::fault_scope(plan, FaultStage::Sscm, i, 1);
+                        self.evaluate_state(
+                            topology,
+                            &mut states[i],
+                            wave_freqs,
+                            self.recovery_solver_options(),
+                        )
+                    };
+                    match retry {
+                        Ok(outputs) => {
+                            health.recovered.push(RecoveredSample {
+                                stage: SampleStage::Sscm,
+                                index: i,
+                                kind,
+                            });
+                            escalated[i] = true;
+                            outputs
+                        }
+                        Err(second) => {
+                            health.quarantined.push(QuarantinedSample {
+                                stage: SampleStage::Sscm,
+                                index: i,
+                                kind: classify(&second),
+                                detail: second.to_string(),
+                            });
+                            quarantined[i] = true;
+                            nominal_wave.to_vec()
+                        }
+                    }
+                }
+            })
+            .collect()
     }
 
     /// Squared magnitude of one sample's variation inputs — the
@@ -714,11 +954,15 @@ impl VariationalAnalysis {
             self.config.solver.clone(),
             topology.clone(),
         )?;
-        if state.dc.is_none() {
-            state.dc = Some(solver.solve_dc()?);
-        }
-        let dc = state.dc.as_ref().expect("DC operating point just cached");
-        let _ = solver.prepare_ac(dc, ac_frequency)?;
+        // Same take/put-back as `evaluate_state`: no panic path, and a
+        // failed solve leaves the cache empty for the next attempt.
+        let dc = match state.dc.take() {
+            Some(dc) => dc,
+            None => solver.solve_dc()?,
+        };
+        let prepared = solver.prepare_ac(&dc, ac_frequency);
+        state.dc = Some(dc);
+        let _ = prepared?;
         Ok(())
     }
 
@@ -766,6 +1010,7 @@ impl VariationalAnalysis {
             collocation_runs: 0,
             seconds: start.elapsed().as_secs_f64(),
             seed_reuse: SeedReuseStats::default(),
+            health: HealthReport::default(),
         }
     }
 
@@ -1130,22 +1375,34 @@ impl VariationalAnalysis {
         // perturbation-invariant: build them once and share them read-only
         // with every sample solver on every worker thread.
         let topology = Arc::new(SolverTopology::build(&self.structure)?);
+        let plan = FaultPlan::from_env();
+        let mut health = HealthReport {
+            budget: self.config.quarantine_budget,
+            ..HealthReport::default()
+        };
 
         // --- Nominal solve (also provides the wPFA weights). One AC solve
         // covers both the nominal outputs and the influence weights.
         let sscm_start = Instant::now(); // vaem-lint: allow(D6) wall-clock reporting metadata only; never feeds numeric results
         let nominal_doping = self.nominal_doping();
-        let nominal_solver = CoupledSolver::with_topology(
-            &self.structure,
-            &nominal_doping,
-            self.config.solver.clone(),
-            topology.clone(),
-        )?;
-        let nominal_dc = nominal_solver.solve_dc()?;
-        let nominal_ac =
-            nominal_solver.solve_ac(&nominal_dc, self.driven_terminal(), self.config.frequency)?;
-        let nominal_outputs = self.extract_outputs_from(&nominal_solver, &nominal_ac)?;
-        let node_weights = self.nominal_weights(&nominal_ac)?;
+        let (nominal_outputs, node_weights) =
+            self.contain_nominal(&mut health, &plan, self.config.solver.clone(), |options| {
+                let nominal_solver = CoupledSolver::with_topology(
+                    &self.structure,
+                    &nominal_doping,
+                    options,
+                    topology.clone(),
+                )?;
+                let nominal_dc = nominal_solver.solve_dc()?;
+                let nominal_ac = nominal_solver.solve_ac(
+                    &nominal_dc,
+                    self.driven_terminal(),
+                    self.config.frequency,
+                )?;
+                let outputs = self.extract_outputs_from(&nominal_solver, &nominal_ac)?;
+                let weights = self.nominal_weights(&nominal_ac)?;
+                Ok((outputs, weights))
+            })?;
 
         // --- Variable reduction. ---
         let (reductions, reduction_summary) = self.build_reductions(&groups, &node_weights)?;
@@ -1155,11 +1412,34 @@ impl VariationalAnalysis {
         // the worker threads.
         let sscm = SparseCollocation::new(total_dim);
         let sample_inputs = self.collocation_inputs(&sscm, &groups, &reductions);
-        let outputs: Vec<Vec<f64>> = par_map(&sample_inputs, |_, input| {
-            self.evaluate_sample_with(&topology, &input.facet_offsets, &input.doping_deltas)
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+        health.samples_total = 1 + sample_inputs.len() + self.config.mc_runs;
+        let sample_options = self.sample_solver_options();
+        let attempts: Vec<Result<Vec<f64>, AnalysisError>> = par_map(&sample_inputs, |i, input| {
+            let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, 0);
+            self.evaluate_sample_with(
+                &topology,
+                &input.facet_offsets,
+                &input.doping_deltas,
+                sample_options.clone(),
+            )
+        });
+        let contained = Self::contain_stage(&mut health, SampleStage::Sscm, attempts, |i| {
+            let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, 1);
+            self.evaluate_sample_with(
+                &topology,
+                &sample_inputs[i].facet_offsets,
+                &sample_inputs[i].doping_deltas,
+                self.recovery_solver_options(),
+            )
+        });
+        self.check_quarantine_budget(&health)?;
+        // Quarantined collocation points are patched with the nominal
+        // outputs: the sparse-grid quadrature needs a value at every point,
+        // and the nominal is the unbiased deterministic stand-in.
+        let outputs: Vec<Vec<f64>> = contained
+            .into_iter()
+            .map(|sample| sample.unwrap_or_else(|| nominal_outputs.clone()))
+            .collect();
         let pces = sscm.fit(&outputs)?;
         let sscm_seconds = sscm_start.elapsed().as_secs_f64();
 
@@ -1178,12 +1458,16 @@ impl VariationalAnalysis {
                 if let Some(widest) = Self::widest_excursion(&sample_inputs) {
                     // The MC stage solves at the configured single-point
                     // frequency, so that is where the new AC donor is
-                    // recorded.
-                    self.republish_donors_from(
+                    // recorded. Republishing is an optimization: a failure
+                    // here only costs later samples their warm seed, so it
+                    // is counted and contained, never fatal.
+                    if let Err(error) = self.republish_donors_from(
                         &topology,
                         &sample_inputs[widest],
                         self.config.frequency,
-                    )?;
+                    ) {
+                        health.counts.record(classify(&error));
+                    }
                 }
             }
         }
@@ -1197,7 +1481,9 @@ impl VariationalAnalysis {
             .map(|g| FullRankGaussian::new(&g.covariance))
             .collect::<Result<_, _>>()?;
         let n_outputs = self.config.quantities.len();
-        let mc_samples: Vec<Vec<f64>> = par_map_indices(self.config.mc_runs, |run| {
+        // The run → input map is a pure function of `(seed, run)`, so the
+        // recovery retry can re-derive a failed run's draw exactly.
+        let mc_input = |run: usize| {
             let mut rng = StdRng::seed_from_u64(mc_run_seed(self.config.seed, run as u64));
             let mut input = SampleInput::default();
             for (group, sampler) in groups.iter().zip(full_rank.iter()) {
@@ -1210,12 +1496,35 @@ impl VariationalAnalysis {
                     &mut input.doping_deltas,
                 );
             }
-            self.evaluate_sample_with(&topology, &input.facet_offsets, &input.doping_deltas)
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+            input
+        };
+        let mc_attempts: Vec<Result<Vec<f64>, AnalysisError>> =
+            par_map_indices(self.config.mc_runs, |run| {
+                let _guard = Self::fault_scope(&plan, FaultStage::Mc, run, 0);
+                let input = mc_input(run);
+                self.evaluate_sample_with(
+                    &topology,
+                    &input.facet_offsets,
+                    &input.doping_deltas,
+                    sample_options.clone(),
+                )
+            });
+        let mc_contained = Self::contain_stage(&mut health, SampleStage::Mc, mc_attempts, |run| {
+            let _guard = Self::fault_scope(&plan, FaultStage::Mc, run, 1);
+            let input = mc_input(run);
+            self.evaluate_sample_with(
+                &topology,
+                &input.facet_offsets,
+                &input.doping_deltas,
+                self.recovery_solver_options(),
+            )
+        });
+        self.check_quarantine_budget(&health)?;
+        // Quarantined MC runs are dropped: the reference statistics
+        // tolerate a missing draw, while patching would bias them toward
+        // the nominal.
         let mut mc_stats = vec![RunningStats::new(); n_outputs];
-        for sample in &mc_samples {
+        for sample in mc_contained.iter().flatten() {
             for (acc, v) in mc_stats.iter_mut().zip(sample.iter()) {
                 acc.push(*v);
             }
@@ -1244,6 +1553,7 @@ impl VariationalAnalysis {
             sscm_seconds,
             mc_seconds,
             seed_reuse: topology.seed_stats(),
+            health,
         })
     }
 
@@ -1278,24 +1588,35 @@ impl VariationalAnalysis {
         }
         let groups = self.build_groups()?;
         let topology = Arc::new(SolverTopology::build(&self.structure)?);
+        let plan = FaultPlan::from_env();
+        let mut health = HealthReport {
+            budget: self.config.quarantine_budget,
+            ..HealthReport::default()
+        };
 
         // --- Nominal sweep: provides the per-frequency nominal outputs and
         // the wPFA weights (from the first grid point).
         let nominal_doping = self.nominal_doping();
-        let nominal_solver = CoupledSolver::with_topology(
-            &self.structure,
-            &nominal_doping,
-            self.config.solver.clone(),
-            topology.clone(),
-        )?;
-        let nominal_dc = nominal_solver.solve_dc()?;
-        let mut nominal_operator = nominal_solver.prepare_ac_sweep(&nominal_dc)?;
-        let nominal_sweep = nominal_operator.sweep_terminal(frequencies, self.driven_terminal())?;
-        let node_weights = self.nominal_weights(&nominal_sweep[0])?;
-        let mut nominal_flat = Vec::with_capacity(frequencies.len() * self.config.quantities.len());
-        for ac in &nominal_sweep {
-            nominal_flat.extend(self.extract_outputs_from(&nominal_solver, ac)?);
-        }
+        let (nominal_flat, node_weights) =
+            self.contain_nominal(&mut health, &plan, self.config.solver.clone(), |options| {
+                let nominal_solver = CoupledSolver::with_topology(
+                    &self.structure,
+                    &nominal_doping,
+                    options,
+                    topology.clone(),
+                )?;
+                let nominal_dc = nominal_solver.solve_dc()?;
+                let mut nominal_operator = nominal_solver.prepare_ac_sweep(&nominal_dc)?;
+                let nominal_sweep =
+                    nominal_operator.sweep_terminal(frequencies, self.driven_terminal())?;
+                let node_weights = self.nominal_weights(&nominal_sweep[0])?;
+                let mut nominal_flat =
+                    Vec::with_capacity(frequencies.len() * self.config.quantities.len());
+                for ac in &nominal_sweep {
+                    nominal_flat.extend(self.extract_outputs_from(&nominal_solver, ac)?);
+                }
+                Ok((nominal_flat, node_weights))
+            })?;
 
         // --- Reduction + collocation over the spectra: the PCE machinery is
         // output-agnostic, so the per-frequency quantities are fitted as one
@@ -1304,16 +1625,35 @@ impl VariationalAnalysis {
         let total_dim: usize = reductions.iter().map(|r| r.reduced_dim()).sum();
         let sscm = SparseCollocation::new(total_dim);
         let sample_inputs = self.collocation_inputs(&sscm, &groups, &reductions);
-        let outputs: Vec<Vec<f64>> = par_map(&sample_inputs, |_, input| {
+        health.samples_total = 1 + sample_inputs.len();
+        let sample_options = self.sample_solver_options();
+        let attempts: Vec<Result<Vec<f64>, AnalysisError>> = par_map(&sample_inputs, |i, input| {
+            let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, 0);
             self.evaluate_spectrum_with(
                 &topology,
                 &input.facet_offsets,
                 &input.doping_deltas,
                 frequencies,
+                sample_options.clone(),
             )
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+        });
+        let contained = Self::contain_stage(&mut health, SampleStage::Sscm, attempts, |i| {
+            let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, 1);
+            self.evaluate_spectrum_with(
+                &topology,
+                &sample_inputs[i].facet_offsets,
+                &sample_inputs[i].doping_deltas,
+                frequencies,
+                self.recovery_solver_options(),
+            )
+        });
+        self.check_quarantine_budget(&health)?;
+        // Quarantined samples contribute the nominal spectrum, keeping the
+        // per-point quadrature well-defined (see `run`).
+        let outputs: Vec<Vec<f64>> = contained
+            .into_iter()
+            .map(|sample| sample.unwrap_or_else(|| nominal_flat.clone()))
+            .collect();
         let pces = sscm.fit(&outputs)?;
 
         let labels = self.config.quantities.labels();
@@ -1342,6 +1682,7 @@ impl VariationalAnalysis {
             collocation_runs: sscm.run_count(),
             seconds: start.elapsed().as_secs_f64(),
             seed_reuse: topology.seed_stats(),
+            health,
         })
     }
 
@@ -1414,45 +1755,95 @@ impl VariationalAnalysis {
         let groups = self.build_groups()?;
         let topology = Arc::new(SolverTopology::build(&self.structure)?);
         let n_q = self.config.quantities.len();
+        let plan = FaultPlan::from_env();
+        let mut health = HealthReport {
+            budget: self.config.quarantine_budget,
+            ..HealthReport::default()
+        };
 
         // --- Nominal coarse sweep: per-point nominal outputs, wPFA weights
         // (first grid point) and the donor symbolic phases, published
         // before any worker starts.
         let nominal_doping = self.nominal_doping();
-        let nominal_solver = CoupledSolver::with_topology(
-            &self.structure,
-            &nominal_doping,
-            self.config.solver.clone(),
-            topology.clone(),
-        )?;
-        let nominal_dc = nominal_solver.solve_dc()?;
-        let mut nominal_operator = nominal_solver.prepare_ac_sweep(&nominal_dc)?;
-        let nominal_sweep =
-            nominal_operator.sweep_terminal(coarse_frequencies, self.driven_terminal())?;
-        let node_weights = self.nominal_weights(&nominal_sweep[0])?;
-        let mut nominal_flat = Vec::with_capacity(coarse_frequencies.len() * n_q);
-        for ac in &nominal_sweep {
-            nominal_flat.extend(self.extract_outputs_from(&nominal_solver, ac)?);
-        }
-        drop(nominal_operator);
+        let (nominal_dc, nominal_flat, node_weights) =
+            self.contain_nominal(&mut health, &plan, self.config.solver.clone(), |options| {
+                let nominal_solver = CoupledSolver::with_topology(
+                    &self.structure,
+                    &nominal_doping,
+                    options,
+                    topology.clone(),
+                )?;
+                let nominal_dc = nominal_solver.solve_dc()?;
+                let mut nominal_operator = nominal_solver.prepare_ac_sweep(&nominal_dc)?;
+                let nominal_sweep =
+                    nominal_operator.sweep_terminal(coarse_frequencies, self.driven_terminal())?;
+                let node_weights = self.nominal_weights(&nominal_sweep[0])?;
+                let mut nominal_flat = Vec::with_capacity(coarse_frequencies.len() * n_q);
+                for ac in &nominal_sweep {
+                    nominal_flat.extend(self.extract_outputs_from(&nominal_solver, ac)?);
+                }
+                Ok((nominal_dc, nominal_flat, node_weights))
+            })?;
 
         // --- Reduction + persistent sample states. ---
         let (reductions, reduction_summary) = self.build_reductions(&groups, &node_weights)?;
         let total_dim: usize = reductions.iter().map(|r| r.reduced_dim()).sum();
         let sscm = SparseCollocation::new(total_dim);
         let sample_inputs = self.collocation_inputs(&sscm, &groups, &reductions);
-        let mut states: Vec<SampleState> = sample_inputs
-            .iter()
-            .map(|input| {
-                let (structure, doping) =
-                    self.sample_problem(&input.facet_offsets, &input.doping_deltas)?;
-                Ok(SampleState {
-                    structure,
-                    doping,
-                    dc: None,
-                })
-            })
-            .collect::<Result<_, AnalysisError>>()?;
+        health.samples_total = 1 + sample_inputs.len();
+        // Per-sample containment tracking across the refinement waves:
+        // escalated samples evaluate every later wave with the recovery
+        // solver at attempt 1; quarantined samples fast-path to the
+        // nominal spectrum without solving.
+        let mut escalated: Vec<bool> = vec![false; sample_inputs.len()];
+        let mut quarantined: Vec<bool> = vec![false; sample_inputs.len()];
+        let mut states: Vec<SampleState> = Vec::with_capacity(sample_inputs.len());
+        for (i, input) in sample_inputs.iter().enumerate() {
+            let build = {
+                let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, 0);
+                self.sample_problem(&input.facet_offsets, &input.doping_deltas)
+            };
+            let (structure, doping) = match build {
+                Ok(problem) => problem,
+                Err(first) => {
+                    let kind = classify(&first);
+                    health.counts.record(kind);
+                    let retry = {
+                        let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, 1);
+                        self.sample_problem(&input.facet_offsets, &input.doping_deltas)
+                    };
+                    match retry {
+                        Ok(problem) => {
+                            health.recovered.push(RecoveredSample {
+                                stage: SampleStage::Sscm,
+                                index: i,
+                                kind,
+                            });
+                            escalated[i] = true;
+                            problem
+                        }
+                        Err(second) => {
+                            health.quarantined.push(QuarantinedSample {
+                                stage: SampleStage::Sscm,
+                                index: i,
+                                kind: classify(&second),
+                                detail: second.to_string(),
+                            });
+                            quarantined[i] = true;
+                            // Placeholder problem — never solved: the
+                            // fast path patches this sample each wave.
+                            (self.structure.clone(), nominal_doping.clone())
+                        }
+                    }
+                }
+            };
+            states.push(SampleState {
+                structure,
+                doping,
+                dc: None,
+            });
+        }
+        self.check_quarantine_budget(&health)?;
         // The nominal joins later waves as a persistent state of its own
         // (publishing stays off there — its donors are already out).
         let mut nominal_state = SampleState {
@@ -1462,11 +1853,33 @@ impl VariationalAnalysis {
         };
 
         // --- Wave 0: every sample over the coarse grid. ---
-        let sample_outputs: Vec<Vec<f64>> = par_map_mut(&mut states, |_, state| {
-            self.evaluate_state(&topology, state, coarse_frequencies)
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+        let sample_options = self.sample_solver_options();
+        let recovery_options = self.recovery_solver_options();
+        let wave0: Vec<Result<Vec<f64>, AnalysisError>> = par_map_mut(&mut states, |i, state| {
+            if quarantined[i] {
+                return Ok(nominal_flat.clone());
+            }
+            let attempt = u32::from(escalated[i]);
+            let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, attempt);
+            let options = if escalated[i] {
+                recovery_options.clone()
+            } else {
+                sample_options.clone()
+            };
+            self.evaluate_state(&topology, state, coarse_frequencies, options)
+        });
+        let sample_outputs = self.contain_wave(
+            &mut health,
+            &plan,
+            &topology,
+            &mut states,
+            &mut escalated,
+            &mut quarantined,
+            coarse_frequencies,
+            &nominal_flat,
+            wave0,
+        );
+        self.check_quarantine_budget(&health)?;
         let fit_point = |point_outputs: &[Vec<f64>], at: usize| -> Result<_, AnalysisError> {
             let per_sample: Vec<Vec<f64>> = point_outputs
                 .iter()
@@ -1552,19 +1965,48 @@ impl VariationalAnalysis {
                 && topology.clear_ac_donor_if_stale(self.config.solver.donor_refresh_stale_rate)
             {
                 if let Some(widest) = Self::widest_excursion(&sample_inputs) {
-                    self.republish_ac_donor_from_state(
+                    // Contained like the MC-barrier republish in `run`:
+                    // losing the refresh only costs later points their
+                    // warm seed, never the sweep.
+                    if let Err(error) = self.republish_ac_donor_from_state(
                         &topology,
                         &mut states[widest],
                         wave_freqs[0],
-                    )?;
+                    ) {
+                        health.counts.record(classify(&error));
+                    }
                 }
             }
-            let nominal_new = self.evaluate_state(&topology, &mut nominal_state, &wave_freqs)?;
-            let sample_new: Vec<Vec<f64>> = par_map_mut(&mut states, |_, state| {
-                self.evaluate_state(&topology, state, &wave_freqs)
-            })
-            .into_iter()
-            .collect::<Result<_, _>>()?;
+            let nominal_new =
+                self.contain_nominal(&mut health, &plan, sample_options.clone(), |options| {
+                    self.evaluate_state(&topology, &mut nominal_state, &wave_freqs, options)
+                })?;
+            let wave: Vec<Result<Vec<f64>, AnalysisError>> =
+                par_map_mut(&mut states, |i, state| {
+                    if quarantined[i] {
+                        return Ok(nominal_new.clone());
+                    }
+                    let attempt = u32::from(escalated[i]);
+                    let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, attempt);
+                    let options = if escalated[i] {
+                        recovery_options.clone()
+                    } else {
+                        sample_options.clone()
+                    };
+                    self.evaluate_state(&topology, state, &wave_freqs, options)
+                });
+            let sample_new = self.contain_wave(
+                &mut health,
+                &plan,
+                &topology,
+                &mut states,
+                &mut escalated,
+                &mut quarantined,
+                &wave_freqs,
+                &nominal_new,
+                wave,
+            );
+            self.check_quarantine_budget(&health)?;
             for (ci, &(frequency, depth, _)) in candidates.iter().enumerate() {
                 let pces = fit_point(&sample_new, ci)?;
                 let record = PointRecord {
@@ -1601,6 +2043,7 @@ impl VariationalAnalysis {
                 collocation_runs: sscm.run_count(),
                 seconds: start.elapsed().as_secs_f64(),
                 seed_reuse: topology.seed_stats(),
+                health,
             },
             origins: grid.iter().map(|p| p.origin).collect(),
             waves,

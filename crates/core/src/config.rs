@@ -195,6 +195,14 @@ pub struct AnalysisConfig {
     pub quantities: QuantitySet,
     /// Deterministic-solver options.
     pub solver: SolverOptions,
+    /// Largest tolerated fraction of quarantined samples (failed first
+    /// attempt *and* recovery retry) before the whole run is aborted with
+    /// [`AnalysisError::QuarantineExceeded`](crate::AnalysisError). Below
+    /// the budget, quarantined collocation points are patched with the
+    /// nominal outputs and quarantined Monte-Carlo runs are dropped from
+    /// the statistics; the [`HealthReport`](crate::HealthReport) records
+    /// every decision. 0 quarantines on the first failure.
+    pub quarantine_budget: f64,
 }
 
 impl AnalysisConfig {
@@ -212,6 +220,7 @@ impl AnalysisConfig {
             seed: 0x5eed,
             quantities,
             solver: SolverOptions::default(),
+            quarantine_budget: 0.1,
         }
     }
 }

@@ -120,8 +120,12 @@ impl TsvArrayExperiment {
     /// Builds the [`VariationalAnalysis`] of the statistics stage: the
     /// aggressor's capacitance column over every via terminal, under
     /// per-via radius/position variation.
-    pub fn analysis(&self) -> VariationalAnalysis {
-        let structure = build_tsv_array_structure(&self.geometry);
+    ///
+    /// # Errors
+    /// A degenerate geometry configuration (zero grid dimensions,
+    /// overlapping liners) is reported as [`AnalysisError::Mesh`].
+    pub fn analysis(&self) -> Result<VariationalAnalysis, AnalysisError> {
+        let structure = build_tsv_array_structure(&self.geometry)?;
         let mut config = AnalysisConfig::new(QuantitySet::CapacitanceColumn {
             driven: self.aggressor_name(),
             terminals: self.geometry.via_names(),
@@ -149,7 +153,7 @@ impl TsvArrayExperiment {
                 vias,
             }),
         };
-        VariationalAnalysis::new(structure, config)
+        Ok(VariationalAnalysis::new(structure, config))
     }
 
     /// Solves the nominal array once and extracts the coupling matrices and
@@ -158,7 +162,7 @@ impl TsvArrayExperiment {
     /// # Errors
     /// Propagates deterministic-solver failures.
     pub fn nominal_report(&self) -> Result<TsvArrayReport, AnalysisError> {
-        let structure = build_tsv_array_structure(&self.geometry);
+        let structure = build_tsv_array_structure(&self.geometry)?;
         let semis = structure.semiconductor_nodes();
         let doping = DopingProfile::uniform_donor(structure.mesh.node_count(), &semis, 1.0e5);
         let solver = CoupledSolver::new(&structure, &doping, SolverOptions::default())?;
@@ -177,24 +181,22 @@ impl TsvArrayExperiment {
 
         // Aggressor/victim current-ratio sweep.
         let aggressor = self.aggressor_name();
+        let aggressor_index = names.iter().position(|n| n == &aggressor).ok_or_else(|| {
+            AnalysisError::Configuration(format!("aggressor '{aggressor}' is not a via terminal"))
+        })?;
         let grid = self.sweep_grid();
         let mut operator = solver.prepare_ac_sweep(&dc)?;
         let sweep = operator.sweep_terminal(&grid, &aggressor)?;
         let victims: Vec<VictimSpectrum> = names
             .iter()
-            .filter(|n| **n != aggressor)
-            .map(|victim| {
+            .enumerate()
+            .filter(|(_, n)| **n != aggressor)
+            .map(|(victim_index, victim)| {
                 let spectrum =
                     postprocess::coupling_ratio_spectrum(&solver, &sweep, &aggressor, victim)?;
                 Ok(VictimSpectrum {
                     victim: victim.clone(),
-                    grid_distance: self.geometry.grid_distance(
-                        names
-                            .iter()
-                            .position(|n| n == &aggressor)
-                            .expect("aggressor"),
-                        names.iter().position(|n| n == victim).expect("victim"),
-                    ),
+                    grid_distance: self.geometry.grid_distance(aggressor_index, victim_index),
                     spectrum,
                 })
             })
@@ -215,7 +217,7 @@ impl TsvArrayExperiment {
     /// # Errors
     /// Propagates analysis failures.
     pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
-        self.analysis().run()
+        self.analysis()?.run()
     }
 }
 
@@ -378,7 +380,7 @@ mod tests {
     #[test]
     fn quick_configuration_builds_a_2x2_analysis() {
         let exp = TsvArrayExperiment::quick();
-        let analysis = exp.analysis();
+        let analysis = exp.analysis().unwrap();
         let cfg = analysis.config();
         match &cfg.quantities {
             QuantitySet::CapacitanceColumn { driven, terminals } => {

@@ -1,0 +1,442 @@
+//! Failure taxonomy and run-health reporting for the analysis pipeline.
+//!
+//! The variational analysis fans out over many perturbed samples; a single
+//! sample hitting a singular pivot or a NaN-poisoned solve must not abort the
+//! whole statistical run. This module provides the vocabulary for that
+//! containment layer:
+//!
+//! * [`FailureKind`] — a unified classification of every error the pipeline
+//!   can produce ([`SparseError`](vaem_sparse::SparseError) pivot breakdowns,
+//!   Krylov non-convergence, NaN-poisoned postprocessing, degenerate mesh
+//!   configurations, ...).
+//! * [`HealthReport`] — the per-run record of which samples were quarantined,
+//!   which were rescued by the deterministic recovery retry, and the failure
+//!   taxonomy counts. It is attached to
+//!   [`AnalysisResult`](crate::AnalysisResult) and
+//!   [`FrequencySweepResult`](crate::FrequencySweepResult), and its contents
+//!   join the experiment digest so quarantine behaviour is covered by the
+//!   bit-reproducibility gates.
+//!
+//! The quarantine policy itself (one recovery retry per failed sample with an
+//! escalated direct-LU solver, nominal patching for collocation points,
+//! dropping for Monte-Carlo runs, and a hard failure once the quarantine
+//! budget is exceeded) lives in [`crate::analysis`].
+
+use std::fmt;
+
+use vaem_fvm::FvmError;
+use vaem_sparse::SparseError;
+
+use crate::analysis::AnalysisError;
+
+/// Unified classification of pipeline failures.
+///
+/// Every [`AnalysisError`] maps onto exactly one kind via [`classify`]; the
+/// counts per kind are reported in [`HealthReport::counts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FailureKind {
+    /// A direct factorization hit a (nearly) zero pivot or a structurally
+    /// missing diagonal.
+    SingularPivot,
+    /// An iterative solver stalled: Krylov non-convergence, recurrence
+    /// breakdown, or a Newton iteration that ran out of steps with a finite
+    /// residual.
+    NonConvergence,
+    /// A computed quantity came out NaN/∞ — a poisoned solve.
+    NonFinite,
+    /// The (perturbed) geometry was impossible to mesh.
+    MeshDegenerate,
+    /// Too many samples were quarantined; the statistics would no longer be
+    /// trustworthy.
+    BudgetExhausted,
+    /// A configuration or dense-kernel error that containment cannot help
+    /// with (unknown terminal, empty mesh, failed chaos fit, ...).
+    Configuration,
+}
+
+impl FailureKind {
+    /// Stable lower-case name used in reports and digests.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::SingularPivot => "singular-pivot",
+            FailureKind::NonConvergence => "non-convergence",
+            FailureKind::NonFinite => "non-finite",
+            FailureKind::MeshDegenerate => "mesh-degenerate",
+            FailureKind::BudgetExhausted => "budget-exhausted",
+            FailureKind::Configuration => "configuration",
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classify an [`AnalysisError`] into the unified failure taxonomy.
+pub fn classify(error: &AnalysisError) -> FailureKind {
+    match error {
+        AnalysisError::Solver(e) => classify_fvm(e),
+        AnalysisError::Mesh(_) => FailureKind::MeshDegenerate,
+        AnalysisError::QuarantineExceeded { .. } => FailureKind::BudgetExhausted,
+        AnalysisError::Numeric(_) | AnalysisError::Configuration(_) => FailureKind::Configuration,
+    }
+}
+
+fn classify_fvm(error: &FvmError) -> FailureKind {
+    match error {
+        FvmError::Linear(e) => match e {
+            SparseError::ZeroPivot { .. } | SparseError::MissingDiagonal { .. } => {
+                FailureKind::SingularPivot
+            }
+            SparseError::NotConverged { .. } | SparseError::Breakdown { .. } => {
+                FailureKind::NonConvergence
+            }
+            SparseError::DimensionMismatch { .. } | SparseError::PatternMismatch { .. } => {
+                FailureKind::Configuration
+            }
+        },
+        // A Newton iteration whose update norm went NaN/∞ is a poisoned
+        // solve, not a slow one; keep the two populations separate.
+        FvmError::NewtonDidNotConverge { update_norm, .. } => {
+            if update_norm.is_finite() {
+                FailureKind::NonConvergence
+            } else {
+                FailureKind::NonFinite
+            }
+        }
+        FvmError::NonFinite { .. } => FailureKind::NonFinite,
+        FvmError::Configuration { .. } => FailureKind::Configuration,
+    }
+}
+
+/// Number of failures observed per [`FailureKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureCounts {
+    /// [`FailureKind::SingularPivot`] occurrences.
+    pub singular_pivot: usize,
+    /// [`FailureKind::NonConvergence`] occurrences.
+    pub non_convergence: usize,
+    /// [`FailureKind::NonFinite`] occurrences.
+    pub non_finite: usize,
+    /// [`FailureKind::MeshDegenerate`] occurrences.
+    pub mesh_degenerate: usize,
+    /// [`FailureKind::BudgetExhausted`] occurrences.
+    pub budget_exhausted: usize,
+    /// [`FailureKind::Configuration`] occurrences.
+    pub configuration: usize,
+}
+
+impl FailureCounts {
+    /// Increment the counter for `kind`.
+    pub fn record(&mut self, kind: FailureKind) {
+        match kind {
+            FailureKind::SingularPivot => self.singular_pivot += 1,
+            FailureKind::NonConvergence => self.non_convergence += 1,
+            FailureKind::NonFinite => self.non_finite += 1,
+            FailureKind::MeshDegenerate => self.mesh_degenerate += 1,
+            FailureKind::BudgetExhausted => self.budget_exhausted += 1,
+            FailureKind::Configuration => self.configuration += 1,
+        }
+    }
+
+    /// Total failures across all kinds.
+    pub fn total(&self) -> usize {
+        self.singular_pivot
+            + self.non_convergence
+            + self.non_finite
+            + self.mesh_degenerate
+            + self.budget_exhausted
+            + self.configuration
+    }
+
+    /// `(name, count)` pairs for the kinds with at least one occurrence, in
+    /// the stable taxonomy order.
+    pub fn nonzero(&self) -> Vec<(&'static str, usize)> {
+        [
+            (FailureKind::SingularPivot, self.singular_pivot),
+            (FailureKind::NonConvergence, self.non_convergence),
+            (FailureKind::NonFinite, self.non_finite),
+            (FailureKind::MeshDegenerate, self.mesh_degenerate),
+            (FailureKind::BudgetExhausted, self.budget_exhausted),
+            (FailureKind::Configuration, self.configuration),
+        ]
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(k, n)| (k.name(), n))
+        .collect()
+    }
+}
+
+/// The pipeline stage a sample belongs to. Mirrors the fault-injection stages
+/// of [`vaem_parallel::faults`] so injected and organic failures are reported
+/// in the same vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SampleStage {
+    /// The nominal (unperturbed) solve.
+    Nominal,
+    /// An SSCM collocation point (or an adaptive-sweep sample).
+    Sscm,
+    /// A Monte-Carlo run.
+    Mc,
+}
+
+impl SampleStage {
+    /// Stable lower-case name used in reports and digests.
+    pub fn name(self) -> &'static str {
+        match self {
+            SampleStage::Nominal => "nominal",
+            SampleStage::Sscm => "sscm",
+            SampleStage::Mc => "mc",
+        }
+    }
+}
+
+impl fmt::Display for SampleStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One sample that failed its first attempt *and* its recovery retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedSample {
+    /// Pipeline stage the sample belongs to.
+    pub stage: SampleStage,
+    /// Sample index within its stage (collocation point / MC run number).
+    pub index: usize,
+    /// Classified kind of the final (retry) failure.
+    pub kind: FailureKind,
+    /// Rendered error message of the final failure.
+    pub detail: String,
+}
+
+/// One sample that failed its first attempt but succeeded on the recovery
+/// retry with the escalated (direct-LU, donor-free) solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredSample {
+    /// Pipeline stage the sample belongs to.
+    pub stage: SampleStage,
+    /// Sample index within its stage.
+    pub index: usize,
+    /// Classified kind of the first-attempt failure.
+    pub kind: FailureKind,
+}
+
+/// Health record of a variational-analysis run.
+///
+/// Attached to every analysis result; empty (all-zero) for a fully healthy
+/// run so existing digests are unchanged when nothing fails.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthReport {
+    /// Samples whose recovery retry also failed. Their outputs were patched
+    /// with the nominal solution (SSCM/sweep stages) or dropped from the
+    /// statistics (MC stage).
+    pub quarantined: Vec<QuarantinedSample>,
+    /// Samples rescued by the recovery retry; their outputs are trusted.
+    pub recovered: Vec<RecoveredSample>,
+    /// First-attempt failure counts per taxonomy kind (recovered samples
+    /// count here too: the count records failures observed, not samples
+    /// lost).
+    pub counts: FailureCounts,
+    /// Total samples attempted across all stages (including the nominal).
+    pub samples_total: usize,
+    /// Quarantine budget the run was checked against (fraction of
+    /// `samples_total`).
+    pub budget: f64,
+}
+
+impl HealthReport {
+    /// `true` when no sample failed even once.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.recovered.is_empty() && self.counts.total() == 0
+    }
+
+    /// Indices quarantined in a given stage, in ascending order.
+    pub fn quarantined_indices(&self, stage: SampleStage) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .quarantined
+            .iter()
+            .filter(|q| q.stage == stage)
+            .map(|q| q.index)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Deterministic numeric encoding of the report for result digests.
+    ///
+    /// Encodes the counts, every quarantined `(stage, index, kind)` triple
+    /// and every recovered triple as `f64`s, so two runs only share a digest
+    /// when their containment behaviour was identical. An all-healthy report
+    /// contributes nothing, keeping digests of clean runs identical to
+    /// pre-containment builds.
+    pub fn digest_values(&self) -> Vec<f64> {
+        if self.is_clean() {
+            return Vec::new();
+        }
+        let mut values = vec![
+            self.counts.singular_pivot as f64,
+            self.counts.non_convergence as f64,
+            self.counts.non_finite as f64,
+            self.counts.mesh_degenerate as f64,
+            self.counts.budget_exhausted as f64,
+            self.counts.configuration as f64,
+            self.quarantined.len() as f64,
+            self.recovered.len() as f64,
+        ];
+        for q in &self.quarantined {
+            values.push(stage_code(q.stage));
+            values.push(q.index as f64);
+            values.push(kind_code(q.kind));
+        }
+        for r in &self.recovered {
+            values.push(stage_code(r.stage));
+            values.push(r.index as f64);
+            values.push(kind_code(r.kind));
+        }
+        values
+    }
+
+    /// One-line human summary (`"healthy"` or quarantine/recovery counts).
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return "healthy".to_string();
+        }
+        let taxonomy: Vec<String> = self
+            .counts
+            .nonzero()
+            .into_iter()
+            .map(|(name, n)| format!("{name}:{n}"))
+            .collect();
+        format!(
+            "quarantined {} of {} samples, recovered {} ({})",
+            self.quarantined.len(),
+            self.samples_total,
+            self.recovered.len(),
+            taxonomy.join(", ")
+        )
+    }
+}
+
+fn stage_code(stage: SampleStage) -> f64 {
+    match stage {
+        SampleStage::Nominal => 1.0,
+        SampleStage::Sscm => 2.0,
+        SampleStage::Mc => 3.0,
+    }
+}
+
+fn kind_code(kind: FailureKind) -> f64 {
+    match kind {
+        FailureKind::SingularPivot => 1.0,
+        FailureKind::NonConvergence => 2.0,
+        FailureKind::NonFinite => 3.0,
+        FailureKind::MeshDegenerate => 4.0,
+        FailureKind::BudgetExhausted => 5.0,
+        FailureKind::Configuration => 6.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaem_mesh::MeshError;
+
+    #[test]
+    fn classify_covers_the_taxonomy() {
+        let pivot = AnalysisError::Solver(FvmError::Linear(SparseError::ZeroPivot { index: 3 }));
+        assert_eq!(classify(&pivot), FailureKind::SingularPivot);
+
+        let diag = AnalysisError::Solver(FvmError::Linear(SparseError::MissingDiagonal { row: 1 }));
+        assert_eq!(classify(&diag), FailureKind::SingularPivot);
+
+        let krylov = AnalysisError::Solver(FvmError::Linear(SparseError::NotConverged {
+            iterations: 100,
+            residual: 1e-3,
+        }));
+        assert_eq!(classify(&krylov), FailureKind::NonConvergence);
+
+        let breakdown = AnalysisError::Solver(FvmError::Linear(SparseError::Breakdown {
+            detail: "rho = 0".to_string(),
+        }));
+        assert_eq!(classify(&breakdown), FailureKind::NonConvergence);
+
+        let slow_newton = AnalysisError::Solver(FvmError::NewtonDidNotConverge {
+            iterations: 60,
+            update_norm: 1e-3,
+        });
+        assert_eq!(classify(&slow_newton), FailureKind::NonConvergence);
+
+        let poisoned_newton = AnalysisError::Solver(FvmError::NewtonDidNotConverge {
+            iterations: 2,
+            update_norm: f64::NAN,
+        });
+        assert_eq!(classify(&poisoned_newton), FailureKind::NonFinite);
+
+        let nonfinite = AnalysisError::Solver(FvmError::NonFinite {
+            detail: "NaN terminal current".to_string(),
+        });
+        assert_eq!(classify(&nonfinite), FailureKind::NonFinite);
+
+        let mesh = AnalysisError::Mesh(MeshError::DegenerateConfig {
+            detail: "zero rows".to_string(),
+        });
+        assert_eq!(classify(&mesh), FailureKind::MeshDegenerate);
+
+        let budget = AnalysisError::QuarantineExceeded {
+            quarantined: 3,
+            total: 10,
+            budget: 0.1,
+        };
+        assert_eq!(classify(&budget), FailureKind::BudgetExhausted);
+
+        let config = AnalysisError::Configuration("unknown terminal".to_string());
+        assert_eq!(classify(&config), FailureKind::Configuration);
+    }
+
+    #[test]
+    fn counts_record_and_enumerate() {
+        let mut counts = FailureCounts::default();
+        counts.record(FailureKind::SingularPivot);
+        counts.record(FailureKind::SingularPivot);
+        counts.record(FailureKind::NonFinite);
+        assert_eq!(counts.total(), 3);
+        assert_eq!(
+            counts.nonzero(),
+            vec![("singular-pivot", 2), ("non-finite", 1)]
+        );
+    }
+
+    #[test]
+    fn clean_report_contributes_nothing_to_digests() {
+        let report = HealthReport::default();
+        assert!(report.is_clean());
+        assert!(report.digest_values().is_empty());
+        assert_eq!(report.summary(), "healthy");
+    }
+
+    #[test]
+    fn dirty_report_is_deterministically_encoded() {
+        let mut report = HealthReport {
+            samples_total: 20,
+            budget: 0.1,
+            ..Default::default()
+        };
+        report.counts.record(FailureKind::SingularPivot);
+        report.quarantined.push(QuarantinedSample {
+            stage: SampleStage::Sscm,
+            index: 4,
+            kind: FailureKind::SingularPivot,
+            detail: "zero pivot at index 0".to_string(),
+        });
+        let values = report.digest_values();
+        assert!(!values.is_empty());
+        assert_eq!(values, report.digest_values());
+        assert_eq!(report.quarantined_indices(SampleStage::Sscm), vec![4]);
+        assert!(report.quarantined_indices(SampleStage::Mc).is_empty());
+        assert!(report.summary().contains("quarantined 1 of 20"));
+        assert!(report.summary().contains("singular-pivot:1"));
+    }
+}

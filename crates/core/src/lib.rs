@@ -39,6 +39,7 @@
 pub mod analysis;
 pub mod config;
 pub mod experiments;
+pub mod health;
 pub mod report;
 
 pub use analysis::{
@@ -49,6 +50,7 @@ pub use config::{
     AnalysisConfig, DopingVariationConfig, QuantitySet, ReductionMethod, RoughnessConfig,
     VariationSpec, ViaArrayVariationConfig, ViaWalls,
 };
+pub use health::{FailureCounts, FailureKind, HealthReport, QuarantinedSample, RecoveredSample};
 pub use report::{result_digest, ComparisonTable};
 pub use vaem_fvm::SeedReuseStats;
 

@@ -161,6 +161,7 @@ mod tests {
             sscm_seconds: 1.5,
             mc_seconds: 15.0,
             seed_reuse: Default::default(),
+            health: Default::default(),
         }
     }
 

@@ -21,6 +21,14 @@ pub enum FvmError {
         /// Human-readable description of the problem.
         detail: String,
     },
+    /// A computed quantity came out NaN/∞ — a poisoned solve that would
+    /// otherwise silently corrupt every downstream statistic. Distinct from
+    /// [`FvmError::Configuration`] so the analysis layer's failure taxonomy
+    /// can count non-finite outcomes separately from genuine setup errors.
+    NonFinite {
+        /// Human-readable description of the poisoned quantity.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FvmError {
@@ -35,6 +43,7 @@ impl fmt::Display for FvmError {
                 "newton iteration did not converge after {iterations} steps (last update {update_norm:.3e} V)"
             ),
             FvmError::Configuration { detail } => write!(f, "configuration error: {detail}"),
+            FvmError::NonFinite { detail } => write!(f, "non-finite result: {detail}"),
         }
     }
 }

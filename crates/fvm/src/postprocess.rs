@@ -115,10 +115,11 @@ pub fn capacitance_column(
 /// Propagates terminal-lookup failures. Returns
 /// [`FvmError::Configuration`] for a DC solution (`ω = 0`): `C = Im(I)/ω`
 /// is undefined there, and the former `0/0 = NaN` silently poisoned every
-/// downstream PCE moment of a sweep that included the DC point. Also fails
-/// fast — naming the offending terminal and its index — when a terminal's
-/// current sum is non-finite; array meshes multiply the terminal count, and
-/// a silent NaN column poisons every matrix entry of that terminal.
+/// downstream PCE moment of a sweep that included the DC point. Returns
+/// [`FvmError::NonFinite`] — naming the offending terminal and its index —
+/// when a terminal's current sum is non-finite; array meshes multiply the
+/// terminal count, and a silent NaN column poisons every matrix entry of
+/// that terminal.
 pub fn capacitance_column_from(
     solver: &CoupledSolver<'_>,
     ac: &crate::AcSolution,
@@ -137,7 +138,7 @@ pub fn capacitance_column_from(
         let name = solver.terminals().name(k).to_string();
         let current = terminal_current(solver, ac, &name)?;
         if !current.re.is_finite() || !current.im.is_finite() {
-            return Err(FvmError::Configuration {
+            return Err(FvmError::NonFinite {
                 detail: format!(
                     "terminal '{name}' (index {k}) sums to a non-finite current \
                      {current:?} at {} Hz: its capacitance column would silently \
@@ -253,10 +254,10 @@ pub fn impedance_spectrum(
 /// substrate conduction takes over.
 ///
 /// # Errors
-/// Returns [`FvmError::Configuration`] for an unknown terminal, for a sweep
-/// point where the aggressor carries no current (the ratio is undefined), or
-/// when either current sums to a non-finite value — each with the offending
-/// frequency in the message.
+/// Returns [`FvmError::Configuration`] for an unknown terminal or for a sweep
+/// point where the aggressor carries no current (the ratio is undefined), and
+/// [`FvmError::NonFinite`] when either current sums to a non-finite value —
+/// each with the offending frequency in the message.
 pub fn coupling_ratio_spectrum(
     solver: &CoupledSolver<'_>,
     sweep: &[AcSolution],
@@ -277,7 +278,7 @@ pub fn coupling_ratio_spectrum(
             let i_victim = terminal_current(solver, ac, victim)?;
             for (name, i) in [(aggressor, i_aggr), (victim, i_victim)] {
                 if !i.re.is_finite() || !i.im.is_finite() {
-                    return Err(FvmError::Configuration {
+                    return Err(FvmError::NonFinite {
                         detail: format!(
                             "terminal '{name}' sums to a non-finite current at \
                              {} Hz: no coupling ratio is defined",
@@ -558,7 +559,7 @@ mod tests {
             *y = Complex64::new(f64::NAN, f64::NAN);
         }
         match capacitance_column_from(&solver, &ac) {
-            Err(FvmError::Configuration { detail }) => {
+            Err(FvmError::NonFinite { detail }) => {
                 assert!(
                     detail.contains("non-finite current") && detail.contains("index"),
                     "unexpected detail: {detail}"
@@ -568,7 +569,7 @@ mod tests {
                     "terminal name missing from: {detail}"
                 );
             }
-            other => panic!("expected configuration error, got {other:?}"),
+            other => panic!("expected non-finite error, got {other:?}"),
         }
     }
 

@@ -807,6 +807,18 @@ impl<'a> CoupledSolver<'a> {
                 }
             };
 
+            // A non-finite update poisons the operating point silently:
+            // `f64::max` ignores NaN, so an all-NaN delta would pass both
+            // the damping and the convergence norm below as 0.0 and the
+            // garbage would only surface factorizations later. Fail here,
+            // where the cause is still attributable to this solve.
+            if delta.iter().any(|d| !d.is_finite()) {
+                return Err(FvmError::NonFinite {
+                    detail: format!(
+                        "DC Newton update contains non-finite entries at iteration {iterations}"
+                    ),
+                });
+            }
             // Damp large Newton steps (potential updates beyond 1 V are
             // truncated, preserving direction).
             let max_step = delta.iter().fold(0.0_f64, |m, d| m.max(d.abs()));

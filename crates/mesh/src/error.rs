@@ -1,0 +1,46 @@
+//! Error type of the geometry builders.
+
+use std::fmt;
+
+/// Errors produced when validating a structure configuration.
+///
+/// Geometry builders used to `assert!` on impossible configurations, which
+/// turned one bad variation draw (or a typo'd experiment config) into a
+/// process abort. A typed error lets the analysis layer quarantine the
+/// offending sample instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// The configuration describes a geometrically impossible structure
+    /// (zero grid dimensions, overlapping liners, inverted boxes, ...).
+    DegenerateConfig {
+        /// Human-readable description of the impossible geometry.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::DegenerateConfig { detail } => {
+                write!(f, "degenerate mesh configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = MeshError::DegenerateConfig {
+            detail: "pitch 5.5 leaves no substrate".to_string(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("degenerate mesh configuration"));
+        assert!(text.contains("pitch 5.5"));
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 mod cartesian;
+mod error;
 mod geometry;
 mod index;
 mod material;
@@ -42,6 +43,7 @@ pub mod quality;
 pub mod structures;
 
 pub use cartesian::{CartesianMesh, Link};
+pub use error::MeshError;
 pub use geometry::{BoxRegion, Contact, Facet, FacetSide, Structure, StructureBuilder};
 pub use index::{Axis, GridIndex, LinkId, NodeId};
 pub use material::{Material, MaterialMap};

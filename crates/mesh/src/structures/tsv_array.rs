@@ -12,7 +12,7 @@
 //! for surface roughness and for the scalar per-via radius/position
 //! parameters of the array experiment.
 
-use crate::{Axis, BoxRegion, FacetSide, Material, Structure, StructureBuilder};
+use crate::{Axis, BoxRegion, FacetSide, Material, MeshError, Structure, StructureBuilder};
 
 /// Geometric parameters of the N×M TSV array (all lengths in µm).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,30 +135,37 @@ impl TsvArrayConfig {
 /// (`via_{row}_{col}±x`, `via_{row}_{col}±y`), perturbed along their
 /// normals with the interior side pointing into the metal barrel.
 ///
-/// # Panics
-/// Panics if `rows` or `cols` is zero, or if the liner would overlap a
-/// neighbouring via (`pitch ≤ via_size + 2·liner_thickness`).
+/// # Errors
+/// Returns [`MeshError::DegenerateConfig`] if `rows` or `cols` is zero, or
+/// if the liner would overlap a neighbouring via
+/// (`pitch ≤ via_size + 2·liner_thickness`).
 ///
 /// # Example
 /// ```
 /// use vaem_mesh::structures::tsv_array::{build_tsv_array_structure, TsvArrayConfig};
-/// let s = build_tsv_array_structure(&TsvArrayConfig::coarse(2, 2));
+/// let s = build_tsv_array_structure(&TsvArrayConfig::coarse(2, 2))?;
 /// assert_eq!(s.contacts.len(), 4);
 /// assert_eq!(s.rough_facets.len(), 16);
 /// assert!(s.contact("via_1_1").is_some());
+/// # Ok::<(), vaem_mesh::MeshError>(())
 /// ```
-pub fn build_tsv_array_structure(config: &TsvArrayConfig) -> Structure {
-    assert!(
-        config.rows > 0 && config.cols > 0,
-        "TSV array needs at least one row and one column"
-    );
-    assert!(
-        config.pitch > config.via_size + 2.0 * config.liner_thickness,
-        "via pitch {} leaves no substrate between the liners (via {} + 2×liner {})",
-        config.pitch,
-        config.via_size,
-        config.liner_thickness
-    );
+pub fn build_tsv_array_structure(config: &TsvArrayConfig) -> Result<Structure, MeshError> {
+    if config.rows == 0 || config.cols == 0 {
+        return Err(MeshError::DegenerateConfig {
+            detail: format!(
+                "TSV array needs at least one row and one column, got {}x{}",
+                config.rows, config.cols
+            ),
+        });
+    }
+    if config.pitch <= config.via_size + 2.0 * config.liner_thickness {
+        return Err(MeshError::DegenerateConfig {
+            detail: format!(
+                "via pitch {} leaves no substrate between the liners (via {} + 2×liner {})",
+                config.pitch, config.via_size, config.liner_thickness
+            ),
+        });
+    }
     let [dx, dy, dz] = config.domain();
     let half = config.via_size / 2.0;
     let liner = config.liner_thickness;
@@ -231,7 +238,7 @@ pub fn build_tsv_array_structure(config: &TsvArrayConfig) -> Structure {
         }
     }
 
-    builder.build()
+    Ok(builder.build())
 }
 
 #[cfg(test)]
@@ -243,7 +250,7 @@ mod tests {
     fn contact_and_facet_counts_scale_with_the_grid() {
         for (rows, cols) in [(1, 1), (2, 2), (2, 3), (3, 3)] {
             let cfg = TsvArrayConfig::coarse(rows, cols);
-            let s = build_tsv_array_structure(&cfg);
+            let s = build_tsv_array_structure(&cfg).unwrap();
             assert_eq!(s.contacts.len(), rows * cols, "{rows}x{cols} contacts");
             assert_eq!(
                 s.rough_facets.len(),
@@ -259,8 +266,8 @@ mod tests {
 
     #[test]
     fn node_count_grows_with_the_array() {
-        let small = build_tsv_array_structure(&TsvArrayConfig::coarse(2, 2));
-        let large = build_tsv_array_structure(&TsvArrayConfig::coarse(3, 3));
+        let small = build_tsv_array_structure(&TsvArrayConfig::coarse(2, 2)).unwrap();
+        let large = build_tsv_array_structure(&TsvArrayConfig::coarse(3, 3)).unwrap();
         assert!(
             large.mesh.node_count() > small.mesh.node_count(),
             "3x3 ({}) must out-mesh 2x2 ({})",
@@ -271,7 +278,7 @@ mod tests {
 
     #[test]
     fn terminals_are_disjoint_metal_node_sets() {
-        let s = build_tsv_array_structure(&TsvArrayConfig::coarse(2, 2));
+        let s = build_tsv_array_structure(&TsvArrayConfig::coarse(2, 2)).unwrap();
         let mut seen: BTreeSet<usize> = BTreeSet::new();
         for contact in &s.contacts {
             for &n in &contact.nodes {
@@ -292,7 +299,7 @@ mod tests {
     #[test]
     fn substrate_band_holds_semiconductor_nodes() {
         let cfg = TsvArrayConfig::coarse(2, 2);
-        let s = build_tsv_array_structure(&cfg);
+        let s = build_tsv_array_structure(&cfg).unwrap();
         let semis = s.semiconductor_nodes();
         assert!(!semis.is_empty());
         let sub_z0 = (cfg.domain()[2] - cfg.substrate_thickness) / 2.0;
@@ -306,7 +313,7 @@ mod tests {
     #[test]
     fn wall_facets_lie_on_their_via() {
         let cfg = TsvArrayConfig::coarse(2, 3);
-        let s = build_tsv_array_structure(&cfg);
+        let s = build_tsv_array_structure(&cfg).unwrap();
         let [cx, _] = cfg.via_center(1, 2);
         let facet = s.facet("via_1_2+x").expect("wall facet exists");
         assert!(!facet.nodes.is_empty());
@@ -339,11 +346,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no substrate between the liners")]
-    fn overlapping_liners_panic() {
-        build_tsv_array_structure(&TsvArrayConfig {
+    fn overlapping_liners_are_a_typed_error() {
+        let err = build_tsv_array_structure(&TsvArrayConfig {
             pitch: 5.5,
             ..TsvArrayConfig::coarse(2, 2)
-        });
+        })
+        .unwrap_err();
+        let MeshError::DegenerateConfig { detail } = err;
+        assert!(
+            detail.contains("no substrate between the liners"),
+            "unexpected detail: {detail}"
+        );
+    }
+
+    #[test]
+    fn zero_dimensions_are_a_typed_error() {
+        for (rows, cols) in [(0, 2), (2, 0), (0, 0)] {
+            let err = build_tsv_array_structure(&TsvArrayConfig::coarse(rows, cols)).unwrap_err();
+            let MeshError::DegenerateConfig { detail } = err;
+            assert!(
+                detail.contains("at least one row"),
+                "unexpected detail for {rows}x{cols}: {detail}"
+            );
+        }
     }
 }

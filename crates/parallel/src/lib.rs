@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod env;
+pub mod faults;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -9,6 +9,37 @@ use crate::{
     RowColScaling, SparseError, SparseLu, SymbolicLu,
 };
 use vaem_numeric::{vecops, Scalar};
+use vaem_parallel::faults::{self, FaultSite};
+
+/// Deterministic fault-injection checkpoint (see [`vaem_parallel::faults`]):
+/// returns the canonical forced error for `site` exactly when the current
+/// thread's fault scope arms it, `Ok(())` otherwise — including always
+/// outside any scope, so production solves pay one thread-local read per
+/// checkpoint.
+fn fault_check(site: FaultSite) -> Result<(), SparseError> {
+    if !faults::armed(site) {
+        return Ok(());
+    }
+    Err(match site {
+        FaultSite::Pivot => SparseError::ZeroPivot { index: 0 },
+        FaultSite::Krylov => SparseError::NotConverged {
+            iterations: 0,
+            residual: f64::INFINITY,
+        },
+        _ => SparseError::Breakdown {
+            detail: format!("injected fault at site '{site}'"),
+        },
+    })
+}
+
+/// NaN-poisons a solution vector when the `nan` fault site is armed —
+/// modeling a solve that "succeeds" with garbage, to exercise the
+/// non-finite guards downstream.
+fn fault_poison<T: Scalar>(x: &mut [T]) {
+    if faults::armed(FaultSite::Nan) {
+        x.fill(T::from_f64(f64::NAN));
+    }
+}
 
 /// Strategy selection for [`LinearSolver`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -168,7 +199,8 @@ impl LinearSolver {
         let guess_scaled = x0.map(|g| scaling.scale_guess(g));
 
         let finish = |x_scaled: Vec<T>, strategy: &'static str, iterations: usize| {
-            let x = scaling.unscale_solution(&x_scaled);
+            let mut x = scaling.unscale_solution(&x_scaled);
+            fault_poison(&mut x);
             let resid = vecops::norm2(&a.residual(&x, b)) / vecops::norm2(b).max(1e-300);
             (
                 x,
@@ -183,16 +215,21 @@ impl LinearSolver {
         };
 
         let direct = || -> Result<(Vec<T>, &'static str, usize), SparseError> {
+            fault_check(FaultSite::Pivot)?;
             let lu = SparseLu::new(&scaled)?;
             Ok((lu.solve(&bs)?, "sparse-lu", 0))
         };
         let bicgstab = || -> Result<(Vec<T>, &'static str, usize), SparseError> {
+            fault_check(FaultSite::Ilu)?;
+            fault_check(FaultSite::Krylov)?;
             let ilu = Ilu0::new(&scaled)?;
             let solver = BiCgStab::new(self.options);
             let (x, it) = solver.solve(&scaled, &bs, Some(&ilu), guess_scaled.as_deref())?;
             Ok((x, "ilu0-bicgstab", it))
         };
         let gmres = || -> Result<(Vec<T>, &'static str, usize), SparseError> {
+            fault_check(FaultSite::Ilu)?;
+            fault_check(FaultSite::Krylov)?;
             let ilu = Ilu0::new(&scaled)?;
             let solver = Gmres::new(self.options);
             let (x, it) = solver.solve(&scaled, &bs, Some(&ilu), guess_scaled.as_deref())?;
@@ -431,6 +468,7 @@ struct IluRefresh<T: Scalar> {
 
 impl<T: Scalar> IluRefresh<T> {
     fn build(scaled: &CsrMatrix<T>) -> Result<Self, SparseError> {
+        fault_check(FaultSite::Ilu)?;
         Ok(Self {
             ilu: Ilu0::new(scaled)?,
             baseline_iterations: None,
@@ -503,6 +541,7 @@ impl<T: Scalar> IluRefresh<T> {
     /// Forces a rebuild from the current values (used when a solve with
     /// stale factors fails before escalating to the fallback chain).
     fn rebuild(&mut self, scaled: &CsrMatrix<T>) -> Result<(), SparseError> {
+        fault_check(FaultSite::Ilu)?;
         self.ilu = Ilu0::new(scaled)?;
         self.stale = false;
         self.rebuilds += 1;
@@ -518,6 +557,7 @@ fn direct_factorization<T: Scalar>(
     scaled: &CsrMatrix<T>,
     seed: Option<&SymbolicLu>,
 ) -> Result<Factorization<T>, SparseError> {
+    fault_check(FaultSite::Pivot)?;
     let mut symbolic = match seed {
         Some(donor) if donor.has_structure() && donor.matches(scaled) => donor.seed_from(),
         _ => SymbolicLu::analyze(scaled)?,
@@ -650,14 +690,17 @@ impl<T: Scalar> PreparedSolver<T> {
         // matrix, not mix the old factors with the new scaling.
         let (scaled, scaling) = RowColScaling::equilibrate(a);
         match &mut self.factorization {
-            Factorization::Direct(direct) => match direct.symbolic.factor(&scaled) {
-                Ok(lu) => direct.numeric = lu,
-                Err(SparseError::DimensionMismatch { .. }) => {
-                    // The sparsity pattern itself changed: re-analyze.
-                    self.factorization = direct_factorization(&scaled, None)?;
+            Factorization::Direct(direct) => {
+                fault_check(FaultSite::Pivot)?;
+                match direct.symbolic.factor(&scaled) {
+                    Ok(lu) => direct.numeric = lu,
+                    Err(SparseError::DimensionMismatch { .. }) => {
+                        // The sparsity pattern itself changed: re-analyze.
+                        self.factorization = direct_factorization(&scaled, None)?;
+                    }
+                    Err(err) => return Err(err),
                 }
-                Err(err) => return Err(err),
-            },
+            }
             Factorization::Ilu { state, .. } => state.stale = true,
             Factorization::IluGmresOnly(state) => state.stale = true,
         }
@@ -692,6 +735,15 @@ impl<T: Scalar> PreparedSolver<T> {
         }
         let bs = self.scaling.scale_rhs(b);
         let guess_scaled = x0.map(|g| self.scaling.scale_guess(g));
+        // Injected Krylov non-convergence fails both iterative attempts (the
+        // rebuild retry and the GMRES fallback included) but leaves the
+        // direct rescue below untouched — the fault exercises the whole
+        // escalation chain instead of one solver call.
+        let inject_krylov = faults::armed(FaultSite::Krylov);
+        let forced_krylov = || SparseError::NotConverged {
+            iterations: 0,
+            residual: f64::INFINITY,
+        };
         // `None` after the match means "both Krylov strategies failed in
         // Auto mode" — rescued by the direct LU below, mirroring the
         // bicgstab → gmres → direct chain of [`LinearSolver::solve`].
@@ -714,17 +766,25 @@ impl<T: Scalar> PreparedSolver<T> {
             } => {
                 state.ensure_baselined(scaled);
                 let solver = BiCgStab::new(*options);
-                let mut attempt = solver.solve_with_workspace(
-                    scaled,
-                    &bs,
-                    Some(&state.ilu),
-                    guess_scaled.as_deref(),
-                    bicgstab_ws,
-                );
+                let mut attempt = if inject_krylov {
+                    Err(forced_krylov())
+                } else {
+                    solver.solve_with_workspace(
+                        scaled,
+                        &bs,
+                        Some(&state.ilu),
+                        guess_scaled.as_deref(),
+                        bicgstab_ws,
+                    )
+                };
                 // A failure with stale factors may be the preconditioner's
                 // fault: rebuild from the current values and retry once
                 // before escalating through the fallback chain.
-                if attempt.is_err() && state.stale && state.rebuild(scaled).is_ok() {
+                if attempt.is_err()
+                    && !inject_krylov
+                    && state.stale
+                    && state.rebuild(scaled).is_ok()
+                {
                     attempt = solver.solve_with_workspace(
                         scaled,
                         &bs,
@@ -743,7 +803,10 @@ impl<T: Scalar> PreparedSolver<T> {
                             return Err(err);
                         }
                         let gmres = Gmres::new(*options);
-                        if let Ok((y, it)) = gmres.solve_with_workspace(
+                        if inject_krylov {
+                            // The forced non-convergence covers GMRES too;
+                            // fall through to the direct rescue.
+                        } else if let Ok((y, it)) = gmres.solve_with_workspace(
                             scaled,
                             &bs,
                             Some(&state.ilu),
@@ -763,14 +826,22 @@ impl<T: Scalar> PreparedSolver<T> {
             Factorization::IluGmresOnly(state) => {
                 state.ensure_baselined(scaled);
                 let gmres = Gmres::new(*options);
-                let mut attempt = gmres.solve_with_workspace(
-                    scaled,
-                    &bs,
-                    Some(&state.ilu),
-                    guess_scaled.as_deref(),
-                    gmres_ws,
-                );
-                if attempt.is_err() && state.stale && state.rebuild(scaled).is_ok() {
+                let mut attempt = if inject_krylov {
+                    Err(forced_krylov())
+                } else {
+                    gmres.solve_with_workspace(
+                        scaled,
+                        &bs,
+                        Some(&state.ilu),
+                        guess_scaled.as_deref(),
+                        gmres_ws,
+                    )
+                };
+                if attempt.is_err()
+                    && !inject_krylov
+                    && state.stale
+                    && state.rebuild(scaled).is_ok()
+                {
                     attempt = gmres.solve_with_workspace(
                         scaled,
                         &bs,
@@ -809,7 +880,8 @@ impl<T: Scalar> PreparedSolver<T> {
             resid_sqr += ri * ri;
         }
         let resid = resid_sqr.sqrt() / vecops::norm2(b).max(1e-300);
-        let x = self.scaling.unscale_solution(&y);
+        let mut x = self.scaling.unscale_solution(&y);
+        fault_poison(&mut x);
         Ok((
             x,
             SolveReport {
@@ -1415,5 +1487,116 @@ mod tests {
             solver.solve(&a, &[1.0, 2.0]),
             Err(SparseError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn injected_mid_sweep_breakdown_is_rescued_without_poisoning_later_points() {
+        use std::sync::Arc;
+        use vaem_parallel::faults::{FaultPlan, FaultStage};
+
+        // A frequency-sweep-like loop: one prepared solver, refactored for
+        // each point. The fault plan forces a Krylov breakdown at sweep
+        // point 2 only; the prepared Auto chain must rescue that point with
+        // the on-demand direct LU, and every later point must still match a
+        // from-scratch reference solve.
+        let plan = Arc::new(FaultPlan::parse("krylov@sscm:2").unwrap());
+        let solver = LinearSolver::new(SolverKind::Auto).with_direct_threshold(50);
+        let points: Vec<CsrMatrix<f64>> = (0..5)
+            .map(|p| varying_laplacian(12, 0.2, 0.3 * p as f64))
+            .collect();
+        let x_true: Vec<f64> = (0..points[0].rows())
+            .map(|i| (i as f64 * 0.13).sin())
+            .collect();
+
+        let mut prepared = solver.prepare(&points[0]).unwrap();
+        assert_eq!(prepared.strategy(), "ilu0-bicgstab");
+        for (p, a) in points.iter().enumerate() {
+            let _guard = faults::scope(plan.clone(), FaultStage::Sscm, p, 0);
+            if p > 0 {
+                prepared.refactor(a).unwrap();
+            }
+            let b = a.matvec(&x_true);
+            let (x, report) = prepared
+                .solve(&b)
+                .unwrap_or_else(|e| panic!("point {p} must survive the injected fault: {e}"));
+            assert!(
+                vecops::relative_diff(&x, &x_true, 1e-30) < 1e-6,
+                "point {p} solution poisoned (report {report:?})"
+            );
+            if p == 2 {
+                assert_eq!(
+                    report.strategy, "sparse-lu",
+                    "the injected breakdown must be answered by the direct rescue"
+                );
+            }
+            // Cross-check against an independent one-shot solve outside any
+            // fault scope.
+            let (x_ref, _) = LinearSolver::new(SolverKind::DirectLu)
+                .solve(a, &b)
+                .unwrap();
+            assert!(
+                vecops::relative_diff(&x, &x_ref, 1e-30) < 1e-6,
+                "point {p} drifted from the reference after the rescue"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_donor_with_injected_rebuild_fault_escalates_instead_of_looping() {
+        use std::sync::Arc;
+        use vaem_parallel::faults::{FaultPlan, FaultStage};
+
+        // A donated ILU(0) enters stale; a solve failure with stale factors
+        // normally rebuilds once from the current values and retries. Here a
+        // sticky `ilu` fault blocks every rebuild, so the chain must refuse
+        // to loop on the stale donation and escalate through GMRES to the
+        // direct rescue — still answering correctly.
+        let nominal = varying_laplacian(20, 0.0, 0.0);
+        let harsh = varying_laplacian(20, 2.6, 2.5);
+        let tight = KrylovOptions {
+            tolerance: 1e-12,
+            max_iterations: 8,
+            restart: 4,
+        };
+        let solver = LinearSolver::new(SolverKind::Auto)
+            .with_direct_threshold(50)
+            .with_options(tight);
+        // The donor itself solves with generous options so its healthy
+        // baseline (and the donation) comes from the iterative strategy.
+        let donor_solver = LinearSolver::new(SolverKind::Auto).with_direct_threshold(50);
+        let mut donor = donor_solver.prepare(&nominal).unwrap();
+        let x_true: Vec<f64> = (0..nominal.rows())
+            .map(|i| (i as f64 * 0.17).sin())
+            .collect();
+        let _ = donor.solve(&nominal.matvec(&x_true)).unwrap();
+        let donation = donor.ilu_donor().expect("iterative strategy donates");
+
+        let plan = Arc::new(FaultPlan::parse("ilu@sscm:0!").unwrap());
+        let _guard = faults::scope(plan, FaultStage::Sscm, 0, 0);
+        let mut seeded = solver
+            .prepare_seeded_with(&harsh, None, Some(&donation))
+            .unwrap();
+        let b = harsh.matvec(&x_true);
+        let (x, report) = seeded
+            .solve(&b)
+            .expect("the blocked rebuild must escalate, not fail the solve");
+        assert!(
+            vecops::relative_diff(&x, &x_true, 1e-30) < 1e-6,
+            "escalated solve returned a bad iterate (report {report:?})"
+        );
+        assert_eq!(
+            seeded.ilu_rebuilds(),
+            0,
+            "the injected fault must block every rebuild of the stale donation"
+        );
+
+        // Without the fault, the same stale donation refreshes exactly once
+        // and answers iteratively — the non-looping baseline.
+        drop(_guard);
+        let mut refreshed = solver
+            .prepare_seeded_with(&harsh, None, Some(&donation))
+            .unwrap();
+        let (xr, _) = refreshed.solve(&b).unwrap();
+        assert!(vecops::relative_diff(&xr, &x_true, 1e-30) < 1e-6);
     }
 }

@@ -21,7 +21,7 @@ use vaem_sparse::{SparsityPattern, SymbolicLu, TripletMatrix};
 /// nonsingular. The exact physics is irrelevant here; what matters is the
 /// true array-mesh sparsity pattern and realistically contrasted values.
 fn array_system() -> vaem_sparse::CsrMatrix<Complex64> {
-    let structure = build_tsv_array_structure(&TsvArrayConfig::coarse(3, 3));
+    let structure = build_tsv_array_structure(&TsvArrayConfig::coarse(3, 3)).expect("3x3 builds");
     let mesh = &structure.mesh;
     let sigma = |m: Material| -> f64 {
         match m {

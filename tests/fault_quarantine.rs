@@ -1,0 +1,143 @@
+//! Tier-1 guarantees of the fault-injection and quarantine layer: with a
+//! `VAEM_FAULTS` plan installed, the TSV-array statistics run completes
+//! instead of aborting, its `HealthReport` records exactly the injected
+//! failures, and both the statistics and the report are bit-identical at
+//! `VAEM_THREADS=1` and `4` — injection is keyed by `(stage, sample index)`,
+//! never by thread identity.
+//!
+//! This file intentionally holds a single test: it mutates the process-wide
+//! `VAEM_FAULTS`/`VAEM_THREADS`/`VAEM_CHUNK` variables, so no other test may
+//! race on them in this binary.
+
+use vaem::experiments::tsv_array::TsvArrayExperiment;
+use vaem::health::{FailureKind, SampleStage};
+use vaem::AnalysisResult;
+
+/// A 2×2 array trimmed for test runtime (the `tsv_array_determinism`
+/// sizing): one retained factor per via group and 4 MC runs.
+fn tiny_experiment() -> TsvArrayExperiment {
+    let mut experiment = TsvArrayExperiment::quick();
+    experiment.mc_runs = 4;
+    experiment.max_reduced_per_group = 1;
+    experiment
+}
+
+/// Exact (bit-level) fingerprint of the statistics a run reports.
+fn fingerprint(result: &AnalysisResult) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for q in &result.quantities {
+        for v in [
+            q.nominal,
+            q.sscm.mean,
+            q.sscm.std,
+            q.monte_carlo.mean,
+            q.monte_carlo.std,
+        ] {
+            bits.push(v.to_bits());
+        }
+        bits.extend(q.main_effects.iter().map(|e| e.to_bits()));
+    }
+    bits.extend(result.health.digest_values().iter().map(|v| v.to_bits()));
+    bits
+}
+
+#[test]
+fn injected_faults_are_contained_deterministically_across_thread_counts() {
+    let experiment = tiny_experiment();
+
+    // A sticky degenerate-mesh fault quarantines SSCM sample 1 (the retry
+    // fails too); a plain NaN poisoning in MC run 2 is recovered by the
+    // single deterministic retry.
+    std::env::set_var("VAEM_FAULTS", "mesh@sscm:1!,nan@mc:2");
+    std::env::set_var("VAEM_THREADS", "1");
+    std::env::set_var("VAEM_CHUNK", "1");
+    let serial = experiment.run().expect("faulted run must still complete");
+
+    assert!(!serial.health.is_clean());
+    assert_eq!(
+        serial.health.quarantined_indices(SampleStage::Sscm),
+        vec![1],
+        "exactly the sticky mesh fault must be quarantined: {:?}",
+        serial.health.quarantined
+    );
+    assert!(serial
+        .health
+        .quarantined_indices(SampleStage::Mc)
+        .is_empty());
+    assert_eq!(serial.health.quarantined.len(), 1);
+    assert_eq!(
+        serial.health.quarantined[0].kind,
+        FailureKind::MeshDegenerate
+    );
+    assert!(
+        serial
+            .health
+            .recovered
+            .iter()
+            .any(|r| r.stage == SampleStage::Mc && r.index == 2),
+        "the plain NaN fault must be recovered by the retry: {:?}",
+        serial.health.recovered
+    );
+    assert!(serial.health.counts.mesh_degenerate >= 1);
+    assert!(serial.health.counts.non_finite >= 1);
+
+    std::env::set_var("VAEM_THREADS", "4");
+    let parallel = experiment.run().expect("faulted parallel run");
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "faulted statistics changed between VAEM_THREADS=1 and 4"
+    );
+    assert_eq!(
+        serial.health, parallel.health,
+        "the health report changed between VAEM_THREADS=1 and 4"
+    );
+
+    // Every site in the plan's grammar, injected alone (sticky, SSCM
+    // sample 1), must leave the run completable — either transparently
+    // rescued below the quarantine layer (a Krylov breakdown is absorbed by
+    // the direct rescue inside the prepared solver) or recorded against
+    // exactly the injected sample.
+    std::env::set_var("VAEM_THREADS", "2");
+    for (site, kind) in [
+        ("pivot", FailureKind::SingularPivot),
+        ("krylov", FailureKind::NonConvergence),
+        ("nan", FailureKind::NonFinite),
+        ("ilu", FailureKind::NonConvergence),
+        ("mesh", FailureKind::MeshDegenerate),
+    ] {
+        std::env::set_var("VAEM_FAULTS", format!("{site}@sscm:1!"));
+        let result = experiment
+            .run()
+            .unwrap_or_else(|e| panic!("site {site} must be contained, got: {e}"));
+        for q in &result.health.quarantined {
+            assert_eq!(q.stage, SampleStage::Sscm, "site {site}");
+            assert_eq!(q.index, 1, "site {site}");
+            assert_eq!(q.kind, kind, "site {site}: {:?}", result.health.quarantined);
+        }
+        assert!(
+            result.health.quarantined.len() <= 1,
+            "site {site} must hit one sample only: {:?}",
+            result.health.quarantined
+        );
+    }
+
+    // A sticky fault on the nominal evaluation is the one thing the run may
+    // not survive: the nominal anchors every patched sample. (The `nan`
+    // site arms on every solve path; `mesh` would be a no-op here because
+    // the nominal solves the unperturbed structure without a rebuild.)
+    std::env::set_var("VAEM_FAULTS", "nan@nominal!");
+    assert!(
+        experiment.run().is_err(),
+        "a sticky nominal fault must hard-fail the run"
+    );
+
+    // And with the plan cleared the same process produces a healthy run.
+    std::env::remove_var("VAEM_FAULTS");
+    let clean = experiment.run().expect("clean run");
+    assert!(clean.health.is_clean());
+    assert!(clean.health.digest_values().is_empty());
+
+    std::env::remove_var("VAEM_THREADS");
+    std::env::remove_var("VAEM_CHUNK");
+}

@@ -15,7 +15,7 @@ fn contacts_and_facets_scale_with_the_grid() {
     let mut last_nodes = 0;
     for (rows, cols) in [(1, 2), (2, 2), (2, 3)] {
         let cfg = TsvArrayConfig::coarse(rows, cols);
-        let s = build_tsv_array_structure(&cfg);
+        let s = build_tsv_array_structure(&cfg).expect("coarse grid builds");
         assert_eq!(
             s.contacts.len(),
             rows * cols,
