@@ -79,50 +79,56 @@ fn main() {
          budget {} points ==",
         options.max_points
     );
-    match analysis.run_adaptive_frequency_sweep(&coarse, &options) {
-        Ok(adaptive) => {
-            let sweep = &adaptive.sweep;
-            println!(
-                "   ({} points after {} refinement wave(s), {} AC solves vs {} on the \
-                 fixed grid{}, wall clock {})",
-                sweep.frequencies.len(),
-                adaptive.waves,
-                adaptive.ac_solve_count(),
-                result.ac_solve_count(),
-                if adaptive.budget_exhausted {
-                    ", budget exhausted"
-                } else {
-                    ""
-                },
-                format_seconds(sweep.seconds)
-            );
-            let aq = &sweep.quantities[0];
-            println!(
-                "{:>12}  {:>14}  {:>14}  {:>12}  {:>8}",
-                "f [GHz]", "nominal [uA]", "SSCM mean", "SSCM std", "origin"
-            );
-            for (fi, f) in sweep.frequencies.iter().enumerate() {
-                let origin = match adaptive.origins[fi] {
-                    PointOrigin::Coarse => "coarse".to_string(),
-                    PointOrigin::Refined { wave, depth } => format!("w{wave}/d{depth}"),
-                };
-                println!(
-                    "{:>12.4}  {:>14.6}  {:>14.6}  {:>12.6}  {:>8}",
-                    f / 1e9,
-                    aq.nominal[fi],
-                    aq.sscm[fi].mean,
-                    aq.sscm[fi].std,
-                    origin
-                );
-            }
-        }
+    let adaptive = match analysis.run_adaptive_frequency_sweep(&coarse, &options) {
+        Ok(adaptive) => adaptive,
         Err(e) => {
             eprintln!("adaptive frequency sweep failed: {e}");
             std::process::exit(1);
         }
+    };
+    {
+        let sweep = &adaptive.sweep;
+        println!(
+            "   ({} points after {} refinement wave(s), {} AC solves vs {} on the \
+                 fixed grid{}, wall clock {})",
+            sweep.frequencies.len(),
+            adaptive.waves,
+            adaptive.ac_solve_count(),
+            result.ac_solve_count(),
+            if adaptive.budget_exhausted {
+                ", budget exhausted"
+            } else {
+                ""
+            },
+            format_seconds(sweep.seconds)
+        );
+        let aq = &sweep.quantities[0];
+        println!(
+            "{:>12}  {:>14}  {:>14}  {:>12}  {:>8}",
+            "f [GHz]", "nominal [uA]", "SSCM mean", "SSCM std", "origin"
+        );
+        for (fi, f) in sweep.frequencies.iter().enumerate() {
+            let origin = match adaptive.origins[fi] {
+                PointOrigin::Coarse => "coarse".to_string(),
+                PointOrigin::Refined { wave, depth } => format!("w{wave}/d{depth}"),
+            };
+            println!(
+                "{:>12.4}  {:>14.6}  {:>14.6}  {:>12.6}  {:>8}",
+                f / 1e9,
+                aq.nominal[fi],
+                aq.sscm[fi].mean,
+                aq.sscm[fi].std,
+                origin
+            );
+        }
     }
 
-    // Nominal impedance spectrum off the same sweep machinery.
+    // Nominal impedance and capacitance tables off the same sweep
+    // machinery, evaluated on the ADAPTIVE grid: the refined points land
+    // at error-driven log-frequencies nothing else has touched, so this
+    // also exercises the open-circuit and ω > 0 guards of the
+    // postprocessors away from the fixed grid.
+    let refined = &adaptive.sweep.frequencies;
     let structure = analysis.structure().clone();
     let doping = analysis.nominal_doping();
     let solver = match CoupledSolver::new(&structure, &doping, analysis.config().solver.clone()) {
@@ -132,15 +138,26 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let spectrum = solver.solve_dc().and_then(|dc| {
+    let tables = solver.solve_dc().and_then(|dc| {
         let mut operator = solver.prepare_ac_sweep(&dc)?;
-        let sweep = operator.sweep_terminal(&frequencies, "plug1")?;
-        postprocess::impedance_spectrum(&solver, &sweep, "plug1")
+        // One sweep of the driven plug serves both tables: the impedance
+        // spectrum and, per point, one Maxwell capacitance column.
+        let sweep = operator.sweep_terminal(refined, "plug1")?;
+        let z = postprocess::impedance_spectrum(&solver, &sweep, "plug1")?;
+        let mut columns = Vec::with_capacity(sweep.len());
+        for ac in &sweep {
+            columns.push(postprocess::capacitance_column_from(&solver, ac)?);
+        }
+        Ok((z, columns))
     });
-    match spectrum {
-        Ok(z) => {
+    match tables {
+        Ok((z, columns)) => {
             println!();
-            println!("nominal input impedance Z(f) of plug1:");
+            println!(
+                "nominal input impedance Z(f) of plug1 on the adaptive grid \
+                 ({} points):",
+                refined.len()
+            );
             println!(
                 "{:>12}  {:>14}  {:>10}",
                 "f [GHz]", "|Z| [Ohm]", "arg [deg]"
@@ -153,9 +170,26 @@ fn main() {
                     zf.im.atan2(zf.re).to_degrees()
                 );
             }
+            println!();
+            println!(
+                "capacitance column of the driven plug C[plug1][·] [fF] on the adaptive grid:"
+            );
+            let terminals: Vec<&String> = columns[0].keys().collect();
+            print!("{:>12}", "f [GHz]");
+            for t in &terminals {
+                print!("  {t:>12}");
+            }
+            println!();
+            for (fi, f) in refined.iter().enumerate() {
+                print!("{:>12.4}", f / 1e9);
+                for t in &terminals {
+                    print!("  {:>12.4}", columns[fi][*t] * 1.0e15);
+                }
+                println!();
+            }
         }
         Err(e) => {
-            eprintln!("impedance spectrum failed: {e}");
+            eprintln!("nominal impedance/capacitance tables failed: {e}");
             std::process::exit(1);
         }
     }

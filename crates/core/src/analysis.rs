@@ -555,6 +555,7 @@ impl VariationalAnalysis {
     }
 
     /// Builds the perturbed structure and doping profile of one sample.
+    // vaem-lint: cold per-sample problem construction (mesh, doping, topology)
     fn sample_problem(
         &self,
         facet_offsets: &[(String, Vec<f64>)],
@@ -631,6 +632,7 @@ impl VariationalAnalysis {
         options: SolverOptions,
     ) -> Result<Vec<f64>, AnalysisError> {
         let (structure, doping) = self.sample_problem(facet_offsets, doping_deltas)?;
+        // vaem-lint: allow(H2) Arc refcount bump handing the shared topology to the solver
         let solver = CoupledSolver::with_topology(&structure, &doping, options, topology.clone())?;
         let dc = solver.solve_dc()?;
         self.extract_outputs(&solver, &dc)
@@ -651,10 +653,12 @@ impl VariationalAnalysis {
         options: SolverOptions,
     ) -> Result<Vec<f64>, AnalysisError> {
         let (structure, doping) = self.sample_problem(facet_offsets, doping_deltas)?;
+        // vaem-lint: allow(H2) Arc refcount bump handing the shared topology to the solver
         let solver = CoupledSolver::with_topology(&structure, &doping, options, topology.clone())?;
         let dc = solver.solve_dc()?;
         let mut operator = solver.prepare_ac_sweep(&dc)?;
         let sweep = operator.sweep_terminal(frequencies, self.driven_terminal())?;
+        // vaem-lint: allow(H1) per-sample output buffer, sized once per evaluation
         let mut out = Vec::with_capacity(frequencies.len() * self.config.quantities.len());
         for ac in &sweep {
             out.extend(self.extract_outputs_from(&solver, ac)?);
@@ -682,6 +686,7 @@ impl VariationalAnalysis {
             &state.structure,
             &state.doping,
             options,
+            // vaem-lint: allow(H2) Arc refcount bump handing the shared topology to the solver
             topology.clone(),
         )?;
         // Take the cached DC operating point (solving it on the first call)
@@ -695,6 +700,7 @@ impl VariationalAnalysis {
         let operator = solver.prepare_ac_sweep(&dc);
         state.dc = Some(dc);
         let mut operator = operator?;
+        // vaem-lint: allow(H1) per-sample output buffer, sized once per evaluation
         let mut out = Vec::with_capacity(frequencies.len() * self.config.quantities.len());
         for &frequency in frequencies {
             let ac = operator.solve_at(frequency, self.driven_terminal())?;
@@ -714,6 +720,7 @@ impl VariationalAnalysis {
         attempt: u32,
     ) -> Option<faults::ScopeGuard> {
         plan.as_ref()
+            // vaem-lint: allow(H2) Arc refcount bump installing the fault scope
             .map(|p| faults::scope(p.clone(), stage, index, attempt))
     }
 
@@ -1033,6 +1040,7 @@ impl VariationalAnalysis {
 
     /// Reads the configured quantities off an already-solved AC solution
     /// (driven at [`VariationalAnalysis::driven_terminal`]).
+    // vaem-lint: cold output materialization after the solves
     fn extract_outputs_from(
         &self,
         solver: &CoupledSolver<'_>,
@@ -1420,6 +1428,7 @@ impl VariationalAnalysis {
                 &topology,
                 &input.facet_offsets,
                 &input.doping_deltas,
+                // vaem-lint: allow(H2) small solver-options struct copied once per sample at worker entry
                 sample_options.clone(),
             )
         });
@@ -1506,6 +1515,7 @@ impl VariationalAnalysis {
                     &topology,
                     &input.facet_offsets,
                     &input.doping_deltas,
+                    // vaem-lint: allow(H2) small solver-options struct copied once per sample at worker entry
                     sample_options.clone(),
                 )
             });
@@ -1634,6 +1644,7 @@ impl VariationalAnalysis {
                 &input.facet_offsets,
                 &input.doping_deltas,
                 frequencies,
+                // vaem-lint: allow(H2) small solver-options struct copied once per sample at worker entry
                 sample_options.clone(),
             )
         });
@@ -1857,13 +1868,16 @@ impl VariationalAnalysis {
         let recovery_options = self.recovery_solver_options();
         let wave0: Vec<Result<Vec<f64>, AnalysisError>> = par_map_mut(&mut states, |i, state| {
             if quarantined[i] {
+                // vaem-lint: allow(H2) quarantined samples take a copy of the patched nominal output
                 return Ok(nominal_flat.clone());
             }
             let attempt = u32::from(escalated[i]);
             let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, attempt);
             let options = if escalated[i] {
+                // vaem-lint: allow(H2) small solver-options struct copied once per sample at worker entry
                 recovery_options.clone()
             } else {
+                // vaem-lint: allow(H2) small solver-options struct copied once per sample at worker entry
                 sample_options.clone()
             };
             self.evaluate_state(&topology, state, coarse_frequencies, options)
@@ -1984,13 +1998,16 @@ impl VariationalAnalysis {
             let wave: Vec<Result<Vec<f64>, AnalysisError>> =
                 par_map_mut(&mut states, |i, state| {
                     if quarantined[i] {
+                        // vaem-lint: allow(H2) quarantined samples take a copy of the patched nominal output
                         return Ok(nominal_new.clone());
                     }
                     let attempt = u32::from(escalated[i]);
                     let _guard = Self::fault_scope(&plan, FaultStage::Sscm, i, attempt);
                     let options = if escalated[i] {
+                        // vaem-lint: allow(H2) small solver-options struct copied once per sample at worker entry
                         recovery_options.clone()
                     } else {
+                        // vaem-lint: allow(H2) small solver-options struct copied once per sample at worker entry
                         sample_options.clone()
                     };
                     self.evaluate_state(&topology, state, &wave_freqs, options)

@@ -17,6 +17,7 @@ use vaem_numeric::Complex64;
 ///
 /// # Errors
 /// Returns [`FvmError::Configuration`] for an unknown terminal name.
+// vaem-lint: cold output-side postprocessing; allocates the reported quantities
 pub fn terminal_current(
     solver: &CoupledSolver<'_>,
     ac: &AcSolution,
@@ -58,6 +59,7 @@ pub fn terminal_current(
 ///
 /// # Errors
 /// Returns [`FvmError::Configuration`] for an unknown terminal name.
+// vaem-lint: cold output-side postprocessing; allocates the reported quantities
 pub fn interface_current(
     solver: &CoupledSolver<'_>,
     ac: &AcSolution,
@@ -120,6 +122,7 @@ pub fn capacitance_column(
 /// when a terminal's current sum is non-finite; array meshes multiply the
 /// terminal count, and a silent NaN column poisons every matrix entry of
 /// that terminal.
+// vaem-lint: cold output-side postprocessing; allocates the reported quantities
 pub fn capacitance_column_from(
     solver: &CoupledSolver<'_>,
     ac: &crate::AcSolution,
@@ -195,6 +198,7 @@ pub fn capacitance_matrix(
 /// small that `V / I` overflows to a non-finite impedance. Both used to
 /// propagate silently (`∞`/NaN) into the PCE moments of the statistical
 /// sweeps; they now fail with the offending frequency in the message.
+// vaem-lint: stage pure function of the solved AC state and geometry
 pub fn impedance_spectrum(
     solver: &CoupledSolver<'_>,
     sweep: &[AcSolution],
@@ -258,6 +262,7 @@ pub fn impedance_spectrum(
 /// point where the aggressor carries no current (the ratio is undefined), and
 /// [`FvmError::NonFinite`] when either current sums to a non-finite value —
 /// each with the offending frequency in the message.
+// vaem-lint: stage pure function of the solved AC state and geometry
 pub fn coupling_ratio_spectrum(
     solver: &CoupledSolver<'_>,
     sweep: &[AcSolution],

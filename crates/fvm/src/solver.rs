@@ -454,6 +454,7 @@ impl SolverTopology {
     }
 
     /// A cheap clone of the published DC ILU(0) donation, if any.
+    // vaem-lint: cold seed extraction during solver handoff, once per topology
     fn dc_ilu_seed(&self) -> Option<IluSeed<f64>> {
         self.dc_ilu_donor
             .read()
@@ -462,6 +463,7 @@ impl SolverTopology {
     }
 
     /// A cheap clone of the published AC ILU(0) donation, if any.
+    // vaem-lint: cold seed extraction during solver handoff, once per topology
     fn ac_ilu_seed(&self) -> Option<IluSeed<Complex64>> {
         self.ac_ilu_donor
             .read()
@@ -538,6 +540,7 @@ impl<'a> CoupledSolver<'a> {
     /// # Errors
     /// Returns [`FvmError::Configuration`] when the doping profile or the
     /// topology do not match the mesh.
+    // vaem-lint: cold solver construction, once per sample
     pub fn with_topology(
         structure: &'a Structure,
         doping: &'a DopingProfile,
@@ -639,6 +642,7 @@ impl<'a> CoupledSolver<'a> {
         // Dirichlet values: every metal node pinned at its terminal bias;
         // non-metal contact nodes pinned at bias (+ built-in potential on
         // semiconductor ohmic contacts).
+        // vaem-lint: allow(H1) Dirichlet mask construction, once per DC solve
         let mut dirichlet: Vec<Option<f64>> = vec![None; n_nodes];
         for node in mesh.node_ids() {
             let mat = self.material(node);
@@ -656,7 +660,9 @@ impl<'a> CoupledSolver<'a> {
         }
 
         // Unknown numbering.
+        // vaem-lint: allow(H1) unknown-numbering setup, once per DC solve
         let mut unknown_index: Vec<Option<usize>> = vec![None; n_nodes];
+        // vaem-lint: allow(H1) unknown-numbering setup, once per DC solve
         let mut unknowns: Vec<NodeId> = Vec::new();
         for node in mesh.node_ids() {
             if dirichlet[node.index()].is_none() {
@@ -678,6 +684,7 @@ impl<'a> CoupledSolver<'a> {
                     0.0
                 }
             })
+            // vaem-lint: allow(H1) bias-table materialization, once per DC solve
             .collect();
 
         let clamp_exp = |x: f64| x.clamp(-60.0, 60.0);
@@ -705,8 +712,10 @@ impl<'a> CoupledSolver<'a> {
                         let c = eps * self.link_factor[lid.index()];
                         (c, other.index(), unknown_index[other.index()])
                     })
+                    // vaem-lint: allow(H1) stencil precomputation keeps per-iteration assembly allocation-free
                     .collect()
             })
+            // vaem-lint: allow(H1) stencil precomputation keeps per-iteration assembly allocation-free
             .collect();
         // Charge term data per unknown: (q·volume, net doping) for
         // semiconductor nodes, None elsewhere.
@@ -717,9 +726,11 @@ impl<'a> CoupledSolver<'a> {
                     .is_semiconductor()
                     .then(|| (q * mesh.node_volume(node), self.doping.net(node)))
             })
+            // vaem-lint: allow(H1) charge-term table, once per DC solve
             .collect();
 
         let n_unknown = unknowns.len();
+        // vaem-lint: allow(H1) Newton workspace sized once per DC solve, reused across iterations
         let mut rhs = vec![0.0_f64; n_unknown];
         let mut jac = TripletMatrix::with_capacity(n_unknown, n_unknown, n_unknown * 7);
         // CSR carrying the fixed Jacobian pattern; seeded from the shared
@@ -814,6 +825,7 @@ impl<'a> CoupledSolver<'a> {
             // where the cause is still attributable to this solve.
             if delta.iter().any(|d| !d.is_finite()) {
                 return Err(FvmError::NonFinite {
+                    // vaem-lint: allow(H1) non-finite-update error message, failure path only
                     detail: format!(
                         "DC Newton update contains non-finite entries at iteration {iterations}"
                     ),
@@ -861,7 +873,9 @@ impl<'a> CoupledSolver<'a> {
         }
 
         // Carrier densities from the converged potential.
+        // vaem-lint: allow(H1) carrier-density output arrays, once per converged DC solve
         let mut electron_density = vec![0.0; n_nodes];
+        // vaem-lint: allow(H1) carrier-density output arrays, once per converged DC solve
         let mut hole_density = vec![0.0; n_nodes];
         for node in mesh.node_ids() {
             if self.material(node).is_semiconductor() {
@@ -893,6 +907,7 @@ impl<'a> CoupledSolver<'a> {
         frequency: f64,
     ) -> Result<AcSolution, FvmError> {
         let mut excitations = BTreeMap::new();
+        // vaem-lint: allow(H1) terminal-label key for the excitation map, once per AC solve
         excitations.insert(driven_terminal.to_string(), Complex64::ONE);
         self.solve_ac_with_excitations(dc, &excitations, frequency, driven_terminal)
     }
@@ -952,6 +967,7 @@ impl<'a> CoupledSolver<'a> {
     /// # Errors
     /// Never fails today; returns `Result` for forward compatibility with
     /// configuration validation.
+    // vaem-lint: cold sweep preparation, once per sample
     pub fn prepare_ac_sweep<'s>(
         &'s self,
         dc: &DcSolution,
@@ -1047,6 +1063,7 @@ impl<'a> CoupledSolver<'a> {
         }
         let n_links = mesh.link_count();
         let mut matrix = TripletMatrix::with_capacity(n_links, n_links, n_links * 7);
+        // vaem-lint: allow(H1) AC assembly workspace, once per frequency solve
         let mut rhs = vec![Complex64::ZERO; n_links];
         // Scaling constant K of the paper's eq. (3): µ0 here (SI, µm units).
         let k_scale = constants::VACUUM_PERMEABILITY;
@@ -1160,6 +1177,7 @@ impl AcSweepOperator<'_, '_> {
     pub fn set_frequency(&mut self, frequency: f64) -> Result<(), FvmError> {
         if !frequency.is_finite() || frequency < 0.0 {
             return Err(FvmError::Configuration {
+                // vaem-lint: allow(H1) frequency-update failure message, error path only
                 detail: format!("invalid AC frequency {frequency} Hz"),
             });
         }
@@ -1307,6 +1325,7 @@ impl AcSweepOperator<'_, '_> {
         // Each grid walk starts cold, so back-to-back sweeps of the same
         // operator reproduce each other exactly.
         self.warm = None;
+        // vaem-lint: allow(H1) sweep output buffer sized once per sweep
         let mut out = Vec::with_capacity(frequencies.len());
         for &frequency in frequencies {
             out.push(self.solve_at(frequency, driven_terminal)?);
@@ -1335,6 +1354,7 @@ impl AcSweepOperator<'_, '_> {
     ) -> Result<AcSolution, FvmError> {
         self.set_frequency(frequency)?;
         let mut excitations = BTreeMap::new();
+        // vaem-lint: allow(H1) terminal-label key for the excitation map, once per frequency solve
         excitations.insert(driven_terminal.to_string(), Complex64::ONE);
         let guess = self.warm.take();
         let (ac, solution) = self.solve_inner(&excitations, driven_terminal, guess.as_deref())?;
@@ -1356,11 +1376,13 @@ impl AcSweepOperator<'_, '_> {
             .prepared
             .as_mut()
             .ok_or_else(|| FvmError::Configuration {
+                // vaem-lint: allow(H1) configuration-error message, failure path only
                 detail: "AC operator has no frequency set (call set_frequency first)".to_string(),
             })?;
         for name in excitations.keys() {
             if solver.terminals().index_of(name).is_none() {
                 return Err(FvmError::Configuration {
+                    // vaem-lint: allow(H1) unknown-terminal error message, failure path only
                     detail: format!("unknown terminal '{name}'"),
                 });
             }
@@ -1372,6 +1394,7 @@ impl AcSweepOperator<'_, '_> {
                 .unwrap_or(Complex64::ZERO)
         };
 
+        // vaem-lint: allow(H1) AC right-hand side sized once per frequency solve
         let mut rhs = vec![Complex64::ZERO; self.unknowns.len()];
         for &(ui, lid, contact) in &self.boundary {
             rhs[ui] -= self.link_admittance[lid.index()] * excitation_of(contact);
@@ -1379,6 +1402,7 @@ impl AcSweepOperator<'_, '_> {
         let (solution, report) = prepared.solve_with_guess(&rhs, guess)?;
 
         let mesh = &solver.structure.mesh;
+        // vaem-lint: allow(H1) solution scatter into node space, once per frequency solve
         let mut potential = vec![Complex64::ZERO; mesh.node_count()];
         for node in mesh.node_ids() {
             let i = node.index();
@@ -1404,9 +1428,11 @@ impl AcSweepOperator<'_, '_> {
 
         let ac = AcSolution {
             potential,
+            // vaem-lint: allow(H2) the solution record owns its admittance table; one copy per frequency solve
             link_admittance: self.link_admittance.clone(),
             vector_potential,
             omega: self.omega,
+            // vaem-lint: allow(H1) terminal-label copy into the solution record, once per frequency solve
             driven_terminal: driven_label.to_string(),
             solver_strategy: report.strategy,
             linear_residual: report.residual_norm,

@@ -121,6 +121,27 @@ pub fn ratchet(old: &Budget, counts: &Budget) -> Result<Budget, String> {
         .collect())
 }
 
+/// Budget entries whose file is not in `existing` (workspace-relative
+/// paths) — stale recordings left behind by a file deletion or rename.
+/// Strict runs report these; `--update-budget` prunes them.
+pub fn stale_entries(budget: &Budget, existing: &[String]) -> Vec<String> {
+    budget
+        .keys()
+        .filter(|path| !existing.iter().any(|f| f == *path))
+        .cloned()
+        .collect()
+}
+
+/// Drops the entries named by [`stale_entries`]; returns the pruned paths
+/// so the caller can report what was removed.
+pub fn prune(budget: &mut Budget, existing: &[String]) -> Vec<String> {
+    let stale = stale_entries(budget, existing);
+    for path in &stale {
+        budget.remove(path);
+    }
+    stale
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +185,18 @@ mod tests {
         // A new file with sites is also a raise (implicit budget 0).
         let fresh: Budget = [("c.rs".to_string(), 1usize)].into_iter().collect();
         assert!(ratchet(&old, &fresh).is_err());
+    }
+
+    #[test]
+    fn prune_drops_exactly_the_deleted_files() {
+        let mut b = parse("[d5]\n\"a.rs\" = 5\n\"gone.rs\" = 2\n").unwrap();
+        let existing = vec!["a.rs".to_string(), "new.rs".to_string()];
+        assert_eq!(stale_entries(&b, &existing), vec!["gone.rs".to_string()]);
+        let pruned = prune(&mut b, &existing);
+        assert_eq!(pruned, vec!["gone.rs".to_string()]);
+        assert_eq!(b.get("a.rs"), Some(&5));
+        assert!(!b.contains_key("gone.rs"));
+        // Idempotent on a clean budget.
+        assert!(prune(&mut b, &existing).is_empty());
     }
 }

@@ -4,19 +4,25 @@
 //! The repository's headline guarantee (bit-identical results at any thread
 //! count) is enforced dynamically by digest diffs and determinism tests; the
 //! hazards that would break it are textual and auditable. This crate ships a
-//! small self-contained Rust lexer ([`lexer`]), a line/token-level rule
-//! engine ([`rules`], rules D1–D6 plus the waiver rules W0/W1), and a
-//! panic-path budget ratchet ([`budget`]). The `vaem-lint` binary walks
-//! `crates/*/src` and the root facade `src/`, reports span-accurate findings
-//! (`--format json` for machines), and exits nonzero on any unwaived
-//! violation — see the README "Correctness tooling" section for the rule
-//! catalog and waiver syntax.
+//! small self-contained Rust lexer ([`lexer`]), a brace-matched item
+//! parser ([`parse`]), a whole-workspace symbol table + call graph
+//! ([`model`]), a line/token-level rule engine ([`rules`], rules D1–D6
+//! plus the waiver rules W0/W1), the call-graph-aware rule families
+//! ([`semantic`], rules H1–H3/P1/E1–E2), and a panic-path budget ratchet
+//! ([`budget`]). The `vaem-lint` binary walks `crates/*/src` and the root
+//! facade `src/`, reports span-accurate findings (`--format json` or
+//! `--format sarif` for machines), and exits nonzero on any unwaived
+//! violation — see the README "Correctness tooling" section and
+//! `crates/lint/RULES.md` for the rule catalog and waiver syntax.
 
 #![warn(missing_docs)]
 
 pub mod budget;
 pub mod lexer;
+pub mod model;
+pub mod parse;
 pub mod rules;
+pub mod semantic;
 
 use budget::Budget;
 use rules::{Finding, Rule};
@@ -121,12 +127,32 @@ pub fn lint_files(
     budget_map: &Budget,
     strict_budget: bool,
 ) -> Result<WorkspaceReport, LintError> {
-    let mut report = WorkspaceReport::default();
+    let mut sources = Vec::with_capacity(rel_paths.len());
     for rel in rel_paths {
         let abs = root.join(rel);
         let source = std::fs::read_to_string(&abs)
             .map_err(|e| LintError(format!("cannot read {}: {e}", abs.display())))?;
-        let file = rules::lint_source(rel, &source);
+        sources.push((rel.clone(), source));
+    }
+    Ok(lint_sources(&sources, budget_map, strict_budget))
+}
+
+/// Lints in-memory `(workspace-relative path, source)` pairs: builds the
+/// whole-set semantic model (call graph + H/P/E findings), then runs the
+/// per-file token rules, merges, and applies waivers. This is the full
+/// pipeline behind [`lint_files`], exposed so fixture tests can exercise
+/// the semantic families without touching disk.
+pub fn lint_sources(
+    sources: &[(String, String)],
+    budget_map: &Budget,
+    strict_budget: bool,
+) -> WorkspaceReport {
+    let ws = model::Workspace::build(sources);
+    let mut semantic_findings = semantic::analyze(&ws);
+    let mut report = WorkspaceReport::default();
+    for (rel, source) in sources {
+        let extra = semantic_findings.remove(rel).unwrap_or_default();
+        let file = rules::lint_source_with(rel, source, extra);
         report.files_checked += 1;
         for f in file.violations {
             report.violations.push((rel.clone(), f));
@@ -178,18 +204,38 @@ pub fn lint_files(
     report
         .violations
         .sort_by(|a, b| (a.0.as_str(), a.1.line, a.1.col).cmp(&(b.0.as_str(), b.1.line, b.1.col)));
-    Ok(report)
+    report
 }
 
 /// Convenience entry point: collect the default file set, load the budget
-/// file (missing file = empty budget), lint everything.
+/// file (missing file = empty budget), lint everything. On strict runs the
+/// full file set is known, so a budget entry for a file that no longer
+/// exists is reported as a stale-budget violation (anchored at the budget
+/// file itself) instead of lingering silently.
 ///
 /// # Errors
 /// Propagates I/O and budget-parse failures.
 pub fn lint_workspace(root: &Path, strict_budget: bool) -> Result<WorkspaceReport, LintError> {
     let files = collect_files(root)?;
     let budget_map = load_budget(root)?;
-    lint_files(root, &files, &budget_map, strict_budget)
+    let mut report = lint_files(root, &files, &budget_map, strict_budget)?;
+    if strict_budget {
+        for rel in budget::stale_entries(&budget_map, &files) {
+            report.violations.push((
+                BUDGET_FILE.to_string(),
+                Finding {
+                    rule: Rule::D5,
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "budget entry for deleted file `{rel}`: run \
+                         `vaem-lint --update-budget` to prune it"
+                    ),
+                },
+            ));
+        }
+    }
+    Ok(report)
 }
 
 /// Loads `lint_budget.toml` from the workspace root (missing = empty).
@@ -260,6 +306,43 @@ pub fn render_json(report: &WorkspaceReport) -> String {
         out.push_str(&format!("\"{}\":{}", json_escape(path), count));
     }
     out.push_str("}}");
+    out
+}
+
+/// Renders a report as a minimal SARIF 2.1.0 log (one run, one result per
+/// unwaived violation) for code-scanning upload and CI artifacts.
+pub fn render_sarif(report: &WorkspaceReport) -> String {
+    let mut rules_seen: Vec<&str> = report.violations.iter().map(|(_, f)| f.rule.id()).collect();
+    rules_seen.sort_unstable();
+    rules_seen.dedup();
+    let mut out = String::from(
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"vaem-lint\",\"informationUri\":\"crates/lint/RULES.md\",\"rules\":[",
+    );
+    for (i, id) in rules_seen.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"id\":\"{id}\"}}"));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, (path, f)) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            f.rule.id(),
+            json_escape(&f.message),
+            json_escape(path),
+            f.line,
+            f.col
+        ));
+    }
+    out.push_str("]}]}");
     out
 }
 

@@ -1,21 +1,30 @@
 //! The `vaem-lint` command-line gate.
 //!
 //! ```text
-//! vaem-lint [--root DIR] [--format text|json] [--strict-budget]
+//! vaem-lint [--root DIR] [--format text|json|sarif] [--strict-budget]
 //!           [--update-budget] [PATH…]
 //! ```
 //!
 //! With no `PATH` arguments the whole workspace file set is linted
-//! (`crates/*/src/**` plus the root `src/`); explicit workspace-relative
-//! paths lint just those files (used by the CI seeded-fixture check).
-//! Exits 0 on a clean tree, 1 on violations, 2 on usage or I/O errors.
+//! (`crates/*/src/**` plus the root `src/`) — including the semantic
+//! call-graph families and, under `--strict-budget`, stale-budget-entry
+//! detection; explicit workspace-relative paths lint just those files
+//! (used by the CI seeded-fixture check; the call graph then spans only
+//! the listed files). Exits 0 on a clean tree, 1 on violations, 2 on
+//! usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Args {
     root: Option<PathBuf>,
-    format_json: bool,
+    format: Format,
     strict_budget: bool,
     update_budget: bool,
     paths: Vec<String>,
@@ -24,7 +33,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
-        format_json: false,
+        format: Format::Text,
         strict_budget: false,
         update_budget: false,
         paths: Vec::new(),
@@ -37,14 +46,15 @@ fn parse_args() -> Result<Args, String> {
                 args.root = Some(PathBuf::from(dir));
             }
             "--format" => match it.next().as_deref() {
-                Some("json") => args.format_json = true,
-                Some("text") => args.format_json = false,
-                other => return Err(format!("--format expects text|json, got {other:?}")),
+                Some("json") => args.format = Format::Json,
+                Some("sarif") => args.format = Format::Sarif,
+                Some("text") => args.format = Format::Text,
+                other => return Err(format!("--format expects text|json|sarif, got {other:?}")),
             },
             "--strict-budget" => args.strict_budget = true,
             "--update-budget" => args.update_budget = true,
             "--help" | "-h" => {
-                return Err("usage: vaem-lint [--root DIR] [--format text|json] \
+                return Err("usage: vaem-lint [--root DIR] [--format text|json|sarif] \
                      [--strict-budget] [--update-budget] [PATH…]"
                     .to_string())
             }
@@ -80,20 +90,30 @@ fn run() -> Result<bool, String> {
         Some(r) => r,
         None => find_root()?,
     };
-    let budget_map = vaem_lint::load_budget(&root).map_err(|e| e.to_string())?;
-    let files = if args.paths.is_empty() {
-        vaem_lint::collect_files(&root).map_err(|e| e.to_string())?
+    let report = if args.paths.is_empty() {
+        // Whole-workspace runs go through the driver that also knows how
+        // to flag stale budget entries on strict runs.
+        vaem_lint::lint_workspace(&root, args.strict_budget).map_err(|e| e.to_string())?
     } else {
-        args.paths.clone()
+        let budget_map = vaem_lint::load_budget(&root).map_err(|e| e.to_string())?;
+        vaem_lint::lint_files(&root, &args.paths, &budget_map, args.strict_budget)
+            .map_err(|e| e.to_string())?
     };
-    let report = vaem_lint::lint_files(&root, &files, &budget_map, args.strict_budget)
-        .map_err(|e| e.to_string())?;
 
     if args.update_budget {
         if !args.paths.is_empty() {
             return Err("--update-budget requires a whole-workspace run".to_string());
         }
+        let files = vaem_lint::collect_files(&root).map_err(|e| e.to_string())?;
+        let mut budget_map = vaem_lint::load_budget(&root).map_err(|e| e.to_string())?;
         let path = root.join(vaem_lint::BUDGET_FILE);
+        // Entries for deleted files are pruned (and reported) before the
+        // ratchet, so a rename or removal never leaves a stale recording
+        // behind to trip a later `--strict-budget` run.
+        let pruned = vaem_lint::budget::prune(&mut budget_map, &files);
+        for stale in &pruned {
+            eprintln!("vaem-lint: pruned budget entry for deleted file {stale}");
+        }
         let observed = vaem_lint::observed_counts(&report);
         // First run (no budget file yet): seed from the observed counts.
         // Afterwards the ratchet applies — counts may only go down.
@@ -108,10 +128,10 @@ fn run() -> Result<bool, String> {
         eprintln!("vaem-lint: wrote {} ({nonzero} entries)", path.display());
     }
 
-    if args.format_json {
-        println!("{}", vaem_lint::render_json(&report));
-    } else {
-        print!("{}", vaem_lint::render_text(&report));
+    match args.format {
+        Format::Json => println!("{}", vaem_lint::render_json(&report)),
+        Format::Sarif => println!("{}", vaem_lint::render_sarif(&report)),
+        Format::Text => print!("{}", vaem_lint::render_text(&report)),
     }
     Ok(report.is_clean())
 }

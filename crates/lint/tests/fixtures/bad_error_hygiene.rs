@@ -1,0 +1,16 @@
+//! Seeded E-rule fixture: discarded `Result`s and a swallowed error arm.
+
+fn refresh() -> Result<(), String> {
+    Err("stale".to_string())
+}
+
+pub fn run() {
+    let _ = refresh();
+    refresh().ok();
+    match refresh() {
+        Ok(()) => {}
+        Err(_) => {}
+    }
+    let kept = refresh().ok();
+    drop(kept);
+}

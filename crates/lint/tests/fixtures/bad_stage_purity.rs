@@ -1,0 +1,16 @@
+//! Seeded P-rule fixture: a cache-keyed stage reaching nondeterminism,
+//! interior mutability and I/O through a helper.
+
+// vaem-lint: stage pure digest of the sample inputs (it deliberately is not)
+pub fn digest(xs: &[f64]) -> u64 {
+    impure(xs.len() as u64)
+}
+
+fn impure(seed: u64) -> u64 {
+    let rng = SmallRng::seed_from_u64(seed);
+    let home = std::env::var("VAEM_HOME").unwrap_or_default();
+    let cell = RefCell::new(seed);
+    let opened = File::open(&home);
+    drop((rng, cell, opened));
+    seed + home.len() as u64
+}

@@ -87,6 +87,7 @@ impl Cholesky {
             Err(NumericError::DimensionMismatch { detail }) => {
                 return Err(NumericError::DimensionMismatch { detail })
             }
+            // vaem-lint: allow(E2) intentional fall-through to the jittered retry ladder; the final attempt propagates the error
             Err(_) => {}
         }
         let n = a.rows().max(1);
@@ -135,6 +136,7 @@ impl Cholesky {
     ///
     /// # Errors
     /// Returns [`NumericError::DimensionMismatch`] when `b.len()` is wrong.
+    // vaem-lint: cold allocates the solution it returns; once per dense solve, not per element
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
         let n = self.dim();
         if b.len() != n {

@@ -30,6 +30,7 @@ impl<T: Scalar> Lu<T> {
     /// # Errors
     /// * [`NumericError::DimensionMismatch`] if the matrix is not square.
     /// * [`NumericError::Singular`] if a zero pivot is encountered.
+    // vaem-lint: cold dense factorization, once per panel
     pub fn new(a: &DMatrix<T>) -> Result<Self, NumericError> {
         if !a.is_square() {
             return Err(NumericError::DimensionMismatch {
@@ -93,6 +94,7 @@ impl<T: Scalar> Lu<T> {
     /// # Errors
     /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
     /// the factorized dimension.
+    // vaem-lint: cold allocates the solution it returns; once per dense solve, not per element
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumericError> {
         let n = self.dim();
         if b.len() != n {

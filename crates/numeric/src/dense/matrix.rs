@@ -22,6 +22,7 @@ pub struct DMatrix<T: Scalar> {
 
 impl<T: Scalar> DMatrix<T> {
     /// Creates a matrix filled with zeros.
+    // vaem-lint: cold dense-matrix construction
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
             rows,
@@ -137,6 +138,7 @@ impl<T: Scalar> DMatrix<T> {
     ///
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
+    // vaem-lint: cold allocating convenience wrapper; dense panels are setup-side
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
         let mut y = vec![T::zero(); self.rows];
@@ -216,6 +218,7 @@ impl<T: Scalar> DMatrix<T> {
     ///
     /// # Panics
     /// Panics if the shapes differ.
+    // vaem-lint: cold allocating convenience wrapper; dense panels are setup-side
     pub fn add(&self, other: &Self) -> Self {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         Self::from_fn(self.rows, self.cols, |i, j| self[(i, j)] + other[(i, j)])
@@ -225,6 +228,7 @@ impl<T: Scalar> DMatrix<T> {
     ///
     /// # Panics
     /// Panics if the shapes differ.
+    // vaem-lint: cold allocating convenience wrapper; dense panels are setup-side
     pub fn sub(&self, other: &Self) -> Self {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
         Self::from_fn(self.rows, self.cols, |i, j| self[(i, j)] - other[(i, j)])
@@ -262,6 +266,7 @@ impl<T: Scalar> DMatrix<T> {
     ///
     /// # Errors
     /// See [`DMatrix::lu`].
+    // vaem-lint: cold allocates the solution it returns; once per dense solve
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumericError> {
         self.lu()?.solve(b)
     }

@@ -163,6 +163,8 @@ impl FaultPlan {
     ///
     /// # Errors
     /// A human-readable description of the first malformed entry.
+    // vaem-lint: cold fault-plan parsing, once per process
+    // vaem-lint: stage pure function of the plan string
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut entries = Vec::new();
         for part in text.split(',') {

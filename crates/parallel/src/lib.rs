@@ -112,6 +112,7 @@ unsafe impl<U: Send> Sync for SlotPtr<U> {}
 /// before returning. Keeping this loop in one place means there is exactly
 /// one claiming discipline to audit for both the shared-input and the
 /// mutable-input fan-out.
+// vaem-lint: hot claiming loop of the fan-out primitives, runs on every worker
 fn steal_indices<F>(threads: usize, chunk: usize, len: usize, body: F)
 where
     F: Fn(usize) + Sync,

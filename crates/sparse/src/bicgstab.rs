@@ -158,6 +158,7 @@ impl BiCgStab {
         let n = a.rows();
         if a.cols() != n || b.len() != n {
             return Err(SparseError::DimensionMismatch {
+                // vaem-lint: allow(H1) dimension-mismatch error message, failure path only
                 detail: format!(
                     "BiCGSTAB needs square A and matching rhs; got {}x{} with rhs {}",
                     a.rows(),
@@ -172,8 +173,10 @@ impl BiCgStab {
         let mut x = match x0 {
             Some(x0) => {
                 assert_eq!(x0.len(), n, "initial guess length mismatch");
+                // vaem-lint: allow(H1) initial-guess copy, once per solve entry
                 x0.to_vec()
             }
+            // vaem-lint: allow(H1) zero initial guess, once per solve entry
             None => vec![T::zero(); n],
         };
         // r = b − A·x (skip the matvec for the zero initial guess).
@@ -201,6 +204,7 @@ impl BiCgStab {
                 || rho_new.modulus() < BREAKDOWN_REL * r_hat_norm * r_norm
             {
                 return Err(SparseError::Breakdown {
+                    // vaem-lint: allow(H1) breakdown-label construction, failure path only
                     detail: "rho (near-)vanished in BiCGSTAB".to_string(),
                 });
             }
@@ -220,6 +224,7 @@ impl BiCgStab {
                 || denom.modulus() < 1e-300
             {
                 return Err(SparseError::Breakdown {
+                    // vaem-lint: allow(H1) breakdown-label construction, failure path only
                     detail: "r_hat . v (near-)vanished in BiCGSTAB".to_string(),
                 });
             }
@@ -257,6 +262,7 @@ impl BiCgStab {
             let tt = vecops::dot(&ws.t, &ws.t);
             if !tt.is_finite_scalar() || tt.modulus() < 1e-300 {
                 return Err(SparseError::Breakdown {
+                    // vaem-lint: allow(H1) breakdown-label construction, failure path only
                     detail: "t . t (near-)vanished in BiCGSTAB".to_string(),
                 });
             }
@@ -271,6 +277,7 @@ impl BiCgStab {
                 // The recurrence overflowed/NaN-poisoned itself; report a
                 // breakdown now rather than a max-iterations failure later.
                 return Err(SparseError::Breakdown {
+                    // vaem-lint: allow(H1) breakdown-label construction, failure path only
                     detail: "residual became non-finite in BiCGSTAB".to_string(),
                 });
             }
@@ -294,6 +301,7 @@ impl BiCgStab {
             }
             if !omega.is_finite_scalar() || omega.modulus() < 1e-300 {
                 return Err(SparseError::Breakdown {
+                    // vaem-lint: allow(H1) divergence-label construction, failure path only
                     detail: "omega (near-)vanished in BiCGSTAB".to_string(),
                 });
             }

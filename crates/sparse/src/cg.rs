@@ -100,6 +100,7 @@ impl ConjugateGradient {
         let n = a.rows();
         if a.cols() != n || b.len() != n {
             return Err(SparseError::DimensionMismatch {
+                // vaem-lint: allow(H1) dimension-mismatch error message, failure path only
                 detail: format!(
                     "CG needs square A and matching rhs; got {}x{} with rhs {}",
                     a.rows(),
@@ -113,8 +114,10 @@ impl ConjugateGradient {
         let mut x = match x0 {
             Some(x0) => {
                 assert_eq!(x0.len(), n, "initial guess length mismatch");
+                // vaem-lint: allow(H1) initial-guess copy, once per solve entry
                 x0.to_vec()
             }
+            // vaem-lint: allow(H1) zero initial guess, once per solve entry
             None => vec![0.0; n],
         };
         // r = b − A·x (skip the matvec for the zero initial guess).
@@ -141,6 +144,7 @@ impl ConjugateGradient {
             let pap = vecops::dot(&ws.p, &ws.ap);
             if pap.abs() < 1e-300 {
                 return Err(SparseError::Breakdown {
+                    // vaem-lint: allow(H1) breakdown-label construction, failure path only
                     detail: "p . A p became zero in CG".to_string(),
                 });
             }

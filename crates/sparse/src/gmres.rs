@@ -144,6 +144,7 @@ impl Gmres {
         let n = a.rows();
         if a.cols() != n || b.len() != n {
             return Err(SparseError::DimensionMismatch {
+                // vaem-lint: allow(H1) dimension-mismatch error message, failure path only
                 detail: format!(
                     "GMRES needs square A and matching rhs; got {}x{} with rhs {}",
                     a.rows(),
@@ -158,8 +159,10 @@ impl Gmres {
         let mut x = match x0 {
             Some(x0) => {
                 assert_eq!(x0.len(), n, "initial guess length mismatch");
+                // vaem-lint: allow(H1) initial-guess copy, once per solve entry
                 x0.to_vec()
             }
+            // vaem-lint: allow(H1) zero initial guess, once per solve entry
             None => vec![T::zero(); n],
         };
         let mut total_iters = 0usize;
@@ -236,6 +239,7 @@ impl Gmres {
                 }
                 if h[i][i].modulus() < 1e-300 {
                     return Err(SparseError::Breakdown {
+                        // vaem-lint: allow(H1) stagnation-label construction, failure path only
                         detail: "singular Hessenberg diagonal in GMRES".to_string(),
                     });
                 }

@@ -37,6 +37,7 @@ impl<T: Scalar> Ilu0<T> {
     /// * [`SparseError::MissingDiagonal`] when a row lacks a structural
     ///   diagonal entry.
     /// * [`SparseError::ZeroPivot`] when a pivot becomes exactly zero.
+    // vaem-lint: cold preconditioner construction, once per sparsity pattern
     pub fn new(a: &CsrMatrix<T>) -> Result<Self, SparseError> {
         if a.rows() != a.cols() {
             return Err(SparseError::DimensionMismatch {
@@ -117,6 +118,7 @@ impl<T: Scalar> Ilu0<T> {
     ///
     /// # Panics
     /// Panics if `r.len()` differs from the dimension.
+    // vaem-lint: cold allocating convenience wrapper; hot callers use apply_into
     pub fn apply(&self, r: &[T]) -> Vec<T> {
         let mut z = vec![T::zero(); self.n];
         self.apply_into(r, &mut z);

@@ -27,6 +27,7 @@ fn fault_check(site: FaultSite) -> Result<(), SparseError> {
             residual: f64::INFINITY,
         },
         _ => SparseError::Breakdown {
+            // vaem-lint: allow(H1) fault-injection error construction, off the nominal path
             detail: format!("injected fault at site '{site}'"),
         },
     })
@@ -186,6 +187,7 @@ impl LinearSolver {
     ) -> Result<(Vec<T>, SolveReport), SparseError> {
         if a.rows() != a.cols() || b.len() != a.rows() {
             return Err(SparseError::DimensionMismatch {
+                // vaem-lint: allow(H1) solver-failure message, error path only
                 detail: format!(
                     "solver needs square A and matching rhs; got {}x{} with rhs {}",
                     a.rows(),
@@ -325,6 +327,7 @@ impl LinearSolver {
     ) -> Result<PreparedSolver<T>, SparseError> {
         if a.rows() != a.cols() {
             return Err(SparseError::DimensionMismatch {
+                // vaem-lint: allow(H1) solver-failure message, error path only
                 detail: format!(
                     "prepare needs a square matrix, got {}x{}",
                     a.rows(),
@@ -482,6 +485,7 @@ impl<T: Scalar> IluRefresh<T> {
     /// the donor's healthy baseline carried over — the lazy refresh policy
     /// then treats the donation exactly like this solver's own aged ILU and
     /// rebuilds only when the observed iteration count degrades.
+    // vaem-lint: cold preconditioner clone from a donated seed, once per sweep
     fn from_seed(seed: &IluSeed<T>) -> Self {
         Self {
             ilu: seed.ilu.clone(),
@@ -501,6 +505,7 @@ impl<T: Scalar> IluRefresh<T> {
     /// ILU keeps answering (solves remain residual-verified).
     fn ensure_baselined(&mut self, scaled: &CsrMatrix<T>) {
         if self.stale && self.baseline_iterations.is_none() {
+            // vaem-lint: allow(E1) best-effort ILU rebuild: a stale preconditioner still answers and every solve is residual-verified
             let _ = self.rebuild(scaled);
         }
     }
@@ -553,6 +558,7 @@ impl<T: Scalar> IluRefresh<T> {
 /// Builds a symbolic+numeric direct factorization of an equilibrated
 /// matrix, starting from a donor symbolic phase when one with a matching
 /// pattern and recorded structure is supplied.
+// vaem-lint: cold full factorization on prepare; per-iteration refactors go through refactor_numeric
 fn direct_factorization<T: Scalar>(
     scaled: &CsrMatrix<T>,
     seed: Option<&SymbolicLu>,
@@ -618,6 +624,7 @@ impl<T: Scalar> PreparedSolver<T> {
     /// seed carries this solver's healthy iteration baseline so the
     /// recipient's lazy-refresh policy can judge the donated factors
     /// against it (see [`LinearSolver::prepare_seeded_with`]).
+    // vaem-lint: cold donor-seed extraction, once per sweep
     pub fn ilu_donor(&self) -> Option<IluSeed<T>> {
         let state = match &self.factorization {
             Factorization::Ilu { state, .. } => state,
@@ -675,6 +682,7 @@ impl<T: Scalar> PreparedSolver<T> {
     pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<(), SparseError> {
         if a.rows() != self.scaled.rows() || a.cols() != self.scaled.cols() {
             return Err(SparseError::DimensionMismatch {
+                // vaem-lint: allow(H1) refactor-failure message, error path only
                 detail: format!(
                     "refactor expects a {}x{} matrix, got {}x{}",
                     self.scaled.rows(),
@@ -730,6 +738,7 @@ impl<T: Scalar> PreparedSolver<T> {
         let n = self.scaled.rows();
         if b.len() != n {
             return Err(SparseError::DimensionMismatch {
+                // vaem-lint: allow(H1) solver-failure message, error path only
                 detail: format!("prepared solver dimension {n} but rhs has {}", b.len()),
             });
         }
